@@ -1,0 +1,346 @@
+//! The architecture description file (paper §III-C6).
+//!
+//! An INI-dialect text file with three kinds of sections:
+//!
+//! ```ini
+//! [machine]
+//! name = arya
+//! cores = 36
+//! cache_line_bytes = 64
+//! vector_bits = 128
+//! fp_lanes_per_vector = 2
+//!
+//! [metric fpi]
+//! categories = sse2_packed_arith, sse_packed_arith, x87_basic_arith, avx_arith, fma
+//!
+//! [metric fp_movement]
+//! categories = sse2_data_movement, sse_data_transfer, x87_data_transfer, avx_data_movement
+//! ```
+//!
+//! Metric groups name sets of instruction categories; `fpi` reproduces
+//! `PAPI_FP_INS` (the paper's validation metric) and the
+//! `fpi / fp_movement` ratio is the instruction-based arithmetic intensity
+//! of §IV-D2.
+
+use crate::Category;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Machine parameters from the `[machine]` section.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MachineParams {
+    pub name: String,
+    pub cores: u32,
+    pub cache_line_bytes: u32,
+    pub vector_bits: u32,
+    /// Double-precision lanes per vector register (2 for SSE2, 4 for AVX).
+    pub fp_lanes_per_vector: u32,
+}
+
+impl Default for MachineParams {
+    fn default() -> Self {
+        MachineParams {
+            name: "generic-x86_64".to_string(),
+            cores: 1,
+            cache_line_bytes: 64,
+            vector_bits: 128,
+            fp_lanes_per_vector: 2,
+        }
+    }
+}
+
+/// Parse / validation errors for description files.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DescError {
+    Syntax { line: usize, msg: String },
+    UnknownCategory { line: usize, name: String },
+    UnknownKey { line: usize, key: String },
+    BadValue { line: usize, key: String },
+}
+
+impl fmt::Display for DescError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DescError::Syntax { line, msg } => write!(f, "line {line}: {msg}"),
+            DescError::UnknownCategory { line, name } => {
+                write!(f, "line {line}: unknown instruction category `{name}`")
+            }
+            DescError::UnknownKey { line, key } => write!(f, "line {line}: unknown key `{key}`"),
+            DescError::BadValue { line, key } => {
+                write!(f, "line {line}: bad value for `{key}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DescError {}
+
+/// A parsed architecture description.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArchDescription {
+    pub machine: MachineParams,
+    metrics: BTreeMap<String, Vec<Category>>,
+}
+
+/// The default description shipped with Mira: a generic SSE2 x86-64 with
+/// the metric groups used throughout the paper's evaluation.
+pub const DEFAULT_DESCRIPTION: &str = "\
+# Mira default architecture description (generic x86-64, SSE2)
+[machine]
+name = generic-x86_64
+cores = 1
+cache_line_bytes = 64
+vector_bits = 128
+fp_lanes_per_vector = 2
+
+# PAPI_FP_INS equivalent: scalar+packed double/single FP arithmetic.
+[metric fpi]
+categories = sse2_packed_arith, sse_packed_arith, x87_basic_arith, avx_arith, fma
+
+# FP data movement between XMM registers and memory (arithmetic-intensity
+# denominator, paper SIV-D2).
+[metric fp_movement]
+categories = sse2_data_movement, sse_data_transfer, x87_data_transfer, avx_data_movement
+
+# Total memory-ish traffic proxy.
+[metric int_movement]
+categories = int_data_transfer
+
+[metric branches]
+categories = int_control_transfer
+";
+
+impl Default for ArchDescription {
+    fn default() -> Self {
+        ArchDescription::parse(DEFAULT_DESCRIPTION).expect("default description must parse")
+    }
+}
+
+impl ArchDescription {
+    /// Parse a description file.
+    pub fn parse(text: &str) -> Result<ArchDescription, DescError> {
+        #[derive(PartialEq)]
+        enum Section {
+            None,
+            Machine,
+            Metric(String),
+        }
+        let mut machine = MachineParams::default();
+        let mut metrics: BTreeMap<String, Vec<Category>> = BTreeMap::new();
+        let mut section = Section::None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with(';') {
+                continue;
+            }
+            if let Some(inner) = line.strip_prefix('[') {
+                let inner = inner.strip_suffix(']').ok_or(DescError::Syntax {
+                    line: lineno,
+                    msg: "unterminated section header".to_string(),
+                })?;
+                let inner = inner.trim();
+                if inner == "machine" {
+                    section = Section::Machine;
+                } else if let Some(name) = inner.strip_prefix("metric ") {
+                    let name = name.trim().to_string();
+                    metrics.entry(name.clone()).or_default();
+                    section = Section::Metric(name);
+                } else {
+                    return Err(DescError::Syntax {
+                        line: lineno,
+                        msg: format!("unknown section `[{inner}]`"),
+                    });
+                }
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or(DescError::Syntax {
+                line: lineno,
+                msg: "expected `key = value`".to_string(),
+            })?;
+            let key = key.trim();
+            let value = value.trim();
+            match &section {
+                Section::None => {
+                    return Err(DescError::Syntax {
+                        line: lineno,
+                        msg: "key outside of any section".to_string(),
+                    })
+                }
+                Section::Machine => match key {
+                    "name" => machine.name = value.to_string(),
+                    "cores" => {
+                        machine.cores = value.parse().map_err(|_| DescError::BadValue {
+                            line: lineno,
+                            key: key.to_string(),
+                        })?
+                    }
+                    "cache_line_bytes" => {
+                        machine.cache_line_bytes =
+                            value.parse().map_err(|_| DescError::BadValue {
+                                line: lineno,
+                                key: key.to_string(),
+                            })?
+                    }
+                    "vector_bits" => {
+                        machine.vector_bits = value.parse().map_err(|_| DescError::BadValue {
+                            line: lineno,
+                            key: key.to_string(),
+                        })?
+                    }
+                    "fp_lanes_per_vector" => {
+                        machine.fp_lanes_per_vector =
+                            value.parse().map_err(|_| DescError::BadValue {
+                                line: lineno,
+                                key: key.to_string(),
+                            })?
+                    }
+                    other => {
+                        return Err(DescError::UnknownKey {
+                            line: lineno,
+                            key: other.to_string(),
+                        })
+                    }
+                },
+                Section::Metric(name) => match key {
+                    "categories" => {
+                        let mut cats = Vec::new();
+                        for part in value.split(',') {
+                            let part = part.trim();
+                            if part.is_empty() {
+                                continue;
+                            }
+                            let cat =
+                                Category::from_name(part).ok_or(DescError::UnknownCategory {
+                                    line: lineno,
+                                    name: part.to_string(),
+                                })?;
+                            cats.push(cat);
+                        }
+                        metrics.insert(name.clone(), cats);
+                    }
+                    other => {
+                        return Err(DescError::UnknownKey {
+                            line: lineno,
+                            key: other.to_string(),
+                        })
+                    }
+                },
+            }
+        }
+        Ok(ArchDescription { machine, metrics })
+    }
+
+    /// Look up a metric group by name.
+    pub fn metric(&self, name: &str) -> Option<&[Category]> {
+        self.metrics.get(name).map(|v| v.as_slice())
+    }
+
+    /// The `fpi` metric group (guaranteed present in the default file).
+    pub fn fpi(&self) -> &[Category] {
+        self.metric("fpi").unwrap_or(&[])
+    }
+
+    pub fn metric_names(&self) -> Vec<&str> {
+        self.metrics.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Define or replace a metric group programmatically.
+    pub fn set_metric(&mut self, name: &str, cats: Vec<Category>) {
+        self.metrics.insert(name.to_string(), cats);
+    }
+
+    /// Serialize back to the INI dialect (round-trippable).
+    pub fn to_ini(&self) -> String {
+        let mut out = String::new();
+        out.push_str("[machine]\n");
+        out.push_str(&format!("name = {}\n", self.machine.name));
+        out.push_str(&format!("cores = {}\n", self.machine.cores));
+        out.push_str(&format!(
+            "cache_line_bytes = {}\n",
+            self.machine.cache_line_bytes
+        ));
+        out.push_str(&format!("vector_bits = {}\n", self.machine.vector_bits));
+        out.push_str(&format!(
+            "fp_lanes_per_vector = {}\n",
+            self.machine.fp_lanes_per_vector
+        ));
+        for (name, cats) in &self.metrics {
+            out.push_str(&format!("\n[metric {name}]\ncategories = "));
+            let names: Vec<&str> = cats.iter().map(|c| c.name()).collect();
+            out.push_str(&names.join(", "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_parses_and_has_fpi() {
+        let d = ArchDescription::default();
+        assert!(!d.fpi().is_empty());
+        assert!(d.fpi().contains(&Category::Sse2PackedArith));
+        assert_eq!(d.machine.fp_lanes_per_vector, 2);
+    }
+
+    #[test]
+    fn roundtrip_ini() {
+        let d = ArchDescription::default();
+        let text = d.to_ini();
+        let d2 = ArchDescription::parse(&text).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn custom_metric_group() {
+        let text = "[machine]\nname = m\n[metric mine]\ncategories = int_arith, fma\n";
+        let d = ArchDescription::parse(text).unwrap();
+        assert_eq!(
+            d.metric("mine").unwrap(),
+            &[Category::IntArith, Category::Fma]
+        );
+        assert_eq!(d.metric("nope"), None);
+    }
+
+    #[test]
+    fn error_unknown_category() {
+        let text = "[metric m]\ncategories = not_a_cat\n";
+        let e = ArchDescription::parse(text).unwrap_err();
+        assert!(matches!(e, DescError::UnknownCategory { .. }));
+    }
+
+    #[test]
+    fn error_syntax() {
+        assert!(matches!(
+            ArchDescription::parse("[machine\n"),
+            Err(DescError::Syntax { .. })
+        ));
+        assert!(matches!(
+            ArchDescription::parse("key = 1\n"),
+            Err(DescError::Syntax { .. })
+        ));
+        assert!(matches!(
+            ArchDescription::parse("[machine]\nbogus = 1\n"),
+            Err(DescError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            ArchDescription::parse("[machine]\ncores = abc\n"),
+            Err(DescError::BadValue { .. })
+        ));
+        assert!(matches!(
+            ArchDescription::parse("[weird]\n"),
+            Err(DescError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# c\n; c2\n\n[machine]\nname = x\n";
+        let d = ArchDescription::parse(text).unwrap();
+        assert_eq!(d.machine.name, "x");
+    }
+}

@@ -1,0 +1,129 @@
+//! Criterion benches behind the paper's §IV-D1 performance discussion and
+//! the DESIGN.md ablations:
+//!
+//! * `model_generation` — one-time cost of Mira's static analysis;
+//! * `model_evaluation` — cost of evaluating the generated model for a new
+//!   input (the paper's "evaluate at low computational cost for different
+//!   user inputs");
+//! * `dynamic_simulation` — cost of one instrumented dynamic run (the
+//!   TAU-style alternative), which scales with problem size while model
+//!   evaluation does not;
+//! * `poly_counting` — symbolic polyhedral counting vs brute-force
+//!   enumeration (ablation);
+//! * `pbound_source_only` — the source-only baseline's analysis cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Keep the suite quick: small sample counts, short measurement windows.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+use mira_core::{analyze_source, MiraOptions};
+use mira_sym::bindings;
+use mira_workloads::stream::{Stream, STREAM_SRC};
+
+fn model_generation(c: &mut Criterion) {
+    c.bench_function("model_generation/stream", |b| {
+        b.iter(|| analyze_source(STREAM_SRC, &MiraOptions::default()).unwrap())
+    });
+    c.bench_function(
+        "model_generation/minife",
+        |b| {
+            b.iter(|| {
+                analyze_source(
+                    mira_workloads::minife::MINIFE_SRC,
+                    &MiraOptions::default(),
+                )
+                .unwrap()
+            })
+        },
+    );
+}
+
+fn model_evaluation_vs_dynamic(c: &mut Criterion) {
+    let s = Stream::new();
+    let mut group = c.benchmark_group("static_vs_dynamic");
+    for n in [10_000i64, 100_000] {
+        group.bench_with_input(BenchmarkId::new("model_evaluation", n), &n, |b, &n| {
+            b.iter(|| s.static_fpi(n, 10))
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic_simulation", n), &n, |b, &n| {
+            b.iter(|| s.dynamic_fpi(n, 1))
+        });
+    }
+    group.finish();
+}
+
+fn poly_counting(c: &mut Criterion) {
+    use mira_poly::Polyhedron;
+    use mira_sym::SymExpr;
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_var("j")
+        .with_bounds(
+            "i",
+            SymExpr::constant(0),
+            SymExpr::param("n") - SymExpr::constant(1),
+        )
+        .with_bounds("j", SymExpr::param("i"), SymExpr::param("n") - SymExpr::constant(1));
+    let mut group = c.benchmark_group("poly_counting");
+    group.bench_function("symbolic_closed_form", |b| {
+        b.iter(|| p.count().unwrap())
+    });
+    let count = p.count().unwrap();
+    group.bench_function("evaluate_closed_form_n=1e6", |b| {
+        let binds = bindings(&[("n", 1_000_000)]);
+        b.iter(|| count.eval_count(&binds).unwrap())
+    });
+    group.bench_function("brute_force_n=100", |b| {
+        let binds = bindings(&[("n", 100)]);
+        b.iter(|| p.enumerate(&binds))
+    });
+    group.finish();
+}
+
+fn pbound_source_only(c: &mut Criterion) {
+    let program = mira_minic::frontend(STREAM_SRC).unwrap();
+    c.bench_function("pbound_source_only/stream", |b| {
+        b.iter(|| mira_pbound::analyze(&program))
+    });
+}
+
+fn vectorization_ablation(c: &mut Criterion) {
+    const TRIAD: &str = r#"
+void triad(int n, double* a, double* b, double* c, double s) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[i] + s * c[i];
+    }
+}
+"#;
+    let mut group = c.benchmark_group("vectorization_ablation");
+    for (name, vect) in [("scalar", false), ("vectorized", true)] {
+        group.bench_function(format!("analysis_{name}"), |b| {
+            let opts = MiraOptions {
+                compiler: mira_vcc::Options {
+                    vectorize: vect,
+                    ..mira_vcc::Options::default()
+                },
+                ..MiraOptions::default()
+            };
+            b.iter(|| analyze_source(TRIAD, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = model_generation,
+        model_evaluation_vs_dynamic,
+        poly_counting,
+        pbound_source_only,
+        vectorization_ablation
+}
+criterion_main!(benches);

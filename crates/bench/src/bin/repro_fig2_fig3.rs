@@ -1,0 +1,23 @@
+//! Figures 2 and 3 reproduction: ROSE-style DOT dumps of the source AST
+//! (loop fragment) and the binary AST (function with instructions).
+
+use mira_core::{analyze_source, MiraOptions};
+use mira_minic::dot::func_to_dot;
+
+const SRC: &str = r#"
+double kernel(int n, double* a) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += a[i];
+    }
+    return s;
+}
+"#;
+
+fn main() {
+    let analysis = analyze_source(SRC, &MiraOptions::default()).unwrap();
+    println!("=== Figure 2: source AST (DOT) ===\n");
+    println!("{}", func_to_dot(analysis.program.function("kernel").unwrap()));
+    println!("=== Figure 3: partial binary AST (DOT, first 8 instructions) ===\n");
+    println!("{}", analysis.binary.dot(8));
+}

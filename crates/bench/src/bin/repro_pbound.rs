@@ -1,0 +1,59 @@
+//! §I / §V reproduction: source-only analysis (PBound) vs binary-informed
+//! static analysis (Mira) vs dynamic execution, on the vectorized STREAM
+//! triad — the compiler-transformation blindness the paper motivates Mira
+//! with.
+
+use mira_sym::bindings;
+use mira_vm::{HostVal, Vm};
+
+const TRIAD: &str = r#"
+void triad(int n, double* a, double* b, double* c, double s) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[i] + s * c[i];
+    }
+}
+"#;
+
+fn main() {
+    let n = 100_000i64;
+    // PBound: source only — blind to vectorization
+    let program = mira_minic::frontend(TRIAD).unwrap();
+    let pb = &mira_pbound::analyze(&program)["triad"];
+    let binds = bindings(&[("n", n as i128)]);
+    let pb_flops = pb.eval_flops(&binds);
+
+    for vectorize in [false, true] {
+        let opts = mira_core::MiraOptions {
+            compiler: mira_vcc::Options {
+                vectorize,
+                ..mira_vcc::Options::default()
+            },
+            ..mira_core::MiraOptions::default()
+        };
+        let analysis = mira_core::analyze_source(TRIAD, &opts).unwrap();
+        let mira_fpi = analysis.report("triad", &binds).unwrap().fpi(&analysis.arch);
+        let mut vm = Vm::new(&analysis.object).unwrap();
+        let b = vm.alloc_f64(&vec![1.0; n as usize]);
+        let c = vm.alloc_f64(&vec![2.0; n as usize]);
+        let a = vm.alloc_zeroed_f64(n as usize);
+        vm.call(
+            "triad",
+            &[
+                HostVal::Int(n),
+                HostVal::Int(a as i64),
+                HostVal::Int(b as i64),
+                HostVal::Int(c as i64),
+                HostVal::Fp(3.0),
+            ],
+        )
+        .unwrap();
+        let dyn_fpi = vm.profile().fpi("triad", &analysis.arch);
+        println!(
+            "triad n={n}, vectorize={vectorize}:  PBound(source)={pb_flops}  Mira(binary)={mira_fpi}  dynamic={dyn_fpi}"
+        );
+    }
+    println!();
+    println!("With vectorization the binary retires ~n packed FP instructions; the");
+    println!("source-only count (2n scalar FLOPs) overestimates FPI by ~2x, while");
+    println!("Mira's binary-informed model tracks the dynamic count exactly.");
+}

@@ -1,0 +1,39 @@
+//! Table II + Figure 6 + §IV-D2 reproduction: categorized instruction
+//! counts of cg_solve, the category distribution, and the instruction-based
+//! arithmetic intensity.
+
+use mira_sym::bindings;
+use mira_workloads::minife::MiniFe;
+
+fn main() {
+    let full = mira_bench::full_mode();
+    let (nx, ny, nz) = if full { (30, 30, 30) } else { (10, 10, 10) };
+    let m = MiniFe::new();
+    let run = m.run_dynamic(nx, ny, nz, 500, 1e-8);
+    let est = m.estimate_iters(nx, ny, nz);
+    let n = (nx * ny * nz) as i128;
+    let binds = bindings(&[
+        ("n", n),
+        ("nnz_row_milli", MiniFe::nnz_row_milli(nx, ny, nz) as i128),
+        ("cg_iters", est as i128),
+    ]);
+    let report = m.analysis.report("cg_solve", &binds).unwrap();
+
+    println!("TABLE II. Categorized instruction counts of function cg_solve");
+    println!("(grid {nx}x{ny}x{nz}, estimated iterations {est}, actual {})\n", run.iterations);
+    println!("{:<42} {:>14}", "Category", "Count");
+    println!("{}", "-".repeat(58));
+    for (name, count) in report.category_table() {
+        println!("{name:<42} {count:>14.3e}");
+    }
+    println!("\nFigure 6: instruction distribution of cg_solve");
+    let total = report.total() as f64;
+    for (name, count) in report.category_table() {
+        let pct = 100.0 * count as f64 / total;
+        let bar = "#".repeat((pct / 2.0).round() as usize);
+        println!("{name:<42} {pct:>5.1}% {bar}");
+    }
+    let ai = report.arithmetic_intensity(&m.analysis.arch);
+    println!("\nPrediction (SIV-D2): instruction-based arithmetic intensity of cg_solve");
+    println!("  FPI / FP-data-movement = {ai:.2}   (paper reports 0.53)");
+}

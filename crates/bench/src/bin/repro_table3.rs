@@ -1,0 +1,30 @@
+//! Table III / Figure 7(a) reproduction: STREAM FPI counts, dynamic (TAU
+//! stand-in) vs static (Mira), with the error column.
+
+use mira_bench::{fmt_row, full_mode, header};
+use mira_workloads::stream::Stream;
+
+fn main() {
+    let sizes: &[i64] = if full_mode() {
+        &[2_000_000, 50_000_000, 100_000_000]
+    } else {
+        &[200_000, 500_000, 1_000_000]
+    };
+    let reps = 10;
+    let s = Stream::new();
+    println!("TABLE III. FPI Counts in STREAM benchmark ({reps} repetitions)\n");
+    println!("{}", header("Array size"));
+    let mut series = Vec::new();
+    for &n in sizes {
+        let row = s.row(n, reps);
+        println!(
+            "{}",
+            fmt_row(&row.label, &row.function, row.dynamic_fpi, row.static_fpi)
+        );
+        series.push((n, row.dynamic_fpi, row.static_fpi));
+    }
+    println!("\nFigure 7(a): FP instruction counts (log-scale series)");
+    for (n, d, st) in series {
+        println!("  n={n:>11}  TAU={d:.3e}  Mira={st:.3e}");
+    }
+}

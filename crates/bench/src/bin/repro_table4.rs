@@ -1,0 +1,28 @@
+//! Table IV / Figure 7(b) reproduction: DGEMM FPI counts.
+
+use mira_bench::{fmt_row, full_mode, header};
+use mira_workloads::dgemm::Dgemm;
+
+fn main() {
+    let (sizes, reps): (&[i64], i64) = if full_mode() {
+        (&[256, 512, 1024], 30)
+    } else {
+        (&[64, 96, 128], 1)
+    };
+    let d = Dgemm::new();
+    println!("TABLE IV. FPI Counts in DGEMM benchmark ({reps} repetitions)\n");
+    println!("{}", header("Matrix size"));
+    let mut series = Vec::new();
+    for &n in sizes {
+        let row = d.row(n, reps);
+        println!(
+            "{}",
+            fmt_row(&row.label, &row.function, row.dynamic_fpi, row.static_fpi)
+        );
+        series.push((n, row.dynamic_fpi, row.static_fpi));
+    }
+    println!("\nFigure 7(b): FP instruction counts (log-scale series)");
+    for (n, dd, st) in series {
+        println!("  n={n:>6}  TAU={dd:.3e}  Mira={st:.3e}");
+    }
+}

@@ -1,0 +1,60 @@
+//! # mira-bench — reproduction harnesses for every table and figure
+//!
+//! One `repro_*` binary per experiment in the paper's evaluation:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `repro_table1` | Table I — loop coverage survey |
+//! | `repro_fig2_fig3` | Figures 2–3 — source / binary AST dumps (DOT) |
+//! | `repro_fig4` | Figure 4 — polyhedral domains for Listings 2–5 |
+//! | `repro_fig5` | Figure 5 — generated Python model |
+//! | `repro_table2_fig6` | Table II + Figure 6 + §IV-D2 arithmetic intensity |
+//! | `repro_table3` | Table III / Fig. 7(a) — STREAM FPI validation |
+//! | `repro_table4` | Table IV / Fig. 7(b) — DGEMM FPI validation |
+//! | `repro_table5` | Table V / Fig. 7(c,d) — miniFE FPI validation |
+//! | `repro_pbound` | §I/§V — source-only (PBound) vs Mira vs dynamic |
+//!
+//! `cargo bench -p mira-bench` runs the Criterion suite behind the paper's
+//! §IV-D1 speed discussion: model generation and evaluation cost versus
+//! dynamic-instrumentation cost, plus polyhedral-counting and
+//! vectorization ablations.
+
+/// Format one validation row like the paper's Tables III–V.
+pub fn fmt_row(label: &str, func: &str, dynamic: i128, statict: i128) -> String {
+    let err = if dynamic == 0 {
+        0.0
+    } else {
+        100.0 * (dynamic - statict).abs() as f64 / dynamic as f64
+    };
+    format!("{label:>12} {func:<28} {dynamic:>16} {statict:>16} {err:>9.4}%")
+}
+
+/// Table header matching [`fmt_row`].
+pub fn header(size_label: &str) -> String {
+    format!(
+        "{:>12} {:<28} {:>16} {:>16} {:>10}\n{}",
+        size_label,
+        "Function / Tool",
+        "TAU (dynamic)",
+        "Mira (static)",
+        "Error",
+        "-".repeat(86)
+    )
+}
+
+/// Parse a `--full` flag (paper-scale sizes) from argv.
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_formatting() {
+        let r = fmt_row("2M", "stream_bench", 1000, 990);
+        assert!(r.contains("1.0000%"), "{r}");
+        assert!(header("Array size").contains("Mira"));
+    }
+}

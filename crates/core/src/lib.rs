@@ -1,0 +1,145 @@
+//! # mira-core — Mira, a framework for static performance analysis
+//!
+//! Reproduction of *Mira: A Framework for Static Performance Analysis*
+//! (Meng & Norris, CLUSTER 2017). Mira combines **source** and **binary**
+//! program representations to generate parameterized performance models
+//! without running the program:
+//!
+//! 1. **Input Processor** — parse the source (`mira-minic`), compile it
+//!    (`mira-vcc`, the optimizing-compiler stand-in) or accept a prebuilt
+//!    object, and disassemble the binary (`mira-vobj`).
+//! 2. **Bridge** — connect the two ASTs through DWARF-style line-number
+//!    information: one source statement ↔ many binary instructions
+//!    ([`bridge`]).
+//! 3. **Metric Generator** — walk the source AST; model loop iteration
+//!    domains with the polyhedral model (`mira-poly`), intersect branch
+//!    constraints, apply `#pragma @Annotation` overrides for everything
+//!    static analysis cannot see, and attribute per-line instruction counts
+//!    from the binary, with loop-overhead instructions split exactly using
+//!    the object's loop metadata ([`metrics`]).
+//! 4. **Model Generator** — produce a parametric [`mira_model::Model`]
+//!    that can be evaluated natively or emitted as Python (paper Fig. 5).
+//!
+//! ```
+//! use mira_core::{analyze_source, MiraOptions};
+//! use mira_sym::bindings;
+//!
+//! let src = r#"
+//! double dot(int n, double* x, double* y) {
+//!     double s = 0.0;
+//!     for (int i = 0; i < n; i++) {
+//!         s += x[i] * y[i];
+//!     }
+//!     return s;
+//! }
+//! "#;
+//! let analysis = analyze_source(src, &MiraOptions::default()).unwrap();
+//! let report = analysis.report("dot", &bindings(&[("n", 1_000_000)])).unwrap();
+//! assert_eq!(report.fpi(&analysis.arch), 2_000_000); // mulsd + addsd per element
+//! ```
+
+pub mod bridge;
+pub mod coverage;
+pub mod metrics;
+pub mod scop;
+
+use mira_arch::ArchDescription;
+use mira_minic::Program;
+use mira_model::{Model, ModelError, Report};
+use mira_sym::Bindings;
+use mira_vobj::disasm::{disassemble, BinaryAst};
+use mira_vobj::Object;
+use std::fmt;
+
+/// Framework options.
+#[derive(Clone, Debug, Default)]
+pub struct MiraOptions {
+    /// Compiler settings used when analyzing from source.
+    pub compiler: mira_vcc::Options,
+    /// Architecture description (instruction categories, metric groups).
+    pub arch: ArchDescription,
+}
+
+/// Errors from the analysis pipeline.
+#[derive(Clone, Debug)]
+pub enum MiraError {
+    Frontend(String),
+    Compile(String),
+    Object(String),
+    Metrics(String),
+}
+
+impl fmt::Display for MiraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiraError::Frontend(e) => write!(f, "front-end: {e}"),
+            MiraError::Compile(e) => write!(f, "compiler: {e}"),
+            MiraError::Object(e) => write!(f, "object: {e}"),
+            MiraError::Metrics(e) => write!(f, "metric generator: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MiraError {}
+
+/// The result of a full Mira analysis: both program representations, the
+/// line bridge between them, and the generated parametric model.
+pub struct Analysis {
+    pub program: Program,
+    pub object: Object,
+    pub binary: BinaryAst,
+    pub model: Model,
+    pub arch: ArchDescription,
+    /// Non-fatal modeling caveats (non-affine branches modeled at full
+    /// iteration count, implicit iteration parameters, ...).
+    pub warnings: Vec<String>,
+}
+
+impl Analysis {
+    /// Evaluate the model of `func` under parameter bindings.
+    pub fn report(&self, func: &str, bindings: &Bindings) -> Result<Report, ModelError> {
+        self.model.eval(func, bindings)
+    }
+
+    /// The generated model as Python source (the paper's output format).
+    pub fn python_model(&self) -> String {
+        mira_model::python::emit(&self.model)
+    }
+
+    /// All model parameters the user may need to bind.
+    pub fn parameters(&self) -> Vec<String> {
+        self.model.params()
+    }
+}
+
+/// Analyze a MiniC source string: parse → compile → disassemble → bridge →
+/// metric generation → model generation.
+pub fn analyze_source(src: &str, options: &MiraOptions) -> Result<Analysis, MiraError> {
+    let program = mira_minic::frontend(src).map_err(|e| MiraError::Frontend(e.to_string()))?;
+    let object = mira_vcc::compile(&program, &options.compiler)
+        .map_err(|e| MiraError::Compile(e.to_string()))?;
+    analyze_object(program, object, options)
+}
+
+/// Analyze a parsed program together with a compiled object — the paper's
+/// two-input workflow (source file + ELF file).
+pub fn analyze_object(
+    program: Program,
+    object: Object,
+    options: &MiraOptions,
+) -> Result<Analysis, MiraError> {
+    let binary = disassemble(&object).map_err(|e| MiraError::Object(e.to_string()))?;
+    let (model, warnings) = metrics::generate_model(&program, &object, &binary)
+        .map_err(|e| MiraError::Metrics(e.to_string()))?;
+    Ok(Analysis {
+        program,
+        object,
+        binary,
+        model,
+        arch: options.arch.clone(),
+        warnings,
+    })
+}
+
+#[cfg(test)]
+mod tests;

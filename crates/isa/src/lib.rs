@@ -1,0 +1,1175 @@
+//! # mira-isa — VX86, the virtual x86-flavored instruction set
+//!
+//! Mira analyzes *object code* because compiler transformations make
+//! source-only models inaccurate (paper §I). This crate defines the
+//! instruction set that our compiler (`mira-vcc`) targets, our object
+//! format (`mira-vobj`) stores, our disassembler decodes, and our
+//! instrumented interpreter (`mira-vm`) executes.
+//!
+//! VX86 is deliberately x86-64-shaped:
+//!
+//! * 16 general-purpose 64-bit registers and 16 XMM registers holding two
+//!   `f64` lanes (SSE2 style);
+//! * scalar (`addsd`, `mulsd`, ...) and packed (`addpd`, `mulpd`, ...)
+//!   double-precision arithmetic — the distinction the paper's FPI metric
+//!   and the PBound comparison hinge on;
+//! * a variable-length binary encoding ([`Inst::encode`] /
+//!   [`Inst::decode`]) so the object format contains real bytes, not
+//!   structs;
+//! * a mapping from every opcode to one of the 64 instruction categories
+//!   of the architecture description file ([`Inst::category`]).
+
+use mira_arch::Category;
+use std::fmt;
+
+/// A general-purpose register `r0`–`r15`.
+///
+/// ABI conventions used by `mira-vcc` / `mira-vm`:
+/// integer/pointer arguments in `r0`–`r5`, return value in `r0`,
+/// `r14` = frame pointer, `r15` = stack pointer; the rest are scratch.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(pub u8);
+
+/// An XMM register `x0`–`x15` holding two double-precision lanes.
+/// FP arguments in `x0`–`x7`, FP return value in `x0`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct XReg(pub u8);
+
+pub const NUM_REGS: usize = 16;
+pub const NUM_XREGS: usize = 16;
+
+/// Frame pointer (callee-saved).
+pub const RBP: Reg = Reg(14);
+/// Stack pointer.
+pub const RSP: Reg = Reg(15);
+/// Integer/pointer argument registers (return value in `r0`).
+pub const RARG: [Reg; 6] = [Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5)];
+/// FP argument registers.
+pub const XARG: [XReg; 8] = [
+    XReg(0),
+    XReg(1),
+    XReg(2),
+    XReg(3),
+    XReg(4),
+    XReg(5),
+    XReg(6),
+    XReg(7),
+];
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RBP => write!(f, "rbp"),
+            RSP => write!(f, "rsp"),
+            Reg(n) => write!(f, "r{n}"),
+        }
+    }
+}
+
+impl fmt::Display for XReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xmm{}", self.0)
+    }
+}
+
+/// A memory operand `[base + index*scale + disp]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Mem {
+    pub base: Reg,
+    pub index: Option<(Reg, u8)>,
+    pub disp: i32,
+}
+
+impl Mem {
+    pub fn base(base: Reg) -> Mem {
+        Mem {
+            base,
+            index: None,
+            disp: 0,
+        }
+    }
+
+    pub fn base_disp(base: Reg, disp: i32) -> Mem {
+        Mem {
+            base,
+            index: None,
+            disp,
+        }
+    }
+
+    pub fn base_index(base: Reg, index: Reg, scale: u8, disp: i32) -> Mem {
+        Mem {
+            base,
+            index: Some((index, scale)),
+            disp,
+        }
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}", self.base)?;
+        if let Some((r, s)) = self.index {
+            write!(f, " + {r}*{s}")?;
+        }
+        if self.disp != 0 {
+            if self.disp > 0 {
+                write!(f, " + {}", self.disp)?;
+            } else {
+                write!(f, " - {}", -self.disp)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// Condition codes for `jcc` / `setcc`. `B`/`A` variants are the unsigned
+/// comparisons produced by `ucomisd`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum Cc {
+    E = 0,
+    Ne = 1,
+    L = 2,
+    Le = 3,
+    G = 4,
+    Ge = 5,
+    B = 6,
+    Be = 7,
+    A = 8,
+    Ae = 9,
+}
+
+impl Cc {
+    pub fn from_u8(v: u8) -> Option<Cc> {
+        use Cc::*;
+        [E, Ne, L, Le, G, Ge, B, Be, A, Ae].get(v as usize).copied()
+    }
+
+    /// The negated condition (`jne` for `je`, ...).
+    pub fn negate(self) -> Cc {
+        use Cc::*;
+        match self {
+            E => Ne,
+            Ne => E,
+            L => Ge,
+            Le => G,
+            G => Le,
+            Ge => L,
+            B => Ae,
+            Be => A,
+            A => Be,
+            Ae => B,
+        }
+    }
+
+    pub fn mnemonic(self) -> &'static str {
+        use Cc::*;
+        match self {
+            E => "e",
+            Ne => "ne",
+            L => "l",
+            Le => "le",
+            G => "g",
+            Ge => "ge",
+            B => "b",
+            Be => "be",
+            A => "a",
+            Ae => "ae",
+        }
+    }
+}
+
+/// One VX86 instruction, operands fully resolved (jump targets are absolute
+/// byte addresses within the object's `.text`; call targets are symbol
+/// indices).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Inst {
+    // --- integer data transfer ---
+    MovRR(Reg, Reg),
+    MovRI(Reg, i64),
+    Load(Reg, Mem),
+    Store(Mem, Reg),
+    Lea(Reg, Mem),
+    Push(Reg),
+    Pop(Reg),
+    // --- 64-bit mode ---
+    Movsxd(Reg, Reg),
+    Cqo,
+    // --- integer arithmetic ---
+    AddRR(Reg, Reg),
+    AddRI(Reg, i64),
+    SubRR(Reg, Reg),
+    SubRI(Reg, i64),
+    ImulRR(Reg, Reg),
+    ImulRI(Reg, i64),
+    /// Signed divide of `r0` by the operand; quotient in `r0`, remainder in
+    /// `r11` (VX86 convention).
+    Idiv(Reg),
+    Neg(Reg),
+    CmpRR(Reg, Reg),
+    CmpRI(Reg, i64),
+    // --- integer logical ---
+    AndRR(Reg, Reg),
+    OrRR(Reg, Reg),
+    XorRR(Reg, Reg),
+    Not(Reg),
+    // --- shifts ---
+    ShlRI(Reg, u8),
+    SarRI(Reg, u8),
+    ShrRI(Reg, u8),
+    // --- bit & byte ---
+    TestRR(Reg, Reg),
+    Setcc(Cc, Reg),
+    // --- control transfer ---
+    Jmp(u32),
+    Jcc(Cc, u32),
+    /// Call the function with this symbol index.
+    Call(u32),
+    Ret,
+    // --- SSE2 data movement ---
+    MovsdXX(XReg, XReg),
+    MovsdLoad(XReg, Mem),
+    MovsdStore(Mem, XReg),
+    MovapdXX(XReg, XReg),
+    MovupdLoad(XReg, Mem),
+    MovupdStore(Mem, XReg),
+    /// Move an integer register into lane 0 of an XMM register (bit cast).
+    MovqXR(XReg, Reg),
+    MovqRX(Reg, XReg),
+    // --- SSE2 scalar arithmetic (lane 0) ---
+    Addsd(XReg, XReg),
+    Subsd(XReg, XReg),
+    Mulsd(XReg, XReg),
+    Divsd(XReg, XReg),
+    Sqrtsd(XReg, XReg),
+    Minsd(XReg, XReg),
+    Maxsd(XReg, XReg),
+    // --- SSE2 packed arithmetic (both lanes) ---
+    Addpd(XReg, XReg),
+    Subpd(XReg, XReg),
+    Mulpd(XReg, XReg),
+    Divpd(XReg, XReg),
+    Sqrtpd(XReg, XReg),
+    // --- SSE2 logical ---
+    Andpd(XReg, XReg),
+    Orpd(XReg, XReg),
+    Xorpd(XReg, XReg),
+    // --- SSE2 compare ---
+    Ucomisd(XReg, XReg),
+    // --- SSE2 shuffle/unpack ---
+    /// `dst.lane0 = dst.lane1; dst.lane1 = src.lane1` (high unpack, used
+    /// for horizontal reduction of packed accumulators).
+    Unpckhpd(XReg, XReg),
+    /// `dst.lane1 = src.lane0` (low unpack; `unpcklpd x, x` broadcasts
+    /// lane 0 — how scalars are splat across a packed vector).
+    Unpcklpd(XReg, XReg),
+    // --- SSE2 conversion ---
+    Cvtsi2sd(XReg, Reg),
+    Cvttsd2si(Reg, XReg),
+    // --- misc ---
+    Nop,
+    /// Stop the virtual machine (top-of-stack return).
+    Halt,
+}
+
+mod opcodes {
+    pub const MOV_RR: u8 = 0x01;
+    pub const MOV_RI: u8 = 0x02;
+    pub const LOAD: u8 = 0x03;
+    pub const STORE: u8 = 0x04;
+    pub const LEA: u8 = 0x05;
+    pub const PUSH: u8 = 0x06;
+    pub const POP: u8 = 0x07;
+    pub const MOVSXD: u8 = 0x08;
+    pub const CQO: u8 = 0x09;
+    pub const ADD_RR: u8 = 0x10;
+    pub const ADD_RI: u8 = 0x11;
+    pub const SUB_RR: u8 = 0x12;
+    pub const SUB_RI: u8 = 0x13;
+    pub const IMUL_RR: u8 = 0x14;
+    pub const IMUL_RI: u8 = 0x15;
+    pub const IDIV: u8 = 0x16;
+    pub const NEG: u8 = 0x17;
+    pub const CMP_RR: u8 = 0x18;
+    pub const CMP_RI: u8 = 0x19;
+    pub const AND_RR: u8 = 0x20;
+    pub const OR_RR: u8 = 0x21;
+    pub const XOR_RR: u8 = 0x22;
+    pub const NOT: u8 = 0x23;
+    pub const SHL_RI: u8 = 0x24;
+    pub const SAR_RI: u8 = 0x25;
+    pub const SHR_RI: u8 = 0x26;
+    pub const TEST_RR: u8 = 0x27;
+    pub const SETCC: u8 = 0x28;
+    pub const JMP: u8 = 0x30;
+    pub const JCC: u8 = 0x31;
+    pub const CALL: u8 = 0x32;
+    pub const RET: u8 = 0x33;
+    pub const MOVSD_XX: u8 = 0x40;
+    pub const MOVSD_LOAD: u8 = 0x41;
+    pub const MOVSD_STORE: u8 = 0x42;
+    pub const MOVAPD_XX: u8 = 0x43;
+    pub const MOVUPD_LOAD: u8 = 0x44;
+    pub const MOVUPD_STORE: u8 = 0x45;
+    pub const MOVQ_XR: u8 = 0x46;
+    pub const MOVQ_RX: u8 = 0x47;
+    pub const ADDSD: u8 = 0x50;
+    pub const SUBSD: u8 = 0x51;
+    pub const MULSD: u8 = 0x52;
+    pub const DIVSD: u8 = 0x53;
+    pub const SQRTSD: u8 = 0x54;
+    pub const MINSD: u8 = 0x55;
+    pub const MAXSD: u8 = 0x56;
+    pub const ADDPD: u8 = 0x60;
+    pub const SUBPD: u8 = 0x61;
+    pub const MULPD: u8 = 0x62;
+    pub const DIVPD: u8 = 0x63;
+    pub const SQRTPD: u8 = 0x64;
+    pub const ANDPD: u8 = 0x70;
+    pub const ORPD: u8 = 0x71;
+    pub const XORPD: u8 = 0x72;
+    pub const UCOMISD: u8 = 0x73;
+    pub const UNPCKHPD: u8 = 0x74;
+    pub const UNPCKLPD: u8 = 0x77;
+    pub const CVTSI2SD: u8 = 0x75;
+    pub const CVTTSD2SI: u8 = 0x76;
+    pub const NOP: u8 = 0x80;
+    pub const HALT: u8 = 0x81;
+}
+
+/// Errors from [`Inst::decode`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The byte stream ended inside an instruction.
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Malformed operand (bad register number, scale or condition code).
+    BadOperand,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated instruction stream"),
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::BadOperand => write!(f, "malformed operand"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---- operand encoding helpers ----
+
+fn put_reg(out: &mut Vec<u8>, r: Reg) {
+    out.push(r.0);
+}
+
+fn put_xreg(out: &mut Vec<u8>, r: XReg) {
+    out.push(r.0);
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_mem(out: &mut Vec<u8>, m: Mem) {
+    out.push(m.base.0);
+    match m.index {
+        Some((r, s)) => {
+            out.push(1);
+            out.push(r.0);
+            out.push(s);
+        }
+        None => {
+            out.push(0);
+            out.push(0);
+            out.push(0);
+        }
+    }
+    out.extend_from_slice(&m.disp.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn reg(&mut self) -> Result<Reg, DecodeError> {
+        let b = self.u8()?;
+        if (b as usize) < NUM_REGS {
+            Ok(Reg(b))
+        } else {
+            Err(DecodeError::BadOperand)
+        }
+    }
+
+    fn xreg(&mut self) -> Result<XReg, DecodeError> {
+        let b = self.u8()?;
+        if (b as usize) < NUM_XREGS {
+            Ok(XReg(b))
+        } else {
+            Err(DecodeError::BadOperand)
+        }
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        let end = self.pos + 8;
+        let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(i64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let end = self.pos + 4;
+        let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        Ok(self.u32()? as i32)
+    }
+
+    fn mem(&mut self) -> Result<Mem, DecodeError> {
+        let base = self.reg()?;
+        let has_index = self.u8()?;
+        let idx_reg = self.u8()?;
+        let scale = self.u8()?;
+        let disp = self.i32()?;
+        let index = if has_index != 0 {
+            if (idx_reg as usize) >= NUM_REGS || !matches!(scale, 1 | 2 | 4 | 8) {
+                return Err(DecodeError::BadOperand);
+            }
+            Some((Reg(idx_reg), scale))
+        } else {
+            None
+        };
+        Ok(Mem { base, index, disp })
+    }
+
+    fn cc(&mut self) -> Result<Cc, DecodeError> {
+        Cc::from_u8(self.u8()?).ok_or(DecodeError::BadOperand)
+    }
+}
+
+fn bin_x(out: &mut Vec<u8>, op: u8, d: XReg, s: XReg) {
+    out.push(op);
+    put_xreg(out, d);
+    put_xreg(out, s);
+}
+
+impl Inst {
+    /// Append the binary encoding of this instruction to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        use opcodes::*;
+        use Inst::*;
+        match *self {
+            MovRR(d, s) => {
+                out.push(MOV_RR);
+                put_reg(out, d);
+                put_reg(out, s);
+            }
+            MovRI(d, v) => {
+                out.push(MOV_RI);
+                put_reg(out, d);
+                put_i64(out, v);
+            }
+            Load(d, m) => {
+                out.push(LOAD);
+                put_reg(out, d);
+                put_mem(out, m);
+            }
+            Store(m, s) => {
+                out.push(STORE);
+                put_mem(out, m);
+                put_reg(out, s);
+            }
+            Lea(d, m) => {
+                out.push(LEA);
+                put_reg(out, d);
+                put_mem(out, m);
+            }
+            Push(r) => {
+                out.push(PUSH);
+                put_reg(out, r);
+            }
+            Pop(r) => {
+                out.push(POP);
+                put_reg(out, r);
+            }
+            Movsxd(d, s) => {
+                out.push(MOVSXD);
+                put_reg(out, d);
+                put_reg(out, s);
+            }
+            Cqo => out.push(CQO),
+            AddRR(d, s) => {
+                out.push(ADD_RR);
+                put_reg(out, d);
+                put_reg(out, s);
+            }
+            AddRI(d, v) => {
+                out.push(ADD_RI);
+                put_reg(out, d);
+                put_i64(out, v);
+            }
+            SubRR(d, s) => {
+                out.push(SUB_RR);
+                put_reg(out, d);
+                put_reg(out, s);
+            }
+            SubRI(d, v) => {
+                out.push(SUB_RI);
+                put_reg(out, d);
+                put_i64(out, v);
+            }
+            ImulRR(d, s) => {
+                out.push(IMUL_RR);
+                put_reg(out, d);
+                put_reg(out, s);
+            }
+            ImulRI(d, v) => {
+                out.push(IMUL_RI);
+                put_reg(out, d);
+                put_i64(out, v);
+            }
+            Idiv(r) => {
+                out.push(IDIV);
+                put_reg(out, r);
+            }
+            Neg(r) => {
+                out.push(NEG);
+                put_reg(out, r);
+            }
+            CmpRR(a, b) => {
+                out.push(CMP_RR);
+                put_reg(out, a);
+                put_reg(out, b);
+            }
+            CmpRI(a, v) => {
+                out.push(CMP_RI);
+                put_reg(out, a);
+                put_i64(out, v);
+            }
+            AndRR(d, s) => {
+                out.push(AND_RR);
+                put_reg(out, d);
+                put_reg(out, s);
+            }
+            OrRR(d, s) => {
+                out.push(OR_RR);
+                put_reg(out, d);
+                put_reg(out, s);
+            }
+            XorRR(d, s) => {
+                out.push(XOR_RR);
+                put_reg(out, d);
+                put_reg(out, s);
+            }
+            Not(r) => {
+                out.push(NOT);
+                put_reg(out, r);
+            }
+            ShlRI(r, k) => {
+                out.push(SHL_RI);
+                put_reg(out, r);
+                out.push(k);
+            }
+            SarRI(r, k) => {
+                out.push(SAR_RI);
+                put_reg(out, r);
+                out.push(k);
+            }
+            ShrRI(r, k) => {
+                out.push(SHR_RI);
+                put_reg(out, r);
+                out.push(k);
+            }
+            TestRR(a, b) => {
+                out.push(TEST_RR);
+                put_reg(out, a);
+                put_reg(out, b);
+            }
+            Setcc(cc, r) => {
+                out.push(SETCC);
+                out.push(cc as u8);
+                put_reg(out, r);
+            }
+            Jmp(t) => {
+                out.push(JMP);
+                put_u32(out, t);
+            }
+            Jcc(cc, t) => {
+                out.push(JCC);
+                out.push(cc as u8);
+                put_u32(out, t);
+            }
+            Call(sym) => {
+                out.push(CALL);
+                put_u32(out, sym);
+            }
+            Ret => out.push(RET),
+            MovsdXX(d, s) => {
+                out.push(MOVSD_XX);
+                put_xreg(out, d);
+                put_xreg(out, s);
+            }
+            MovsdLoad(d, m) => {
+                out.push(MOVSD_LOAD);
+                put_xreg(out, d);
+                put_mem(out, m);
+            }
+            MovsdStore(m, s) => {
+                out.push(MOVSD_STORE);
+                put_mem(out, m);
+                put_xreg(out, s);
+            }
+            MovapdXX(d, s) => {
+                out.push(MOVAPD_XX);
+                put_xreg(out, d);
+                put_xreg(out, s);
+            }
+            MovupdLoad(d, m) => {
+                out.push(MOVUPD_LOAD);
+                put_xreg(out, d);
+                put_mem(out, m);
+            }
+            MovupdStore(m, s) => {
+                out.push(MOVUPD_STORE);
+                put_mem(out, m);
+                put_xreg(out, s);
+            }
+            MovqXR(x, r) => {
+                out.push(MOVQ_XR);
+                put_xreg(out, x);
+                put_reg(out, r);
+            }
+            MovqRX(r, x) => {
+                out.push(MOVQ_RX);
+                put_reg(out, r);
+                put_xreg(out, x);
+            }
+            Addsd(d, s) => bin_x(out, ADDSD, d, s),
+            Subsd(d, s) => bin_x(out, SUBSD, d, s),
+            Mulsd(d, s) => bin_x(out, MULSD, d, s),
+            Divsd(d, s) => bin_x(out, DIVSD, d, s),
+            Sqrtsd(d, s) => bin_x(out, SQRTSD, d, s),
+            Minsd(d, s) => bin_x(out, MINSD, d, s),
+            Maxsd(d, s) => bin_x(out, MAXSD, d, s),
+            Addpd(d, s) => bin_x(out, ADDPD, d, s),
+            Subpd(d, s) => bin_x(out, SUBPD, d, s),
+            Mulpd(d, s) => bin_x(out, MULPD, d, s),
+            Divpd(d, s) => bin_x(out, DIVPD, d, s),
+            Sqrtpd(d, s) => bin_x(out, SQRTPD, d, s),
+            Andpd(d, s) => bin_x(out, ANDPD, d, s),
+            Orpd(d, s) => bin_x(out, ORPD, d, s),
+            Xorpd(d, s) => bin_x(out, XORPD, d, s),
+            Ucomisd(d, s) => bin_x(out, UCOMISD, d, s),
+            Unpckhpd(d, s) => bin_x(out, UNPCKHPD, d, s),
+            Unpcklpd(d, s) => bin_x(out, UNPCKLPD, d, s),
+            Cvtsi2sd(x, r) => {
+                out.push(CVTSI2SD);
+                put_xreg(out, x);
+                put_reg(out, r);
+            }
+            Cvttsd2si(r, x) => {
+                out.push(CVTTSD2SI);
+                put_reg(out, r);
+                put_xreg(out, x);
+            }
+            Nop => out.push(NOP),
+            Halt => out.push(HALT),
+        }
+    }
+
+    /// Decode one instruction at `buf[offset..]`; returns the instruction
+    /// and its encoded length.
+    pub fn decode(buf: &[u8], offset: usize) -> Result<(Inst, usize), DecodeError> {
+        use opcodes::*;
+        use Inst::*;
+        let mut c = Cursor { buf, pos: offset };
+        let op = c.u8()?;
+        let inst = match op {
+            MOV_RR => MovRR(c.reg()?, c.reg()?),
+            MOV_RI => MovRI(c.reg()?, c.i64()?),
+            LOAD => Load(c.reg()?, c.mem()?),
+            STORE => Store(c.mem()?, c.reg()?),
+            LEA => Lea(c.reg()?, c.mem()?),
+            PUSH => Push(c.reg()?),
+            POP => Pop(c.reg()?),
+            MOVSXD => Movsxd(c.reg()?, c.reg()?),
+            CQO => Cqo,
+            ADD_RR => AddRR(c.reg()?, c.reg()?),
+            ADD_RI => AddRI(c.reg()?, c.i64()?),
+            SUB_RR => SubRR(c.reg()?, c.reg()?),
+            SUB_RI => SubRI(c.reg()?, c.i64()?),
+            IMUL_RR => ImulRR(c.reg()?, c.reg()?),
+            IMUL_RI => ImulRI(c.reg()?, c.i64()?),
+            IDIV => Idiv(c.reg()?),
+            NEG => Neg(c.reg()?),
+            CMP_RR => CmpRR(c.reg()?, c.reg()?),
+            CMP_RI => CmpRI(c.reg()?, c.i64()?),
+            AND_RR => AndRR(c.reg()?, c.reg()?),
+            OR_RR => OrRR(c.reg()?, c.reg()?),
+            XOR_RR => XorRR(c.reg()?, c.reg()?),
+            NOT => Not(c.reg()?),
+            SHL_RI => ShlRI(c.reg()?, c.u8()?),
+            SAR_RI => SarRI(c.reg()?, c.u8()?),
+            SHR_RI => ShrRI(c.reg()?, c.u8()?),
+            TEST_RR => TestRR(c.reg()?, c.reg()?),
+            SETCC => Setcc(c.cc()?, c.reg()?),
+            JMP => Jmp(c.u32()?),
+            JCC => Jcc(c.cc()?, c.u32()?),
+            CALL => Call(c.u32()?),
+            RET => Ret,
+            MOVSD_XX => MovsdXX(c.xreg()?, c.xreg()?),
+            MOVSD_LOAD => MovsdLoad(c.xreg()?, c.mem()?),
+            MOVSD_STORE => MovsdStore(c.mem()?, c.xreg()?),
+            MOVAPD_XX => MovapdXX(c.xreg()?, c.xreg()?),
+            MOVUPD_LOAD => MovupdLoad(c.xreg()?, c.mem()?),
+            MOVUPD_STORE => MovupdStore(c.mem()?, c.xreg()?),
+            MOVQ_XR => MovqXR(c.xreg()?, c.reg()?),
+            MOVQ_RX => MovqRX(c.reg()?, c.xreg()?),
+            ADDSD => Addsd(c.xreg()?, c.xreg()?),
+            SUBSD => Subsd(c.xreg()?, c.xreg()?),
+            MULSD => Mulsd(c.xreg()?, c.xreg()?),
+            DIVSD => Divsd(c.xreg()?, c.xreg()?),
+            SQRTSD => Sqrtsd(c.xreg()?, c.xreg()?),
+            MINSD => Minsd(c.xreg()?, c.xreg()?),
+            MAXSD => Maxsd(c.xreg()?, c.xreg()?),
+            ADDPD => Addpd(c.xreg()?, c.xreg()?),
+            SUBPD => Subpd(c.xreg()?, c.xreg()?),
+            MULPD => Mulpd(c.xreg()?, c.xreg()?),
+            DIVPD => Divpd(c.xreg()?, c.xreg()?),
+            SQRTPD => Sqrtpd(c.xreg()?, c.xreg()?),
+            ANDPD => Andpd(c.xreg()?, c.xreg()?),
+            ORPD => Orpd(c.xreg()?, c.xreg()?),
+            XORPD => Xorpd(c.xreg()?, c.xreg()?),
+            UCOMISD => Ucomisd(c.xreg()?, c.xreg()?),
+            UNPCKHPD => Unpckhpd(c.xreg()?, c.xreg()?),
+            UNPCKLPD => Unpcklpd(c.xreg()?, c.xreg()?),
+            CVTSI2SD => Cvtsi2sd(c.xreg()?, c.reg()?),
+            CVTTSD2SI => Cvttsd2si(c.reg()?, c.xreg()?),
+            NOP => Nop,
+            HALT => Halt,
+            other => return Err(DecodeError::BadOpcode(other)),
+        };
+        Ok((inst, c.pos - offset))
+    }
+
+    /// Encoded length in bytes.
+    pub fn encoded_len(&self) -> usize {
+        let mut buf = Vec::with_capacity(16);
+        self.encode(&mut buf);
+        buf.len()
+    }
+
+    /// The instruction category per the architecture description taxonomy.
+    pub fn category(&self) -> Category {
+        use Inst::*;
+        match self {
+            MovRR(..) | MovRI(..) | Load(..) | Store(..) | Lea(..) | Push(..) | Pop(..) => {
+                Category::IntDataTransfer
+            }
+            Movsxd(..) | Cqo => Category::Mode64Bit,
+            AddRR(..) | AddRI(..) | SubRR(..) | SubRI(..) | ImulRR(..) | ImulRI(..)
+            | Idiv(..) | Neg(..) | CmpRR(..) | CmpRI(..) => Category::IntArith,
+            AndRR(..) | OrRR(..) | XorRR(..) | Not(..) => Category::IntLogical,
+            ShlRI(..) | SarRI(..) | ShrRI(..) => Category::ShiftRotate,
+            TestRR(..) | Setcc(..) => Category::BitByte,
+            Jmp(..) | Jcc(..) | Call(..) | Ret => Category::IntControlTransfer,
+            MovsdXX(..) | MovsdLoad(..) | MovsdStore(..) | MovapdXX(..) | MovupdLoad(..)
+            | MovupdStore(..) | MovqXR(..) | MovqRX(..) => Category::Sse2DataMovement,
+            Addsd(..) | Subsd(..) | Mulsd(..) | Divsd(..) | Sqrtsd(..) | Minsd(..)
+            | Maxsd(..) | Addpd(..) | Subpd(..) | Mulpd(..) | Divpd(..) | Sqrtpd(..) => {
+                Category::Sse2PackedArith
+            }
+            Andpd(..) | Orpd(..) | Xorpd(..) => Category::Sse2Logical,
+            Ucomisd(..) => Category::Sse2Compare,
+            Unpckhpd(..) | Unpcklpd(..) => Category::Sse2ShuffleUnpack,
+            Cvtsi2sd(..) | Cvttsd2si(..) => Category::Sse2Conversion,
+            Nop | Halt => Category::MiscInstr,
+        }
+    }
+
+    /// Is this a packed (2-lane) FP arithmetic instruction? One packed
+    /// instruction performs two source-level FP operations — the fact the
+    /// PBound source-only comparison cannot see.
+    pub fn is_packed_fp(&self) -> bool {
+        use Inst::*;
+        matches!(
+            self,
+            Addpd(..) | Subpd(..) | Mulpd(..) | Divpd(..) | Sqrtpd(..)
+        )
+    }
+
+    /// Is this a control-transfer instruction that ends a basic block?
+    pub fn is_terminator(&self) -> bool {
+        use Inst::*;
+        matches!(self, Jmp(..) | Jcc(..) | Ret | Halt)
+    }
+
+    /// Assembly-style mnemonic (without operand-form suffixes).
+    pub fn mnemonic(&self) -> &'static str {
+        use Inst::*;
+        match self {
+            MovRR(..) | MovRI(..) | Load(..) | Store(..) => "mov",
+            Lea(..) => "lea",
+            Push(..) => "push",
+            Pop(..) => "pop",
+            Movsxd(..) => "movsxd",
+            Cqo => "cqo",
+            AddRR(..) | AddRI(..) => "add",
+            SubRR(..) | SubRI(..) => "sub",
+            ImulRR(..) | ImulRI(..) => "imul",
+            Idiv(..) => "idiv",
+            Neg(..) => "neg",
+            CmpRR(..) | CmpRI(..) => "cmp",
+            AndRR(..) => "and",
+            OrRR(..) => "or",
+            XorRR(..) => "xor",
+            Not(..) => "not",
+            ShlRI(..) => "shl",
+            SarRI(..) => "sar",
+            ShrRI(..) => "shr",
+            TestRR(..) => "test",
+            Setcc(..) => "setcc",
+            Jmp(..) => "jmp",
+            Jcc(..) => "jcc",
+            Call(..) => "call",
+            Ret => "ret",
+            MovsdXX(..) | MovsdLoad(..) | MovsdStore(..) => "movsd",
+            MovapdXX(..) => "movapd",
+            MovupdLoad(..) | MovupdStore(..) => "movupd",
+            MovqXR(..) | MovqRX(..) => "movq",
+            Addsd(..) => "addsd",
+            Subsd(..) => "subsd",
+            Mulsd(..) => "mulsd",
+            Divsd(..) => "divsd",
+            Sqrtsd(..) => "sqrtsd",
+            Minsd(..) => "minsd",
+            Maxsd(..) => "maxsd",
+            Addpd(..) => "addpd",
+            Subpd(..) => "subpd",
+            Mulpd(..) => "mulpd",
+            Divpd(..) => "divpd",
+            Sqrtpd(..) => "sqrtpd",
+            Andpd(..) => "andpd",
+            Orpd(..) => "orpd",
+            Xorpd(..) => "xorpd",
+            Ucomisd(..) => "ucomisd",
+            Unpckhpd(..) => "unpckhpd",
+            Unpcklpd(..) => "unpcklpd",
+            Cvtsi2sd(..) => "cvtsi2sd",
+            Cvttsd2si(..) => "cvttsd2si",
+            Nop => "nop",
+            Halt => "halt",
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Inst::*;
+        match *self {
+            MovRR(d, s) => write!(f, "mov {d}, {s}"),
+            MovRI(d, v) => write!(f, "mov {d}, {v}"),
+            Load(d, m) => write!(f, "mov {d}, qword {m}"),
+            Store(m, s) => write!(f, "mov qword {m}, {s}"),
+            Lea(d, m) => write!(f, "lea {d}, {m}"),
+            Push(r) => write!(f, "push {r}"),
+            Pop(r) => write!(f, "pop {r}"),
+            Movsxd(d, s) => write!(f, "movsxd {d}, {s}"),
+            Cqo => write!(f, "cqo"),
+            AddRR(d, s) => write!(f, "add {d}, {s}"),
+            AddRI(d, v) => write!(f, "add {d}, {v}"),
+            SubRR(d, s) => write!(f, "sub {d}, {s}"),
+            SubRI(d, v) => write!(f, "sub {d}, {v}"),
+            ImulRR(d, s) => write!(f, "imul {d}, {s}"),
+            ImulRI(d, v) => write!(f, "imul {d}, {v}"),
+            Idiv(r) => write!(f, "idiv {r}"),
+            Neg(r) => write!(f, "neg {r}"),
+            CmpRR(a, b) => write!(f, "cmp {a}, {b}"),
+            CmpRI(a, v) => write!(f, "cmp {a}, {v}"),
+            AndRR(d, s) => write!(f, "and {d}, {s}"),
+            OrRR(d, s) => write!(f, "or {d}, {s}"),
+            XorRR(d, s) => write!(f, "xor {d}, {s}"),
+            Not(r) => write!(f, "not {r}"),
+            ShlRI(r, k) => write!(f, "shl {r}, {k}"),
+            SarRI(r, k) => write!(f, "sar {r}, {k}"),
+            ShrRI(r, k) => write!(f, "shr {r}, {k}"),
+            TestRR(a, b) => write!(f, "test {a}, {b}"),
+            Setcc(cc, r) => write!(f, "set{} {r}", cc.mnemonic()),
+            Jmp(t) => write!(f, "jmp {t:#x}"),
+            Jcc(cc, t) => write!(f, "j{} {t:#x}", cc.mnemonic()),
+            Call(sym) => write!(f, "call fn#{sym}"),
+            Ret => write!(f, "ret"),
+            MovsdXX(d, s) => write!(f, "movsd {d}, {s}"),
+            MovsdLoad(d, m) => write!(f, "movsd {d}, qword {m}"),
+            MovsdStore(m, s) => write!(f, "movsd qword {m}, {s}"),
+            MovapdXX(d, s) => write!(f, "movapd {d}, {s}"),
+            MovupdLoad(d, m) => write!(f, "movupd {d}, xmmword {m}"),
+            MovupdStore(m, s) => write!(f, "movupd xmmword {m}, {s}"),
+            MovqXR(x, r) => write!(f, "movq {x}, {r}"),
+            MovqRX(r, x) => write!(f, "movq {r}, {x}"),
+            Addsd(d, s) => write!(f, "addsd {d}, {s}"),
+            Subsd(d, s) => write!(f, "subsd {d}, {s}"),
+            Mulsd(d, s) => write!(f, "mulsd {d}, {s}"),
+            Divsd(d, s) => write!(f, "divsd {d}, {s}"),
+            Sqrtsd(d, s) => write!(f, "sqrtsd {d}, {s}"),
+            Minsd(d, s) => write!(f, "minsd {d}, {s}"),
+            Maxsd(d, s) => write!(f, "maxsd {d}, {s}"),
+            Addpd(d, s) => write!(f, "addpd {d}, {s}"),
+            Subpd(d, s) => write!(f, "subpd {d}, {s}"),
+            Mulpd(d, s) => write!(f, "mulpd {d}, {s}"),
+            Divpd(d, s) => write!(f, "divpd {d}, {s}"),
+            Sqrtpd(d, s) => write!(f, "sqrtpd {d}, {s}"),
+            Andpd(d, s) => write!(f, "andpd {d}, {s}"),
+            Orpd(d, s) => write!(f, "orpd {d}, {s}"),
+            Xorpd(d, s) => write!(f, "xorpd {d}, {s}"),
+            Ucomisd(a, b) => write!(f, "ucomisd {a}, {b}"),
+            Unpckhpd(d, s) => write!(f, "unpckhpd {d}, {s}"),
+            Unpcklpd(d, s) => write!(f, "unpcklpd {d}, {s}"),
+            Cvtsi2sd(x, r) => write!(f, "cvtsi2sd {x}, {r}"),
+            Cvttsd2si(r, x) => write!(f, "cvttsd2si {r}, {x}"),
+            Nop => write!(f, "nop"),
+            Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_instructions() -> Vec<Inst> {
+        use Inst::*;
+        vec![
+            MovRR(Reg(1), Reg(2)),
+            MovRI(Reg(3), -123456789),
+            Load(Reg(4), Mem::base_index(Reg(1), Reg(2), 8, -16)),
+            Store(Mem::base_disp(RBP, -8), Reg(0)),
+            Lea(Reg(5), Mem::base_index(Reg(0), Reg(3), 4, 100)),
+            Push(RBP),
+            Pop(RBP),
+            Movsxd(Reg(1), Reg(2)),
+            Cqo,
+            AddRR(Reg(1), Reg(2)),
+            AddRI(Reg(1), 42),
+            SubRI(RSP, 64),
+            ImulRI(Reg(2), 8),
+            Idiv(Reg(3)),
+            Neg(Reg(4)),
+            CmpRI(Reg(1), 10),
+            XorRR(Reg(0), Reg(0)),
+            ShlRI(Reg(1), 3),
+            TestRR(Reg(1), Reg(1)),
+            Setcc(Cc::L, Reg(2)),
+            Jmp(0xdeadbe),
+            Jcc(Cc::Ge, 0x1234),
+            Call(7),
+            Ret,
+            MovsdLoad(XReg(1), Mem::base_index(Reg(1), Reg(2), 8, 0)),
+            MovsdStore(Mem::base(Reg(3)), XReg(2)),
+            MovapdXX(XReg(3), XReg(4)),
+            MovupdLoad(XReg(5), Mem::base_disp(Reg(1), 16)),
+            MovqXR(XReg(1), Reg(1)),
+            Addsd(XReg(0), XReg(1)),
+            Mulpd(XReg(2), XReg(3)),
+            Sqrtsd(XReg(4), XReg(4)),
+            Andpd(XReg(1), XReg(2)),
+            Ucomisd(XReg(0), XReg(1)),
+            Unpckhpd(XReg(0), XReg(0)),
+            Unpcklpd(XReg(1), XReg(1)),
+            Cvtsi2sd(XReg(1), Reg(2)),
+            Cvttsd2si(Reg(3), XReg(4)),
+            Nop,
+            Halt,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_samples() {
+        for inst in sample_instructions() {
+            let mut buf = Vec::new();
+            inst.encode(&mut buf);
+            let (decoded, len) = Inst::decode(&buf, 0).unwrap();
+            assert_eq!(decoded, inst);
+            assert_eq!(len, buf.len());
+            assert_eq!(len, inst.encoded_len());
+        }
+    }
+
+    #[test]
+    fn decode_stream_of_instructions() {
+        let insts = sample_instructions();
+        let mut buf = Vec::new();
+        for i in &insts {
+            i.encode(&mut buf);
+        }
+        let mut pos = 0;
+        let mut decoded = Vec::new();
+        while pos < buf.len() {
+            let (i, len) = Inst::decode(&buf, pos).unwrap();
+            decoded.push(i);
+            pos += len;
+        }
+        assert_eq!(decoded, insts);
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(Inst::decode(&[], 0), Err(DecodeError::Truncated));
+        assert_eq!(Inst::decode(&[0xff], 0), Err(DecodeError::BadOpcode(0xff)));
+        assert_eq!(
+            Inst::decode(&[opcodes::MOV_RR, 99, 0], 0),
+            Err(DecodeError::BadOperand)
+        );
+        assert_eq!(
+            Inst::decode(&[opcodes::MOV_RI, 1, 0, 0], 0),
+            Err(DecodeError::Truncated)
+        );
+        let mut buf = vec![opcodes::LOAD, 1];
+        buf.extend_from_slice(&[2, 1, 3, 3]); // has_index=1, scale=3 → bad
+        buf.extend_from_slice(&0i32.to_le_bytes());
+        assert_eq!(Inst::decode(&buf, 0), Err(DecodeError::BadOperand));
+    }
+
+    #[test]
+    fn categories_match_taxonomy() {
+        use Inst::*;
+        assert_eq!(MovRR(Reg(0), Reg(1)).category(), Category::IntDataTransfer);
+        assert_eq!(Movsxd(Reg(0), Reg(1)).category(), Category::Mode64Bit);
+        assert_eq!(AddRR(Reg(0), Reg(1)).category(), Category::IntArith);
+        assert_eq!(Jmp(0).category(), Category::IntControlTransfer);
+        assert_eq!(
+            MovsdLoad(XReg(0), Mem::base(Reg(0))).category(),
+            Category::Sse2DataMovement
+        );
+        assert_eq!(
+            Addsd(XReg(0), XReg(1)).category(),
+            Category::Sse2PackedArith
+        );
+        assert_eq!(
+            Addpd(XReg(0), XReg(1)).category(),
+            Category::Sse2PackedArith
+        );
+        assert_eq!(Andpd(XReg(0), XReg(1)).category(), Category::Sse2Logical);
+        assert_eq!(
+            Cvtsi2sd(XReg(0), Reg(1)).category(),
+            Category::Sse2Conversion
+        );
+        assert_eq!(Setcc(Cc::E, Reg(0)).category(), Category::BitByte);
+    }
+
+    #[test]
+    fn packed_fp_detection() {
+        use Inst::*;
+        assert!(Addpd(XReg(0), XReg(1)).is_packed_fp());
+        assert!(!Addsd(XReg(0), XReg(1)).is_packed_fp());
+        assert!(!MovapdXX(XReg(0), XReg(1)).is_packed_fp());
+    }
+
+    #[test]
+    fn terminator_detection() {
+        assert!(Inst::Ret.is_terminator());
+        assert!(Inst::Jmp(0).is_terminator());
+        assert!(Inst::Jcc(Cc::E, 0).is_terminator());
+        assert!(!Inst::Call(0).is_terminator());
+        assert!(!Inst::Nop.is_terminator());
+    }
+
+    #[test]
+    fn cc_negation_involutive() {
+        use Cc::*;
+        for cc in [E, Ne, L, Le, G, Ge, B, Be, A, Ae] {
+            assert_eq!(cc.negate().negate(), cc);
+            assert_ne!(cc.negate(), cc);
+        }
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Inst::Load(Reg(4), Mem::base_index(Reg(1), Reg(2), 8, -16));
+        assert_eq!(i.to_string(), "mov r4, qword [r1 + r2*8 - 16]");
+        assert_eq!(Inst::Setcc(Cc::L, Reg(2)).to_string(), "setl r2");
+    }
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..16).prop_map(Reg)
+    }
+
+    fn arb_xreg() -> impl Strategy<Value = XReg> {
+        (0u8..16).prop_map(XReg)
+    }
+
+    fn arb_mem() -> impl Strategy<Value = Mem> {
+        (
+            arb_reg(),
+            proptest::option::of((arb_reg(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)])),
+            any::<i32>(),
+        )
+            .prop_map(|(base, index, disp)| Mem { base, index, disp })
+    }
+
+    fn arb_cc() -> impl Strategy<Value = Cc> {
+        (0u8..10).prop_map(|v| Cc::from_u8(v).unwrap())
+    }
+
+    fn arb_inst() -> impl Strategy<Value = Inst> {
+        use Inst::*;
+        prop_oneof![
+            (arb_reg(), arb_reg()).prop_map(|(a, b)| MovRR(a, b)),
+            (arb_reg(), any::<i64>()).prop_map(|(a, b)| MovRI(a, b)),
+            (arb_reg(), arb_mem()).prop_map(|(a, b)| Load(a, b)),
+            (arb_mem(), arb_reg()).prop_map(|(a, b)| Store(a, b)),
+            (arb_reg(), arb_mem()).prop_map(|(a, b)| Lea(a, b)),
+            (arb_reg(), any::<i64>()).prop_map(|(a, b)| AddRI(a, b)),
+            (arb_reg(), arb_reg()).prop_map(|(a, b)| ImulRR(a, b)),
+            (arb_reg(), 0u8..64).prop_map(|(a, b)| ShlRI(a, b)),
+            (arb_cc(), arb_reg()).prop_map(|(a, b)| Setcc(a, b)),
+            any::<u32>().prop_map(Jmp),
+            (arb_cc(), any::<u32>()).prop_map(|(a, b)| Jcc(a, b)),
+            any::<u32>().prop_map(Call),
+            (arb_xreg(), arb_mem()).prop_map(|(a, b)| MovsdLoad(a, b)),
+            (arb_mem(), arb_xreg()).prop_map(|(a, b)| MovupdStore(a, b)),
+            (arb_xreg(), arb_xreg()).prop_map(|(a, b)| Mulpd(a, b)),
+            (arb_xreg(), arb_xreg()).prop_map(|(a, b)| Divsd(a, b)),
+            (arb_xreg(), arb_reg()).prop_map(|(a, b)| Cvtsi2sd(a, b)),
+            Just(Ret),
+            Just(Cqo),
+            Just(Halt),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(inst in arb_inst()) {
+            let mut buf = Vec::new();
+            inst.encode(&mut buf);
+            let (decoded, len) = Inst::decode(&buf, 0).unwrap();
+            prop_assert_eq!(decoded, inst);
+            prop_assert_eq!(len, buf.len());
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+            let _ = Inst::decode(&bytes, 0);
+        }
+    }
+}

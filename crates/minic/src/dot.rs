@@ -1,0 +1,250 @@
+//! GraphViz DOT rendering of the source AST in ROSE's node vocabulary —
+//! the shape of the paper's Figure 2 (a `SgForStatement` whose SCoP lives
+//! in `SgForInitStatement` / `SgExprStatement` / `SgPlusPlusOp` children).
+
+use crate::ast::*;
+
+/// Render one function's AST as a DOT digraph with ROSE-style node labels.
+pub fn func_to_dot(f: &Func) -> String {
+    let mut d = Dot {
+        out: String::new(),
+        next: 0,
+    };
+    d.out.push_str("digraph SourceAst {\n  node [shape=box];\n");
+    let root = d.node(&format!("SgFunctionDeclaration\\n{}", f.name));
+    let def = d.node("SgFunctionDefinition");
+    d.edge(root, def);
+    let body = d.node("SgBasicBlock");
+    d.edge(def, body);
+    for s in &f.body.stmts {
+        let child = d.stmt(s);
+        d.edge(body, child);
+    }
+    d.out.push_str("}\n");
+    d.out
+}
+
+struct Dot {
+    out: String,
+    next: usize,
+}
+
+impl Dot {
+    fn node(&mut self, label: &str) -> usize {
+        let id = self.next;
+        self.next += 1;
+        self.out
+            .push_str(&format!("  n{id} [label=\"{label}\"];\n"));
+        id
+    }
+
+    fn edge(&mut self, a: usize, b: usize) {
+        self.out.push_str(&format!("  n{a} -> n{b};\n"));
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> usize {
+        match &s.kind {
+            StmtKind::Decl { name, ty, .. } => {
+                self.node(&format!("SgVariableDeclaration\\n{ty} {name}"))
+            }
+            StmtKind::Expr(e) => {
+                let n = self.node("SgExprStatement");
+                let c = self.expr(e);
+                self.edge(n, c);
+                n
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let n = self.node("SgIfStmt");
+                let c = self.node("SgExprStatement");
+                self.edge(n, c);
+                let ce = self.expr(cond);
+                self.edge(c, ce);
+                let t = self.stmt(then_branch);
+                self.edge(n, t);
+                if let Some(e) = else_branch {
+                    let el = self.stmt(e);
+                    self.edge(n, el);
+                }
+                n
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let n = self.node("SgForStatement");
+                let i = self.node("SgForInitStatement");
+                self.edge(n, i);
+                if let Some(init) = init {
+                    let c = self.stmt(init);
+                    self.edge(i, c);
+                }
+                let ct = self.node("SgExprStatement");
+                self.edge(n, ct);
+                if let Some(cond) = cond {
+                    let c = self.expr(cond);
+                    self.edge(ct, c);
+                }
+                if let Some(step) = step {
+                    let c = self.expr(step);
+                    self.edge(n, c);
+                }
+                let b = self.stmt(body);
+                self.edge(n, b);
+                n
+            }
+            StmtKind::While { cond, body } => {
+                let n = self.node("SgWhileStmt");
+                let c = self.expr(cond);
+                self.edge(n, c);
+                let b = self.stmt(body);
+                self.edge(n, b);
+                n
+            }
+            StmtKind::Return(v) => {
+                let n = self.node("SgReturnStmt");
+                if let Some(e) = v {
+                    let c = self.expr(e);
+                    self.edge(n, c);
+                }
+                n
+            }
+            StmtKind::Block(b) => {
+                let n = self.node("SgBasicBlock");
+                for s in &b.stmts {
+                    let c = self.stmt(s);
+                    self.edge(n, c);
+                }
+                n
+            }
+            StmtKind::Empty => self.node("SgNullStatement"),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> usize {
+        match &e.kind {
+            ExprKind::IntLit(v) => self.node(&format!("SgIntVal\\n{v}")),
+            ExprKind::FloatLit(v) => self.node(&format!("SgDoubleVal\\n{v}")),
+            ExprKind::Var(n) => self.node(&format!("SgVarRefExp\\n{n}")),
+            ExprKind::Assign { op, target, value } => {
+                let label = match op {
+                    AssignOp::Set => "SgAssignOp",
+                    AssignOp::Add => "SgPlusAssignOp",
+                    AssignOp::Sub => "SgMinusAssignOp",
+                    AssignOp::Mul => "SgMultAssignOp",
+                    AssignOp::Div => "SgDivAssignOp",
+                };
+                let n = self.node(label);
+                let t = self.expr(target);
+                let v = self.expr(value);
+                self.edge(n, t);
+                self.edge(n, v);
+                n
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let label = match op {
+                    BinOp::Add => "SgAddOp",
+                    BinOp::Sub => "SgSubtractOp",
+                    BinOp::Mul => "SgMultiplyOp",
+                    BinOp::Div => "SgDivideOp",
+                    BinOp::Mod => "SgModOp",
+                    BinOp::Lt => "SgLessThanOp",
+                    BinOp::Le => "SgLessOrEqualOp",
+                    BinOp::Gt => "SgGreaterThanOp",
+                    BinOp::Ge => "SgGreaterOrEqualOp",
+                    BinOp::Eq => "SgEqualityOp",
+                    BinOp::Ne => "SgNotEqualOp",
+                    BinOp::And => "SgAndOp",
+                    BinOp::Or => "SgOrOp",
+                };
+                let n = self.node(label);
+                let l = self.expr(lhs);
+                let r = self.expr(rhs);
+                self.edge(n, l);
+                self.edge(n, r);
+                n
+            }
+            ExprKind::Unary { op, operand } => {
+                let n = self.node(match op {
+                    UnOp::Neg => "SgMinusOp",
+                    UnOp::Not => "SgNotOp",
+                });
+                let c = self.expr(operand);
+                self.edge(n, c);
+                n
+            }
+            ExprKind::Index { base, index } => {
+                let n = self.node("SgPntrArrRefExp");
+                let b = self.expr(base);
+                let i = self.expr(index);
+                self.edge(n, b);
+                self.edge(n, i);
+                n
+            }
+            ExprKind::Call { name, args } => {
+                let n = self.node(&format!("SgFunctionCallExp\\n{name}"));
+                for a in args {
+                    let c = self.expr(a);
+                    self.edge(n, c);
+                }
+                n
+            }
+            ExprKind::Cast { ty, operand } | ExprKind::ImplicitCast { ty, operand } => {
+                let n = self.node(&format!("SgCastExp\\n{ty}"));
+                let c = self.expr(operand);
+                self.edge(n, c);
+                n
+            }
+            ExprKind::IncDec {
+                increment, target, ..
+            } => {
+                let n = self.node(if *increment {
+                    "SgPlusPlusOp"
+                } else {
+                    "SgMinusMinusOp"
+                });
+                let c = self.expr(target);
+                self.edge(n, c);
+                n
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+
+    #[test]
+    fn for_loop_has_rose_scop_nodes() {
+        let p = frontend("void f(int n) { for (int i = 0; i < n; i++) { n = n; } }").unwrap();
+        let dot = func_to_dot(p.function("f").unwrap());
+        // the Figure-2 vocabulary
+        assert!(dot.contains("SgForStatement"), "{dot}");
+        assert!(dot.contains("SgForInitStatement"), "{dot}");
+        assert!(dot.contains("SgExprStatement"), "{dot}");
+        assert!(dot.contains("SgPlusPlusOp"), "{dot}");
+        assert!(dot.contains("SgBasicBlock"), "{dot}");
+        assert!(dot.starts_with("digraph SourceAst"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn nodes_and_edges_wellformed() {
+        let p = frontend(
+            "double g(double* a, int n) { double s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }",
+        )
+        .unwrap();
+        let dot = func_to_dot(p.function("g").unwrap());
+        let nodes = dot.matches(" [label=").count();
+        let edges = dot.matches(" -> ").count();
+        // a tree has exactly nodes-1 edges
+        assert_eq!(edges, nodes - 1, "{dot}");
+    }
+}

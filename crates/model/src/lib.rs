@@ -1,0 +1,383 @@
+//! # mira-model — the generated performance model
+//!
+//! Mira's output (paper §III-C) is a *parametric model*: per source
+//! function, a program that accumulates per-category instruction counts as
+//! symbolic expressions over user parameters, composed across calls via the
+//! `handle_function_call` helper. The paper emits Python (Fig. 5); we keep
+//! the model as a typed IR with
+//!
+//! * a native evaluator ([`Model::eval`]) used by the validation harness
+//!   and tests, and
+//! * a Python emitter ([`python::emit`]) that reproduces the paper's
+//!   output format (mangled function names like `A_foo_2`, metric dicts,
+//!   `handle_function_call`).
+
+pub mod python;
+
+use mira_arch::{ArchDescription, Category, CategoryCounts};
+use mira_sym::{Bindings, EvalError, SymExpr};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One accumulation or call-composition step in a function model.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ModelOp {
+    /// `metrics[category] += count` — `count` is parametric; `line` records
+    /// the source line this contribution came from (statement-level
+    /// granularity, §III-C6).
+    Acc {
+        line: u32,
+        category: Category,
+        count: SymExpr,
+    },
+    /// `handle_function_call(metrics, callee(), multiplier)` — the callee's
+    /// whole metric dict scaled by the call count (paper §III-C5).
+    Call {
+        callee: String,
+        line: u32,
+        multiplier: SymExpr,
+    },
+}
+
+/// The model of one source function.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct FuncModel {
+    /// Original source name.
+    pub name: String,
+    /// Mangled model name (`name_<argcount>`, as in the paper's `A_foo_2`).
+    pub mangled: String,
+    /// Model parameters this function's expressions reference.
+    pub params: Vec<String>,
+    pub ops: Vec<ModelOp>,
+}
+
+/// A whole-program performance model.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Model {
+    pub functions: BTreeMap<String, FuncModel>,
+}
+
+/// Model evaluation errors.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ModelError {
+    UnknownFunction(String),
+    Eval(EvalError),
+    /// Call graph too deep (recursion is not modelable statically).
+    TooDeep,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownFunction(n) => write!(f, "model has no function `{n}`"),
+            ModelError::Eval(e) => write!(f, "{e}"),
+            ModelError::TooDeep => write!(f, "call composition too deep (recursive model?)"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<EvalError> for ModelError {
+    fn from(e: EvalError) -> ModelError {
+        ModelError::Eval(e)
+    }
+}
+
+/// The result of evaluating a function model: concrete per-category counts,
+/// with per-line attribution retained.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    pub counts: CategoryCounts,
+    /// line → counts for the *directly owned* contributions (callee counts
+    /// are merged only into `counts`, attributed to the call line).
+    pub lines: BTreeMap<u32, CategoryCounts>,
+}
+
+impl Report {
+    /// Value of a metric group (e.g. `fpi`).
+    pub fn metric(&self, cats: &[Category]) -> i128 {
+        self.counts.metric(cats)
+    }
+
+    /// `PAPI_FP_INS` equivalent under an architecture description.
+    pub fn fpi(&self, arch: &ArchDescription) -> i128 {
+        self.metric(arch.fpi())
+    }
+
+    /// Instruction-based arithmetic intensity (paper §IV-D2): FP arithmetic
+    /// instructions over FP data-movement instructions.
+    pub fn arithmetic_intensity(&self, arch: &ArchDescription) -> f64 {
+        let num = self.fpi(arch) as f64;
+        let den = self
+            .counts
+            .metric(arch.metric("fp_movement").unwrap_or(&[])) as f64;
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    /// Total instructions.
+    pub fn total(&self) -> i128 {
+        self.counts.total()
+    }
+
+    /// Table-II style rows: `(display name, count)`, descending.
+    pub fn category_table(&self) -> Vec<(&'static str, i128)> {
+        self.counts
+            .nonzero()
+            .into_iter()
+            .map(|(c, n)| (c.display_name(), n))
+            .collect()
+    }
+}
+
+impl Model {
+    pub fn function(&self, name: &str) -> Option<&FuncModel> {
+        self.functions.get(name)
+    }
+
+    /// All parameter names referenced anywhere in the model.
+    pub fn params(&self) -> Vec<String> {
+        let mut set = std::collections::BTreeSet::new();
+        for f in self.functions.values() {
+            for p in &f.params {
+                set.insert(p.clone());
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Evaluate the model of `func` under parameter bindings, composing
+    /// callee models (inclusive counts, like a TAU profile).
+    pub fn eval(&self, func: &str, bindings: &Bindings) -> Result<Report, ModelError> {
+        self.eval_depth(func, bindings, 0)
+    }
+
+    fn eval_depth(
+        &self,
+        func: &str,
+        bindings: &Bindings,
+        depth: u32,
+    ) -> Result<Report, ModelError> {
+        if depth > 64 {
+            return Err(ModelError::TooDeep);
+        }
+        let fm = self
+            .functions
+            .get(func)
+            .ok_or_else(|| ModelError::UnknownFunction(func.to_string()))?;
+        let mut report = Report::default();
+        for op in &fm.ops {
+            match op {
+                ModelOp::Acc {
+                    line,
+                    category,
+                    count,
+                } => {
+                    let v = count.eval_count(bindings)?;
+                    report.counts.add(*category, v);
+                    report
+                        .lines
+                        .entry(*line)
+                        .or_default()
+                        .add(*category, v);
+                }
+                ModelOp::Call {
+                    callee,
+                    line: _,
+                    multiplier,
+                } => {
+                    let k = multiplier.eval_count(bindings)?;
+                    if k == 0 {
+                        continue;
+                    }
+                    let sub = self.eval_depth(callee, bindings, depth + 1)?;
+                    report.counts.merge_scaled(&sub.counts, k);
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Parametric FPI expression for one function (no evaluation) — the
+    /// closed form a user can inspect.
+    pub fn fpi_expr(&self, func: &str, arch: &ArchDescription) -> Result<SymExpr, ModelError> {
+        self.metric_expr(func, arch.fpi(), 0)
+    }
+
+    fn metric_expr(
+        &self,
+        func: &str,
+        cats: &[Category],
+        depth: u32,
+    ) -> Result<SymExpr, ModelError> {
+        if depth > 64 {
+            return Err(ModelError::TooDeep);
+        }
+        let fm = self
+            .functions
+            .get(func)
+            .ok_or_else(|| ModelError::UnknownFunction(func.to_string()))?;
+        let mut total = SymExpr::zero();
+        for op in &fm.ops {
+            match op {
+                ModelOp::Acc {
+                    category, count, ..
+                } => {
+                    if cats.contains(category) {
+                        total = total.add_expr(count);
+                    }
+                }
+                ModelOp::Call {
+                    callee, multiplier, ..
+                } => {
+                    let sub = self.metric_expr(callee, cats, depth + 1)?;
+                    total = total.add_expr(&sub.mul_expr(multiplier));
+                }
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_sym::bindings;
+
+    fn simple_model() -> Model {
+        // leaf: per call, n mulsd + n addsd (one parametric loop)
+        let n = SymExpr::param("n");
+        let leaf = FuncModel {
+            name: "waxpby".to_string(),
+            mangled: "waxpby_3".to_string(),
+            params: vec!["n".to_string()],
+            ops: vec![
+                ModelOp::Acc {
+                    line: 2,
+                    category: Category::Sse2PackedArith,
+                    count: n.clone().scale(mira_sym::Rat::int(2)),
+                },
+                ModelOp::Acc {
+                    line: 2,
+                    category: Category::Sse2DataMovement,
+                    count: n.clone().scale(mira_sym::Rat::int(3)),
+                },
+            ],
+        };
+        // root calls leaf `iters` times
+        let root = FuncModel {
+            name: "solve".to_string(),
+            mangled: "solve_1".to_string(),
+            params: vec!["n".to_string(), "iters".to_string()],
+            ops: vec![
+                ModelOp::Acc {
+                    line: 10,
+                    category: Category::IntArith,
+                    count: SymExpr::param("iters"),
+                },
+                ModelOp::Call {
+                    callee: "waxpby".to_string(),
+                    line: 11,
+                    multiplier: SymExpr::param("iters"),
+                },
+            ],
+        };
+        let mut m = Model::default();
+        m.functions.insert(leaf.name.clone(), leaf);
+        m.functions.insert(root.name.clone(), root);
+        m
+    }
+
+    #[test]
+    fn eval_leaf() {
+        let m = simple_model();
+        let arch = ArchDescription::default();
+        let r = m.eval("waxpby", &bindings(&[("n", 100)])).unwrap();
+        assert_eq!(r.fpi(&arch), 200);
+        assert_eq!(r.counts.get(Category::Sse2DataMovement), 300);
+        assert_eq!(r.lines.get(&2).unwrap().total(), 500);
+    }
+
+    #[test]
+    fn eval_composes_calls() {
+        let m = simple_model();
+        let arch = ArchDescription::default();
+        let r = m
+            .eval("solve", &bindings(&[("n", 100), ("iters", 7)]))
+            .unwrap();
+        // 7 × (200 FPI) from the callee
+        assert_eq!(r.fpi(&arch), 1400);
+        assert_eq!(r.counts.get(Category::IntArith), 7);
+    }
+
+    #[test]
+    fn arithmetic_intensity() {
+        let m = simple_model();
+        let arch = ArchDescription::default();
+        let r = m.eval("waxpby", &bindings(&[("n", 10)])).unwrap();
+        // 20 FPI / 30 movement
+        assert!((r.arithmetic_intensity(&arch) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fpi_expr_closed_form() {
+        let m = simple_model();
+        let arch = ArchDescription::default();
+        let e = m.fpi_expr("solve", &arch).unwrap();
+        // 2n * iters
+        let b = bindings(&[("n", 50), ("iters", 3)]);
+        assert_eq!(e.eval_count(&b).unwrap(), 300);
+        assert_eq!(m.params(), vec!["iters".to_string(), "n".to_string()]);
+    }
+
+    #[test]
+    fn missing_binding_surfaces() {
+        let m = simple_model();
+        let r = m.eval("waxpby", &bindings(&[]));
+        assert!(matches!(r, Err(ModelError::Eval(_))));
+    }
+
+    #[test]
+    fn unknown_function_error() {
+        let m = simple_model();
+        assert!(matches!(
+            m.eval("nope", &bindings(&[])),
+            Err(ModelError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let mut m = Model::default();
+        m.functions.insert(
+            "f".to_string(),
+            FuncModel {
+                name: "f".to_string(),
+                mangled: "f_0".to_string(),
+                params: vec![],
+                ops: vec![ModelOp::Call {
+                    callee: "f".to_string(),
+                    line: 1,
+                    multiplier: SymExpr::constant(1),
+                }],
+            },
+        );
+        assert!(matches!(
+            m.eval("f", &bindings(&[])),
+            Err(ModelError::TooDeep)
+        ));
+    }
+
+    #[test]
+    fn category_table_sorted() {
+        let m = simple_model();
+        let r = m.eval("waxpby", &bindings(&[("n", 5)])).unwrap();
+        let t = r.category_table();
+        assert_eq!(t[0].0, "SSE2 data movement instruction");
+        assert_eq!(t[0].1, 15);
+    }
+}

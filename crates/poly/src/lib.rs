@@ -1,0 +1,537 @@
+//! # mira-poly — the polyhedral model for loop iteration domains
+//!
+//! Mira (Meng & Norris, CLUSTER 2017, §III-C2) characterizes the iteration
+//! space of a loop nest as the set of integer (lattice) points inside the
+//! polyhedron defined by the loop bounds and branch conditions, provided
+//! those are affine. This crate implements that model from scratch:
+//!
+//! * [`Polyhedron`]: a conjunction of affine constraints over named loop
+//!   variables and free parameters, plus lattice (stride / modulo)
+//!   constraints on individual variables;
+//! * symbolic **point counting** ([`Polyhedron::count`]) producing a
+//!   closed-form [`SymExpr`] in the parameters — an Ehrhart-style
+//!   quasi-polynomial computed by variable elimination with bound splitting
+//!   and Faulhaber summation;
+//! * weighted sums over domains ([`Polyhedron::sum`]), used when a
+//!   statement's per-iteration cost itself depends on loop variables;
+//! * branch handling: constraint intersection for affine `if` conditions
+//!   (paper Fig. 4b), **complement counting** for modulo "holes"
+//!   (paper Listing 5 / Fig. 4c) via [`Polyhedron::count_complement_lattice`],
+//!   and [`union::DomainUnion`] with inclusion–exclusion for the
+//!   min/max-bound domains the paper rejects as future work (Listing 3 /
+//!   Fig. 4d);
+//! * a brute-force [`Polyhedron::enumerate`] oracle used by the test suite
+//!   to validate every symbolic count.
+
+pub mod ascii;
+pub mod union;
+
+use mira_sym::{sum::sum_over, Bindings, Rat, SymExpr};
+use std::fmt;
+
+/// A lattice (congruence) constraint `var ≡ residue (mod modulus)` arising
+/// from a loop stride (`i += 4`) or a modulo branch condition (`i % 4 == 0`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Lattice {
+    pub var: String,
+    pub modulus: i64,
+    pub residue: i64,
+}
+
+/// Errors produced when a domain cannot be modeled statically. These map to
+/// the cases where the paper requires user annotations (§III-C4).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PolyError {
+    /// A constraint is not affine in some loop variable (e.g. `i*j ≤ n`,
+    /// or a bound containing `floor` of an inner variable).
+    NonAffine(String),
+    /// A loop variable has no lower or no upper bound.
+    Unbounded(String),
+    /// Two lattice constraints on the same variable (not supported
+    /// symbolically; use [`Polyhedron::enumerate`] or annotations).
+    ConflictingLattice(String),
+    /// The symbolic machinery gave up (deep recursion from pathological
+    /// bound splits).
+    TooComplex,
+    /// Internal: counting requires splitting `var` into `period` residue
+    /// classes (quasi-polynomial domain). Handled automatically by
+    /// [`Polyhedron::sum`]; only surfaces if the split depth limit is hit.
+    QuasiPeriodic { var: String, period: i64 },
+}
+
+impl fmt::Display for PolyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolyError::NonAffine(v) => write!(f, "constraint not affine in loop variable `{v}`"),
+            PolyError::Unbounded(v) => write!(f, "loop variable `{v}` is unbounded"),
+            PolyError::ConflictingLattice(v) => {
+                write!(f, "multiple lattice constraints on `{v}`")
+            }
+            PolyError::TooComplex => write!(f, "domain too complex for symbolic counting"),
+            PolyError::QuasiPeriodic { var, period } => {
+                write!(f, "domain is quasi-periodic in `{var}` (period {period})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolyError {}
+
+/// An iteration domain: integer points satisfying affine constraints
+/// (each stored expression is interpreted as `expr ≥ 0`) and lattice
+/// constraints, over an ordered list of loop variables (outermost first).
+///
+/// Loop variables are represented inside constraint expressions as
+/// [`SymExpr::param`]s whose names match `vars`; anything else appearing in
+/// a constraint is a free model parameter.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Polyhedron {
+    vars: Vec<String>,
+    constraints: Vec<SymExpr>,
+    lattices: Vec<Lattice>,
+}
+
+impl Polyhedron {
+    pub fn new() -> Polyhedron {
+        Polyhedron::default()
+    }
+
+    /// Add a loop dimension (innermost last). Returns `self` for chaining.
+    pub fn with_var(mut self, name: &str) -> Polyhedron {
+        self.add_var(name);
+        self
+    }
+
+    pub fn add_var(&mut self, name: &str) {
+        assert!(
+            !self.vars.iter().any(|v| v == name),
+            "duplicate loop variable {name}"
+        );
+        self.vars.push(name.to_string());
+    }
+
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    pub fn constraints(&self) -> &[SymExpr] {
+        &self.constraints
+    }
+
+    pub fn lattices(&self) -> &[Lattice] {
+        &self.lattices
+    }
+
+    /// Add the constraint `e ≥ 0`.
+    pub fn constrain_ge0(&mut self, e: SymExpr) {
+        self.constraints.push(e);
+    }
+
+    /// Add `lo ≤ var` and `var ≤ hi` — the common rectangular-loop helper.
+    pub fn bound(&mut self, var: &str, lo: SymExpr, hi: SymExpr) {
+        let v = SymExpr::param(var);
+        self.constraints.push(v.clone().sub_expr(&lo)); // v - lo >= 0
+        self.constraints.push(hi.sub_expr(&v)); // hi - v >= 0
+    }
+
+    /// Builder form of [`bound`](Self::bound).
+    pub fn with_bounds(mut self, var: &str, lo: SymExpr, hi: SymExpr) -> Polyhedron {
+        self.bound(var, lo, hi);
+        self
+    }
+
+    /// Builder form of [`constrain_ge0`](Self::constrain_ge0).
+    pub fn with_constraint(mut self, e: SymExpr) -> Polyhedron {
+        self.constrain_ge0(e);
+        self
+    }
+
+    /// Add `var ≡ residue (mod modulus)`.
+    pub fn add_lattice(&mut self, var: &str, modulus: i64, residue: i64) {
+        assert!(modulus > 0, "lattice modulus must be positive");
+        self.lattices.push(Lattice {
+            var: var.to_string(),
+            modulus,
+            residue: residue.rem_euclid(modulus),
+        });
+    }
+
+    /// Builder form of [`add_lattice`](Self::add_lattice).
+    pub fn with_lattice(mut self, var: &str, modulus: i64, residue: i64) -> Polyhedron {
+        self.add_lattice(var, modulus, residue);
+        self
+    }
+
+    /// Number of integer points, as a closed-form symbolic expression in
+    /// the free parameters.
+    pub fn count(&self) -> Result<SymExpr, PolyError> {
+        self.sum(&SymExpr::constant(1))
+    }
+
+    /// `Σ_{p ∈ D} f(p)` — the weighted generalization of [`count`](Self::count).
+    /// `f` may mention loop variables (as params named like them) and free
+    /// parameters.
+    pub fn sum(&self, f: &SymExpr) -> Result<SymExpr, PolyError> {
+        self.sum_with_splits(f, 0)
+    }
+
+    /// Counting loop: normalize lattices, try closed-form elimination, and
+    /// on a quasi-periodic obstruction (a `floor` of a loop variable inside
+    /// a bound) split that variable into residue classes and retry — the
+    /// standard Ehrhart quasi-polynomial treatment.
+    fn sum_with_splits(&self, f: &SymExpr, depth: u32) -> Result<SymExpr, PolyError> {
+        if depth > 8 {
+            return Err(PolyError::TooComplex);
+        }
+        let normalized = self.apply_lattices()?;
+        match sum_rec(&normalized.vars, &normalized.constraints, f.clone(), 0) {
+            Err(PolyError::QuasiPeriodic { var, period }) => {
+                let mut total = SymExpr::zero();
+                for r in 0..period {
+                    let piece = normalized.clone().with_lattice(&var, period, r);
+                    total = total.add_expr(&piece.sum_with_splits(f, depth + 1)?);
+                }
+                Ok(total)
+            }
+            other => other,
+        }
+    }
+
+    /// Complement counting for modulo "holes" (paper Listing 5): the number
+    /// of points where `var % modulus != residue` equals
+    /// `count(self) − count(self ∧ var ≡ residue)`.
+    pub fn count_complement_lattice(
+        &self,
+        var: &str,
+        modulus: i64,
+        residue: i64,
+    ) -> Result<SymExpr, PolyError> {
+        let total = self.count()?;
+        let eq = self.clone().with_lattice(var, modulus, residue).count()?;
+        Ok(total.sub_expr(&eq))
+    }
+
+    /// Rewrite every lattice-constrained variable `v ≡ r (mod m)` via the
+    /// substitution `v = m·t + r`, leaving a pure inequality system.
+    fn apply_lattices(&self) -> Result<Polyhedron, PolyError> {
+        let mut out = self.clone();
+        let lattices = std::mem::take(&mut out.lattices);
+        for (i, l) in lattices.iter().enumerate() {
+            if lattices[..i].iter().any(|p| p.var == l.var) {
+                return Err(PolyError::ConflictingLattice(l.var.clone()));
+            }
+            let pos = out
+                .vars
+                .iter()
+                .position(|v| *v == l.var)
+                .unwrap_or_else(|| panic!("lattice on unknown variable {}", l.var));
+            let t_name = format!("__lat_{}", l.var);
+            let repl = SymExpr::param(&t_name)
+                .scale(Rat::int(l.modulus as i128))
+                .add_expr(&SymExpr::constant(l.residue as i128));
+            out.vars[pos] = t_name.clone();
+            out.constraints = out
+                .constraints
+                .iter()
+                .map(|c| c.substitute(&l.var, &repl))
+                .collect();
+        }
+        Ok(out)
+    }
+
+    /// Brute-force point count under concrete parameter bindings — the
+    /// test oracle. Panics if some variable is unbounded under the
+    /// bindings.
+    pub fn enumerate(&self, bindings: &Bindings) -> i128 {
+        let mut b = bindings.clone();
+        enumerate_rec(self, &mut b, 0)
+    }
+}
+
+const MAX_SPLIT_DEPTH: u32 = 64;
+
+/// Eliminate variables innermost-first, summing `f` over each.
+fn sum_rec(
+    vars: &[String],
+    constraints: &[SymExpr],
+    f: SymExpr,
+    depth: u32,
+) -> Result<SymExpr, PolyError> {
+    if depth > MAX_SPLIT_DEPTH {
+        return Err(PolyError::TooComplex);
+    }
+    let Some(var) = vars.last() else {
+        // No loop variables left: remaining constraints involve only free
+        // parameters. Constant constraints are decided now; symbolic ones
+        // become exact 0/1 indicator factors — for an integer-valued `c`,
+        // `[c ≥ 0] = max(0, c+1) − max(0, c)`.
+        let mut result = f;
+        let mut seen: Vec<&SymExpr> = Vec::new();
+        for c in constraints {
+            if let Some(v) = c.as_constant() {
+                if v < Rat::ZERO {
+                    return Ok(SymExpr::zero());
+                }
+                continue;
+            }
+            if seen.contains(&c) {
+                continue;
+            }
+            seen.push(c);
+            let ind = c
+                .add_expr(&SymExpr::constant(1))
+                .clamp0()
+                .sub_expr(&c.clamp0());
+            result = result.mul_expr(&ind);
+        }
+        return Ok(result);
+    };
+    let outer = &vars[..vars.len() - 1];
+
+    // Partition constraints by their coefficient on `var`.
+    let mut lowers: Vec<SymExpr> = Vec::new(); // candidate lower bounds for var
+    let mut uppers: Vec<SymExpr> = Vec::new(); // candidate upper bounds
+    let mut free: Vec<SymExpr> = Vec::new();
+    for c in constraints {
+        if c.param_in_composite_atom(var) {
+            if let Some(period) = floordiv_period(c, var) {
+                return Err(PolyError::QuasiPeriodic {
+                    var: var.clone(),
+                    period,
+                });
+            }
+            return Err(PolyError::NonAffine(var.clone()));
+        }
+        if c.degree_in(var) > 1 {
+            return Err(PolyError::NonAffine(var.clone()));
+        }
+        let coeffs = c.coefficients_of(var);
+        let c1 = if coeffs.len() > 1 {
+            coeffs[1]
+                .as_int()
+                .ok_or_else(|| PolyError::NonAffine(var.clone()))?
+        } else {
+            0
+        };
+        let c0 = coeffs[0].clone();
+        if c1 == 0 {
+            free.push(c0);
+        } else if c1 > 0 {
+            // c1*v + c0 >= 0  →  v >= ceil(-c0 / c1)
+            lowers.push(ceil_div(&c0.neg_expr(), c1));
+        } else {
+            // c1*v + c0 >= 0 with c1 < 0  →  v <= floor(c0 / -c1)
+            uppers.push(floor_div_expr(&c0, -c1));
+        }
+    }
+
+    if lowers.is_empty() || uppers.is_empty() {
+        return Err(PolyError::Unbounded(var.clone()));
+    }
+
+    // Multiple lower bounds: lb = max(a, b). Split the outer domain into
+    // the region where a ≥ b (drop b) and where b ≥ a+1 (drop a).
+    if lowers.len() > 1 {
+        let a = lowers.pop().unwrap();
+        let b = lowers.pop().unwrap();
+        if let Some(winner) = compare_const(&a, &b) {
+            // One bound dominates everywhere: keep it, no split needed.
+            lowers.push(if winner { a } else { b });
+            let cs = rebuild_for(var, &lowers, &uppers, &free);
+            return sum_rec(vars, &cs, f, depth + 1);
+        }
+        // region 1: a - b >= 0, lb = a
+        let mut l1 = lowers.clone();
+        l1.push(a.clone());
+        let mut f1 = free.clone();
+        f1.push(a.clone().sub_expr(&b));
+        let cs1 = rebuild_for(var, &l1, &uppers, &f1);
+        // region 2: b - a - 1 >= 0, lb = b
+        let mut l2 = lowers;
+        l2.push(b.clone());
+        let mut f2 = free.clone();
+        f2.push(b.sub_expr(&a).sub_expr(&SymExpr::constant(1)));
+        let cs2 = rebuild_for(var, &l2, &uppers, &f2);
+        let s1 = sum_rec(vars, &cs1, f.clone(), depth + 1)?;
+        let s2 = sum_rec(vars, &cs2, f, depth + 1)?;
+        return Ok(s1.add_expr(&s2));
+    }
+
+    // Multiple upper bounds: ub = min(a, b); symmetric split.
+    if uppers.len() > 1 {
+        let a = uppers.pop().unwrap();
+        let b = uppers.pop().unwrap();
+        if let Some(winner) = compare_const(&a, &b) {
+            // keep the smaller upper bound
+            uppers.push(if winner { b } else { a });
+            let cs = rebuild_for(var, &lowers, &uppers, &free);
+            return sum_rec(vars, &cs, f, depth + 1);
+        }
+        // region 1: b - a >= 0, ub = a
+        let mut u1 = uppers.clone();
+        u1.push(a.clone());
+        let mut f1 = free.clone();
+        f1.push(b.clone().sub_expr(&a));
+        let cs1 = rebuild_for(var, &lowers, &u1, &f1);
+        // region 2: a - b - 1 >= 0, ub = b
+        let mut u2 = uppers;
+        u2.push(b.clone());
+        let mut f2 = free.clone();
+        f2.push(a.sub_expr(&b).sub_expr(&SymExpr::constant(1)));
+        let cs2 = rebuild_for(var, &lowers, &u2, &f2);
+        let s1 = sum_rec(vars, &cs1, f.clone(), depth + 1)?;
+        let s2 = sum_rec(vars, &cs2, f, depth + 1)?;
+        return Ok(s1.add_expr(&s2));
+    }
+
+    let lb = &lowers[0];
+    let ub = &uppers[0];
+    for bound in [lb, ub] {
+        for w in outer {
+            if bound.param_in_composite_atom(w) {
+                // floor/ceil of an outer loop variable inside a bound:
+                // quasi-polynomial — split that variable by residue class.
+                if let Some(period) = floordiv_period(bound, w) {
+                    return Err(PolyError::QuasiPeriodic {
+                        var: w.clone(),
+                        period,
+                    });
+                }
+                return Err(PolyError::NonAffine(var.clone()));
+            }
+        }
+    }
+    let inner = sum_over(&f, var, lb, ub).map_err(|_| PolyError::NonAffine(var.clone()))?;
+    // Project: the domain slice is non-empty iff lb ≤ ub.
+    let mut outer_cs = free;
+    outer_cs.push(ub.clone().sub_expr(lb));
+    sum_rec(outer, &outer_cs, inner, depth + 1)
+}
+
+/// Find the divisor of a `FloorDiv` atom that mentions `var`, anywhere in
+/// the expression (recursing through nested atoms).
+fn floordiv_period(e: &SymExpr, var: &str) -> Option<i64> {
+    use mira_sym::Atom;
+    for t in e.terms() {
+        for (atom, _) in &t.monomial {
+            match atom {
+                Atom::FloorDiv(inner, d) => {
+                    if inner.params().iter().any(|p| p == var) {
+                        return Some(*d);
+                    }
+                    if let Some(d2) = floordiv_period(inner, var) {
+                        return Some(d2);
+                    }
+                }
+                Atom::Clamp(inner) => {
+                    if let Some(d2) = floordiv_period(inner, var) {
+                        return Some(d2);
+                    }
+                }
+                Atom::Param(_) => {}
+            }
+        }
+    }
+    None
+}
+
+fn rebuild_for(
+    var: &str,
+    lowers: &[SymExpr],
+    uppers: &[SymExpr],
+    free: &[SymExpr],
+) -> Vec<SymExpr> {
+    let v = SymExpr::param(var);
+    let mut out = Vec::with_capacity(lowers.len() + uppers.len() + free.len());
+    for l in lowers {
+        out.push(v.clone().sub_expr(l));
+    }
+    for u in uppers {
+        out.push(u.clone().sub_expr(&v));
+    }
+    out.extend_from_slice(free);
+    out
+}
+
+/// `ceil(e / d)` for integer `d > 0`: `floor((e + d - 1) / d)`.
+fn ceil_div(e: &SymExpr, d: i128) -> SymExpr {
+    debug_assert!(d > 0);
+    if d == 1 {
+        return e.clone();
+    }
+    e.add_expr(&SymExpr::constant(d - 1)).floor_div(d as i64)
+}
+
+/// `floor(e / d)` for integer `d > 0`.
+fn floor_div_expr(e: &SymExpr, d: i128) -> SymExpr {
+    if d == 1 {
+        return e.clone();
+    }
+    e.floor_div(d as i64)
+}
+
+/// If both bounds are constants, report which is larger:
+/// `Some(true)` if `a ≥ b`, `Some(false)` if `b > a`; `None` when symbolic.
+fn compare_const(a: &SymExpr, b: &SymExpr) -> Option<bool> {
+    let (ca, cb) = (a.as_constant()?, b.as_constant()?);
+    Some(ca >= cb)
+}
+
+fn enumerate_rec(p: &Polyhedron, b: &mut Bindings, var_idx: usize) -> i128 {
+    if var_idx == p.vars.len() {
+        // all variables bound: check constraints and lattices
+        for c in &p.constraints {
+            let v = c.eval(b).expect("enumerate: unbound parameter");
+            if v < Rat::ZERO {
+                return 0;
+            }
+        }
+        for l in &p.lattices {
+            let v = *b.get(&l.var).unwrap();
+            if v.rem_euclid(l.modulus as i128) != l.residue as i128 {
+                return 0;
+            }
+        }
+        return 1;
+    }
+    let var = &p.vars[var_idx];
+    // Find a finite numeric range for `var` given already-bound outer vars:
+    // intersect all constraints in which var appears.
+    let (mut lo, mut hi): (Option<i128>, Option<i128>) = (None, None);
+    for c in &p.constraints {
+        if c.degree_in(var) != 1 || c.param_in_composite_atom(var) {
+            continue;
+        }
+        let coeffs = c.coefficients_of(var);
+        let c1 = match coeffs[1].as_int() {
+            Some(v) => v,
+            None => continue,
+        };
+        let c0 = match coeffs[0].eval(b) {
+            Ok(v) => v,
+            Err(_) => continue, // depends on an inner var; skip here
+        };
+        if c1 > 0 {
+            // v >= ceil(-c0/c1)
+            let bound = c0.neg().checked_div(Rat::int(c1)).unwrap().ceil();
+            lo = Some(lo.map_or(bound, |x: i128| x.max(bound)));
+        } else if c1 < 0 {
+            let bound = c0.checked_div(Rat::int(-c1)).unwrap().floor();
+            hi = Some(hi.map_or(bound, |x: i128| x.min(bound)));
+        }
+    }
+    let (lo, hi) = match (lo, hi) {
+        (Some(l), Some(h)) => (l, h),
+        _ => panic!("enumerate: variable `{var}` unbounded under bindings"),
+    };
+    let mut total = 0i128;
+    for v in lo..=hi {
+        b.insert(var.clone(), v);
+        total += enumerate_rec(p, b, var_idx + 1);
+    }
+    b.remove(var);
+    total
+}
+
+#[cfg(test)]
+mod tests;

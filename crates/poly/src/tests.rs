@@ -1,0 +1,384 @@
+//! Tests for symbolic polyhedral counting, including the paper's Listings
+//! 1–5 and property-based validation against brute-force enumeration.
+
+use super::*;
+use mira_sym::bindings;
+use proptest::prelude::*;
+
+fn var(n: &str) -> SymExpr {
+    SymExpr::param(n)
+}
+
+/// Paper Listing 1: `for (i = 0; i < 10; i++)` — 10 iterations.
+#[test]
+fn listing1_basic_loop() {
+    let p = Polyhedron::new().with_var("i").with_bounds(
+        "i",
+        SymExpr::constant(0),
+        SymExpr::constant(9),
+    );
+    assert_eq!(p.count().unwrap().as_int(), Some(10));
+    assert_eq!(p.enumerate(&bindings(&[])), 10);
+}
+
+/// Paper Listing 2 / Fig. 4(a): `for(i=1..4) for(j=i+1..6)`.
+#[test]
+fn listing2_triangular_loop() {
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_var("j")
+        .with_bounds("i", SymExpr::constant(1), SymExpr::constant(4))
+        .with_bounds("j", var("i") + SymExpr::constant(1), SymExpr::constant(6));
+    // i=1: j in 2..6 (5); i=2: 4; i=3: 3; i=4: 2 → 14
+    assert_eq!(p.count().unwrap().as_int(), Some(14));
+    assert_eq!(p.enumerate(&bindings(&[])), 14);
+}
+
+/// Paper Listing 4 / Fig. 4(b): the same loop with `if (j > 4)`.
+#[test]
+fn listing4_branch_constraint() {
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_var("j")
+        .with_bounds("i", SymExpr::constant(1), SymExpr::constant(4))
+        .with_bounds("j", var("i") + SymExpr::constant(1), SymExpr::constant(6))
+        // j > 4  ⇔  j - 5 >= 0
+        .with_constraint(var("j") - SymExpr::constant(5));
+    assert_eq!(p.count().unwrap().as_int(), Some(8));
+    assert_eq!(p.enumerate(&bindings(&[])), 8);
+}
+
+/// Paper Listing 5 / Fig. 4(c): `if (j % 4 != 0)` breaks convexity; Mira
+/// counts the true branch as loop total minus the false branch.
+#[test]
+fn listing5_modulo_complement() {
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_var("j")
+        .with_bounds("i", SymExpr::constant(1), SymExpr::constant(4))
+        .with_bounds("j", var("i") + SymExpr::constant(1), SymExpr::constant(6));
+    let holes = p.clone().with_lattice("j", 4, 0);
+    let holes_n = holes.count().unwrap().as_int().unwrap();
+    assert_eq!(holes_n, holes.enumerate(&bindings(&[])));
+    let kept = p.count_complement_lattice("j", 4, 0).unwrap();
+    assert_eq!(kept.as_int(), Some(14 - holes_n));
+    // brute force: j in {4} multiples within each row
+    assert_eq!(holes_n, 3); // (1,4),(2,4),(3,4)  [j=4 rows i=1..3]
+    assert_eq!(kept.as_int(), Some(11));
+}
+
+/// Parametric rectangular loop: `for(i=0;i<n;i++) for(j=0;j<m;j++)`.
+#[test]
+fn parametric_rectangle() {
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_var("j")
+        .with_bounds("i", SymExpr::constant(0), var("n") - SymExpr::constant(1))
+        .with_bounds("j", SymExpr::constant(0), var("m") - SymExpr::constant(1));
+    let c = p.count().unwrap();
+    let b = bindings(&[("n", 7), ("m", 11)]);
+    assert_eq!(c.eval_count(&b).unwrap(), 77);
+    assert_eq!(p.enumerate(&b), 77);
+    // degenerate sizes handled exactly (indicator factors)
+    assert_eq!(c.eval_count(&bindings(&[("n", 0), ("m", 11)])).unwrap(), 0);
+    assert_eq!(c.eval_count(&bindings(&[("n", 3), ("m", 0)])).unwrap(), 0);
+}
+
+/// Parametric triangular loop: `for(i=0;i<n;i++) for(j=i;j<n;j++)` →
+/// n(n+1)/2.
+#[test]
+fn parametric_triangle() {
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_var("j")
+        .with_bounds("i", SymExpr::constant(0), var("n") - SymExpr::constant(1))
+        .with_bounds("j", var("i"), var("n") - SymExpr::constant(1));
+    let c = p.count().unwrap();
+    for n in [1i128, 2, 3, 10, 100] {
+        let b = bindings(&[("n", n)]);
+        assert_eq!(c.eval_count(&b).unwrap(), n * (n + 1) / 2, "n={n}");
+    }
+}
+
+/// Three-dimensional parametric nest (DGEMM-shaped): n^3 points.
+#[test]
+fn parametric_cube() {
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_var("j")
+        .with_var("k")
+        .with_bounds("i", SymExpr::constant(0), var("n") - SymExpr::constant(1))
+        .with_bounds("j", SymExpr::constant(0), var("n") - SymExpr::constant(1))
+        .with_bounds("k", SymExpr::constant(0), var("n") - SymExpr::constant(1));
+    let c = p.count().unwrap();
+    for n in [0i128, 1, 4, 16] {
+        let b = bindings(&[("n", n)]);
+        assert_eq!(c.eval_count(&b).unwrap(), n * n * n, "n={n}");
+    }
+}
+
+/// Strided loop `for(i=0;i<n;i+=4)` via a lattice constraint:
+/// count = ceil(n/4) = floor((n+3)/4).
+#[test]
+fn strided_loop_lattice() {
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_bounds("i", SymExpr::constant(0), var("n") - SymExpr::constant(1))
+        .with_lattice("i", 4, 0);
+    let c = p.count().unwrap();
+    for n in [1i128, 2, 3, 4, 5, 7, 8, 9, 100, 101] {
+        let b = bindings(&[("n", n)]);
+        assert_eq!(c.eval_count(&b).unwrap(), (n + 3) / 4, "n={n}");
+        assert_eq!(p.enumerate(&b), (n + 3) / 4, "n={n}");
+    }
+}
+
+/// Stride with non-zero residue: `for(i=1;i<=n;i+=3)`.
+#[test]
+fn strided_loop_residue() {
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_bounds("i", SymExpr::constant(1), var("n"))
+        .with_lattice("i", 3, 1);
+    let c = p.count().unwrap();
+    for n in 1i128..30 {
+        let b = bindings(&[("n", n)]);
+        let expected = (1..=n).filter(|i| i % 3 == 1).count() as i128;
+        assert_eq!(c.eval_count(&b).unwrap(), expected, "n={n}");
+    }
+}
+
+/// Multiple lower bounds (the Fig. 4(b) shape done via bound-splitting
+/// rather than an explicit branch): j ≥ i+1 and j ≥ 5 simultaneously.
+#[test]
+fn multiple_lower_bounds_split() {
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_var("j")
+        .with_bounds("i", SymExpr::constant(1), SymExpr::constant(4))
+        .with_constraint(var("j") - var("i") - SymExpr::constant(1)) // j >= i+1
+        .with_constraint(var("j") - SymExpr::constant(5)) // j >= 5
+        .with_constraint(SymExpr::constant(6) - var("j")); // j <= 6
+    assert_eq!(p.count().unwrap().as_int(), Some(8));
+}
+
+/// Multiple upper bounds: j ≤ n and j ≤ 2n−i must pick min via splitting.
+#[test]
+fn multiple_upper_bounds_split() {
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_var("j")
+        .with_bounds("i", SymExpr::constant(0), var("n"))
+        .with_constraint(var("j")) // j >= 0
+        .with_constraint(var("n") - var("j")) // j <= n
+        .with_constraint(var("n") * SymExpr::constant(2.into()) - var("i") - var("j")); // j <= 2n - i
+    let c = p.count().unwrap();
+    for n in [0i128, 1, 2, 3, 5, 10] {
+        let b = bindings(&[("n", n)]);
+        assert_eq!(c.eval_count(&b).unwrap(), p.enumerate(&b), "n={n}");
+    }
+}
+
+/// An empty domain must count zero, not negative.
+#[test]
+fn empty_domain_counts_zero() {
+    let p = Polyhedron::new().with_var("i").with_bounds(
+        "i",
+        SymExpr::constant(5),
+        SymExpr::constant(1),
+    );
+    assert_eq!(p.count().unwrap().as_int(), Some(0));
+}
+
+/// A nest whose inner loop is empty for part of the outer range:
+/// `for(i=0;i<=9) for(j=i;j<=4)` — inner empty for i > 4. The projection
+/// constraint (ub ≥ lb) must clip the outer domain.
+#[test]
+fn partially_empty_inner_loop() {
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_var("j")
+        .with_bounds("i", SymExpr::constant(0), SymExpr::constant(9))
+        .with_bounds("j", var("i"), SymExpr::constant(4));
+    // i=0..4 contribute 5+4+3+2+1 = 15
+    assert_eq!(p.count().unwrap().as_int(), Some(15));
+    assert_eq!(p.enumerate(&bindings(&[])), 15);
+}
+
+/// Unbounded variables are rejected (annotation required in Mira).
+#[test]
+fn unbounded_rejected() {
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_constraint(var("i")); // only i >= 0
+    assert!(matches!(p.count(), Err(PolyError::Unbounded(_))));
+}
+
+/// Non-affine constraints are rejected.
+#[test]
+fn quadratic_rejected() {
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_constraint(var("i"))
+        .with_constraint(var("n") - var("i") * var("i"));
+    assert!(matches!(p.count(), Err(PolyError::NonAffine(_))));
+}
+
+#[test]
+fn coupled_coefficient_rejected() {
+    // n*i <= 10 has a symbolic coefficient on i
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_constraint(var("i"))
+        .with_constraint(SymExpr::constant(10) - var("n") * var("i"));
+    assert!(matches!(p.count(), Err(PolyError::NonAffine(_))));
+}
+
+/// Weighted sums: Σ_{i=1}^{n} i over the domain.
+#[test]
+fn weighted_sum_over_domain() {
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_bounds("i", SymExpr::constant(1), var("n"));
+    let s = p.sum(&var("i")).unwrap();
+    for n in [1i128, 5, 10, 100] {
+        let b = bindings(&[("n", n)]);
+        assert_eq!(s.eval_count(&b).unwrap(), n * (n + 1) / 2);
+    }
+}
+
+/// Weighted sum with an inner-variable-dependent weight across a 2-D nest.
+#[test]
+fn weighted_sum_2d() {
+    // Σ_{i=0}^{n-1} Σ_{j=0}^{i} (j + 1)  = Σ_i (i+1)(i+2)/2
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_var("j")
+        .with_bounds("i", SymExpr::constant(0), var("n") - SymExpr::constant(1))
+        .with_bounds("j", SymExpr::constant(0), var("i"));
+    let s = p.sum(&(var("j") + SymExpr::constant(1))).unwrap();
+    for n in [1i128, 2, 3, 7] {
+        let b = bindings(&[("n", n)]);
+        let mut expect = 0i128;
+        for i in 0..n {
+            for j in 0..=i {
+                expect += j + 1;
+            }
+        }
+        assert_eq!(s.eval_count(&b).unwrap(), expect, "n={n}");
+    }
+}
+
+/// Coefficient > 1 on a loop variable: `2*j <= n` ⇒ j ≤ floor(n/2).
+#[test]
+fn coefficient_bound_floor() {
+    let p = Polyhedron::new()
+        .with_var("j")
+        .with_constraint(var("j")) // j >= 0
+        .with_constraint(var("n") - var("j").scale(mira_sym::Rat::int(2))); // n - 2j >= 0
+    let c = p.count().unwrap();
+    for n in 0i128..20 {
+        let b = bindings(&[("n", n)]);
+        assert_eq!(c.eval_count(&b).unwrap(), n / 2 + 1, "n={n}");
+    }
+}
+
+/// Conflicting lattices on one variable are rejected symbolically.
+#[test]
+fn conflicting_lattice_rejected() {
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_bounds("i", SymExpr::constant(0), SymExpr::constant(100))
+        .with_lattice("i", 2, 0)
+        .with_lattice("i", 3, 0);
+    assert!(matches!(
+        p.count(),
+        Err(PolyError::ConflictingLattice(_))
+    ));
+}
+
+/// Lattice on the outer variable of a nest.
+#[test]
+fn lattice_outer_variable() {
+    let p = Polyhedron::new()
+        .with_var("i")
+        .with_var("j")
+        .with_bounds("i", SymExpr::constant(0), var("n") - SymExpr::constant(1))
+        .with_bounds("j", SymExpr::constant(0), var("i"))
+        .with_lattice("i", 2, 0);
+    let c = p.count().unwrap();
+    for n in [1i128, 2, 5, 9, 10] {
+        let b = bindings(&[("n", n)]);
+        assert_eq!(c.eval_count(&b).unwrap(), p.enumerate(&b), "n={n}");
+    }
+}
+
+proptest! {
+    /// Random 1-D domains: symbolic count equals enumeration.
+    #[test]
+    fn prop_1d_count(lo in -10i128..10, len in -3i128..15) {
+        let p = Polyhedron::new().with_var("i").with_bounds(
+            "i",
+            SymExpr::constant(lo),
+            SymExpr::constant(lo + len),
+        );
+        let c = p.count().unwrap().as_int().unwrap();
+        prop_assert_eq!(c, p.enumerate(&bindings(&[])));
+    }
+
+    /// Random triangular 2-D domains with a parametric size evaluated at
+    /// several points.
+    #[test]
+    fn prop_2d_triangle(a in -3i64..3, b in -5i64..8, n in 0i128..12) {
+        // i in [0, n-1]; j in [a*i + b_low, n-1] (clip a to ±1 for affine unit coeffs)
+        let a = if a >= 0 { 1 } else { -1 };
+        let lo_j = var("i").scale(mira_sym::Rat::int(a as i128)) + SymExpr::constant(b as i128);
+        let p = Polyhedron::new()
+            .with_var("i")
+            .with_var("j")
+            .with_bounds("i", SymExpr::constant(0), var("n") - SymExpr::constant(1))
+            .with_bounds("j", lo_j, var("n") - SymExpr::constant(1));
+        let c = p.count().unwrap();
+        let bn = bindings(&[("n", n)]);
+        prop_assert_eq!(c.eval_count(&bn).unwrap(), p.enumerate(&bn));
+    }
+
+    /// Random strided domains.
+    #[test]
+    fn prop_stride(m in 1i64..6, r in 0i64..6, n in 0i128..40) {
+        let r = r % m;
+        let p = Polyhedron::new()
+            .with_var("i")
+            .with_bounds("i", SymExpr::constant(0), var("n"))
+            .with_lattice("i", m, r);
+        let c = p.count().unwrap();
+        let bn = bindings(&[("n", n)]);
+        prop_assert_eq!(c.eval_count(&bn).unwrap(), p.enumerate(&bn));
+    }
+
+    /// Random 2-D domains with an extra branch constraint.
+    #[test]
+    fn prop_2d_branch(t in -4i128..10, n in 0i128..10) {
+        let p = Polyhedron::new()
+            .with_var("i")
+            .with_var("j")
+            .with_bounds("i", SymExpr::constant(0), var("n"))
+            .with_bounds("j", SymExpr::constant(0), var("n"))
+            .with_constraint(var("i") + var("j") - SymExpr::constant(t)); // i + j >= t
+        let c = p.count().unwrap();
+        let bn = bindings(&[("n", n)]);
+        prop_assert_eq!(c.eval_count(&bn).unwrap(), p.enumerate(&bn));
+    }
+
+    /// Complement lattice counting always equals total − matched.
+    #[test]
+    fn prop_complement(m in 2i64..5, n in 1i128..25) {
+        let p = Polyhedron::new()
+            .with_var("i")
+            .with_bounds("i", SymExpr::constant(1), var("n"));
+        let kept = p.count_complement_lattice("i", m, 0).unwrap();
+        let bn = bindings(&[("n", n)]);
+        let expected = (1..=n).filter(|i| i % (m as i128) != 0).count() as i128;
+        prop_assert_eq!(kept.eval_count(&bn).unwrap(), expected);
+    }
+}

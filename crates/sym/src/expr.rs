@@ -1,0 +1,649 @@
+//! The symbolic expression type.
+//!
+//! A [`SymExpr`] is a multivariate polynomial with [`Rat`] coefficients over
+//! [`Atom`]s. Atoms are either named parameters, floor divisions (which
+//! arise from strided loops and lattice/modulo constraints), or
+//! `max(0, ·)` clamps (which arise from iteration domains that may be
+//! empty for some parameter values). Expressions are kept in a canonical
+//! sorted form so that structural equality is semantic equality for the
+//! polynomial part.
+
+use crate::rat::Rat;
+use crate::Bindings;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An indivisible symbolic quantity.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Atom {
+    /// A named model parameter (problem size, annotation variable, ...).
+    Param(String),
+    /// `floor(expr / d)` with `d > 0`.
+    FloorDiv(Box<SymExpr>, i64),
+    /// `max(0, expr)` — used when an iteration domain may be empty.
+    Clamp(Box<SymExpr>),
+}
+
+impl Atom {
+    fn eval(&self, b: &Bindings) -> Result<i128, EvalError> {
+        match self {
+            Atom::Param(name) => b
+                .get(name)
+                .copied()
+                .ok_or_else(|| EvalError::MissingParam(name.clone())),
+            Atom::FloorDiv(e, d) => {
+                let v = e.eval(b)?;
+                let den = Rat::int(*d as i128);
+                v.checked_div(den)
+                    .ok_or(EvalError::Overflow)
+                    .map(|r| r.floor())
+            }
+            Atom::Clamp(e) => {
+                let v = e.eval(b)?;
+                if v < Rat::ZERO {
+                    Ok(0)
+                } else {
+                    // clamp values are counts; they are integral in practice
+                    Ok(v.floor())
+                }
+            }
+        }
+    }
+}
+
+/// One term of a polynomial: `coeff * Π atom_i ^ pow_i`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Term {
+    pub coeff: Rat,
+    /// Sorted by atom; powers are ≥ 1.
+    pub monomial: Vec<(Atom, u32)>,
+}
+
+/// Errors produced when evaluating a symbolic expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// A parameter used by the expression was not bound.
+    MissingParam(String),
+    /// Intermediate arithmetic exceeded `i128`.
+    Overflow,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::MissingParam(p) => write!(f, "unbound model parameter `{p}`"),
+            EvalError::Overflow => write!(f, "arithmetic overflow during model evaluation"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A multivariate polynomial over [`Atom`]s with rational coefficients.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SymExpr {
+    /// Canonical: sorted by monomial, no zero coefficients, no duplicate
+    /// monomials.
+    terms: Vec<Term>,
+}
+
+impl SymExpr {
+    pub fn zero() -> SymExpr {
+        SymExpr { terms: Vec::new() }
+    }
+
+    pub fn constant(v: i128) -> SymExpr {
+        SymExpr::from_rat(Rat::int(v))
+    }
+
+    pub fn from_rat(r: Rat) -> SymExpr {
+        if r.is_zero() {
+            SymExpr::zero()
+        } else {
+            SymExpr {
+                terms: vec![Term {
+                    coeff: r,
+                    monomial: Vec::new(),
+                }],
+            }
+        }
+    }
+
+    pub fn param(name: &str) -> SymExpr {
+        SymExpr::from_atom(Atom::Param(name.to_string()))
+    }
+
+    pub fn from_atom(a: Atom) -> SymExpr {
+        SymExpr {
+            terms: vec![Term {
+                coeff: Rat::ONE,
+                monomial: vec![(a, 1)],
+            }],
+        }
+    }
+
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// If the expression is a constant, return it.
+    pub fn as_constant(&self) -> Option<Rat> {
+        match self.terms.len() {
+            0 => Some(Rat::ZERO),
+            1 if self.terms[0].monomial.is_empty() => Some(self.terms[0].coeff),
+            _ => None,
+        }
+    }
+
+    /// If the expression is a constant integer, return it.
+    pub fn as_int(&self) -> Option<i128> {
+        self.as_constant().and_then(|r| r.as_integer())
+    }
+
+    fn from_map(map: BTreeMap<Vec<(Atom, u32)>, Rat>) -> SymExpr {
+        let terms = map
+            .into_iter()
+            .filter(|(_, c)| !c.is_zero())
+            .map(|(monomial, coeff)| Term { coeff, monomial })
+            .collect();
+        SymExpr { terms }
+    }
+
+    fn to_map(&self) -> BTreeMap<Vec<(Atom, u32)>, Rat> {
+        self.terms
+            .iter()
+            .map(|t| (t.monomial.clone(), t.coeff))
+            .collect()
+    }
+
+    pub fn add_expr(&self, o: &SymExpr) -> SymExpr {
+        let mut map = self.to_map();
+        for t in &o.terms {
+            let e = map.entry(t.monomial.clone()).or_insert(Rat::ZERO);
+            *e = e
+                .checked_add(t.coeff)
+                .expect("SymExpr coefficient overflow in add");
+        }
+        SymExpr::from_map(map)
+    }
+
+    pub fn neg_expr(&self) -> SymExpr {
+        SymExpr {
+            terms: self
+                .terms
+                .iter()
+                .map(|t| Term {
+                    coeff: t.coeff.neg(),
+                    monomial: t.monomial.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    pub fn sub_expr(&self, o: &SymExpr) -> SymExpr {
+        self.add_expr(&o.neg_expr())
+    }
+
+    pub fn scale(&self, r: Rat) -> SymExpr {
+        if r.is_zero() {
+            return SymExpr::zero();
+        }
+        SymExpr {
+            terms: self
+                .terms
+                .iter()
+                .map(|t| Term {
+                    coeff: t
+                        .coeff
+                        .checked_mul(r)
+                        .expect("SymExpr coefficient overflow in scale"),
+                    monomial: t.monomial.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    pub fn mul_expr(&self, o: &SymExpr) -> SymExpr {
+        let mut map: BTreeMap<Vec<(Atom, u32)>, Rat> = BTreeMap::new();
+        for a in &self.terms {
+            for b in &o.terms {
+                let coeff = a
+                    .coeff
+                    .checked_mul(b.coeff)
+                    .expect("SymExpr coefficient overflow in mul");
+                let mono = merge_monomials(&a.monomial, &b.monomial);
+                let e = map.entry(mono).or_insert(Rat::ZERO);
+                *e = e
+                    .checked_add(coeff)
+                    .expect("SymExpr coefficient overflow in mul-add");
+            }
+        }
+        SymExpr::from_map(map)
+    }
+
+    pub fn pow(&self, p: u32) -> SymExpr {
+        let mut acc = SymExpr::constant(1);
+        for _ in 0..p {
+            acc = acc.mul_expr(self);
+        }
+        acc
+    }
+
+    /// `floor(self / d)` with `d > 0`, simplified when exact.
+    ///
+    /// If the expression can be written as `d·q + r` where `q` has
+    /// integer coefficients and `r` is a constant with `0 ≤ r < d`, the
+    /// result is exactly `q` (plus `floor(r/d) = 0`). Otherwise the
+    /// division is kept as an opaque [`Atom::FloorDiv`].
+    pub fn floor_div(&self, d: i64) -> SymExpr {
+        assert!(d > 0, "floor_div by non-positive divisor");
+        if d == 1 {
+            return self.clone();
+        }
+        if let Some(c) = self.as_constant() {
+            if let Some(i) = c.as_integer() {
+                return SymExpr::constant(i.div_euclid(d as i128));
+            }
+        }
+        // Try the exact split.
+        let dd = Rat::int(d as i128);
+        let mut quotient_terms: Vec<Term> = Vec::new();
+        let mut remainder = Rat::ZERO;
+        let mut exact = true;
+        for t in &self.terms {
+            if t.monomial.is_empty() {
+                remainder = t.coeff;
+                continue;
+            }
+            let q = t.coeff.checked_div(dd).expect("floor_div overflow");
+            if q.is_integer() {
+                quotient_terms.push(Term {
+                    coeff: q,
+                    monomial: t.monomial.clone(),
+                });
+            } else {
+                exact = false;
+                break;
+            }
+        }
+        if exact {
+            if let Some(r) = remainder.as_integer() {
+                // split the constant remainder c = d*q + r' with 0 ≤ r' < d;
+                // then floor((d*Q + c)/d) = Q + q exactly.
+                let q = r.div_euclid(d as i128);
+                if q != 0 {
+                    quotient_terms.push(Term {
+                        coeff: Rat::int(q),
+                        monomial: Vec::new(),
+                    });
+                }
+                quotient_terms.sort_by(|a, b| a.monomial.cmp(&b.monomial));
+                return SymExpr {
+                    terms: quotient_terms,
+                };
+            }
+        }
+        SymExpr::from_atom(Atom::FloorDiv(Box::new(self.clone()), d))
+    }
+
+    /// `max(0, self)`, simplified for constants.
+    pub fn clamp0(&self) -> SymExpr {
+        if let Some(c) = self.as_constant() {
+            return if c < Rat::ZERO {
+                SymExpr::zero()
+            } else {
+                SymExpr::from_rat(c)
+            };
+        }
+        SymExpr::from_atom(Atom::Clamp(Box::new(self.clone())))
+    }
+
+    /// Replace every occurrence of parameter `name` (including inside
+    /// floor-div and clamp atoms) with `repl`.
+    pub fn substitute(&self, name: &str, repl: &SymExpr) -> SymExpr {
+        let mut out = SymExpr::zero();
+        for t in &self.terms {
+            let mut factor = SymExpr::from_rat(t.coeff);
+            for (atom, p) in &t.monomial {
+                let atom_expr = match atom {
+                    Atom::Param(n) if n == name => repl.clone(),
+                    Atom::Param(_) => SymExpr::from_atom(atom.clone()),
+                    Atom::FloorDiv(inner, d) => inner.substitute(name, repl).floor_div(*d),
+                    Atom::Clamp(inner) => inner.substitute(name, repl).clamp0(),
+                };
+                factor = factor.mul_expr(&atom_expr.pow(*p));
+            }
+            out = out.add_expr(&factor);
+        }
+        out
+    }
+
+    /// All parameter names referenced anywhere in the expression.
+    pub fn params(&self) -> Vec<String> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_params(&mut out);
+        out.into_iter().collect()
+    }
+
+    fn collect_params(&self, out: &mut std::collections::BTreeSet<String>) {
+        for t in &self.terms {
+            for (atom, _) in &t.monomial {
+                match atom {
+                    Atom::Param(n) => {
+                        out.insert(n.clone());
+                    }
+                    Atom::FloorDiv(e, _) | Atom::Clamp(e) => e.collect_params(out),
+                }
+            }
+        }
+    }
+
+    /// Does parameter `name` occur inside a floor-div or clamp atom?
+    /// (Such occurrences block closed-form summation over `name`.)
+    pub fn param_in_composite_atom(&self, name: &str) -> bool {
+        for t in &self.terms {
+            for (atom, _) in &t.monomial {
+                if let Atom::FloorDiv(e, _) | Atom::Clamp(e) = atom {
+                    if e.params().iter().any(|p| p == name) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Degree of the expression in parameter `name`, counting only direct
+    /// `Param` occurrences.
+    pub fn degree_in(&self, name: &str) -> u32 {
+        self.terms
+            .iter()
+            .map(|t| {
+                t.monomial
+                    .iter()
+                    .filter(|(a, _)| matches!(a, Atom::Param(n) if n == name))
+                    .map(|(_, p)| *p)
+                    .sum::<u32>()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Write `self = Σ_k coeffs[k] · name^k` and return the coefficient
+    /// polynomials. Requires `name` not to occur inside composite atoms.
+    pub fn coefficients_of(&self, name: &str) -> Vec<SymExpr> {
+        let deg = self.degree_in(name) as usize;
+        let mut coeffs = vec![SymExpr::zero(); deg + 1];
+        for t in &self.terms {
+            let mut k = 0usize;
+            let mut rest = Vec::new();
+            for (atom, p) in &t.monomial {
+                if matches!(atom, Atom::Param(n) if n == name) {
+                    k += *p as usize;
+                } else {
+                    rest.push((atom.clone(), *p));
+                }
+            }
+            let part = SymExpr {
+                terms: vec![Term {
+                    coeff: t.coeff,
+                    monomial: rest,
+                }],
+            };
+            coeffs[k] = coeffs[k].add_expr(&part);
+        }
+        coeffs
+    }
+
+    /// Evaluate to an exact rational under the given bindings.
+    pub fn eval(&self, b: &Bindings) -> Result<Rat, EvalError> {
+        let mut acc = Rat::ZERO;
+        for t in &self.terms {
+            let mut v = t.coeff;
+            for (atom, p) in &t.monomial {
+                let a = atom.eval(b)?;
+                for _ in 0..*p {
+                    v = v
+                        .checked_mul(Rat::int(a))
+                        .ok_or(EvalError::Overflow)?;
+                }
+            }
+            acc = acc.checked_add(v).ok_or(EvalError::Overflow)?;
+        }
+        Ok(acc)
+    }
+
+    /// Evaluate to an integer count. Count expressions built from integer
+    /// polyhedra are always integral; annotation fractions (e.g. a branch
+    /// taken "30% of the time") can produce non-integers, which are rounded
+    /// to the nearest integer.
+    pub fn eval_count(&self, b: &Bindings) -> Result<i128, EvalError> {
+        let r = self.eval(b)?;
+        if let Some(i) = r.as_integer() {
+            return Ok(i);
+        }
+        // round half away from zero
+        let twice = r
+            .checked_mul(Rat::int(2))
+            .ok_or(EvalError::Overflow)?;
+        let f = twice.floor();
+        Ok(if f >= 0 { (f + 1) / 2 } else { f / 2 })
+    }
+}
+
+fn merge_monomials(a: &[(Atom, u32)], b: &[(Atom, u32)]) -> Vec<(Atom, u32)> {
+    let mut map: BTreeMap<Atom, u32> = BTreeMap::new();
+    for (atom, p) in a.iter().chain(b.iter()) {
+        *map.entry(atom.clone()).or_insert(0) += p;
+    }
+    map.into_iter().collect()
+}
+
+impl Add for SymExpr {
+    type Output = SymExpr;
+    fn add(self, o: SymExpr) -> SymExpr {
+        self.add_expr(&o)
+    }
+}
+
+impl Sub for SymExpr {
+    type Output = SymExpr;
+    fn sub(self, o: SymExpr) -> SymExpr {
+        self.sub_expr(&o)
+    }
+}
+
+impl Mul for SymExpr {
+    type Output = SymExpr;
+    fn mul(self, o: SymExpr) -> SymExpr {
+        self.mul_expr(&o)
+    }
+}
+
+impl Neg for SymExpr {
+    type Output = SymExpr;
+    fn neg(self) -> SymExpr {
+        self.neg_expr()
+    }
+}
+
+impl From<i64> for SymExpr {
+    fn from(v: i64) -> SymExpr {
+        SymExpr::constant(v as i128)
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        // Display highest-degree terms first for readability.
+        let mut terms: Vec<&Term> = self.terms.iter().collect();
+        terms.sort_by_key(|t| std::cmp::Reverse(t.monomial.iter().map(|(_, p)| *p).sum::<u32>()));
+        for (i, t) in terms.iter().enumerate() {
+            let neg = t.coeff < Rat::ZERO;
+            if i == 0 {
+                if neg {
+                    write!(f, "-")?;
+                }
+            } else if neg {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            let c = t.coeff.abs();
+            if t.monomial.is_empty() {
+                write!(f, "{c}")?;
+            } else {
+                let mut first = true;
+                if !c.is_one() {
+                    write!(f, "{c}")?;
+                    first = false;
+                }
+                for (atom, p) in &t.monomial {
+                    if !first {
+                        write!(f, "*")?;
+                    }
+                    first = false;
+                    match atom {
+                        Atom::Param(n) => write!(f, "{n}")?,
+                        Atom::FloorDiv(e, d) => write!(f, "floor(({e})/{d})")?,
+                        Atom::Clamp(e) => write!(f, "max(0, {e})")?,
+                    }
+                    if *p > 1 {
+                        write!(f, "^{p}")?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bindings;
+
+    fn n() -> SymExpr {
+        SymExpr::param("n")
+    }
+
+    #[test]
+    fn constants_fold() {
+        let e = SymExpr::constant(3) + SymExpr::constant(4);
+        assert_eq!(e.as_int(), Some(7));
+        assert!((SymExpr::constant(2) - SymExpr::constant(2)).is_zero());
+    }
+
+    #[test]
+    fn polynomial_arithmetic() {
+        // (n + 1)^2 = n^2 + 2n + 1
+        let e = (n() + SymExpr::constant(1)).pow(2);
+        let b = bindings(&[("n", 9)]);
+        assert_eq!(e.eval_count(&b).unwrap(), 100);
+        assert_eq!(e.degree_in("n"), 2);
+    }
+
+    #[test]
+    fn mul_merges_like_terms() {
+        // (n + 1)(n - 1) = n^2 - 1
+        let e = (n() + SymExpr::constant(1)) * (n() - SymExpr::constant(1));
+        let expected = n().pow(2) - SymExpr::constant(1);
+        assert_eq!(e, expected);
+    }
+
+    #[test]
+    fn substitute_param() {
+        // n^2 with n := m + 2 → m^2 + 4m + 4
+        let e = n().pow(2).substitute("n", &(SymExpr::param("m") + SymExpr::constant(2)));
+        assert_eq!(e.eval_count(&bindings(&[("m", 3)])).unwrap(), 25);
+        assert!(e.params() == vec!["m".to_string()]);
+    }
+
+    #[test]
+    fn floor_div_simplifies_exact() {
+        // floor((2n + 1)/2) would be kept; floor((2n)/2) = n; floor((4n+2)/2) = 2n+1
+        let e = n().scale(Rat::int(2)).floor_div(2);
+        assert_eq!(e, n());
+        let e2 = (n().scale(Rat::int(4)) + SymExpr::constant(2)).floor_div(2);
+        assert_eq!(e2, n().scale(Rat::int(2)) + SymExpr::constant(1));
+        let e3 = (n().scale(Rat::int(2)) + SymExpr::constant(1)).floor_div(2);
+        assert_eq!(e3, n()); // 2n+1 = 2*n + 1, remainder 1 in [0,2)
+    }
+
+    #[test]
+    fn floor_div_opaque_when_inexact() {
+        let e = n().floor_div(2); // floor(n/2) cannot simplify
+        assert_eq!(e.eval_count(&bindings(&[("n", 7)])).unwrap(), 3);
+        assert_eq!(e.eval_count(&bindings(&[("n", 8)])).unwrap(), 4);
+    }
+
+    #[test]
+    fn floor_div_constant() {
+        assert_eq!(SymExpr::constant(7).floor_div(2).as_int(), Some(3));
+        assert_eq!(SymExpr::constant(-7).floor_div(2).as_int(), Some(-4));
+    }
+
+    #[test]
+    fn clamp_semantics() {
+        let e = (n() - SymExpr::constant(5)).clamp0();
+        assert_eq!(e.eval_count(&bindings(&[("n", 3)])).unwrap(), 0);
+        assert_eq!(e.eval_count(&bindings(&[("n", 8)])).unwrap(), 3);
+        assert_eq!(SymExpr::constant(-4).clamp0().as_int(), Some(0));
+        assert_eq!(SymExpr::constant(4).clamp0().as_int(), Some(4));
+    }
+
+    #[test]
+    fn missing_param_error() {
+        let e = n();
+        assert_eq!(
+            e.eval(&bindings(&[])),
+            Err(EvalError::MissingParam("n".to_string()))
+        );
+    }
+
+    #[test]
+    fn coefficients_of_var() {
+        // 3n^2*m + 2n + 5  →  [5, 2, 3m] in n
+        let e = n().pow(2).scale(Rat::int(3)) * SymExpr::param("m")
+            + n().scale(Rat::int(2))
+            + SymExpr::constant(5);
+        let cs = e.coefficients_of("n");
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0].as_int(), Some(5));
+        assert_eq!(cs[1].as_int(), Some(2));
+        assert_eq!(
+            cs[2],
+            SymExpr::param("m").scale(Rat::int(3))
+        );
+    }
+
+    #[test]
+    fn composite_atom_detection() {
+        let e = n().floor_div(2);
+        assert!(e.param_in_composite_atom("n"));
+        assert!(!n().param_in_composite_atom("n"));
+    }
+
+    #[test]
+    fn display_renders() {
+        let e = n().pow(2).scale(Rat::new(3, 2)) + n() - SymExpr::constant(1);
+        let s = e.to_string();
+        assert!(s.contains("3/2*n^2"), "{s}");
+        assert!(s.contains("- 1"), "{s}");
+    }
+
+    #[test]
+    fn eval_count_rounds_fractions() {
+        let e = n().scale(Rat::new(3, 10)); // 0.3 * n
+        assert_eq!(e.eval_count(&bindings(&[("n", 10)])).unwrap(), 3);
+        assert_eq!(e.eval_count(&bindings(&[("n", 5)])).unwrap(), 2); // 1.5 → 2
+    }
+}

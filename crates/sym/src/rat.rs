@@ -1,0 +1,266 @@
+//! Exact rational numbers on `i128`.
+//!
+//! Coefficients of Faulhaber polynomials are rationals (e.g. `1/6` in
+//! `Σ v² = n(n+1)(2n+1)/6`), so [`SymExpr`](crate::SymExpr) terms carry a
+//! [`Rat`] coefficient. All operations are checked: an overflow is a
+//! programming/scale error we want surfaced, not wrapped.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A reduced rational number `num/den` with `den > 0`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat {
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Create a rational from numerator and denominator. Panics on zero
+    /// denominator; reduces to lowest terms with a positive denominator.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "Rat with zero denominator");
+        let g = gcd(num, den).max(1);
+        let sign = if den < 0 { -1 } else { 1 };
+        Rat {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    pub fn int(v: i128) -> Rat {
+        Rat { num: v, den: 1 }
+    }
+
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    pub fn is_one(&self) -> bool {
+        self.num == 1 && self.den == 1
+    }
+
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// The integer value, if this rational is an integer.
+    pub fn as_integer(&self) -> Option<i128> {
+        if self.den == 1 {
+            Some(self.num)
+        } else {
+            None
+        }
+    }
+
+    /// Floor of the rational value.
+    pub fn floor(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Ceiling of the rational value.
+    pub fn ceil(&self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    pub fn checked_add(self, o: Rat) -> Option<Rat> {
+        // a/b + c/d = (a*d + c*b) / (b*d), reduce via gcd of denominators
+        let g = gcd(self.den, o.den).max(1);
+        let lhs = self.num.checked_mul(o.den / g)?;
+        let rhs = o.num.checked_mul(self.den / g)?;
+        let num = lhs.checked_add(rhs)?;
+        let den = (self.den / g).checked_mul(o.den)?;
+        Some(Rat::new(num, den))
+    }
+
+    pub fn checked_mul(self, o: Rat) -> Option<Rat> {
+        let g1 = gcd(self.num, o.den).max(1);
+        let g2 = gcd(o.num, self.den).max(1);
+        let num = (self.num / g1).checked_mul(o.num / g2)?;
+        let den = (self.den / g2).checked_mul(o.den / g1)?;
+        Some(Rat::new(num, den))
+    }
+
+    pub fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+
+    pub fn checked_sub(self, o: Rat) -> Option<Rat> {
+        self.checked_add(o.neg())
+    }
+
+    /// Multiplicative inverse; `None` for zero.
+    pub fn recip(self) -> Option<Rat> {
+        if self.num == 0 {
+            None
+        } else {
+            Some(Rat::new(self.den, self.num))
+        }
+    }
+
+    pub fn checked_div(self, o: Rat) -> Option<Rat> {
+        self.checked_mul(o.recip()?)
+    }
+
+    pub fn abs(self) -> Rat {
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Approximate value as `f64` (display / plotting only; never used for
+    /// counting).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0). i128 is wide enough for
+        // the coefficient magnitudes we produce; fall back to f64 ordering
+        // on overflow would be wrong, so use saturating wide compare.
+        let l = self.num.checked_mul(other.den);
+        let r = other.num.checked_mul(self.den);
+        match (l, r) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            _ => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i128> for Rat {
+    fn from(v: i128) -> Rat {
+        Rat::int(v)
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Rat {
+        Rat::int(v as i128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reduction_and_sign() {
+        let r = Rat::new(6, -4);
+        assert_eq!(r.num(), -3);
+        assert_eq!(r.den(), 2);
+        assert_eq!(Rat::new(0, 5), Rat::ZERO);
+        assert_eq!(Rat::new(-2, -2), Rat::ONE);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 2);
+        let b = Rat::new(1, 3);
+        assert_eq!(a.checked_add(b).unwrap(), Rat::new(5, 6));
+        assert_eq!(a.checked_sub(b).unwrap(), Rat::new(1, 6));
+        assert_eq!(a.checked_mul(b).unwrap(), Rat::new(1, 6));
+        assert_eq!(a.checked_div(b).unwrap(), Rat::new(3, 2));
+        assert_eq!(Rat::ZERO.recip(), None);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::int(5).floor(), 5);
+        assert_eq!(Rat::int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert_eq!(Rat::new(2, 4).cmp(&Rat::new(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(3, 2).to_string(), "3/2");
+        assert_eq!(Rat::int(-4).to_string(), "-4");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutes(a in -1000i128..1000, b in 1i128..100, c in -1000i128..1000, d in 1i128..100) {
+            let x = Rat::new(a, b);
+            let y = Rat::new(c, d);
+            prop_assert_eq!(x.checked_add(y), y.checked_add(x));
+        }
+
+        #[test]
+        fn prop_mul_distributes(a in -100i128..100, b in 1i128..20, c in -100i128..100, d in 1i128..20, e in -100i128..100, f in 1i128..20) {
+            let x = Rat::new(a, b);
+            let y = Rat::new(c, d);
+            let z = Rat::new(e, f);
+            let lhs = x.checked_mul(y.checked_add(z).unwrap()).unwrap();
+            let rhs = x.checked_mul(y).unwrap().checked_add(x.checked_mul(z).unwrap()).unwrap();
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn prop_floor_matches_f64(a in -10_000i128..10_000, b in 1i128..1000) {
+            let r = Rat::new(a, b);
+            prop_assert_eq!(r.floor(), (a as f64 / b as f64).floor() as i128);
+        }
+    }
+}

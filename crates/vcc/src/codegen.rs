@@ -1,0 +1,1262 @@
+//! Tree-walking code generator: typed MiniC AST → VX86.
+//!
+//! Conventions (see `mira-isa` docs): integer/pointer arguments arrive in
+//! `r0`–`r5`, FP arguments in `x0`–`x7`; all parameters are spilled to the
+//! frame at entry and every local lives in a frame slot. Expression
+//! temporaries come from scratch pools (`r6`–`r13`, `x8`–`x15`); live
+//! temporaries are saved to frame slots around calls. Loops emit
+//! `.loopmeta` records with exact init/cond/step/body address ranges.
+
+use crate::emitter::{assemble_object, FuncAsm, Label, LoopLabels};
+use crate::{fold, libm, vect, CompileError, Options};
+use mira_isa::{Cc, Inst, Mem, Reg, XReg, RARG, RBP, RSP, XARG};
+use mira_minic::{
+    AssignOp, BinOp, Expr, ExprKind, Func, Program, Stmt, StmtKind, Type, UnOp,
+};
+use std::collections::HashMap;
+
+/// Scratch register pools. `r11` is excluded: it is the implicit remainder
+/// output of `idiv`, so allocating it as a temporary would let divisions
+/// clobber live values.
+const INT_SCRATCH: [Reg; 7] = [
+    Reg(6),
+    Reg(7),
+    Reg(8),
+    Reg(9),
+    Reg(10),
+    Reg(12),
+    Reg(13),
+];
+const FP_SCRATCH: [XReg; 8] = [
+    XReg(8),
+    XReg(9),
+    XReg(10),
+    XReg(11),
+    XReg(12),
+    XReg(13),
+    XReg(14),
+    XReg(15),
+];
+
+/// A value produced by expression codegen.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Value {
+    I(Reg),
+    F(XReg),
+    None,
+}
+
+#[derive(Clone, Debug)]
+struct VarSlot {
+    /// Negative frame offset (value at `[rbp + offset]`).
+    offset: i32,
+    ty: Type,
+    /// Local arrays: the slot *is* the storage; the value is its address.
+    is_array: bool,
+}
+
+#[derive(Clone, Debug)]
+#[allow(dead_code)] // retained for future interprocedural passes
+struct FnSig {
+    ret: Type,
+    params: Vec<Type>,
+}
+
+/// Compile a checked program to an object.
+pub fn compile_program(program: &Program, options: &Options) -> Result<mira_vobj::Object, CompileError> {
+    let mut program = program.clone();
+    if options.opt_level >= 1 {
+        fold::fold_program(&mut program);
+    }
+
+    // Symbol layout: user functions, then libm bodies, then leftover externs.
+    let mut func_names: Vec<String> = program.functions().map(|f| f.name.clone()).collect();
+    let mut libm_names: Vec<&str> = Vec::new();
+    if options.include_libm {
+        for name in libm::LIBM_FUNCS {
+            if !func_names.iter().any(|n| n == name) {
+                libm_names.push(name);
+                func_names.push(name.to_string());
+            }
+        }
+    }
+    let externs: Vec<String> = program
+        .externs()
+        .filter(|e| !func_names.iter().any(|n| *n == e.name))
+        .map(|e| e.name.clone())
+        .collect();
+
+    let mut sym_ids: HashMap<String, u32> = HashMap::new();
+    for (i, n) in func_names.iter().enumerate() {
+        sym_ids.insert(n.clone(), i as u32);
+    }
+    for (i, n) in externs.iter().enumerate() {
+        sym_ids.insert(n.clone(), (func_names.len() + i) as u32);
+    }
+
+    let mut sigs: HashMap<String, FnSig> = HashMap::new();
+    for f in program.functions() {
+        sigs.insert(
+            f.name.clone(),
+            FnSig {
+                ret: f.ret.clone(),
+                params: f.params.iter().map(|p| p.ty.clone()).collect(),
+            },
+        );
+    }
+    for e in program.externs() {
+        sigs.entry(e.name.clone()).or_insert(FnSig {
+            ret: e.ret.clone(),
+            params: e.params.clone(),
+        });
+    }
+
+    let mut funcs = Vec::new();
+    for f in program.functions() {
+        let mut cg = Codegen::new(f, options, &sym_ids, &sigs);
+        cg.gen_function(f)?;
+        funcs.push(cg.asm);
+    }
+    for name in libm_names {
+        funcs.push(libm::build(name).expect("libm body"));
+    }
+    assemble_object(funcs, externs)
+}
+
+pub struct Codegen<'a> {
+    pub asm: FuncAsm,
+    pub options: &'a Options,
+    sym_ids: &'a HashMap<String, u32>,
+    sigs: &'a HashMap<String, FnSig>,
+    scopes: Vec<HashMap<String, VarSlot>>,
+    /// Next free byte below rbp.
+    frame_top: i32,
+    int_free: Vec<Reg>,
+    fp_free: Vec<XReg>,
+    int_used: Vec<Reg>,
+    fp_used: Vec<XReg>,
+    exit_label: Label,
+    ret_ty: Type,
+}
+
+impl<'a> Codegen<'a> {
+    fn new(
+        f: &Func,
+        options: &'a Options,
+        sym_ids: &'a HashMap<String, u32>,
+        sigs: &'a HashMap<String, FnSig>,
+    ) -> Codegen<'a> {
+        let mut asm = FuncAsm::new(&f.name);
+        asm.cur_line = f.span.line;
+        let exit_label = asm.new_label();
+        Codegen {
+            asm,
+            options,
+            sym_ids,
+            sigs,
+            scopes: Vec::new(),
+            frame_top: 0,
+            int_free: INT_SCRATCH.to_vec(),
+            fp_free: FP_SCRATCH.to_vec(),
+            int_used: Vec::new(),
+            fp_used: Vec::new(),
+            exit_label,
+            ret_ty: f.ret.clone(),
+        }
+    }
+
+    // ---- register pool ----
+
+    fn alloc_int(&mut self) -> Result<Reg, CompileError> {
+        let r = self.int_free.pop().ok_or_else(|| CompileError {
+            msg: format!("{}: expression too complex (out of integer registers)", self.asm.name),
+        })?;
+        self.int_used.push(r);
+        Ok(r)
+    }
+
+    fn alloc_fp(&mut self) -> Result<XReg, CompileError> {
+        let r = self.fp_free.pop().ok_or_else(|| CompileError {
+            msg: format!("{}: expression too complex (out of FP registers)", self.asm.name),
+        })?;
+        self.fp_used.push(r);
+        Ok(r)
+    }
+
+    pub(crate) fn free(&mut self, v: Value) {
+        match v {
+            Value::I(r) => {
+                self.int_used.retain(|x| *x != r);
+                self.int_free.push(r);
+            }
+            Value::F(r) => {
+                self.fp_used.retain(|x| *x != r);
+                self.fp_free.push(r);
+            }
+            Value::None => {}
+        }
+    }
+
+    // ---- frame ----
+
+    fn new_slot_bytes(&mut self, bytes: i32) -> i32 {
+        self.frame_top -= bytes;
+        self.frame_top
+    }
+
+    fn declare_var(&mut self, name: &str, ty: Type, array_len: Option<i64>) -> VarSlot {
+        let slot = if let Some(n) = array_len {
+            let offset = self.new_slot_bytes((n as i32) * 8);
+            VarSlot {
+                offset,
+                ty: Type::ptr_to(ty),
+                is_array: true,
+            }
+        } else {
+            let offset = self.new_slot_bytes(8);
+            VarSlot {
+                offset,
+                ty,
+                is_array: false,
+            }
+        };
+        self.scopes
+            .last_mut()
+            .expect("no scope")
+            .insert(name.to_string(), slot.clone());
+        slot
+    }
+
+    fn lookup(&self, name: &str) -> &VarSlot {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name))
+            .unwrap_or_else(|| panic!("sema let through undeclared variable {name}"))
+    }
+
+    // ---- function ----
+
+    fn gen_function(&mut self, f: &Func) -> Result<(), CompileError> {
+        self.asm.cur_line = f.span.line;
+        self.asm.emit(Inst::Push(RBP));
+        self.asm.emit(Inst::MovRR(RBP, RSP));
+        self.asm.emit_frame_placeholder();
+
+        // spill parameters to frame slots; integer parameters beyond the
+        // six registers arrive on the stack at [rbp + 16 + 8k]
+        self.scopes.push(HashMap::new());
+        let mut int_idx = 0;
+        let mut fp_idx = 0;
+        let mut stack_idx = 0;
+        for p in &f.params {
+            let slot = self.declare_var(&p.name, p.ty.clone(), None);
+            match p.ty {
+                Type::Double => {
+                    if fp_idx >= XARG.len() {
+                        return Err(CompileError {
+                            msg: format!("{}: too many FP parameters", f.name),
+                        });
+                    }
+                    let src = XARG[fp_idx];
+                    fp_idx += 1;
+                    self.asm
+                        .emit(Inst::MovsdStore(Mem::base_disp(RBP, slot.offset), src));
+                }
+                _ => {
+                    if int_idx < RARG.len() {
+                        let src = RARG[int_idx];
+                        int_idx += 1;
+                        self.asm
+                            .emit(Inst::Store(Mem::base_disp(RBP, slot.offset), src));
+                    } else {
+                        // stack-passed: load from caller frame, spill locally
+                        let tmp = self.alloc_int()?;
+                        self.asm.emit(Inst::Load(
+                            tmp,
+                            Mem::base_disp(RBP, 16 + 8 * stack_idx),
+                        ));
+                        self.asm
+                            .emit(Inst::Store(Mem::base_disp(RBP, slot.offset), tmp));
+                        self.free(Value::I(tmp));
+                        stack_idx += 1;
+                    }
+                }
+            }
+        }
+
+        for s in &f.body.stmts {
+            self.gen_stmt(s)?;
+        }
+
+        let exit = self.exit_label;
+        self.asm.bind(exit);
+        self.asm.cur_line = f.span.line;
+        self.asm.emit(Inst::MovRR(RSP, RBP));
+        self.asm.emit(Inst::Pop(RBP));
+        self.asm.emit(Inst::Ret);
+        self.scopes.pop();
+
+        // round the frame to 16 bytes
+        let frame = (-self.frame_top as i64 + 15) & !15;
+        self.asm.patch_frame_size(frame);
+        debug_assert!(self.int_used.is_empty(), "leaked int regs: {:?}", self.int_used);
+        debug_assert!(self.fp_used.is_empty(), "leaked fp regs: {:?}", self.fp_used);
+        Ok(())
+    }
+
+    // ---- statements ----
+
+    pub(crate) fn gen_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        self.asm.cur_line = s.span.line;
+        match &s.kind {
+            StmtKind::Decl {
+                name,
+                ty,
+                array_len,
+                init,
+            } => {
+                let slot = self.declare_var(name, ty.clone(), *array_len);
+                if let Some(e) = init {
+                    let v = self.gen_expr(e)?;
+                    self.store_to_slot(&slot, v);
+                    self.free(v);
+                }
+            }
+            StmtKind::Expr(e) => {
+                let v = self.gen_expr(e)?;
+                self.free(v);
+            }
+            StmtKind::Return(value) => {
+                if let Some(e) = value {
+                    let v = self.gen_expr(e)?;
+                    match (v, &self.ret_ty) {
+                        (Value::I(r), _) => self.asm.emit(Inst::MovRR(Reg(0), r)),
+                        (Value::F(x), _) => self.asm.emit(Inst::MovsdXX(XReg(0), x)),
+                        (Value::None, _) => {}
+                    }
+                    self.free(v);
+                }
+                let exit = self.exit_label;
+                self.asm.jmp(exit);
+            }
+            StmtKind::Block(b) => {
+                self.scopes.push(HashMap::new());
+                for s in &b.stmts {
+                    self.gen_stmt(s)?;
+                }
+                self.scopes.pop();
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let l_else = self.asm.new_label();
+                self.gen_branch(cond, l_else, false)?;
+                self.gen_stmt(then_branch)?;
+                if let Some(els) = else_branch {
+                    let l_end = self.asm.new_label();
+                    self.asm.cur_line = s.span.line;
+                    self.asm.jmp(l_end);
+                    self.asm.bind(l_else);
+                    self.gen_stmt(els)?;
+                    self.asm.bind(l_end);
+                } else {
+                    self.asm.bind(l_else);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                let header_line = s.span.line;
+                let l_top = self.asm.new_label();
+                let l_end = self.asm.new_label();
+                let init_start = self.asm.here();
+                self.asm.bind(l_top);
+                let cond_start = self.asm.here();
+                self.asm.cur_line = header_line;
+                self.gen_branch(cond, l_end, false)?;
+                let body_start = self.asm.here();
+                self.gen_stmt(body)?;
+                let step_start = self.asm.here();
+                self.asm.cur_line = header_line;
+                self.asm.jmp(l_top);
+                self.asm.bind(l_end);
+                let end = self.asm.here();
+                self.asm.loop_labels.push(LoopLabels {
+                    header_line,
+                    init_start,
+                    init_end: cond_start,
+                    cond_start,
+                    cond_end: body_start,
+                    step_start,
+                    step_end: end,
+                    body_start,
+                    body_end: step_start,
+                    vector_factor: 1,
+                    is_remainder: false,
+                });
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if self.options.vectorize {
+                    if let Some(()) = vect::try_vectorize(self, s)? {
+                        return Ok(());
+                    }
+                }
+                self.gen_scalar_for(s, init, cond, step, body)?;
+            }
+            StmtKind::Empty => {}
+        }
+        Ok(())
+    }
+
+    pub(crate) fn gen_scalar_for(
+        &mut self,
+        s: &Stmt,
+        init: &Option<Box<Stmt>>,
+        cond: &Option<Expr>,
+        step: &Option<Expr>,
+        body: &Stmt,
+    ) -> Result<(), CompileError> {
+        let header_line = s.span.line;
+        self.scopes.push(HashMap::new()); // induction-variable scope
+        let l_cond = self.asm.new_label();
+        let l_end = self.asm.new_label();
+        let init_start = self.asm.here();
+        if let Some(i) = init {
+            self.gen_stmt(i)?;
+        }
+        self.asm.bind(l_cond);
+        let cond_start = self.asm.here();
+        self.asm.cur_line = header_line;
+        if let Some(c) = cond {
+            self.gen_branch(c, l_end, false)?;
+        }
+        let body_start = self.asm.here();
+        self.gen_stmt(body)?;
+        let step_start = self.asm.here();
+        self.asm.cur_line = header_line;
+        if let Some(st) = step {
+            let v = self.gen_expr(st)?;
+            self.free(v);
+        }
+        self.asm.jmp(l_cond);
+        self.asm.bind(l_end);
+        let end = self.asm.here();
+        self.asm.loop_labels.push(LoopLabels {
+            header_line,
+            init_start,
+            init_end: cond_start,
+            cond_start,
+            cond_end: body_start,
+            step_start,
+            step_end: end,
+            body_start,
+            body_end: step_start,
+            vector_factor: 1,
+            is_remainder: false,
+        });
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn store_to_slot(&mut self, slot: &VarSlot, v: Value) {
+        let mem = Mem::base_disp(RBP, slot.offset);
+        match v {
+            Value::I(r) => self.asm.emit(Inst::Store(mem, r)),
+            Value::F(x) => self.asm.emit(Inst::MovsdStore(mem, x)),
+            Value::None => {}
+        }
+    }
+
+    // ---- branches ----
+
+    /// Emit a jump to `target` taken iff `cond` is true (when
+    /// `jump_if_true`) or false (otherwise). Uses fused compare-and-branch
+    /// and short-circuit evaluation.
+    pub(crate) fn gen_branch(
+        &mut self,
+        cond: &Expr,
+        target: Label,
+        jump_if_true: bool,
+    ) -> Result<(), CompileError> {
+        match &cond.kind {
+            ExprKind::Binary { op, lhs, rhs } if op.is_comparison() => {
+                let fp = lhs.ty == Type::Double;
+                let l = self.gen_expr(lhs)?;
+                let r = self.gen_expr(rhs)?;
+                let cc = if fp {
+                    match op {
+                        BinOp::Lt => Cc::B,
+                        BinOp::Le => Cc::Be,
+                        BinOp::Gt => Cc::A,
+                        BinOp::Ge => Cc::Ae,
+                        BinOp::Eq => Cc::E,
+                        BinOp::Ne => Cc::Ne,
+                        _ => unreachable!(),
+                    }
+                } else {
+                    match op {
+                        BinOp::Lt => Cc::L,
+                        BinOp::Le => Cc::Le,
+                        BinOp::Gt => Cc::G,
+                        BinOp::Ge => Cc::Ge,
+                        BinOp::Eq => Cc::E,
+                        BinOp::Ne => Cc::Ne,
+                        _ => unreachable!(),
+                    }
+                };
+                match (l, r) {
+                    (Value::I(a), Value::I(b)) => self.asm.emit(Inst::CmpRR(a, b)),
+                    (Value::F(a), Value::F(b)) => self.asm.emit(Inst::Ucomisd(a, b)),
+                    _ => unreachable!("sema guarantees same-type comparison"),
+                }
+                self.free(l);
+                self.free(r);
+                let cc = if jump_if_true { cc } else { cc.negate() };
+                self.asm.jcc(cc, target);
+            }
+            ExprKind::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
+                if jump_if_true {
+                    let skip = self.asm.new_label();
+                    self.gen_branch(lhs, skip, false)?;
+                    self.gen_branch(rhs, target, true)?;
+                    self.asm.bind(skip);
+                } else {
+                    self.gen_branch(lhs, target, false)?;
+                    self.gen_branch(rhs, target, false)?;
+                }
+            }
+            ExprKind::Binary {
+                op: BinOp::Or,
+                lhs,
+                rhs,
+            } => {
+                if jump_if_true {
+                    self.gen_branch(lhs, target, true)?;
+                    self.gen_branch(rhs, target, true)?;
+                } else {
+                    let skip = self.asm.new_label();
+                    self.gen_branch(lhs, skip, true)?;
+                    self.gen_branch(rhs, target, false)?;
+                    self.asm.bind(skip);
+                }
+            }
+            ExprKind::Unary {
+                op: UnOp::Not,
+                operand,
+            } => {
+                self.gen_branch(operand, target, !jump_if_true)?;
+            }
+            ExprKind::IntLit(v) => {
+                let truth = *v != 0;
+                if truth == jump_if_true {
+                    self.asm.jmp(target);
+                }
+            }
+            _ => {
+                let v = self.gen_expr(cond)?;
+                match v {
+                    Value::I(r) => {
+                        self.asm.emit(Inst::TestRR(r, r));
+                        self.free(v);
+                        self.asm
+                            .jcc(if jump_if_true { Cc::Ne } else { Cc::E }, target);
+                    }
+                    Value::F(x) => {
+                        // compare against zero
+                        let z = self.alloc_fp()?;
+                        self.asm.emit(Inst::Xorpd(z, z));
+                        self.asm.emit(Inst::Ucomisd(x, z));
+                        self.free(Value::F(z));
+                        self.free(v);
+                        self.asm
+                            .jcc(if jump_if_true { Cc::Ne } else { Cc::E }, target);
+                    }
+                    Value::None => {
+                        return Err(CompileError {
+                            msg: "void value used as condition".to_string(),
+                        })
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- expressions ----
+
+    pub(crate) fn gen_expr(&mut self, e: &Expr) -> Result<Value, CompileError> {
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                let r = self.alloc_int()?;
+                self.asm.emit(Inst::MovRI(r, *v));
+                Ok(Value::I(r))
+            }
+            ExprKind::FloatLit(v) => {
+                let rt = self.alloc_int()?;
+                self.asm.emit(Inst::MovRI(rt, v.to_bits() as i64));
+                let x = self.alloc_fp()?;
+                self.asm.emit(Inst::MovqXR(x, rt));
+                self.free(Value::I(rt));
+                Ok(Value::F(x))
+            }
+            ExprKind::Var(name) => {
+                let slot = self.lookup(name).clone();
+                if slot.is_array {
+                    let r = self.alloc_int()?;
+                    self.asm.emit(Inst::Lea(r, Mem::base_disp(RBP, slot.offset)));
+                    Ok(Value::I(r))
+                } else if slot.ty == Type::Double {
+                    let x = self.alloc_fp()?;
+                    self.asm
+                        .emit(Inst::MovsdLoad(x, Mem::base_disp(RBP, slot.offset)));
+                    Ok(Value::F(x))
+                } else {
+                    let r = self.alloc_int()?;
+                    self.asm.emit(Inst::Load(r, Mem::base_disp(RBP, slot.offset)));
+                    Ok(Value::I(r))
+                }
+            }
+            ExprKind::Index { base, index } => {
+                let (mem, hold) = self.gen_address(base, index)?;
+                let elem_is_double = e.ty == Type::Double;
+                let out = if elem_is_double {
+                    let x = self.alloc_fp()?;
+                    self.asm.emit(Inst::MovsdLoad(x, mem));
+                    Value::F(x)
+                } else {
+                    let r = self.alloc_int()?;
+                    self.asm.emit(Inst::Load(r, mem));
+                    Value::I(r)
+                };
+                for h in hold {
+                    self.free(h);
+                }
+                Ok(out)
+            }
+            ExprKind::Assign { op, target, value } => self.gen_assign(*op, target, value),
+            ExprKind::Binary { op, lhs, rhs } => self.gen_binary(*op, lhs, rhs),
+            ExprKind::Unary { op, operand } => {
+                let v = self.gen_expr(operand)?;
+                match (op, v) {
+                    (UnOp::Neg, Value::I(r)) => {
+                        self.asm.emit(Inst::Neg(r));
+                        Ok(v)
+                    }
+                    (UnOp::Neg, Value::F(x)) => {
+                        let z = self.alloc_fp()?;
+                        self.asm.emit(Inst::Xorpd(z, z));
+                        self.asm.emit(Inst::Subsd(z, x));
+                        self.free(v);
+                        Ok(Value::F(z))
+                    }
+                    (UnOp::Not, Value::I(r)) => {
+                        self.asm.emit(Inst::TestRR(r, r));
+                        self.asm.emit(Inst::Setcc(Cc::E, r));
+                        Ok(v)
+                    }
+                    (UnOp::Not, Value::F(_)) | (_, Value::None) => Err(CompileError {
+                        msg: "bad unary operand".to_string(),
+                    }),
+                }
+            }
+            ExprKind::Cast { ty, operand } | ExprKind::ImplicitCast { ty, operand } => {
+                let v = self.gen_expr(operand)?;
+                match (v, ty) {
+                    (Value::I(r), Type::Double) => {
+                        let x = self.alloc_fp()?;
+                        self.asm.emit(Inst::Cvtsi2sd(x, r));
+                        self.free(v);
+                        Ok(Value::F(x))
+                    }
+                    (Value::F(x), Type::Int) => {
+                        let r = self.alloc_int()?;
+                        self.asm.emit(Inst::Cvttsd2si(r, x));
+                        self.free(v);
+                        Ok(Value::I(r))
+                    }
+                    _ => Ok(v), // identity casts
+                }
+            }
+            ExprKind::IncDec {
+                prefix,
+                increment,
+                target,
+            } => {
+                // sema guarantees an int lvalue
+                match &target.kind {
+                    ExprKind::Var(name) => {
+                        let slot = self.lookup(name).clone();
+                        let mem = Mem::base_disp(RBP, slot.offset);
+                        let r = self.alloc_int()?;
+                        self.asm.emit(Inst::Load(r, mem));
+                        if *prefix {
+                            self.asm.emit(Inst::AddRI(r, if *increment { 1 } else { -1 }));
+                            self.asm.emit(Inst::Store(mem, r));
+                            Ok(Value::I(r))
+                        } else {
+                            let old = self.alloc_int()?;
+                            self.asm.emit(Inst::MovRR(old, r));
+                            self.asm.emit(Inst::AddRI(r, if *increment { 1 } else { -1 }));
+                            self.asm.emit(Inst::Store(mem, r));
+                            self.free(Value::I(r));
+                            Ok(Value::I(old))
+                        }
+                    }
+                    ExprKind::Index { base, index } => {
+                        let (mem, hold) = self.gen_address(base, index)?;
+                        let r = self.alloc_int()?;
+                        self.asm.emit(Inst::Load(r, mem));
+                        let result = if *prefix {
+                            self.asm.emit(Inst::AddRI(r, if *increment { 1 } else { -1 }));
+                            self.asm.emit(Inst::Store(mem, r));
+                            Value::I(r)
+                        } else {
+                            let old = self.alloc_int()?;
+                            self.asm.emit(Inst::MovRR(old, r));
+                            self.asm.emit(Inst::AddRI(r, if *increment { 1 } else { -1 }));
+                            self.asm.emit(Inst::Store(mem, r));
+                            self.free(Value::I(r));
+                            Value::I(old)
+                        };
+                        for h in hold {
+                            self.free(h);
+                        }
+                        Ok(result)
+                    }
+                    _ => Err(CompileError {
+                        msg: "++/-- on non-lvalue".to_string(),
+                    }),
+                }
+            }
+            ExprKind::Call { name, args } => self.gen_call(name, args, &e.ty),
+        }
+    }
+
+    /// Compute the effective address of `base[index]` (element size 8).
+    /// Returns the memory operand plus the registers that must stay live
+    /// while it is used.
+    pub(crate) fn gen_address(
+        &mut self,
+        base: &Expr,
+        index: &Expr,
+    ) -> Result<(Mem, Vec<Value>), CompileError> {
+        let b = self.gen_expr(base)?;
+        let Value::I(rb) = b else {
+            return Err(CompileError {
+                msg: "indexing a non-pointer".to_string(),
+            });
+        };
+        // constant index folds into the displacement (strength reduction)
+        if let ExprKind::IntLit(k) = index.kind {
+            if self.options.opt_level >= 1 && (k * 8).abs() < i32::MAX as i64 {
+                return Ok((Mem::base_disp(rb, (k * 8) as i32), vec![b]));
+            }
+        }
+        let i = self.gen_expr(index)?;
+        let Value::I(ri) = i else {
+            return Err(CompileError {
+                msg: "non-integer index".to_string(),
+            });
+        };
+        Ok((Mem::base_index(rb, ri, 8, 0), vec![b, i]))
+    }
+
+    fn gen_assign(
+        &mut self,
+        op: AssignOp,
+        target: &Expr,
+        value: &Expr,
+    ) -> Result<Value, CompileError> {
+        match &target.kind {
+            ExprKind::Var(name) => {
+                let slot = self.lookup(name).clone();
+                let mem = Mem::base_disp(RBP, slot.offset);
+                let v = self.gen_expr(value)?;
+                if op == AssignOp::Set {
+                    self.store_to_slot(&slot, v);
+                    return Ok(v);
+                }
+                // compound: load, combine, store
+                match v {
+                    Value::I(rv) => {
+                        let cur = self.alloc_int()?;
+                        self.asm.emit(Inst::Load(cur, mem));
+                        self.emit_int_op(op_to_bin(op), cur, rv)?;
+                        self.asm.emit(Inst::Store(mem, cur));
+                        self.free(v);
+                        Ok(Value::I(cur))
+                    }
+                    Value::F(xv) => {
+                        let cur = self.alloc_fp()?;
+                        self.asm.emit(Inst::MovsdLoad(cur, mem));
+                        self.emit_fp_op(op_to_bin(op), cur, xv);
+                        self.asm.emit(Inst::MovsdStore(mem, cur));
+                        self.free(v);
+                        Ok(Value::F(cur))
+                    }
+                    Value::None => Err(CompileError {
+                        msg: "void value assigned".to_string(),
+                    }),
+                }
+            }
+            ExprKind::Index { base, index } => {
+                let (mem, hold) = self.gen_address(base, index)?;
+                let v = self.gen_expr(value)?;
+                let result = if op == AssignOp::Set {
+                    match v {
+                        Value::I(r) => self.asm.emit(Inst::Store(mem, r)),
+                        Value::F(x) => self.asm.emit(Inst::MovsdStore(mem, x)),
+                        Value::None => {
+                            return Err(CompileError {
+                                msg: "void value assigned".to_string(),
+                            })
+                        }
+                    }
+                    v
+                } else {
+                    match v {
+                        Value::I(rv) => {
+                            let cur = self.alloc_int()?;
+                            self.asm.emit(Inst::Load(cur, mem));
+                            self.emit_int_op(op_to_bin(op), cur, rv)?;
+                            self.asm.emit(Inst::Store(mem, cur));
+                            self.free(v);
+                            Value::I(cur)
+                        }
+                        Value::F(xv) => {
+                            let cur = self.alloc_fp()?;
+                            self.asm.emit(Inst::MovsdLoad(cur, mem));
+                            self.emit_fp_op(op_to_bin(op), cur, xv);
+                            self.asm.emit(Inst::MovsdStore(mem, cur));
+                            self.free(v);
+                            Value::F(cur)
+                        }
+                        Value::None => {
+                            return Err(CompileError {
+                                msg: "void value assigned".to_string(),
+                            })
+                        }
+                    }
+                };
+                for h in hold {
+                    self.free(h);
+                }
+                Ok(result)
+            }
+            _ => Err(CompileError {
+                msg: "assignment to non-lvalue".to_string(),
+            }),
+        }
+    }
+
+    fn gen_binary(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<Value, CompileError> {
+        if op.is_comparison() {
+            let fp = lhs.ty == Type::Double;
+            let l = self.gen_expr(lhs)?;
+            let r = self.gen_expr(rhs)?;
+            let out = self.alloc_int()?;
+            let cc = comparison_cc(op, fp);
+            match (l, r) {
+                (Value::I(a), Value::I(b)) => self.asm.emit(Inst::CmpRR(a, b)),
+                (Value::F(a), Value::F(b)) => self.asm.emit(Inst::Ucomisd(a, b)),
+                _ => unreachable!(),
+            }
+            self.asm.emit(Inst::Setcc(cc, out));
+            self.free(l);
+            self.free(r);
+            return Ok(Value::I(out));
+        }
+        if op.is_logical() {
+            // branchless normalize-to-bool then and/or
+            let l = self.gen_expr(lhs)?;
+            let Value::I(a) = l else {
+                return Err(CompileError {
+                    msg: "logical op on non-int".to_string(),
+                });
+            };
+            self.asm.emit(Inst::TestRR(a, a));
+            self.asm.emit(Inst::Setcc(Cc::Ne, a));
+            let r = self.gen_expr(rhs)?;
+            let Value::I(b) = r else {
+                return Err(CompileError {
+                    msg: "logical op on non-int".to_string(),
+                });
+            };
+            self.asm.emit(Inst::TestRR(b, b));
+            self.asm.emit(Inst::Setcc(Cc::Ne, b));
+            match op {
+                BinOp::And => self.asm.emit(Inst::AndRR(a, b)),
+                BinOp::Or => self.asm.emit(Inst::OrRR(a, b)),
+                _ => unreachable!(),
+            }
+            self.free(r);
+            return Ok(l);
+        }
+        let l = self.gen_expr(lhs)?;
+        let r = self.gen_expr(rhs)?;
+        match (l, r) {
+            (Value::I(a), Value::I(b)) => {
+                self.emit_int_op_rr(op, a, b)?;
+                self.free(r);
+                Ok(l)
+            }
+            (Value::F(a), Value::F(b)) => {
+                self.emit_fp_op(op, a, b);
+                self.free(r);
+                Ok(l)
+            }
+            _ => unreachable!("sema guarantees operand types match"),
+        }
+    }
+
+    fn emit_int_op(&mut self, op: BinOp, dst: Reg, src: Reg) -> Result<(), CompileError> {
+        self.emit_int_op_rr(op, dst, src)
+    }
+
+    fn emit_int_op_rr(&mut self, op: BinOp, a: Reg, b: Reg) -> Result<(), CompileError> {
+        match op {
+            BinOp::Add => self.asm.emit(Inst::AddRR(a, b)),
+            BinOp::Sub => self.asm.emit(Inst::SubRR(a, b)),
+            BinOp::Mul => self.asm.emit(Inst::ImulRR(a, b)),
+            BinOp::Div | BinOp::Mod => {
+                // VX86 idiv convention: r0 = r0 / src, r11 = r0 % src.
+                // r11 is in the scratch pool; make sure the operand isn't
+                // r11 itself before clobbering.
+                self.asm.emit(Inst::MovRR(Reg(0), a));
+                self.asm.emit(Inst::Cqo);
+                self.asm.emit(Inst::Idiv(b));
+                let src = if op == BinOp::Div { Reg(0) } else { Reg(11) };
+                self.asm.emit(Inst::MovRR(a, src));
+            }
+            other => {
+                return Err(CompileError {
+                    msg: format!("unsupported int op {other:?}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn emit_fp_op(&mut self, op: BinOp, a: XReg, b: XReg) {
+        match op {
+            BinOp::Add => self.asm.emit(Inst::Addsd(a, b)),
+            BinOp::Sub => self.asm.emit(Inst::Subsd(a, b)),
+            BinOp::Mul => self.asm.emit(Inst::Mulsd(a, b)),
+            BinOp::Div => self.asm.emit(Inst::Divsd(a, b)),
+            other => unreachable!("fp op {other:?}"),
+        }
+    }
+
+    fn gen_call(&mut self, name: &str, args: &[Expr], ret_ty: &Type) -> Result<Value, CompileError> {
+        let sym = *self.sym_ids.get(name).ok_or_else(|| CompileError {
+            msg: format!("unresolved call target `{name}`"),
+        })?;
+
+        // evaluate arguments into scratch temps
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(self.gen_expr(a)?);
+        }
+
+        // save live scratch registers that are NOT the argument temps
+        let live_ints: Vec<Reg> = self
+            .int_used
+            .iter()
+            .copied()
+            .filter(|r| !vals.contains(&Value::I(*r)))
+            .collect();
+        let live_fps: Vec<XReg> = self
+            .fp_used
+            .iter()
+            .copied()
+            .filter(|x| !vals.contains(&Value::F(*x)))
+            .collect();
+        let mut saves = Vec::new();
+        for r in &live_ints {
+            let off = self.new_slot_bytes(8);
+            self.asm.emit(Inst::Store(Mem::base_disp(RBP, off), *r));
+            saves.push((off, Value::I(*r)));
+        }
+        for x in &live_fps {
+            let off = self.new_slot_bytes(8);
+            self.asm.emit(Inst::MovsdStore(Mem::base_disp(RBP, off), *x));
+            saves.push((off, Value::F(*x)));
+        }
+
+        // move argument temps into ABI registers; integer args beyond six
+        // go on the stack (pushed in order so that [rbp+16] in the callee
+        // is the seventh integer argument)
+        let mut int_idx = 0;
+        let mut fp_idx = 0;
+        let mut stack_args: Vec<Reg> = Vec::new();
+        for v in &vals {
+            match v {
+                Value::I(r) => {
+                    if int_idx < RARG.len() {
+                        self.asm.emit(Inst::MovRR(RARG[int_idx], *r));
+                        int_idx += 1;
+                    } else {
+                        stack_args.push(*r);
+                    }
+                }
+                Value::F(x) => {
+                    if fp_idx >= XARG.len() {
+                        return Err(CompileError {
+                            msg: format!("too many FP arguments in call to {name}"),
+                        });
+                    }
+                    self.asm.emit(Inst::MovsdXX(XARG[fp_idx], *x));
+                    fp_idx += 1;
+                }
+                Value::None => {
+                    return Err(CompileError {
+                        msg: "void argument".to_string(),
+                    })
+                }
+            }
+        }
+        // push in reverse so the first stack arg ends up closest to the
+        // return address
+        for r in stack_args.iter().rev() {
+            self.asm.emit(Inst::Push(*r));
+        }
+        for v in vals {
+            self.free(v);
+        }
+
+        self.asm.emit(Inst::Call(sym));
+        if !stack_args.is_empty() {
+            self.asm
+                .emit(Inst::AddRI(RSP, 8 * stack_args.len() as i64));
+        }
+
+        // grab the result before restoring (restores don't touch a fresh reg)
+        let result = match ret_ty {
+            Type::Void => Value::None,
+            Type::Double => {
+                let x = self.alloc_fp()?;
+                self.asm.emit(Inst::MovsdXX(x, XReg(0)));
+                Value::F(x)
+            }
+            _ => {
+                let r = self.alloc_int()?;
+                self.asm.emit(Inst::MovRR(r, Reg(0)));
+                Value::I(r)
+            }
+        };
+
+        // restore saved registers
+        for (off, v) in saves {
+            match v {
+                Value::I(r) => self.asm.emit(Inst::Load(r, Mem::base_disp(RBP, off))),
+                Value::F(x) => self.asm.emit(Inst::MovsdLoad(x, Mem::base_disp(RBP, off))),
+                Value::None => {}
+            }
+        }
+        let _ = self.sigs; // signatures currently only needed by sema
+        Ok(result)
+    }
+}
+
+impl<'a> Codegen<'a> {
+    // ---- helpers used by the vectorizer ----
+
+    pub(crate) fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    pub(crate) fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    /// Allocate an anonymous 8-byte frame slot; returns its rbp offset.
+    pub(crate) fn scratch_slot(&mut self) -> i32 {
+        self.new_slot_bytes(8)
+    }
+
+    /// Frame offset of a declared variable.
+    pub(crate) fn var_offset(&self, name: &str) -> i32 {
+        self.lookup(name).offset
+    }
+
+    pub(crate) fn alloc_int_pub(&mut self) -> Result<Reg, CompileError> {
+        self.alloc_int()
+    }
+
+    pub(crate) fn alloc_fp_pub(&mut self) -> Result<XReg, CompileError> {
+        self.alloc_fp()
+    }
+}
+
+fn op_to_bin(op: AssignOp) -> BinOp {
+    match op {
+        AssignOp::Add => BinOp::Add,
+        AssignOp::Sub => BinOp::Sub,
+        AssignOp::Mul => BinOp::Mul,
+        AssignOp::Div => BinOp::Div,
+        AssignOp::Set => unreachable!(),
+    }
+}
+
+fn comparison_cc(op: BinOp, fp: bool) -> Cc {
+    if fp {
+        match op {
+            BinOp::Lt => Cc::B,
+            BinOp::Le => Cc::Be,
+            BinOp::Gt => Cc::A,
+            BinOp::Ge => Cc::Ae,
+            BinOp::Eq => Cc::E,
+            BinOp::Ne => Cc::Ne,
+            _ => unreachable!(),
+        }
+    } else {
+        match op {
+            BinOp::Lt => Cc::L,
+            BinOp::Le => Cc::Le,
+            BinOp::Gt => Cc::G,
+            BinOp::Ge => Cc::Ge,
+            BinOp::Eq => Cc::E,
+            BinOp::Ne => Cc::Ne,
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_source;
+    use mira_vobj::disasm::disassemble;
+
+    fn mnemonics(src: &str, func: &str) -> Vec<&'static str> {
+        let obj = compile_source(src, &Options::default()).unwrap();
+        let ast = disassemble(&obj).unwrap();
+        ast.function(func)
+            .unwrap()
+            .instructions
+            .iter()
+            .map(|i| i.inst.mnemonic())
+            .collect()
+    }
+
+    #[test]
+    fn prologue_and_epilogue_present() {
+        let ms = mnemonics("void f() { }", "f");
+        assert_eq!(&ms[..3], &["push", "mov", "sub"]);
+        assert_eq!(&ms[ms.len() - 3..], &["mov", "pop", "ret"]);
+    }
+
+    #[test]
+    fn division_uses_idiv_convention() {
+        let ms = mnemonics("int f(int a, int b) { return a / b; }", "f");
+        assert!(ms.contains(&"cqo"));
+        assert!(ms.contains(&"idiv"));
+    }
+
+    #[test]
+    fn fp_compare_uses_ucomisd() {
+        let ms = mnemonics("int f(double a, double b) { return a < b; }", "f");
+        assert!(ms.contains(&"ucomisd"));
+        assert!(ms.contains(&"setcc"));
+    }
+
+    #[test]
+    fn implicit_cast_emits_cvtsi2sd() {
+        let ms = mnemonics("double f(int a) { return a * 2.0; }", "f");
+        assert!(ms.contains(&"cvtsi2sd"));
+        assert!(ms.contains(&"mulsd"));
+    }
+
+    #[test]
+    fn constant_index_folds_into_displacement() {
+        let obj = compile_source("double f(double* a) { return a[3]; }", &Options::default())
+            .unwrap();
+        let ast = disassemble(&obj).unwrap();
+        let has_disp24 = ast
+            .function("f")
+            .unwrap()
+            .instructions
+            .iter()
+            .any(|i| matches!(i.inst, Inst::MovsdLoad(_, m) if m.disp == 24 && m.index.is_none()));
+        assert!(has_disp24);
+    }
+
+    #[test]
+    fn call_moves_args_to_abi_registers() {
+        let src = "double g(double x, int k) { return x; } double f() { return g(1.5, 2); }";
+        let ms = mnemonics(src, "f");
+        assert!(ms.contains(&"call"));
+    }
+
+    #[test]
+    fn nested_call_preserves_live_values() {
+        // f computes a*g(b) — `a` must survive the call to g
+        let src = "double g(double x) { return x + 1.0; } double f(double a, double b) { return a * g(b); }";
+        let obj = compile_source(src, &Options::default()).unwrap();
+        let ast = disassemble(&obj).unwrap();
+        let f = ast.function("f").unwrap();
+        // a save (movsd store to negative rbp offset) must appear before the call
+        let call_pos = f
+            .instructions
+            .iter()
+            .position(|i| matches!(i.inst, Inst::Call(_)))
+            .unwrap();
+        let has_save_before = f.instructions[..call_pos]
+            .iter()
+            .any(|i| matches!(i.inst, Inst::MovsdStore(m, _) if m.base == RBP && m.disp < 0));
+        assert!(has_save_before);
+    }
+
+    #[test]
+    fn while_loop_metadata() {
+        let obj = compile_source(
+            "int f(int n) { int s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }",
+            &Options::default(),
+        )
+        .unwrap();
+        let loops = obj.loops_of(obj.find_func("f").unwrap());
+        assert_eq!(loops.len(), 1);
+        let m = loops[0];
+        assert_eq!(m.init.0, m.init.1); // while has no init code
+        assert!(m.cond.0 < m.cond.1);
+        assert!(m.step.0 < m.step.1); // back-edge jump
+        assert_eq!(m.vector_factor, 1);
+    }
+
+    #[test]
+    fn nested_loops_produce_two_meta_records() {
+        let src = "void f(int n) { for (int i = 0; i < n; i++) { for (int j = 0; j < n; j++) { ; } } }";
+        let obj = compile_source(src, &Options::default()).unwrap();
+        let loops = obj.loops_of(obj.find_func("f").unwrap());
+        assert_eq!(loops.len(), 2);
+        // the inner loop's ranges nest inside the outer body
+        let (outer, inner) = if loops[0].body.0 < loops[1].body.0 {
+            (loops[0], loops[1])
+        } else {
+            (loops[1], loops[0])
+        };
+        assert!(inner.init.0 >= outer.body.0 && inner.step.1 <= outer.body.1);
+    }
+
+    #[test]
+    fn local_array_allocation() {
+        let ms = mnemonics("double f() { double t[16]; t[2] = 1.0; return t[2]; }", "f");
+        assert!(ms.contains(&"lea"));
+    }
+
+    #[test]
+    fn many_int_params_use_stack_slots() {
+        let src = "int f(int a, int b, int c, int d, int e, int g, int h, int i) { return h + i; }";
+        assert!(compile_source(src, &Options::default()).is_ok());
+    }
+}

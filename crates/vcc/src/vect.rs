@@ -1,0 +1,472 @@
+//! SSE2 auto-vectorizer for map-style innermost loops.
+//!
+//! Recognizes the canonical streaming pattern
+//!
+//! ```c
+//! for (int i = E0; i < B; i++)
+//!     a[i] = <double expr over x[i], scalar doubles, literals>;
+//! ```
+//!
+//! and emits a packed main loop (2 doubles per iteration via
+//! `movupd`/`addpd`/`mulpd`/...) followed by a scalar remainder loop.
+//! Both loops carry `.loopmeta` records — the main loop with
+//! `vector_factor = 2`, the remainder flagged `is_remainder` — so the
+//! static analyzer can model the transformed iteration space exactly.
+//!
+//! This transformation is the heart of the paper's source-vs-binary
+//! argument: a source-only analyzer (PBound) predicts `2·n` scalar FP
+//! instructions for a `b[i] + s*c[i]` loop body, while the binary executes
+//! `≈ n` packed ones.
+//!
+//! Arrays are assumed not to alias (the usual `restrict` / `-fno-alias`
+//! contract); only index expressions equal to the induction variable are
+//! accepted, which rules out cross-lane dependencies.
+
+use crate::codegen::{Codegen, Value};
+use crate::emitter::LoopLabels;
+use crate::CompileError;
+use mira_isa::{Cc, Inst, Mem, XReg, RBP};
+use mira_minic::{AssignOp, BinOp, Expr, ExprKind, Stmt, StmtKind, Type};
+
+/// Attempt to vectorize `s` (a `for` statement). Returns `Ok(Some(()))` if
+/// vectorized code was emitted, `Ok(None)` if the loop does not match the
+/// pattern (caller falls back to scalar codegen).
+pub fn try_vectorize(cg: &mut Codegen, s: &Stmt) -> Result<Option<()>, CompileError> {
+    let StmtKind::For {
+        init,
+        cond,
+        step,
+        body,
+    } = &s.kind
+    else {
+        return Ok(None);
+    };
+
+    // ---- pattern match ----
+    let Some(init) = init else { return Ok(None) };
+    let StmtKind::Decl {
+        name: ivar,
+        ty: Type::Int,
+        array_len: None,
+        init: Some(init_expr),
+    } = &init.kind
+    else {
+        return Ok(None);
+    };
+    if !is_invariant_int(init_expr, ivar) {
+        return Ok(None);
+    }
+    let Some(cond) = cond else { return Ok(None) };
+    let ExprKind::Binary {
+        op: BinOp::Lt,
+        lhs,
+        rhs,
+    } = &cond.kind
+    else {
+        return Ok(None);
+    };
+    let ExprKind::Var(cv) = &lhs.kind else {
+        return Ok(None);
+    };
+    if cv != ivar || !is_invariant_int(rhs, ivar) {
+        return Ok(None);
+    }
+    let bound = rhs;
+    if !is_unit_step(step, ivar) {
+        return Ok(None);
+    }
+    let stmts: Vec<&Stmt> = match &body.kind {
+        StmtKind::Block(b) => b.stmts.iter().collect(),
+        StmtKind::Expr(_) => vec![body.as_ref()],
+        _ => return Ok(None),
+    };
+    if stmts.is_empty() {
+        return Ok(None);
+    }
+    let mut plans = Vec::new();
+    for st in &stmts {
+        let StmtKind::Expr(e) = &st.kind else {
+            return Ok(None);
+        };
+        let ExprKind::Assign { op, target, value } = &e.kind else {
+            return Ok(None);
+        };
+        let ExprKind::Index { base, index } = &target.kind else {
+            return Ok(None);
+        };
+        let ExprKind::Var(arr) = &base.kind else {
+            return Ok(None);
+        };
+        if !is_ivar(index, ivar) || target.ty != Type::Double {
+            return Ok(None);
+        }
+        if !packable(value, ivar) {
+            return Ok(None);
+        }
+        plans.push((st.span.line, *op, arr.clone(), value));
+    }
+
+    // ---- emit ----
+    let header_line = s.span.line;
+    cg.asm.cur_line = header_line;
+
+    // scope for the induction variable
+    cg.push_scope();
+    let init_start = cg.asm.here();
+    // i slot
+    cg.gen_stmt(init)?;
+    // bound and bound-1 slots (evaluated once; loop-invariant)
+    let bv = cg.gen_expr(bound)?;
+    let Value::I(rb) = bv else { unreachable!() };
+    let slot_bound = cg.scratch_slot();
+    cg.asm.emit(Inst::Store(Mem::base_disp(RBP, slot_bound), rb));
+    cg.asm.emit(Inst::AddRI(rb, -1));
+    let slot_lim = cg.scratch_slot();
+    cg.asm.emit(Inst::Store(Mem::base_disp(RBP, slot_lim), rb));
+    cg.free(bv);
+
+    let ivar_slot = cg.var_offset(ivar);
+
+    let l_main = cg.asm.new_label();
+    let l_rem = cg.asm.new_label();
+    let l_rem_cond = cg.asm.new_label();
+    let l_end = cg.asm.new_label();
+
+    // ---- packed main loop: while (i < bound - 1) ----
+    cg.asm.bind(l_main);
+    let cond_start = cg.asm.here();
+    cg.asm.cur_line = header_line;
+    {
+        let ri = cg.alloc_int_pub()?;
+        cg.asm.emit(Inst::Load(ri, Mem::base_disp(RBP, ivar_slot)));
+        let rl = cg.alloc_int_pub()?;
+        cg.asm.emit(Inst::Load(rl, Mem::base_disp(RBP, slot_lim)));
+        cg.asm.emit(Inst::CmpRR(ri, rl));
+        cg.free(Value::I(ri));
+        cg.free(Value::I(rl));
+        cg.asm.jcc(Cc::Ge, l_rem);
+    }
+    let body_start = cg.asm.here();
+    for (line, op, arr, value) in &plans {
+        cg.asm.cur_line = *line;
+        let x = gen_packed(cg, value, ivar, ivar_slot)?;
+        // address of arr[i]
+        let ra = cg.alloc_int_pub()?;
+        let arr_off = cg.var_offset(arr);
+        cg.asm.emit(Inst::Load(ra, Mem::base_disp(RBP, arr_off)));
+        let ri = cg.alloc_int_pub()?;
+        cg.asm.emit(Inst::Load(ri, Mem::base_disp(RBP, ivar_slot)));
+        let mem = Mem::base_index(ra, ri, 8, 0);
+        if *op == AssignOp::Set {
+            cg.asm.emit(Inst::MovupdStore(mem, x));
+        } else {
+            let cur = cg.alloc_fp_pub()?;
+            cg.asm.emit(Inst::MovupdLoad(cur, mem));
+            emit_packed_op(cg, assign_bin(*op), cur, x);
+            cg.asm.emit(Inst::MovupdStore(mem, cur));
+            cg.free(Value::F(cur));
+        }
+        cg.free(Value::I(ra));
+        cg.free(Value::I(ri));
+        cg.free(Value::F(x));
+    }
+    let step_start = cg.asm.here();
+    cg.asm.cur_line = header_line;
+    {
+        let ri = cg.alloc_int_pub()?;
+        cg.asm.emit(Inst::Load(ri, Mem::base_disp(RBP, ivar_slot)));
+        cg.asm.emit(Inst::AddRI(ri, 2));
+        cg.asm.emit(Inst::Store(Mem::base_disp(RBP, ivar_slot), ri));
+        cg.free(Value::I(ri));
+    }
+    cg.asm.jmp(l_main);
+    cg.asm.bind(l_rem);
+    let main_end = cg.asm.here();
+
+    cg.asm.loop_labels.push(LoopLabels {
+        header_line,
+        init_start,
+        init_end: cond_start,
+        cond_start,
+        cond_end: body_start,
+        step_start,
+        step_end: main_end,
+        body_start,
+        body_end: step_start,
+        vector_factor: 2,
+        is_remainder: false,
+    });
+
+    // ---- scalar remainder loop: while (i < bound) ----
+    cg.asm.bind(l_rem_cond);
+    let rem_cond_start = main_end;
+    cg.asm.cur_line = header_line;
+    {
+        let ri = cg.alloc_int_pub()?;
+        cg.asm.emit(Inst::Load(ri, Mem::base_disp(RBP, ivar_slot)));
+        let rb2 = cg.alloc_int_pub()?;
+        cg.asm.emit(Inst::Load(rb2, Mem::base_disp(RBP, slot_bound)));
+        cg.asm.emit(Inst::CmpRR(ri, rb2));
+        cg.free(Value::I(ri));
+        cg.free(Value::I(rb2));
+        cg.asm.jcc(Cc::Ge, l_end);
+    }
+    let rem_body_start = cg.asm.here();
+    for st in &stmts {
+        cg.gen_stmt(st)?;
+    }
+    let rem_step_start = cg.asm.here();
+    cg.asm.cur_line = header_line;
+    {
+        let ri = cg.alloc_int_pub()?;
+        cg.asm.emit(Inst::Load(ri, Mem::base_disp(RBP, ivar_slot)));
+        cg.asm.emit(Inst::AddRI(ri, 1));
+        cg.asm.emit(Inst::Store(Mem::base_disp(RBP, ivar_slot), ri));
+        cg.free(Value::I(ri));
+    }
+    cg.asm.jmp(l_rem_cond);
+    cg.asm.bind(l_end);
+    let rem_end = cg.asm.here();
+
+    cg.asm.loop_labels.push(LoopLabels {
+        header_line,
+        init_start: rem_cond_start,
+        init_end: rem_cond_start,
+        cond_start: rem_cond_start,
+        cond_end: rem_body_start,
+        step_start: rem_step_start,
+        step_end: rem_end,
+        body_start: rem_body_start,
+        body_end: rem_step_start,
+        vector_factor: 1,
+        is_remainder: true,
+    });
+
+    cg.pop_scope();
+    Ok(Some(()))
+}
+
+/// Generate a packed (2-lane) evaluation of a packable expression.
+fn gen_packed(
+    cg: &mut Codegen,
+    e: &Expr,
+    ivar: &str,
+    ivar_slot: i32,
+) -> Result<XReg, CompileError> {
+    match &e.kind {
+        ExprKind::FloatLit(v) => {
+            let rt = cg.alloc_int_pub()?;
+            cg.asm.emit(Inst::MovRI(rt, v.to_bits() as i64));
+            let x = cg.alloc_fp_pub()?;
+            cg.asm.emit(Inst::MovqXR(x, rt));
+            cg.asm.emit(Inst::Unpcklpd(x, x)); // broadcast
+            cg.free(Value::I(rt));
+            Ok(x)
+        }
+        ExprKind::Var(name) => {
+            // loop-invariant scalar double: load + broadcast
+            let off = cg.var_offset(name);
+            let x = cg.alloc_fp_pub()?;
+            cg.asm.emit(Inst::MovsdLoad(x, Mem::base_disp(RBP, off)));
+            cg.asm.emit(Inst::Unpcklpd(x, x));
+            Ok(x)
+        }
+        ExprKind::Index { base, .. } => {
+            let ExprKind::Var(arr) = &base.kind else {
+                unreachable!("packable checked")
+            };
+            let ra = cg.alloc_int_pub()?;
+            let arr_off = cg.var_offset(arr);
+            cg.asm.emit(Inst::Load(ra, Mem::base_disp(RBP, arr_off)));
+            let ri = cg.alloc_int_pub()?;
+            cg.asm.emit(Inst::Load(ri, Mem::base_disp(RBP, ivar_slot)));
+            let x = cg.alloc_fp_pub()?;
+            cg.asm
+                .emit(Inst::MovupdLoad(x, Mem::base_index(ra, ri, 8, 0)));
+            cg.free(Value::I(ra));
+            cg.free(Value::I(ri));
+            Ok(x)
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            let a = gen_packed(cg, lhs, ivar, ivar_slot)?;
+            let b = gen_packed(cg, rhs, ivar, ivar_slot)?;
+            emit_packed_op(cg, *op, a, b);
+            cg.free(Value::F(b));
+            Ok(a)
+        }
+        _ => unreachable!("packable checked"),
+    }
+}
+
+fn emit_packed_op(cg: &mut Codegen, op: BinOp, a: XReg, b: XReg) {
+    match op {
+        BinOp::Add => cg.asm.emit(Inst::Addpd(a, b)),
+        BinOp::Sub => cg.asm.emit(Inst::Subpd(a, b)),
+        BinOp::Mul => cg.asm.emit(Inst::Mulpd(a, b)),
+        BinOp::Div => cg.asm.emit(Inst::Divpd(a, b)),
+        other => unreachable!("packed op {other:?}"),
+    }
+}
+
+fn assign_bin(op: AssignOp) -> BinOp {
+    match op {
+        AssignOp::Add => BinOp::Add,
+        AssignOp::Sub => BinOp::Sub,
+        AssignOp::Mul => BinOp::Mul,
+        AssignOp::Div => BinOp::Div,
+        AssignOp::Set => unreachable!(),
+    }
+}
+
+/// A double-typed expression that can be evaluated lane-parallel: literals,
+/// loop-invariant scalar doubles, `arr[ivar]` loads, and `+ - * /` over
+/// those.
+fn packable(e: &Expr, ivar: &str) -> bool {
+    match &e.kind {
+        ExprKind::FloatLit(_) => true,
+        ExprKind::Var(name) => e.ty == Type::Double && name != ivar,
+        ExprKind::Index { base, index } => {
+            matches!(&base.kind, ExprKind::Var(_)) && is_ivar(index, ivar) && e.ty == Type::Double
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+                && e.ty == Type::Double
+                && packable(lhs, ivar)
+                && packable(rhs, ivar)
+        }
+        _ => false,
+    }
+}
+
+fn is_ivar(e: &Expr, ivar: &str) -> bool {
+    matches!(&e.kind, ExprKind::Var(n) if n == ivar)
+}
+
+/// Loop-invariant integer expression: literals and variables other than the
+/// induction variable, combined with pure arithmetic.
+fn is_invariant_int(e: &Expr, ivar: &str) -> bool {
+    match &e.kind {
+        ExprKind::IntLit(_) => true,
+        ExprKind::Var(n) => n != ivar,
+        ExprKind::Binary { op, lhs, rhs } => {
+            !op.is_logical() && is_invariant_int(lhs, ivar) && is_invariant_int(rhs, ivar)
+        }
+        ExprKind::Unary { operand, .. } => is_invariant_int(operand, ivar),
+        _ => false,
+    }
+}
+
+fn is_unit_step(step: &Option<Expr>, ivar: &str) -> bool {
+    let Some(step) = step else { return false };
+    match &step.kind {
+        ExprKind::IncDec {
+            increment: true,
+            target,
+            ..
+        } => is_ivar(target, ivar),
+        ExprKind::Assign {
+            op: AssignOp::Add,
+            target,
+            value,
+        } => is_ivar(target, ivar) && matches!(value.kind, ExprKind::IntLit(1)),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{compile_source, Options};
+    use mira_vobj::disasm::disassemble;
+
+    const TRIAD: &str = r#"
+void triad(int n, double* a, double* b, double* c, double s) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[i] + s * c[i];
+    }
+}
+"#;
+
+    #[test]
+    fn triad_vectorizes() {
+        let obj = compile_source(TRIAD, &Options::vectorized()).unwrap();
+        let ast = disassemble(&obj).unwrap();
+        let ms: Vec<&str> = ast
+            .function("triad")
+            .unwrap()
+            .instructions
+            .iter()
+            .map(|i| i.inst.mnemonic())
+            .collect();
+        assert!(ms.contains(&"movupd"), "{ms:?}");
+        assert!(ms.contains(&"addpd"), "{ms:?}");
+        assert!(ms.contains(&"mulpd"), "{ms:?}");
+        // remainder still has scalar ops
+        assert!(ms.contains(&"addsd"), "{ms:?}");
+        // two loop records: packed main + scalar remainder
+        let loops = obj.loops_of(obj.find_func("triad").unwrap());
+        assert_eq!(loops.len(), 2);
+        let main = loops.iter().find(|m| m.vector_factor == 2).unwrap();
+        let rem = loops.iter().find(|m| m.is_remainder).unwrap();
+        assert!(!main.is_remainder);
+        assert_eq!(rem.vector_factor, 1);
+    }
+
+    #[test]
+    fn scalar_mode_does_not_vectorize() {
+        let obj = compile_source(TRIAD, &Options::default()).unwrap();
+        let ast = disassemble(&obj).unwrap();
+        let ms: Vec<&str> = ast
+            .function("triad")
+            .unwrap()
+            .instructions
+            .iter()
+            .map(|i| i.inst.mnemonic())
+            .collect();
+        assert!(!ms.contains(&"movupd"), "{ms:?}");
+        assert!(!ms.contains(&"addpd"), "{ms:?}");
+    }
+
+    #[test]
+    fn reduction_not_vectorized() {
+        // s += x[i]*y[i] writes a scalar → falls back to scalar codegen
+        let src = r#"
+double dot(int n, double* x, double* y) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s += x[i] * y[i]; }
+    return s;
+}
+"#;
+        let obj = compile_source(src, &Options::vectorized()).unwrap();
+        let loops = obj.loops_of(obj.find_func("dot").unwrap());
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].vector_factor, 1);
+    }
+
+    #[test]
+    fn non_unit_index_not_vectorized() {
+        let src = r#"
+void f(int n, double* a, double* b) {
+    for (int i = 0; i < n; i++) { a[i] = b[i + 1]; }
+}
+"#;
+        let obj = compile_source(src, &Options::vectorized()).unwrap();
+        let loops = obj.loops_of(obj.find_func("f").unwrap());
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].vector_factor, 1);
+    }
+
+    #[test]
+    fn multi_statement_body_vectorizes() {
+        let src = r#"
+void f(int n, double* a, double* b, double* c) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[i] * 2.0;
+        c[i] = a[i] + b[i];
+    }
+}
+"#;
+        let obj = compile_source(src, &Options::vectorized()).unwrap();
+        let loops = obj.loops_of(obj.find_func("f").unwrap());
+        assert_eq!(loops.len(), 2);
+    }
+}

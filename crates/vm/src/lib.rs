@@ -1,0 +1,708 @@
+//! # mira-vm — the instrumented VX86 interpreter (TAU/PAPI stand-in)
+//!
+//! The paper validates Mira's statically generated models against dynamic
+//! measurements: TAU instrumentation reading `PAPI_FP_INS` while the real
+//! binary runs (§IV). Our dynamic baseline is this interpreter: it executes
+//! a compiled [`Object`] and counts every retired instruction per
+//! 64-category taxonomy, attributed per function both *exclusively* (only
+//! while the function is the innermost frame) and *inclusively* (whenever
+//! it is anywhere on the call stack — the TAU profile convention used in
+//! Table V, where `cg_solve` includes its callees), plus per source line.
+//!
+//! Crucially, the VM executes *everything*, including the libm bodies that
+//! static analysis cannot see — reproducing the paper's static-vs-dynamic
+//! error sources instead of faking them.
+
+pub mod profile;
+
+pub use profile::{FuncProfile, Profile};
+
+use mira_arch::Category;
+use mira_isa::{Cc, Inst, Mem};
+use mira_vobj::line::LineTable;
+use mira_vobj::{Object, ObjError, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+
+/// VM configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct VmOptions {
+    /// Total memory size in bytes (heap grows up from the guard page,
+    /// stack grows down from the top).
+    pub mem_size: usize,
+    /// Abort after this many executed instructions.
+    pub max_steps: u64,
+}
+
+impl Default for VmOptions {
+    fn default() -> Self {
+        VmOptions {
+            mem_size: 256 << 20,
+            max_steps: u64::MAX,
+        }
+    }
+}
+
+/// Runtime errors.
+#[derive(Clone, PartialEq, Debug)]
+pub enum VmError {
+    Object(String),
+    NoSuchFunction(String),
+    /// Call to an extern symbol with no body in the object.
+    UnresolvedExtern(String),
+    /// Out-of-bounds or unaligned-beyond-repair access.
+    Fault { addr: u64, len: usize },
+    DivByZero,
+    StackOverflow,
+    StepLimit,
+    /// Jump to an address that is not an instruction boundary.
+    WildJump(u32),
+    /// Too many / unsupported argument kinds in a host call.
+    BadCall(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Object(e) => write!(f, "bad object: {e}"),
+            VmError::NoSuchFunction(n) => write!(f, "no such function `{n}`"),
+            VmError::UnresolvedExtern(n) => write!(f, "call to unresolved extern `{n}`"),
+            VmError::Fault { addr, len } => write!(f, "memory fault at {addr:#x} (+{len})"),
+            VmError::DivByZero => write!(f, "integer division by zero"),
+            VmError::StackOverflow => write!(f, "stack overflow"),
+            VmError::StepLimit => write!(f, "instruction budget exhausted"),
+            VmError::WildJump(a) => write!(f, "jump to non-instruction address {a:#x}"),
+            VmError::BadCall(m) => write!(f, "bad host call: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<ObjError> for VmError {
+    fn from(e: ObjError) -> VmError {
+        VmError::Object(e.to_string())
+    }
+}
+
+/// Host-side argument / return values for [`Vm::call`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum HostVal {
+    Int(i64),
+    Fp(f64),
+}
+
+/// Flag state captured lazily from the last compare/test.
+#[derive(Clone, Copy, Debug)]
+enum Flags {
+    IntCmp(i64, i64),
+    FpCmp(f64, f64),
+    Test(i64),
+}
+
+const HEAP_BASE: u64 = 4096; // leave a null guard page
+
+struct DecodedInst {
+    inst: Inst,
+    next: u32,
+    /// Index into the per-line counter table, or u32::MAX.
+    line_slot: u32,
+    category: Category,
+}
+
+/// The interpreter.
+pub struct Vm {
+    insts: Vec<DecodedInst>,
+    /// text address → instruction index (u32::MAX where not a boundary).
+    addr_map: Vec<u32>,
+    func_names: Vec<String>,
+    func_addrs: Vec<u32>,
+    /// symbol index → Some(function index) or None for externs.
+    sym_to_func: Vec<Option<u16>>,
+    extern_names: Vec<String>,
+    mem: Vec<u8>,
+    heap_top: u64,
+    regs: [i64; 16],
+    xmm: [[f64; 2]; 16],
+    flags: Flags,
+    options: VmOptions,
+    // counters
+    excl: Vec<[u64; Category::COUNT]>,
+    incl: Vec<[u64; Category::COUNT]>,
+    calls: Vec<u64>,
+    line_keys: Vec<(u16, u32)>,
+    line_counts: Vec<[u64; Category::COUNT]>,
+    steps: u64,
+}
+
+const RSP: usize = 15;
+
+impl Vm {
+    /// Load an object into a fresh VM.
+    pub fn load(obj: &Object, options: VmOptions) -> Result<Vm, VmError> {
+        let table = LineTable::decode(&obj.line_program).map_err(|e| VmError::Object(e.to_string()))?;
+        let mut func_names = Vec::new();
+        let mut func_addrs = Vec::new();
+        let mut sym_to_func = Vec::new();
+        let mut extern_names = Vec::new();
+        for sym in &obj.symbols {
+            match sym {
+                Symbol::Func { name, addr, .. } => {
+                    sym_to_func.push(Some(func_names.len() as u16));
+                    func_names.push(name.clone());
+                    func_addrs.push(*addr);
+                }
+                Symbol::Extern { name } => {
+                    sym_to_func.push(None);
+                    extern_names.push(name.clone());
+                }
+            }
+        }
+
+        let mut insts = Vec::new();
+        let mut addr_map = vec![u32::MAX; obj.text.len() + 1];
+        let mut line_slot_map: HashMap<(u16, u32), u32> = HashMap::new();
+        let mut line_keys = Vec::new();
+
+        for sym in &obj.symbols {
+            let Symbol::Func { name, addr, size } = sym else {
+                continue;
+            };
+            let func = func_names
+                .iter()
+                .position(|n| n == name)
+                .unwrap() as u16;
+            let start = *addr as usize;
+            let end = start + *size as usize;
+            if end > obj.text.len() {
+                return Err(VmError::Object(format!("{name} out of text range")));
+            }
+            let mut pos = start;
+            while pos < end {
+                let (inst, len) = Inst::decode(&obj.text, pos)
+                    .map_err(|e| VmError::Object(format!("{name}+{pos:#x}: {e}")))?;
+                let line = table.line_for_addr(pos as u32).unwrap_or(0);
+                let line_slot = if line != 0 {
+                    *line_slot_map.entry((func, line)).or_insert_with(|| {
+                        line_keys.push((func, line));
+                        (line_keys.len() - 1) as u32
+                    })
+                } else {
+                    u32::MAX
+                };
+                addr_map[pos] = insts.len() as u32;
+                insts.push(DecodedInst {
+                    inst,
+                    next: (pos + len) as u32,
+                    line_slot,
+                    category: inst.category(),
+                });
+                pos += len;
+            }
+        }
+
+        let nfuncs = func_names.len();
+        let nlines = line_keys.len();
+        let mut mem = vec![0u8; options.mem_size];
+        // stack top (16-aligned)
+        let stack_top = (options.mem_size as u64 - 16) & !15;
+        let _ = &mut mem;
+        let mut vm = Vm {
+            insts,
+            addr_map,
+            func_names,
+            func_addrs,
+            sym_to_func,
+            extern_names,
+            mem,
+            heap_top: HEAP_BASE,
+            regs: [0; 16],
+            xmm: [[0.0; 2]; 16],
+            flags: Flags::Test(0),
+            options,
+            excl: vec![[0; Category::COUNT]; nfuncs],
+            incl: vec![[0; Category::COUNT]; nfuncs],
+            calls: vec![0; nfuncs],
+            line_keys,
+            line_counts: vec![[0; Category::COUNT]; nlines],
+            steps: 0,
+        };
+        vm.regs[RSP] = stack_top as i64;
+        Ok(vm)
+    }
+
+    /// Convenience: compile-free loading plus default options.
+    pub fn new(obj: &Object) -> Result<Vm, VmError> {
+        Vm::load(obj, VmOptions::default())
+    }
+
+    // ---- host heap ----
+
+    /// Allocate and initialize an array of doubles; returns its address.
+    pub fn alloc_f64(&mut self, data: &[f64]) -> u64 {
+        let addr = self.bump(data.len() * 8);
+        for (i, v) in data.iter().enumerate() {
+            let a = addr as usize + i * 8;
+            self.mem[a..a + 8].copy_from_slice(&v.to_bits().to_le_bytes());
+        }
+        addr
+    }
+
+    /// Allocate and initialize an array of i64s; returns its address.
+    pub fn alloc_i64(&mut self, data: &[i64]) -> u64 {
+        let addr = self.bump(data.len() * 8);
+        for (i, v) in data.iter().enumerate() {
+            let a = addr as usize + i * 8;
+            self.mem[a..a + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Allocate zeroed space for `n` doubles.
+    pub fn alloc_zeroed_f64(&mut self, n: usize) -> u64 {
+        self.bump(n * 8)
+    }
+
+    fn bump(&mut self, bytes: usize) -> u64 {
+        let addr = (self.heap_top + 15) & !15;
+        let new_top = addr + bytes as u64;
+        assert!(
+            (new_top as usize) + (1 << 20) < self.mem.len(),
+            "VM heap exhausted: grow VmOptions::mem_size"
+        );
+        self.heap_top = new_top;
+        addr
+    }
+
+    /// Read back `n` doubles from memory.
+    pub fn read_f64(&self, addr: u64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let a = addr as usize + i * 8;
+                f64::from_bits(u64::from_le_bytes(self.mem[a..a + 8].try_into().unwrap()))
+            })
+            .collect()
+    }
+
+    /// Read back `n` i64s from memory.
+    pub fn read_i64(&self, addr: u64, n: usize) -> Vec<i64> {
+        (0..n)
+            .map(|i| {
+                let a = addr as usize + i * 8;
+                i64::from_le_bytes(self.mem[a..a + 8].try_into().unwrap())
+            })
+            .collect()
+    }
+
+    // ---- profiling access ----
+
+    pub fn profile(&self) -> Profile {
+        Profile::build(
+            &self.func_names,
+            &self.excl,
+            &self.incl,
+            &self.calls,
+            &self.line_keys,
+            &self.line_counts,
+        )
+    }
+
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Reset all counters (not memory) — e.g. to skip setup phases.
+    pub fn reset_counters(&mut self) {
+        for c in self.excl.iter_mut().chain(self.incl.iter_mut()) {
+            *c = [0; Category::COUNT];
+        }
+        for c in self.line_counts.iter_mut() {
+            *c = [0; Category::COUNT];
+        }
+        self.calls.iter_mut().for_each(|c| *c = 0);
+        self.steps = 0;
+    }
+
+    // ---- execution ----
+
+    /// Call a function by name with the given arguments; returns `r0`/`x0`
+    /// (the caller picks the interpretation via the function's return
+    /// type).
+    pub fn call(&mut self, name: &str, args: &[HostVal]) -> Result<HostVal, VmError> {
+        let fidx = self
+            .func_names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| VmError::NoSuchFunction(name.to_string()))?;
+        let entry = self.func_addrs[fidx];
+
+        // place arguments per ABI: first six ints in registers, the rest on
+        // the stack (first overflow arg closest to the return address)
+        let mut int_idx = 0;
+        let mut fp_idx = 0;
+        let mut stack_args: Vec<i64> = Vec::new();
+        for a in args {
+            match a {
+                HostVal::Int(v) => {
+                    if int_idx < 6 {
+                        self.regs[int_idx] = *v;
+                        int_idx += 1;
+                    } else {
+                        stack_args.push(*v);
+                    }
+                }
+                HostVal::Fp(v) => {
+                    if fp_idx >= 8 {
+                        return Err(VmError::BadCall("too many fp args".to_string()));
+                    }
+                    self.xmm[fp_idx] = [*v, 0.0];
+                    fp_idx += 1;
+                }
+            }
+        }
+        for v in stack_args.iter().rev() {
+            self.push(*v)?;
+        }
+
+        // push sentinel return address
+        const SENTINEL: u64 = u64::MAX;
+        self.push(SENTINEL as i64)?;
+        let mut stack: Vec<u16> = vec![fidx as u16];
+        self.calls[fidx] += 1;
+
+        let mut ip = self.addr_to_idx(entry)?;
+        loop {
+            if self.steps >= self.options.max_steps {
+                return Err(VmError::StepLimit);
+            }
+            self.steps += 1;
+
+            let d = &self.insts[ip];
+            let cat = d.category.index();
+            // exclusive: innermost frame; inclusive: every frame on stack
+            let top = *stack.last().unwrap() as usize;
+            self.excl[top][cat] += 1;
+            for f in &stack {
+                self.incl[*f as usize][cat] += 1;
+            }
+            if d.line_slot != u32::MAX {
+                self.line_counts[d.line_slot as usize][cat] += 1;
+            }
+
+            let inst = d.inst;
+            let next = d.next;
+            match self.exec(inst, next)? {
+                Ctl::Next => ip = self.addr_to_idx(next)?,
+                Ctl::Jump(target) => ip = self.addr_to_idx(target)?,
+                Ctl::Call(sym) => {
+                    let callee = self
+                        .sym_to_func
+                        .get(sym as usize)
+                        .copied()
+                        .flatten()
+                        .ok_or_else(|| {
+                            let name = self
+                                .extern_name_of(sym)
+                                .unwrap_or_else(|| format!("sym#{sym}"));
+                            VmError::UnresolvedExtern(name)
+                        })?;
+                    self.push(next as i64)?;
+                    if stack.len() > 10_000 {
+                        return Err(VmError::StackOverflow);
+                    }
+                    stack.push(callee);
+                    self.calls[callee as usize] += 1;
+                    ip = self.addr_to_idx(self.func_addrs[callee as usize])?;
+                }
+                Ctl::Ret => {
+                    let ret = self.pop()? as u64;
+                    stack.pop();
+                    if ret == SENTINEL {
+                        break;
+                    }
+                    ip = self.addr_to_idx(ret as u32)?;
+                }
+                Ctl::Halt => break,
+            }
+        }
+
+        // integer return in r0; fp return in x0 — expose both via HostVal
+        // pairs: the caller knows the signature, so return Int and provide
+        // `last_fp_return` for doubles.
+        Ok(HostVal::Int(self.regs[0]))
+    }
+
+    /// The FP return value of the last call (lane 0 of `x0`).
+    pub fn fp_return(&self) -> f64 {
+        self.xmm[0][0]
+    }
+
+    /// The integer return value of the last call.
+    pub fn int_return(&self) -> i64 {
+        self.regs[0]
+    }
+
+    fn extern_name_of(&self, sym: u32) -> Option<String> {
+        let mut ext = 0usize;
+        for (i, f) in self.sym_to_func.iter().enumerate() {
+            if f.is_none() {
+                if i == sym as usize {
+                    return self.extern_names.get(ext).cloned();
+                }
+                ext += 1;
+            }
+        }
+        None
+    }
+
+    fn addr_to_idx(&self, addr: u32) -> Result<usize, VmError> {
+        match self.addr_map.get(addr as usize) {
+            Some(&idx) if idx != u32::MAX => Ok(idx as usize),
+            _ => Err(VmError::WildJump(addr)),
+        }
+    }
+
+    // ---- memory ----
+
+    fn ea(&self, m: Mem) -> u64 {
+        let mut a = self.regs[m.base.0 as usize] as u64;
+        if let Some((r, s)) = m.index {
+            a = a.wrapping_add((self.regs[r.0 as usize] as u64).wrapping_mul(s as u64));
+        }
+        a.wrapping_add(m.disp as i64 as u64)
+    }
+
+    fn load64(&self, addr: u64) -> Result<u64, VmError> {
+        let a = addr as usize;
+        self.mem
+            .get(a..a + 8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            .ok_or(VmError::Fault { addr, len: 8 })
+    }
+
+    fn store64(&mut self, addr: u64, v: u64) -> Result<(), VmError> {
+        let a = addr as usize;
+        match self.mem.get_mut(a..a + 8) {
+            Some(b) => {
+                b.copy_from_slice(&v.to_le_bytes());
+                Ok(())
+            }
+            None => Err(VmError::Fault { addr, len: 8 }),
+        }
+    }
+
+    fn push(&mut self, v: i64) -> Result<(), VmError> {
+        self.regs[RSP] -= 8;
+        if (self.regs[RSP] as u64) < self.heap_top {
+            return Err(VmError::StackOverflow);
+        }
+        self.store64(self.regs[RSP] as u64, v as u64)
+    }
+
+    fn pop(&mut self) -> Result<i64, VmError> {
+        let v = self.load64(self.regs[RSP] as u64)? as i64;
+        self.regs[RSP] += 8;
+        Ok(v)
+    }
+
+    fn cond(&self, cc: Cc) -> bool {
+        match (cc, self.flags) {
+            (Cc::E, Flags::IntCmp(a, b)) => a == b,
+            (Cc::Ne, Flags::IntCmp(a, b)) => a != b,
+            (Cc::L, Flags::IntCmp(a, b)) => a < b,
+            (Cc::Le, Flags::IntCmp(a, b)) => a <= b,
+            (Cc::G, Flags::IntCmp(a, b)) => a > b,
+            (Cc::Ge, Flags::IntCmp(a, b)) => a >= b,
+            // unsigned below/above on int compares
+            (Cc::B, Flags::IntCmp(a, b)) => (a as u64) < (b as u64),
+            (Cc::Be, Flags::IntCmp(a, b)) => (a as u64) <= (b as u64),
+            (Cc::A, Flags::IntCmp(a, b)) => (a as u64) > (b as u64),
+            (Cc::Ae, Flags::IntCmp(a, b)) => (a as u64) >= (b as u64),
+            // FP compares (ucomisd): NaN ⇒ unordered ⇒ "below"-family true
+            (Cc::E, Flags::FpCmp(a, b)) => a == b,
+            (Cc::Ne, Flags::FpCmp(a, b)) => a != b,
+            (Cc::B | Cc::L, Flags::FpCmp(a, b)) => a < b || a.is_nan() || b.is_nan(),
+            (Cc::Be | Cc::Le, Flags::FpCmp(a, b)) => a <= b || a.is_nan() || b.is_nan(),
+            (Cc::A | Cc::G, Flags::FpCmp(a, b)) => a > b,
+            (Cc::Ae | Cc::Ge, Flags::FpCmp(a, b)) => a >= b,
+            (Cc::E, Flags::Test(v)) => v == 0,
+            (Cc::Ne, Flags::Test(v)) => v != 0,
+            (Cc::L, Flags::Test(v)) => v < 0,
+            (Cc::Ge, Flags::Test(v)) => v >= 0,
+            (Cc::Le, Flags::Test(v)) => v <= 0,
+            (Cc::G, Flags::Test(v)) => v > 0,
+            (Cc::B | Cc::Be | Cc::A | Cc::Ae, Flags::Test(_)) => false,
+        }
+    }
+
+    fn exec(&mut self, inst: Inst, _next: u32) -> Result<Ctl, VmError> {
+        use Inst::*;
+        macro_rules! r {
+            ($reg:expr) => {
+                self.regs[$reg.0 as usize]
+            };
+        }
+        macro_rules! x {
+            ($reg:expr) => {
+                self.xmm[$reg.0 as usize]
+            };
+        }
+        match inst {
+            MovRR(d, s) => r!(d) = r!(s),
+            MovRI(d, v) => r!(d) = v,
+            Load(d, m) => {
+                let a = self.ea(m);
+                r!(d) = self.load64(a)? as i64;
+            }
+            Store(m, s) => {
+                let a = self.ea(m);
+                let v = r!(s) as u64;
+                self.store64(a, v)?;
+            }
+            Lea(d, m) => {
+                let a = self.ea(m);
+                r!(d) = a as i64;
+            }
+            Push(s) => {
+                let v = r!(s);
+                self.push(v)?;
+            }
+            Pop(d) => {
+                let v = self.pop()?;
+                r!(d) = v;
+            }
+            Movsxd(d, s) => r!(d) = r!(s) as i32 as i64,
+            Cqo => {} // sign extension is folded into Idiv below
+            AddRR(d, s) => r!(d) = r!(d).wrapping_add(r!(s)),
+            AddRI(d, v) => r!(d) = r!(d).wrapping_add(v),
+            SubRR(d, s) => r!(d) = r!(d).wrapping_sub(r!(s)),
+            SubRI(d, v) => r!(d) = r!(d).wrapping_sub(v),
+            ImulRR(d, s) => r!(d) = r!(d).wrapping_mul(r!(s)),
+            ImulRI(d, v) => r!(d) = r!(d).wrapping_mul(v),
+            Idiv(s) => {
+                let divisor = r!(s);
+                if divisor == 0 {
+                    return Err(VmError::DivByZero);
+                }
+                let dividend = self.regs[0];
+                self.regs[0] = dividend.wrapping_div(divisor);
+                self.regs[11] = dividend.wrapping_rem(divisor);
+            }
+            Neg(d) => r!(d) = r!(d).wrapping_neg(),
+            CmpRR(a, b) => self.flags = Flags::IntCmp(r!(a), r!(b)),
+            CmpRI(a, v) => self.flags = Flags::IntCmp(r!(a), v),
+            AndRR(d, s) => r!(d) &= r!(s),
+            OrRR(d, s) => r!(d) |= r!(s),
+            XorRR(d, s) => r!(d) ^= r!(s),
+            Not(d) => r!(d) = !r!(d),
+            ShlRI(d, k) => r!(d) = r!(d).wrapping_shl(k as u32),
+            SarRI(d, k) => r!(d) = r!(d).wrapping_shr(k as u32),
+            ShrRI(d, k) => r!(d) = ((r!(d) as u64).wrapping_shr(k as u32)) as i64,
+            TestRR(a, b) => self.flags = Flags::Test(r!(a) & r!(b)),
+            Setcc(cc, d) => r!(d) = self.cond(cc) as i64,
+            Jmp(t) => return Ok(Ctl::Jump(t)),
+            Jcc(cc, t) => {
+                if self.cond(cc) {
+                    return Ok(Ctl::Jump(t));
+                }
+            }
+            Call(sym) => return Ok(Ctl::Call(sym)),
+            Ret => return Ok(Ctl::Ret),
+            MovsdXX(d, s) => x!(d)[0] = x!(s)[0],
+            MovsdLoad(d, m) => {
+                let a = self.ea(m);
+                x!(d)[0] = f64::from_bits(self.load64(a)?);
+            }
+            MovsdStore(m, s) => {
+                let a = self.ea(m);
+                let v = x!(s)[0].to_bits();
+                self.store64(a, v)?;
+            }
+            MovapdXX(d, s) => x!(d) = x!(s),
+            MovupdLoad(d, m) => {
+                let a = self.ea(m);
+                x!(d)[0] = f64::from_bits(self.load64(a)?);
+                x!(d)[1] = f64::from_bits(self.load64(a + 8)?);
+            }
+            MovupdStore(m, s) => {
+                let a = self.ea(m);
+                let v = x!(s);
+                self.store64(a, v[0].to_bits())?;
+                self.store64(a + 8, v[1].to_bits())?;
+            }
+            MovqXR(d, s) => x!(d)[0] = f64::from_bits(r!(s) as u64),
+            MovqRX(d, s) => r!(d) = x!(s)[0].to_bits() as i64,
+            Addsd(d, s) => x!(d)[0] += x!(s)[0],
+            Subsd(d, s) => x!(d)[0] -= x!(s)[0],
+            Mulsd(d, s) => x!(d)[0] *= x!(s)[0],
+            Divsd(d, s) => x!(d)[0] /= x!(s)[0],
+            Sqrtsd(d, s) => x!(d)[0] = x!(s)[0].sqrt(),
+            Minsd(d, s) => x!(d)[0] = x!(d)[0].min(x!(s)[0]),
+            Maxsd(d, s) => x!(d)[0] = x!(d)[0].max(x!(s)[0]),
+            Addpd(d, s) => {
+                x!(d)[0] += x!(s)[0];
+                x!(d)[1] += x!(s)[1];
+            }
+            Subpd(d, s) => {
+                x!(d)[0] -= x!(s)[0];
+                x!(d)[1] -= x!(s)[1];
+            }
+            Mulpd(d, s) => {
+                x!(d)[0] *= x!(s)[0];
+                x!(d)[1] *= x!(s)[1];
+            }
+            Divpd(d, s) => {
+                x!(d)[0] /= x!(s)[0];
+                x!(d)[1] /= x!(s)[1];
+            }
+            Sqrtpd(d, s) => {
+                x!(d)[0] = x!(s)[0].sqrt();
+                x!(d)[1] = x!(s)[1].sqrt();
+            }
+            Andpd(d, s) => {
+                for l in 0..2 {
+                    x!(d)[l] =
+                        f64::from_bits(x!(d)[l].to_bits() & x!(s)[l].to_bits());
+                }
+            }
+            Orpd(d, s) => {
+                for l in 0..2 {
+                    x!(d)[l] =
+                        f64::from_bits(x!(d)[l].to_bits() | x!(s)[l].to_bits());
+                }
+            }
+            Xorpd(d, s) => {
+                for l in 0..2 {
+                    x!(d)[l] =
+                        f64::from_bits(x!(d)[l].to_bits() ^ x!(s)[l].to_bits());
+                }
+            }
+            Ucomisd(a, b) => self.flags = Flags::FpCmp(x!(a)[0], x!(b)[0]),
+            Unpckhpd(d, s) => {
+                let hi = x!(s)[1];
+                x!(d)[0] = x!(d)[1];
+                x!(d)[1] = hi;
+            }
+            Unpcklpd(d, s) => {
+                let lo = x!(s)[0];
+                x!(d)[1] = lo;
+            }
+            Cvtsi2sd(d, s) => x!(d)[0] = r!(s) as f64,
+            Cvttsd2si(d, s) => r!(d) = x!(s)[0] as i64,
+            Nop => {}
+            Halt => return Ok(Ctl::Halt),
+        }
+        Ok(Ctl::Next)
+    }
+}
+
+enum Ctl {
+    Next,
+    Jump(u32),
+    Call(u32),
+    Ret,
+    Halt,
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,382 @@
+//! Execution tests: compile real MiniC with `mira-vcc` and verify both
+//! *results* (the interpreter computes correct values) and *counts* (the
+//! instrumentation sees what it should).
+
+use super::*;
+use mira_arch::ArchDescription;
+use mira_vcc::{compile_source, Options};
+
+fn run_fp(src: &str, func: &str, args: &[HostVal]) -> f64 {
+    let obj = compile_source(src, &Options::default()).unwrap();
+    let mut vm = Vm::new(&obj).unwrap();
+    vm.call(func, args).unwrap();
+    vm.fp_return()
+}
+
+fn run_int(src: &str, func: &str, args: &[HostVal]) -> i64 {
+    let obj = compile_source(src, &Options::default()).unwrap();
+    let mut vm = Vm::new(&obj).unwrap();
+    vm.call(func, args).unwrap();
+    vm.int_return()
+}
+
+#[test]
+fn arithmetic_and_control_flow() {
+    let src = r#"
+int collatz_steps(int n) {
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        steps++;
+    }
+    return steps;
+}
+"#;
+    assert_eq!(run_int(src, "collatz_steps", &[HostVal::Int(6)]), 8);
+    assert_eq!(run_int(src, "collatz_steps", &[HostVal::Int(27)]), 111);
+}
+
+#[test]
+fn fp_arithmetic() {
+    let src = r#"
+double horner(double x) {
+    return ((2.0 * x + 3.0) * x - 1.0) * x + 0.5;
+}
+"#;
+    let got = run_fp(src, "horner", &[HostVal::Fp(1.5)]);
+    let x: f64 = 1.5;
+    assert!((got - (((2.0 * x + 3.0) * x - 1.0) * x + 0.5)).abs() < 1e-12);
+}
+
+#[test]
+fn dot_product_with_host_arrays() {
+    let src = r#"
+double dot(int n, double* x, double* y) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s += x[i] * y[i]; }
+    return s;
+}
+"#;
+    let obj = compile_source(src, &Options::default()).unwrap();
+    let mut vm = Vm::new(&obj).unwrap();
+    let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+    let y: Vec<f64> = (0..100).map(|i| (i as f64) * 0.5).collect();
+    let expected: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+    let ax = vm.alloc_f64(&x);
+    let ay = vm.alloc_f64(&y);
+    vm.call(
+        "dot",
+        &[
+            HostVal::Int(100),
+            HostVal::Int(ax as i64),
+            HostVal::Int(ay as i64),
+        ],
+    )
+    .unwrap();
+    assert!((vm.fp_return() - expected).abs() < 1e-9);
+}
+
+#[test]
+fn recursion() {
+    let src = r#"
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+"#;
+    assert_eq!(run_int(src, "fib", &[HostVal::Int(15)]), 610);
+}
+
+#[test]
+fn libm_sqrt_executes() {
+    let src = r#"
+extern double sqrt(double);
+double hyp(double a, double b) { return sqrt(a * a + b * b); }
+"#;
+    let got = run_fp(src, "hyp", &[HostVal::Fp(3.0), HostVal::Fp(4.0)]);
+    assert!((got - 5.0).abs() < 1e-9, "{got}");
+}
+
+#[test]
+fn libm_fabs_fmin_fmax() {
+    let src = r#"
+extern double fabs(double);
+extern double fmin(double, double);
+extern double fmax(double, double);
+double f(double a, double b) { return fmax(fabs(a), fmin(b, 2.0)); }
+"#;
+    let got = run_fp(src, "f", &[HostVal::Fp(-7.0), HostVal::Fp(9.0)]);
+    assert!((got - 7.0).abs() < 1e-12);
+}
+
+#[test]
+fn unresolved_extern_traps() {
+    let src = "extern double mystery(double);\ndouble f(double x) { return mystery(x); }";
+    let obj = compile_source(
+        src,
+        &Options {
+            include_libm: false,
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let mut vm = Vm::new(&obj).unwrap();
+    let err = vm.call("f", &[HostVal::Fp(1.0)]).unwrap_err();
+    assert_eq!(err, VmError::UnresolvedExtern("mystery".to_string()));
+}
+
+#[test]
+fn div_by_zero_traps() {
+    let src = "int f(int a, int b) { return a / b; }";
+    let obj = compile_source(src, &Options::default()).unwrap();
+    let mut vm = Vm::new(&obj).unwrap();
+    let err = vm
+        .call("f", &[HostVal::Int(1), HostVal::Int(0)])
+        .unwrap_err();
+    assert_eq!(err, VmError::DivByZero);
+}
+
+#[test]
+fn step_limit_enforced() {
+    let src = "void spin() { while (1) { ; } }";
+    let obj = compile_source(src, &Options::default()).unwrap();
+    let mut vm = Vm::load(
+        &obj,
+        VmOptions {
+            max_steps: 10_000,
+            ..VmOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(vm.call("spin", &[]).unwrap_err(), VmError::StepLimit);
+}
+
+#[test]
+fn memory_fault_detected() {
+    let src = "double f(double* a) { return a[0]; }";
+    let obj = compile_source(src, &Options::default()).unwrap();
+    let mut vm = Vm::new(&obj).unwrap();
+    let err = vm
+        .call("f", &[HostVal::Int(i64::MAX - 100)])
+        .unwrap_err();
+    assert!(matches!(err, VmError::Fault { .. }));
+}
+
+#[test]
+fn fpi_counts_exact_for_simple_loop() {
+    // s += x[i] * y[i] executes exactly 2 FP arithmetic instructions per
+    // iteration (mulsd + addsd)
+    let src = r#"
+double dot(int n, double* x, double* y) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s += x[i] * y[i]; }
+    return s;
+}
+"#;
+    let obj = compile_source(src, &Options::default()).unwrap();
+    let mut vm = Vm::new(&obj).unwrap();
+    let n = 1000usize;
+    let x = vm.alloc_f64(&vec![1.0; n]);
+    let y = vm.alloc_f64(&vec![2.0; n]);
+    vm.call(
+        "dot",
+        &[
+            HostVal::Int(n as i64),
+            HostVal::Int(x as i64),
+            HostVal::Int(y as i64),
+        ],
+    )
+    .unwrap();
+    let arch = ArchDescription::default();
+    let prof = vm.profile();
+    assert_eq!(prof.fpi("dot", &arch), 2 * n as i128);
+}
+
+#[test]
+fn inclusive_vs_exclusive_attribution() {
+    let src = r#"
+double inner(double x) { return x * x; }
+double outer(int n, double x) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s += inner(x); }
+    return s;
+}
+"#;
+    let obj = compile_source(src, &Options::default()).unwrap();
+    let mut vm = Vm::new(&obj).unwrap();
+    vm.call("outer", &[HostVal::Int(10), HostVal::Fp(2.0)])
+        .unwrap();
+    assert!((vm.fp_return() - 40.0).abs() < 1e-12);
+    let arch = ArchDescription::default();
+    let prof = vm.profile();
+    let inner = prof.function("inner").unwrap();
+    let outer = prof.function("outer").unwrap();
+    assert_eq!(inner.calls, 10);
+    // inner does 1 mulsd per call (10 total); outer adds 1 addsd per iter
+    assert_eq!(inner.inclusive.metric(arch.fpi()), 10);
+    // outer's inclusive FPI covers inner's work plus its own adds
+    assert_eq!(outer.inclusive.metric(arch.fpi()), 20);
+    // outer's exclusive FPI excludes inner's multiplications
+    assert_eq!(outer.exclusive.metric(arch.fpi()), 10);
+}
+
+#[test]
+fn per_line_counts_recorded() {
+    let src = "double f(double a, double b) {\n    double c = a * b;\n    double d = c + a;\n    return d;\n}";
+    let obj = compile_source(src, &Options::default()).unwrap();
+    let mut vm = Vm::new(&obj).unwrap();
+    vm.call("f", &[HostVal::Fp(2.0), HostVal::Fp(3.0)]).unwrap();
+    let prof = vm.profile();
+    let line2 = prof.lines.get(&("f".to_string(), 2)).unwrap();
+    assert_eq!(line2.get(mira_arch::Category::Sse2PackedArith), 1); // the mulsd
+    let line3 = prof.lines.get(&("f".to_string(), 3)).unwrap();
+    assert_eq!(line3.get(mira_arch::Category::Sse2PackedArith), 1); // the addsd
+}
+
+#[test]
+fn vectorized_triad_matches_scalar_results() {
+    let src = r#"
+void triad(int n, double* a, double* b, double* c, double s) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[i] + s * c[i];
+    }
+}
+"#;
+    for n in [0usize, 1, 2, 3, 7, 64, 65] {
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let c: Vec<f64> = (0..n).map(|i| (i * i) as f64 * 0.25).collect();
+        let s = 3.0;
+        let expected: Vec<f64> = b.iter().zip(&c).map(|(bv, cv)| bv + s * cv).collect();
+
+        for opts in [Options::default(), Options::vectorized()] {
+            let obj = compile_source(src, &opts).unwrap();
+            let mut vm = Vm::new(&obj).unwrap();
+            let ab = vm.alloc_f64(&b);
+            let ac = vm.alloc_f64(&c);
+            let aa = vm.alloc_zeroed_f64(n.max(1));
+            vm.call(
+                "triad",
+                &[
+                    HostVal::Int(n as i64),
+                    HostVal::Int(aa as i64),
+                    HostVal::Int(ab as i64),
+                    HostVal::Int(ac as i64),
+                    HostVal::Fp(s),
+                ],
+            )
+            .unwrap();
+            let got = vm.read_f64(aa, n);
+            for (g, e) in got.iter().zip(&expected) {
+                assert!((g - e).abs() < 1e-12, "n={n} vect={}", opts.vectorize);
+            }
+        }
+    }
+}
+
+#[test]
+fn vectorization_halves_fp_arith_instructions() {
+    let src = r#"
+void scale(int n, double* a, double* b, double s) {
+    for (int i = 0; i < n; i++) { a[i] = s * b[i]; }
+}
+"#;
+    let arch = ArchDescription::default();
+    let mut fpis = Vec::new();
+    for opts in [Options::default(), Options::vectorized()] {
+        let obj = compile_source(src, &opts).unwrap();
+        let mut vm = Vm::new(&obj).unwrap();
+        let n = 1000usize;
+        let b = vm.alloc_f64(&vec![1.0; n]);
+        let a = vm.alloc_zeroed_f64(n);
+        vm.call(
+            "scale",
+            &[
+                HostVal::Int(n as i64),
+                HostVal::Int(a as i64),
+                HostVal::Int(b as i64),
+                HostVal::Fp(2.0),
+            ],
+        )
+        .unwrap();
+        fpis.push(vm.profile().fpi("scale", &arch));
+    }
+    assert_eq!(fpis[0], 1000); // scalar: one mulsd per element
+    assert_eq!(fpis[1], 500); // packed: one mulpd per two elements
+}
+
+#[test]
+fn counters_reset() {
+    let src = "double f(double a) { return a + 1.0; }";
+    let obj = compile_source(src, &Options::default()).unwrap();
+    let mut vm = Vm::new(&obj).unwrap();
+    vm.call("f", &[HostVal::Fp(0.0)]).unwrap();
+    assert!(vm.steps() > 0);
+    vm.reset_counters();
+    assert_eq!(vm.steps(), 0);
+    let arch = ArchDescription::default();
+    assert_eq!(vm.profile().fpi("f", &arch), 0);
+}
+
+#[test]
+fn no_such_function() {
+    let obj = compile_source("void f() { }", &Options::default()).unwrap();
+    let mut vm = Vm::new(&obj).unwrap();
+    assert_eq!(
+        vm.call("g", &[]).unwrap_err(),
+        VmError::NoSuchFunction("g".to_string())
+    );
+}
+
+#[test]
+fn local_arrays_work() {
+    let src = r#"
+double sum3() {
+    double t[3];
+    t[0] = 1.5; t[1] = 2.5; t[2] = 3.0;
+    double s = 0.0;
+    for (int i = 0; i < 3; i++) { s += t[i]; }
+    return s;
+}
+"#;
+    assert!((run_fp(src, "sum3", &[]) - 7.0).abs() < 1e-12);
+}
+
+#[test]
+fn casts_roundtrip() {
+    let src = "int f(double d) { return (int)(d * 2.0); }";
+    assert_eq!(run_int(src, "f", &[HostVal::Fp(3.25)]), 6);
+    let src2 = "double g(int i) { return i * 1.5; }";
+    assert!((run_fp(src2, "g", &[HostVal::Int(5)]) - 7.5).abs() < 1e-12);
+}
+
+#[test]
+fn logical_ops_and_comparisons() {
+    let src = r#"
+int f(int a, int b) {
+    int x = a > 2 && b < 10;
+    int y = a == 5 || b != 3;
+    return x + 2 * y;
+}
+"#;
+    assert_eq!(
+        run_int(src, "f", &[HostVal::Int(5), HostVal::Int(3)]),
+        1 + 2 * 1
+    );
+    assert_eq!(
+        run_int(src, "f", &[HostVal::Int(1), HostVal::Int(3)]),
+        0 + 2 * 0
+    );
+}
+
+#[test]
+fn incdec_semantics() {
+    let src = r#"
+int f(int a) {
+    int b = a++;
+    int c = ++a;
+    return 100 * a + 10 * b + c;
+}
+"#;
+    // a: 5 → b=5, a=6 → a=7, c=7 → 700 + 50 + 7
+    assert_eq!(run_int(src, "f", &[HostVal::Int(5)]), 757);
+}

@@ -1,0 +1,231 @@
+//! The Table-I survey corpus: ten small MiniC applications standing in for
+//! the SPEC/Perfect-Club codes of Bastoul et al.'s loop-coverage survey
+//! (applu, apsi, mdg, lucas, mgrid, quake, swim, adm, dyfesm, mg3d). Each
+//! is a condensed kernel with the *structural* property the survey
+//! measures — a large majority of executable statements inside loop nests.
+
+/// `(name, MiniC source)` for every survey application.
+pub fn corpus() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("applu", APPLU),
+        ("apsi", APSI),
+        ("mdg", MDG),
+        ("lucas", LUCAS),
+        ("mgrid", MGRID),
+        ("quake", QUAKE),
+        ("swim", SWIM),
+        ("adm", ADM),
+        ("dyfesm", DYFESM),
+        ("mg3d", MG3D),
+    ]
+}
+
+const APPLU: &str = r#"
+void ssor_sweep(int n, double* u, double* rsd, double omega) {
+    for (int i = 1; i < n - 1; i++) {
+        for (int j = 1; j < n - 1; j++) {
+            double c = u[i * n + j];
+            double lap = u[(i - 1) * n + j] + u[(i + 1) * n + j] - 4.0 * c;
+            lap = lap + u[i * n + j - 1] + u[i * n + j + 1];
+            rsd[i * n + j] = c + omega * lap;
+        }
+    }
+    for (int i = 0; i < n * n; i++) {
+        u[i] = rsd[i];
+    }
+}
+"#;
+
+const APSI: &str = r#"
+void advect(int n, double* q, double* wind, double* out, double dt) {
+    double cfl = 0.0;
+    for (int k = 1; k < n - 1; k++) {
+        double up = wind[k];
+        double flux = up * (q[k] - q[k - 1]);
+        out[k] = q[k] - dt * flux;
+        cfl = cfl + up * dt;
+    }
+    for (int k = 0; k < n; k++) {
+        q[k] = out[k];
+        wind[k] = wind[k] * 0.99;
+    }
+    out[0] = q[0];
+    out[n - 1] = q[n - 1];
+}
+"#;
+
+const MDG: &str = r#"
+void forces(int n, double* x, double* y, double* fx, double* fy) {
+    for (int i = 0; i < n; i++) {
+        fx[i] = 0.0;
+        fy[i] = 0.0;
+    }
+    for (int i = 0; i < n; i++) {
+        for (int j = i + 1; j < n; j++) {
+            double dx = x[i] - x[j];
+            double dy = y[i] - y[j];
+            double r2 = dx * dx + dy * dy + 0.5;
+            double f = 1.0 / r2;
+            fx[i] += f * dx;
+            fy[i] += f * dy;
+            fx[j] -= f * dx;
+            fy[j] -= f * dy;
+        }
+    }
+}
+"#;
+
+const LUCAS: &str = r#"
+double lucas_sequence(int n, double* work) {
+    for (int i = 0; i < n; i++) {
+        double v = work[i];
+        v = v * v - 2.0;
+        v = v - (double)((int)(v / 2147483647.0)) * 2147483647.0;
+        work[i] = v;
+    }
+    double acc = 0.0;
+    for (int i = 0; i < n; i++) {
+        acc += work[i];
+    }
+    return acc;
+}
+"#;
+
+const MGRID: &str = r#"
+void relax(int n, double* u, double* rhs) {
+    for (int i = 1; i < n - 1; i++) {
+        for (int j = 1; j < n - 1; j++) {
+            u[i * n + j] = 0.25 * (u[(i - 1) * n + j] + u[(i + 1) * n + j]
+                + u[i * n + j - 1] + u[i * n + j + 1] - rhs[i * n + j]);
+        }
+    }
+}
+
+void restrict_grid(int n, double* fine, double* coarse) {
+    int half = n / 2;
+    for (int i = 0; i < half; i++) {
+        for (int j = 0; j < half; j++) {
+            coarse[i * half + j] = 0.25 * (fine[2 * i * n + 2 * j]
+                + fine[(2 * i + 1) * n + 2 * j]
+                + fine[2 * i * n + 2 * j + 1]
+                + fine[(2 * i + 1) * n + 2 * j + 1]);
+        }
+    }
+}
+"#;
+
+const QUAKE: &str = r#"
+void smvp_step(int n, double* k_diag, double* disp, double* vel, double dt) {
+    double energy = 0.0;
+    int damped = 0;
+    for (int i = 0; i < n; i++) {
+        double a = k_diag[i] * disp[i];
+        vel[i] = vel[i] - dt * a;
+        disp[i] = disp[i] + dt * vel[i];
+        if (vel[i] * vel[i] > 100.0) {
+            vel[i] = vel[i] * 0.5;
+            damped = damped + 1;
+        }
+        energy = energy + vel[i] * vel[i];
+    }
+    k_diag[0] = energy + (double)damped;
+}
+"#;
+
+const SWIM: &str = r#"
+void shallow_water(int n, double* u, double* v, double* p, double dt) {
+    for (int i = 1; i < n - 1; i++) {
+        for (int j = 1; j < n - 1; j++) {
+            double du = p[i * n + j + 1] - p[i * n + j - 1];
+            double dv = p[(i + 1) * n + j] - p[(i - 1) * n + j];
+            u[i * n + j] -= dt * du;
+            v[i * n + j] -= dt * dv;
+            p[i * n + j] -= dt * (du + dv);
+        }
+    }
+}
+"#;
+
+const ADM: &str = r#"
+void pollutant_diffuse(int n, int steps, double* c, double* work, double kappa) {
+    for (int s = 0; s < steps; s++) {
+        for (int i = 1; i < n - 1; i++) {
+            work[i] = c[i] + kappa * (c[i - 1] - 2.0 * c[i] + c[i + 1]);
+        }
+        for (int i = 1; i < n - 1; i++) {
+            c[i] = work[i];
+        }
+        c[0] = c[1];
+        c[n - 1] = c[n - 2];
+    }
+}
+"#;
+
+const DYFESM: &str = r#"
+void element_update(int nelem, double* stiff, double* disp, double* force) {
+    for (int e = 0; e < nelem; e++) {
+        double acc = 0.0;
+        for (int k = 0; k < 8; k++) {
+            acc += stiff[e * 8 + k] * disp[k];
+        }
+        force[e] = acc;
+    }
+    double total = 0.0;
+    for (int e = 0; e < nelem; e++) {
+        total += force[e];
+    }
+    force[0] = total;
+}
+"#;
+
+const MG3D: &str = r#"
+void migrate(int n, double* trace, double* image, double* vel) {
+    for (int t = 0; t < n; t++) {
+        for (int z = 0; z < n; z++) {
+            double w = vel[z] * trace[t];
+            image[t * n + z] += w;
+        }
+    }
+    for (int z = 0; z < n; z++) {
+        double norm = 0.0;
+        for (int t = 0; t < n; t++) {
+            norm += image[t * n + z] * image[t * n + z];
+        }
+        vel[z] = norm;
+    }
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_core::coverage::survey;
+
+    #[test]
+    fn all_corpus_programs_analyze() {
+        for (name, src) in corpus() {
+            let p = mira_minic::frontend(src)
+                .unwrap_or_else(|e| panic!("{name} fails frontend: {e}"));
+            let row = survey(name, &p);
+            assert!(row.loops >= 1, "{name} has no loops");
+            assert!(
+                row.percentage() >= 60.0,
+                "{name} loop coverage only {:.0}%",
+                row.percentage()
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_compiles() {
+        for (name, src) in corpus() {
+            mira_vcc::compile_source(src, &mira_vcc::Options::default())
+                .unwrap_or_else(|e| panic!("{name} fails compile: {e}"));
+        }
+    }
+
+    #[test]
+    fn corpus_has_ten_apps() {
+        assert_eq!(corpus().len(), 10);
+    }
+}

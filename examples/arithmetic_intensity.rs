@@ -1,0 +1,28 @@
+//! Derived-metric prediction (paper §IV-D2): instruction-based arithmetic
+//! intensity of miniFE's cg_solve from the architecture description file's
+//! metric groups.
+//!
+//! Run with: `cargo run --release -p mira-bench --example arithmetic_intensity`
+
+use mira_sym::bindings;
+use mira_workloads::minife::MiniFe;
+
+fn main() {
+    let m = MiniFe::new();
+    let (nx, ny, nz) = (10, 10, 10);
+    let est = m.estimate_iters(nx, ny, nz);
+    let binds = bindings(&[
+        ("n", (nx * ny * nz) as i128),
+        ("nnz_row_milli", MiniFe::nnz_row_milli(nx, ny, nz) as i128),
+        ("cg_iters", est as i128),
+    ]);
+    let report = m.analysis.report("cg_solve", &binds).unwrap();
+    println!("cg_solve on a {nx}x{ny}x{nz} grid (estimated {est} CG iterations):\n");
+    for (name, count) in report.category_table() {
+        println!("  {name:<42} {count:>12}");
+    }
+    println!(
+        "\n  arithmetic intensity = FPI / FP movement = {:.2}  (paper: 0.53)",
+        report.arithmetic_intensity(&m.analysis.arch)
+    );
+}

@@ -1,0 +1,23 @@
+//! Emit the generated model as Python (the paper's Fig. 5 output format).
+//!
+//! Run with: `cargo run -p mira-bench --example python_model > model.py`
+
+use mira_core::{analyze_source, MiraOptions};
+
+const SRC: &str = r#"
+void waxpby(int n, double alpha, double* x, double beta, double* y, double* w) {
+    for (int i = 0; i < n; i++) {
+        w[i] = alpha * x[i] + beta * y[i];
+    }
+}
+
+double driver(int n, double* x, double* y, double* w) {
+    waxpby(n, 1.0, x, 2.0, y, w);
+    return w[0];
+}
+"#;
+
+fn main() {
+    let analysis = analyze_source(SRC, &MiraOptions::default()).unwrap();
+    println!("{}", analysis.python_model());
+}

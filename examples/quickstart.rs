@@ -1,0 +1,38 @@
+//! Quickstart: analyze a kernel statically and predict its instruction
+//! counts for inputs that were never executed.
+//!
+//! Run with: `cargo run -p mira-bench --example quickstart`
+
+use mira_core::{analyze_source, MiraOptions};
+use mira_sym::bindings;
+
+const SRC: &str = r#"
+double dot(int n, double* x, double* y) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += x[i] * y[i];
+    }
+    return s;
+}
+"#;
+
+fn main() {
+    // One static analysis: parse, compile, disassemble, bridge, model.
+    let analysis = analyze_source(SRC, &MiraOptions::default()).unwrap();
+    println!("model parameters: {:?}\n", analysis.parameters());
+
+    // Evaluate the parametric model for several problem sizes — no
+    // execution of the program takes place.
+    for n in [1_000i128, 1_000_000, 100_000_000] {
+        let report = analysis.report("dot", &bindings(&[("n", n)])).unwrap();
+        println!(
+            "n = {n:>11}: FPI = {:>12}  total instructions = {:>14}",
+            report.fpi(&analysis.arch),
+            report.total()
+        );
+    }
+
+    // The closed-form FPI expression itself:
+    let expr = analysis.model.fpi_expr("dot", &analysis.arch).unwrap();
+    println!("\nclosed-form FPI(dot) = {expr}");
+}

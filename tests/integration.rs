@@ -1,0 +1,133 @@
+//! Cross-crate integration tests: the full pipeline (front-end → compiler →
+//! object → disassembler → metric generator → model → VM validation)
+//! exercised through the workspace's public APIs.
+
+use mira_arch::Category;
+use mira_sym::bindings;
+use mira_vm::{HostVal, Vm};
+use mira_workloads::{dgemm::Dgemm, minife::MiniFe, stream::Stream};
+
+#[test]
+fn stream_table3_shape() {
+    let s = Stream::new();
+    let rows: Vec<_> = [20_000i64, 50_000].iter().map(|&n| s.row(n, 2)).collect();
+    for row in &rows {
+        assert!(row.dynamic_fpi >= row.static_fpi, "{row:?}");
+        assert!(row.error_pct() < 0.5, "{row:?}");
+    }
+    // counts scale linearly with n
+    let ratio = rows[1].dynamic_fpi as f64 / rows[0].dynamic_fpi as f64;
+    assert!((ratio - 2.5).abs() < 0.05, "ratio {ratio}");
+}
+
+#[test]
+fn dgemm_table4_shape() {
+    let d = Dgemm::new();
+    let rows: Vec<_> = [16i64, 32].iter().map(|&n| d.row(n, 1)).collect();
+    for row in &rows {
+        assert!(row.error_pct() < 0.1, "{row:?}");
+    }
+    // cubic scaling
+    let ratio = rows[1].dynamic_fpi as f64 / rows[0].dynamic_fpi as f64;
+    assert!(ratio > 7.0 && ratio < 9.0, "ratio {ratio}");
+}
+
+#[test]
+fn minife_table5_shape() {
+    let m = MiniFe::new();
+    let rows = m.rows(8, 8, 8, 500, 1e-8);
+    assert_eq!(rows.len(), 3);
+    for row in &rows {
+        // 8^3 sits in CG's pre-asymptotic regime, so the iteration
+        // estimate is coarse; at the paper-scale grids of repro_table5 the
+        // cg_solve error lands in the paper's few-percent band.
+        assert!(
+            row.error_pct() < 30.0,
+            "{} error {}%",
+            row.function,
+            row.error_pct()
+        );
+    }
+    // waxpby is the most predictable, cg_solve the least (annotation-driven)
+    let waxpby = rows.iter().find(|r| r.function == "waxpby").unwrap();
+    assert!(waxpby.error_pct() < 0.1, "{}", waxpby.error_pct());
+}
+
+#[test]
+fn full_pipeline_category_exactness() {
+    // a fresh kernel not used elsewhere: 2-D stencil with interior loop
+    let src = r#"
+void stencil(int n, double* u, double* v) {
+    for (int i = 1; i < n - 1; i++) {
+        for (int j = 1; j < n - 1; j++) {
+            v[i * n + j] = 0.25 * (u[(i - 1) * n + j] + u[(i + 1) * n + j]
+                + u[i * n + j - 1] + u[i * n + j + 1]);
+        }
+    }
+}
+"#;
+    let analysis = mira_core::analyze_source(src, &mira_core::MiraOptions::default()).unwrap();
+    assert!(analysis.warnings.is_empty(), "{:?}", analysis.warnings);
+    let n = 20i64;
+    let mut vm = Vm::new(&analysis.object).unwrap();
+    let u = vm.alloc_f64(&vec![1.0; (n * n) as usize]);
+    let v = vm.alloc_zeroed_f64((n * n) as usize);
+    vm.call(
+        "stencil",
+        &[HostVal::Int(n), HostVal::Int(u as i64), HostVal::Int(v as i64)],
+    )
+    .unwrap();
+    let report = analysis
+        .report("stencil", &bindings(&[("n", n as i128)]))
+        .unwrap();
+    let prof = vm.profile();
+    let dynamic = &prof.function("stencil").unwrap().inclusive;
+    for cat in Category::ALL {
+        assert_eq!(report.counts.get(cat), dynamic.get(cat), "cat {cat}");
+    }
+}
+
+#[test]
+fn pbound_vs_mira_on_vectorized_code() {
+    const TRIAD: &str = r#"
+void triad(int n, double* a, double* b, double* c, double s) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[i] + s * c[i];
+    }
+}
+"#;
+    let n = 10_000i64;
+    let binds = bindings(&[("n", n as i128)]);
+    let program = mira_minic::frontend(TRIAD).unwrap();
+    let pb_flops = mira_pbound::analyze(&program)["triad"].eval_flops(&binds);
+
+    let opts = mira_core::MiraOptions {
+        compiler: mira_vcc::Options::vectorized(),
+        ..mira_core::MiraOptions::default()
+    };
+    let analysis = mira_core::analyze_source(TRIAD, &opts).unwrap();
+    let mira_fpi = analysis.report("triad", &binds).unwrap().fpi(&analysis.arch);
+
+    let mut vm = Vm::new(&analysis.object).unwrap();
+    let b = vm.alloc_f64(&vec![1.0; n as usize]);
+    let c = vm.alloc_f64(&vec![2.0; n as usize]);
+    let a = vm.alloc_zeroed_f64(n as usize);
+    vm.call(
+        "triad",
+        &[
+            HostVal::Int(n),
+            HostVal::Int(a as i64),
+            HostVal::Int(b as i64),
+            HostVal::Int(c as i64),
+            HostVal::Fp(3.0),
+        ],
+    )
+    .unwrap();
+    let dyn_fpi = vm.profile().fpi("triad", &analysis.arch);
+
+    // Mira (binary-informed) is exact; PBound (source-only) overestimates
+    // FP instructions by ~2x on vectorized code — the paper's core claim.
+    assert_eq!(mira_fpi, dyn_fpi);
+    assert_eq!(pb_flops, 2 * n as i128);
+    assert!(pb_flops as f64 / dyn_fpi as f64 > 1.8);
+}
