@@ -1,0 +1,138 @@
+//! `vm_throughput` — interpreter throughput over the paper's workloads.
+//!
+//! Measures the block-dispatch engine (`mira_vm::Vm`) against the per-step
+//! seed interpreter (`mira_vm::reference::ReferenceVm`) on the STREAM
+//! triad, DGEMM and the miniFE CG solve — the three dynamic-validation
+//! paths every `repro_table*` binary exercises. The `bench_vm` binary
+//! (same crate) runs the same matrix standalone and writes the results to
+//! `BENCH_vm.json` for the repository's performance trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mira_workloads::{dgemm::Dgemm, minife::MiniFe, stream::Stream};
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+/// Expand one `workload × engine` bench: load a fresh VM of the given
+/// type, set up host arrays, call the kernel, return retired steps.
+macro_rules! bench_engine {
+    ($group:expr, $workload:expr, $engine_name:expr, $vmty:ty, $obj:expr, $setup:expr, $func:expr) => {
+        $group.bench_with_input(
+            BenchmarkId::new($workload, $engine_name),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut vm =
+                        <$vmty>::load($obj, mira_vm::VmOptions::default()).unwrap();
+                    #[allow(clippy::redundant_closure_call)]
+                    let args = ($setup)(&mut vm);
+                    vm.call($func, &args).unwrap();
+                    vm.steps()
+                })
+            },
+        );
+    };
+}
+
+/// STREAM kernels (copy/scale/add/triad) over 2000 elements, 2 reps.
+macro_rules! stream_setup {
+    ($vmty:ty) => {
+        |vm: &mut $vmty| {
+            let n = 2000usize;
+            let a = vm.alloc_f64(&vec![1.0; n]);
+            let b = vm.alloc_f64(&vec![2.0; n]);
+            let c = vm.alloc_f64(&vec![0.0; n]);
+            vec![
+                mira_vm::HostVal::Int(n as i64),
+                mira_vm::HostVal::Int(2),
+                mira_vm::HostVal::Int(a as i64),
+                mira_vm::HostVal::Int(b as i64),
+                mira_vm::HostVal::Int(c as i64),
+                mira_vm::HostVal::Fp(3.0),
+            ]
+        }
+    };
+}
+
+/// 24×24 DGEMM, one rep.
+macro_rules! dgemm_setup {
+    ($vmty:ty) => {
+        |vm: &mut $vmty| {
+            let n = 24usize;
+            let a = vm.alloc_f64(&vec![1.0; n * n]);
+            let b = vm.alloc_f64(&vec![2.0; n * n]);
+            let c = vm.alloc_f64(&vec![0.0; n * n]);
+            vec![
+                mira_vm::HostVal::Int(n as i64),
+                mira_vm::HostVal::Int(1),
+                mira_vm::HostVal::Int(a as i64),
+                mira_vm::HostVal::Int(b as i64),
+                mira_vm::HostVal::Int(c as i64),
+            ]
+        }
+    };
+}
+
+fn vm_throughput(c: &mut Criterion) {
+    let stream = Stream::new();
+    let dgemm = Dgemm::new();
+    let minife = MiniFe::new();
+
+    let mut group = c.benchmark_group("vm_throughput");
+
+    bench_engine!(
+        group,
+        "stream_triad",
+        "engine",
+        mira_vm::Vm,
+        &stream.analysis.object,
+        stream_setup!(mira_vm::Vm),
+        "stream_kernels"
+    );
+    bench_engine!(
+        group,
+        "stream_triad",
+        "reference",
+        mira_vm::reference::ReferenceVm,
+        &stream.analysis.object,
+        stream_setup!(mira_vm::reference::ReferenceVm),
+        "stream_kernels"
+    );
+    bench_engine!(
+        group,
+        "dgemm",
+        "engine",
+        mira_vm::Vm,
+        &dgemm.analysis.object,
+        dgemm_setup!(mira_vm::Vm),
+        "dgemm"
+    );
+    bench_engine!(
+        group,
+        "dgemm",
+        "reference",
+        mira_vm::reference::ReferenceVm,
+        &dgemm.analysis.object,
+        dgemm_setup!(mira_vm::reference::ReferenceVm),
+        "dgemm"
+    );
+
+    // miniFE runs the full documented deep-call path (assemble + CG solve)
+    // through the workload harness; `bench_vm` isolates the solve itself
+    group.bench_with_input(BenchmarkId::new("minife_cg", "engine"), &(), |b, _| {
+        b.iter(|| minife.run_dynamic(6, 6, 6, 200, 1e-8).iterations)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = vm_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,294 @@
+//! `bench_vm` — the VM performance trajectory.
+//!
+//! Runs the STREAM triad, DGEMM and miniFE CG-solve workloads through both
+//! interpreters — the block-dispatch engine (`mira_vm::Vm`) and the
+//! per-step seed loop (`mira_vm::reference::ReferenceVm`) — verifies their
+//! profiles are bit-identical, and writes throughput plus speedup to
+//! `BENCH_vm.json` so future PRs have a perf baseline to defend.
+//!
+//! Usage: `cargo run --release -p mira-bench --bin bench_vm [--quick]`
+//! (`--quick` shrinks sizes and rounds for CI smoke runs).
+
+use mira_vm::reference::ReferenceVm;
+use mira_vm::{HostVal, Vm, VmOptions};
+use mira_workloads::{dgemm::Dgemm, minife::MiniFe, stream::Stream};
+use std::time::Instant;
+
+struct Row {
+    workload: &'static str,
+    steps: u64,
+    engine_ns: f64,
+    reference_ns: f64,
+}
+
+impl Row {
+    fn engine_minst_s(&self) -> f64 {
+        self.steps as f64 / self.engine_ns * 1e3
+    }
+    fn reference_minst_s(&self) -> f64 {
+        self.steps as f64 / self.reference_ns * 1e3
+    }
+    fn speedup(&self) -> f64 {
+        self.reference_ns / self.engine_ns
+    }
+}
+
+/// Best-of-`rounds` wall time of `f`, in nanoseconds.
+fn best_of<F: FnMut() -> u64>(rounds: usize, mut f: F) -> (u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut steps = 0;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        steps = f();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    (steps, best)
+}
+
+macro_rules! timed_call {
+    ($vmty:ty, $obj:expr, $setup:expr, $func:expr) => {{
+        let mut vm = <$vmty>::load($obj, VmOptions::default()).unwrap();
+        #[allow(clippy::redundant_closure_call)]
+        let args = ($setup)(&mut vm);
+        vm.call($func, &args).unwrap();
+        vm.steps()
+    }};
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds = if quick { 2 } else { 5 };
+    let (stream_n, dgemm_n, grid) = if quick {
+        (500i64, 12i64, 6i64)
+    } else {
+        (20_000, 40, 10)
+    };
+
+    let stream = Stream::new();
+    let dgemm = Dgemm::new();
+    let minife = MiniFe::new();
+    let mut rows = Vec::new();
+
+    // sanity: the two engines must agree bit for bit before we compare speed
+    {
+        let mut a = Vm::new(&stream.analysis.object).unwrap();
+        let mut b = ReferenceVm::new(&stream.analysis.object).unwrap();
+        let args_a = stream_args(&mut a, 200);
+        let args_b = stream_args_r(&mut b, 200);
+        a.call("stream_kernels", &args_a).unwrap();
+        b.call("stream_kernels", &args_b).unwrap();
+        assert_eq!(a.profile(), b.profile(), "engines diverge — do not trust the numbers");
+    }
+
+    // STREAM triad (plus the other three kernels — the paper's Table III path)
+    {
+        let (steps, engine_ns) = best_of(rounds, || {
+            timed_call!(Vm, &stream.analysis.object, |vm: &mut Vm| stream_args(vm, stream_n), "stream_kernels")
+        });
+        let (rsteps, reference_ns) = best_of(rounds, || {
+            timed_call!(
+                ReferenceVm,
+                &stream.analysis.object,
+                |vm: &mut ReferenceVm| stream_args_r(vm, stream_n),
+                "stream_kernels"
+            )
+        });
+        assert_eq!(steps, rsteps);
+        rows.push(Row { workload: "stream_triad", steps, engine_ns, reference_ns });
+    }
+
+    // DGEMM (Table IV path)
+    {
+        let (steps, engine_ns) = best_of(rounds, || {
+            timed_call!(Vm, &dgemm.analysis.object, |vm: &mut Vm| dgemm_args(vm, dgemm_n), "dgemm_bench")
+        });
+        let (rsteps, reference_ns) = best_of(rounds, || {
+            timed_call!(
+                ReferenceVm,
+                &dgemm.analysis.object,
+                |vm: &mut ReferenceVm| dgemm_args_r(vm, dgemm_n),
+                "dgemm_bench"
+            )
+        });
+        assert_eq!(steps, rsteps);
+        rows.push(Row { workload: "dgemm", steps, engine_ns, reference_ns });
+    }
+
+    // miniFE CG solve (Table V deep-call path): assembly excluded, like the
+    // paper scopes TAU to the solve
+    {
+        let (steps, engine_ns) = best_of(rounds, || minife_solve_steps::<Vm>(&minife, grid));
+        let (rsteps, reference_ns) =
+            best_of(rounds, || minife_solve_steps::<ReferenceVm>(&minife, grid));
+        assert_eq!(steps, rsteps);
+        rows.push(Row { workload: "minife_cg", steps, engine_ns, reference_ns });
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"vm_throughput\",\n  \"unit\": \"Minst/s\",\n  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"steps\": {}, \"engine_minst_per_s\": {:.1}, \"reference_minst_per_s\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            r.workload,
+            r.steps,
+            r.engine_minst_s(),
+            r.reference_minst_s(),
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
+
+    println!("{:<14} {:>12} {:>16} {:>16} {:>9}", "workload", "steps", "engine Minst/s", "seed Minst/s", "speedup");
+    for r in &rows {
+        println!(
+            "{:<14} {:>12} {:>16.1} {:>16.1} {:>8.2}x",
+            r.workload,
+            r.steps,
+            r.engine_minst_s(),
+            r.reference_minst_s(),
+            r.speedup()
+        );
+    }
+    println!("\nwrote BENCH_vm.json");
+}
+
+fn stream_args(vm: &mut Vm, n: i64) -> Vec<HostVal> {
+    let a = vm.alloc_f64(&vec![1.0; n as usize]);
+    let b = vm.alloc_f64(&vec![2.0; n as usize]);
+    let c = vm.alloc_f64(&vec![0.0; n as usize]);
+    vec![
+        HostVal::Int(n),
+        HostVal::Int(2),
+        HostVal::Int(a as i64),
+        HostVal::Int(b as i64),
+        HostVal::Int(c as i64),
+        HostVal::Fp(3.0),
+    ]
+}
+
+fn stream_args_r(vm: &mut ReferenceVm, n: i64) -> Vec<HostVal> {
+    let a = vm.alloc_f64(&vec![1.0; n as usize]);
+    let b = vm.alloc_f64(&vec![2.0; n as usize]);
+    let c = vm.alloc_f64(&vec![0.0; n as usize]);
+    vec![
+        HostVal::Int(n),
+        HostVal::Int(2),
+        HostVal::Int(a as i64),
+        HostVal::Int(b as i64),
+        HostVal::Int(c as i64),
+        HostVal::Fp(3.0),
+    ]
+}
+
+fn dgemm_args(vm: &mut Vm, n: i64) -> Vec<HostVal> {
+    let sz = (n * n) as usize;
+    let a = vm.alloc_f64(&vec![1.0; sz]);
+    let b = vm.alloc_f64(&vec![2.0; sz]);
+    let c = vm.alloc_f64(&vec![0.0; sz]);
+    vec![
+        HostVal::Int(n),
+        HostVal::Int(1),
+        HostVal::Int(a as i64),
+        HostVal::Int(b as i64),
+        HostVal::Int(c as i64),
+    ]
+}
+
+fn dgemm_args_r(vm: &mut ReferenceVm, n: i64) -> Vec<HostVal> {
+    let sz = (n * n) as usize;
+    let a = vm.alloc_f64(&vec![1.0; sz]);
+    let b = vm.alloc_f64(&vec![2.0; sz]);
+    let c = vm.alloc_f64(&vec![0.0; sz]);
+    vec![
+        HostVal::Int(n),
+        HostVal::Int(1),
+        HostVal::Int(a as i64),
+        HostVal::Int(b as i64),
+        HostVal::Int(c as i64),
+    ]
+}
+
+/// Run assemble (untimed elsewhere — included in the closure but dominated
+/// by the solve at these grids) then CG; return solve-phase steps.
+fn minife_solve_steps<V: MiniFeVm>(m: &MiniFe, d: i64) -> u64 {
+    let n = (d * d * d) as usize;
+    let nnz_cap = 7 * n + 16;
+    let mut vm = V::load_obj(&m.analysis.object);
+    let row_ptr = vm.alloc_i64_(&vec![0; n + 1]);
+    let cols = vm.alloc_i64_(&vec![0; nnz_cap]);
+    let vals = vm.alloc_zeroed(nnz_cap);
+    let b = vm.alloc_zeroed(n);
+    let x = vm.alloc_zeroed(n);
+    let r = vm.alloc_zeroed(n);
+    let p = vm.alloc_zeroed(n);
+    let ap = vm.alloc_zeroed(n);
+    vm.call_(
+        "assemble",
+        &[
+            HostVal::Int(d),
+            HostVal::Int(d),
+            HostVal::Int(d),
+            HostVal::Int(row_ptr as i64),
+            HostVal::Int(cols as i64),
+            HostVal::Int(vals as i64),
+            HostVal::Int(b as i64),
+        ],
+    );
+    vm.reset_counters_();
+    vm.call_(
+        "cg_solve",
+        &[
+            HostVal::Int(n as i64),
+            HostVal::Int(row_ptr as i64),
+            HostVal::Int(cols as i64),
+            HostVal::Int(vals as i64),
+            HostVal::Int(b as i64),
+            HostVal::Int(x as i64),
+            HostVal::Int(r as i64),
+            HostVal::Int(p as i64),
+            HostVal::Int(ap as i64),
+            HostVal::Int(500),
+            HostVal::Fp(1e-8),
+        ],
+    );
+    vm.steps_()
+}
+
+/// The common surface of the two engines, for the generic miniFE driver.
+trait MiniFeVm {
+    fn load_obj(obj: &mira_vobj::Object) -> Self;
+    fn alloc_i64_(&mut self, data: &[i64]) -> u64;
+    fn alloc_zeroed(&mut self, n: usize) -> u64;
+    fn call_(&mut self, func: &str, args: &[HostVal]);
+    fn reset_counters_(&mut self);
+    fn steps_(&self) -> u64;
+}
+
+macro_rules! impl_minife_vm {
+    ($t:ty) => {
+        impl MiniFeVm for $t {
+            fn load_obj(obj: &mira_vobj::Object) -> Self {
+                <$t>::load(obj, VmOptions::default()).unwrap()
+            }
+            fn alloc_i64_(&mut self, data: &[i64]) -> u64 {
+                self.alloc_i64(data)
+            }
+            fn alloc_zeroed(&mut self, n: usize) -> u64 {
+                self.alloc_zeroed_f64(n)
+            }
+            fn call_(&mut self, func: &str, args: &[HostVal]) {
+                self.call(func, args).unwrap();
+            }
+            fn reset_counters_(&mut self) {
+                self.reset_counters();
+            }
+            fn steps_(&self) -> u64 {
+                self.steps()
+            }
+        }
+    };
+}
+
+impl_minife_vm!(Vm);
+impl_minife_vm!(ReferenceVm);

@@ -663,11 +663,7 @@ impl<'a> FuncGen<'a> {
         let entry = ctx.count()?;
         // trip count T = hi - lo + 1 (clamped at zero when it may be empty)
         let t_raw = scop.hi.sub_expr(&scop.lo).add_expr(&SymExpr::constant(1));
-        let t = if t_raw.as_constant().is_some() {
-            t_raw.clamp0()
-        } else {
-            t_raw.clamp0()
-        };
+        let t = t_raw.clamp0();
         let vf = main.vector_factor as i64;
         let main_iters = t.floor_div(vf);
         let rem_iters = t.sub_expr(&main_iters.scale(Rat::int(vf as i128)));

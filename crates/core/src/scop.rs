@@ -34,10 +34,8 @@ pub fn to_affine(e: &Expr, scope: &LoopScope) -> Option<SymExpr> {
                     // affine only when one side is constant
                     if let Some(c) = l.as_constant() {
                         Some(r.scale(c))
-                    } else if let Some(c) = r.as_constant() {
-                        Some(l.scale(c))
                     } else {
-                        None
+                        r.as_constant().map(|c| l.scale(c))
                     }
                 }
                 BinOp::Div => {

@@ -1,0 +1,249 @@
+//! # criterion (offline shim)
+//!
+//! The build environment for this repository has no network access, so the
+//! real `criterion` crate cannot be fetched. This in-tree stand-in
+//! implements the small API surface the workspace's benches use —
+//! `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, the
+//! `criterion_group!`/`criterion_main!` macros and `black_box` — with a
+//! plain wall-clock measurement loop: warm up, then sample batches until
+//! the measurement window closes, and report the mean time per iteration.
+//!
+//! It is intentionally simple (no outlier analysis, no HTML reports) but
+//! keeps the same bench source compatible with the real crate: swap this
+//! path dependency for crates.io `criterion` and everything still builds.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Mean-time measurement settings plus the CLI filter.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // a trimmed-down default compared to the real crate (100 samples /
+        // 3 s): these suites run in CI smoke jobs
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), |b| f(b));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run_one(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            measurement: self.measurement_time,
+            samples: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        println!("{name:<50} time: [{}]", fmt_ns(b.mean_ns));
+    }
+}
+
+/// A named group of related benchmarks (`group/bench` naming).
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.c.run_one(&full, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.c.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: param.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Handed to the closure; [`Bencher::iter`] runs the measurement.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up: also sizes the batch so each sample takes roughly
+        // measurement_time / samples
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_secs_f64() / warm_iters.max(1) as f64;
+        let sample_budget = self.measurement.as_secs_f64() / self.samples as f64;
+        let batch = ((sample_budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut total_ns = 0.0;
+        let mut total_iters: u64 = 0;
+        let deadline = Instant::now() + self.measurement;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_ns += t0.elapsed().as_nanos() as f64;
+            total_iters += batch;
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        self.mean_ns = total_ns / total_iters.max(1) as f64;
+    }
+
+    /// Mean nanoseconds per iteration from the last [`iter`](Self::iter).
+    pub fn mean_ns(&self) -> f64 {
+        self.mean_ns
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+    }
+}

@@ -218,10 +218,8 @@ impl Gen {
                     mira_minic::BinOp::Mul => {
                         if let Some(c) = l.as_constant() {
                             Some(r.scale(c))
-                        } else if let Some(c) = r.as_constant() {
-                            Some(l.scale(c))
                         } else {
-                            None
+                            r.as_constant().map(|c| l.scale(c))
                         }
                     }
                     _ => None,

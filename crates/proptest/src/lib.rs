@@ -1,0 +1,492 @@
+//! # proptest (offline shim)
+//!
+//! The build environment for this repository has no network access, so the
+//! real `proptest` crate cannot be fetched. This in-tree stand-in covers
+//! the API surface the workspace's property tests use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, integer-range,
+//!   tuple, [`strategy::Just`] and [`strategy::Union`] strategies;
+//! * [`arbitrary::any`] for the primitive types;
+//! * [`collection::vec`] and [`option::of`];
+//! * the `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`
+//!   and `prop_assume!` macros;
+//! * [`test_runner::ProptestConfig`] (only `cases` is honoured).
+//!
+//! Values are drawn from a deterministic xorshift generator seeded from
+//! the test name, so failures reproduce across runs. There is no
+//! shrinking: a failing case panics with the generated inputs visible in
+//! the assertion message. Swap this path dependency for crates.io
+//! `proptest` and the same test sources still build.
+
+pub mod test_runner {
+    /// Deterministic split-mix / xorshift generator.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seed from a test name so every test gets a distinct, stable
+        /// stream.
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(h | 1)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            // xorshift64* (Vigna)
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        pub fn next_u128(&mut self) -> u128 {
+            ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+        }
+    }
+
+    /// Runner configuration; only `cases` has an effect in the shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each `proptest!` test executes.
+        pub cases: u32,
+        /// Accepted for source compatibility; unused.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 128,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of random values. Unlike the real crate there is no
+    /// value tree and no shrinking — `generate` simply draws a value.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Box a strategy for use in a heterogeneous [`Union`] (see
+    /// `prop_oneof!`).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Uniform choice between alternative strategies of one value type.
+    pub struct Union<T> {
+        alts: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(alts: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+            assert!(!alts.is_empty(), "prop_oneof! needs at least one arm");
+            Union { alts }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.alts.len() as u64) as usize;
+            self.alts[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                    let off = rng.next_u128() % span;
+                    ((self.start as i128) + off as i128) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                    let off = rng.next_u128() % span;
+                    ((lo as i128) + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+    // i128/u128 spans can overflow the helper arithmetic above; the
+    // workspace only uses narrow i128 ranges, handled exactly here.
+    impl Strategy for ::std::ops::Range<i128> {
+        type Value = i128;
+        fn generate(&self, rng: &mut TestRng) -> i128 {
+            assert!(self.start < self.end, "empty range strategy");
+            let span = self.end.wrapping_sub(self.start) as u128;
+            self.start + (rng.next_u128() % span) as i128
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident $idx:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// The canonical strategy for `T` — `any::<u8>()` etc.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for i128 {
+        fn arbitrary_value(rng: &mut TestRng) -> i128 {
+            rng.next_u128() as i128
+        }
+    }
+
+    impl Arbitrary for u128 {
+        fn arbitrary_value(rng: &mut TestRng) -> u128 {
+            rng.next_u128()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            // finite, roughly unit-scale values: property tests on FP code
+            // want comparable magnitudes, not NaN storms
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * 2e3 - 1e3
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length bounds for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// `proptest::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `proptest::option::of(inner)` — `None` a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+/// The test-defining macro. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written at the call site) that
+/// draws `cases` random inputs and runs the body for each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                #[allow(clippy::redundant_closure_call)]
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = (-10i64..10).generate(&mut rng);
+            assert!((-10..10).contains(&v));
+            let w = (0u8..4).generate(&mut rng);
+            assert!(w < 4);
+            let x = (-3i128..15).generate(&mut rng);
+            assert!((-3..15).contains(&x));
+        }
+    }
+
+    #[test]
+    fn vec_and_option_shapes() {
+        let mut rng = crate::test_runner::TestRng::deterministic("shapes");
+        let mut saw_none = false;
+        let mut saw_some = false;
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u8..4, 1..=3).generate(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+            match crate::option::of(0i64..6).generate(&mut rng) {
+                None => saw_none = true,
+                Some(x) => {
+                    saw_some = true;
+                    assert!((0..6).contains(&x));
+                }
+            }
+        }
+        assert!(saw_none && saw_some);
+    }
+
+    #[test]
+    fn oneof_and_map() {
+        let mut rng = crate::test_runner::TestRng::deterministic("oneof");
+        let s = prop_oneof![Just(1u8), Just(2), 4u8..8].prop_map(|v| v as u32 * 10);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v == 10 || v == 20 || (40..80).contains(&v), "{v}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_form_works(a in 0i64..100, b in any::<bool>()) {
+            prop_assert!(a >= 0);
+            prop_assert_eq!(b as u8 | (!b) as u8, 1);
+        }
+    }
+}

@@ -13,16 +13,21 @@ use crate::Bindings;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
+use std::rc::Rc;
 
 /// An indivisible symbolic quantity.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Atom {
     /// A named model parameter (problem size, annotation variable, ...).
     Param(String),
-    /// `floor(expr / d)` with `d > 0`.
-    FloorDiv(Box<SymExpr>, i64),
+    /// `floor(expr / d)` with `d > 0`. The inner expression is
+    /// reference-counted: atoms are cloned wholesale by `substitute`,
+    /// `simplify` and polynomial arithmetic, and an `Rc` bump is O(1)
+    /// where a `Box` clone deep-copied the whole tree.
+    FloorDiv(Rc<SymExpr>, i64),
     /// `max(0, expr)` — used when an iteration domain may be empty.
-    Clamp(Box<SymExpr>),
+    /// Reference-counted for the same reason as [`Atom::FloorDiv`].
+    Clamp(Rc<SymExpr>),
 }
 
 impl Atom {
@@ -288,7 +293,7 @@ impl SymExpr {
                 };
             }
         }
-        SymExpr::from_atom(Atom::FloorDiv(Box::new(self.clone()), d))
+        SymExpr::from_atom(Atom::FloorDiv(Rc::new(self.clone()), d))
     }
 
     /// `max(0, self)`, simplified for constants.
@@ -300,7 +305,7 @@ impl SymExpr {
                 SymExpr::from_rat(c)
             };
         }
-        SymExpr::from_atom(Atom::Clamp(Box::new(self.clone())))
+        SymExpr::from_atom(Atom::Clamp(Rc::new(self.clone())))
     }
 
     /// Replace every occurrence of parameter `name` (including inside

@@ -102,6 +102,7 @@ impl Rat {
         Some(Rat::new(num, den))
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Rat {
         Rat {
             num: -self.num,

@@ -82,7 +82,7 @@ pub fn compile_program(program: &Program, options: &Options) -> Result<mira_vobj
     }
     let externs: Vec<String> = program
         .externs()
-        .filter(|e| !func_names.iter().any(|n| *n == e.name))
+        .filter(|e| !func_names.contains(&e.name))
         .map(|e| e.name.clone())
         .collect();
 

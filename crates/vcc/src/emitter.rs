@@ -124,6 +124,7 @@ impl FuncAsm {
 
     /// Resolve labels to function-local byte offsets, patch jumps, and
     /// return (bytes, per-instruction (offset, line) rows, label offsets).
+    #[allow(clippy::type_complexity)]
     fn assemble(
         &self,
         base: u32,

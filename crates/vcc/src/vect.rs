@@ -247,6 +247,7 @@ pub fn try_vectorize(cg: &mut Codegen, s: &Stmt) -> Result<Option<()>, CompileEr
 }
 
 /// Generate a packed (2-lane) evaluation of a packable expression.
+#[allow(clippy::only_used_in_recursion)]
 fn gen_packed(
     cg: &mut Codegen,
     e: &Expr,

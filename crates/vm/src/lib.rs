@@ -12,17 +12,67 @@
 //! Crucially, the VM executes *everything*, including the libm bodies that
 //! static analysis cannot see — reproducing the paper's static-vs-dynamic
 //! error sources instead of faking them.
+//!
+//! ## Execution engine: block dispatch + fold-on-pop accounting
+//!
+//! Dynamic validation has to keep up with the workloads it validates, so
+//! the engine is built for throughput while producing **bit-identical**
+//! profiles to a naive per-step interpreter (kept as
+//! [`reference::ReferenceVm`] and pinned by differential tests):
+//!
+//! * **Pre-resolved dispatch.** At load time the program is decoded once
+//!   and partitioned into basic blocks
+//!   ([`mira_vobj::blocks::basic_blocks`]); every jump target, branch
+//!   fall-through and call return point is resolved from a byte address to
+//!   a block index. The hot loop never consults the address→index map —
+//!   only indirect control flow (a `ret` whose return address was not the
+//!   one its `call` pushed) falls back to address translation, and then to
+//!   a per-instruction slow tier that can resume mid-block.
+//!
+//! * **Block-granular attribution.** Each block carries a sparse
+//!   `(category, count)` vector and a `(line, category, count)` vector
+//!   aggregated at load time. A straight-line run is attributed with one
+//!   sparse vector-add instead of per-instruction scatter; if an
+//!   instruction faults mid-block, only the retired prefix is attributed,
+//!   preserving the per-step semantics exactly.
+//!
+//! * **Fold-on-pop inclusive profiles.** The seed interpreter updated the
+//!   inclusive counters of *every* frame on the call stack at *every*
+//!   retired instruction — O(depth × steps), quadratic-ish exactly where
+//!   Table V needs deep call chains (`cg_solve` → `matvec` → libm). The
+//!   engine instead keeps one cumulative retirement vector; a frame
+//!   snapshots it on call and, when it pops, adds the delta to its
+//!   function's inclusive counters (the TAU fold-on-pop scheme). Cost:
+//!   O(steps + calls × categories), with recursion double-counting
+//!   reproduced exactly (each frame folds its own delta). Exclusive and
+//!   per-line counters go one step further: the fast path bumps a single
+//!   per-block execution counter, and [`Vm::profile`] materializes the
+//!   scatter lazily from the per-block vectors.
+//!
+//! * **µop bodies.** Block bodies are pre-translated into a micro-op
+//!   stream ([`uop`]) with dedicated handlers for the compiler's dominant
+//!   spill idioms and two-way fusion of adjacent pairs (`Load+Load`,
+//!   `Load+ALU`, `FLoad+FP-op`, …), cutting dispatches per retired
+//!   instruction well below one. `bench_vm` (in `mira-bench`) records the
+//!   resulting ≥3× speedup over the seed loop in `BENCH_vm.json`.
 
 pub mod profile;
+pub mod reference;
+
+mod loader;
+mod machine;
+mod uop;
 
 pub use profile::{FuncProfile, Profile};
 
+use loader::{Image, InstMeta};
+use machine::{Ctl, Machine};
+use uop::Uop;
 use mira_arch::Category;
-use mira_isa::{Cc, Inst, Mem};
-use mira_vobj::line::LineTable;
-use mira_vobj::{Object, ObjError, Symbol};
-use std::collections::HashMap;
+use mira_isa::{Cc, Inst};
+use mira_vobj::{Object, ObjError};
 use std::fmt;
+use std::rc::Rc;
 
 /// VM configuration.
 #[derive(Clone, Copy, Debug)]
@@ -92,143 +142,238 @@ pub enum HostVal {
     Fp(f64),
 }
 
-/// Flag state captured lazily from the last compare/test.
+/// Return-address marker for the host→VM entry frame.
+pub(crate) const SENTINEL: u64 = u64::MAX;
+
+/// How a basic block hands control onward. Every `block` field is a
+/// pre-resolved block index (`u32::MAX` when the destination is not a
+/// known block entry — a wild edge, resolved through the address map at
+/// run time); every `addr` field is the original byte address, kept for
+/// `WildJump` diagnostics and the VM-visible return-address push.
 #[derive(Clone, Copy, Debug)]
-enum Flags {
-    IntCmp(i64, i64),
-    FpCmp(f64, f64),
-    Test(i64),
+enum Term {
+    /// No terminator instruction: execution falls into the next leader.
+    Fall { block: u32, addr: u32 },
+    Jump { block: u32, addr: u32 },
+    Branch {
+        cc: Cc,
+        target_block: u32,
+        target_addr: u32,
+        fall_block: u32,
+        fall_addr: u32,
+    },
+    Call { sym: u32, ret_block: u32, ret_addr: u32 },
+    Ret,
+    Halt,
 }
 
-const HEAP_BASE: u64 = 4096; // leave a null guard page
+/// One basic block: a straight-line instruction range plus its aggregated
+/// attribution vectors and pre-resolved successor(s).
+struct Block {
+    /// First instruction index.
+    start: u32,
+    /// Function that owns this block's instructions.
+    func: u16,
+    /// Retired instructions per full execution of the block (body +
+    /// terminator).
+    nsteps: u32,
+    /// Range of this block's body translation in the flat µop stream.
+    uops: (u32, u32),
+    term: Term,
+    /// Sparse per-category retirement counts for one full execution.
+    cats: Box<[(u8, u32)]>,
+    /// Sparse `(line slot, category, count)` for one full execution.
+    lines: Box<[(u32, u8, u32)]>,
+}
 
-struct DecodedInst {
-    inst: Inst,
-    next: u32,
-    /// Index into the per-line counter table, or u32::MAX.
-    line_slot: u32,
-    category: Category,
+/// One live call frame: which function, where its `ret` should resume, and
+/// the cumulative-retirement snapshot taken when it was pushed (folded into
+/// the function's inclusive counters when the frame pops).
+struct Frame {
+    func: u16,
+    /// The return address pushed on the VM stack (SENTINEL for the host
+    /// entry frame).
+    ret_addr: u64,
+    /// Pre-resolved block index of the return point, or `u32::MAX`.
+    ret_block: u32,
+    snap: [u64; Category::COUNT],
+}
+
+/// Where execution currently stands: a pre-resolved block entry (fast
+/// path) or a bare instruction index (slow tier — mid-block entries and
+/// step-limit endgames).
+#[derive(Clone, Copy)]
+enum Cursor {
+    Block(u32),
+    Inst(usize),
 }
 
 /// The interpreter.
 pub struct Vm {
-    insts: Vec<DecodedInst>,
-    /// text address → instruction index (u32::MAX where not a boundary).
-    addr_map: Vec<u32>,
-    func_names: Vec<String>,
-    func_addrs: Vec<u32>,
-    /// symbol index → Some(function index) or None for externs.
-    sym_to_func: Vec<Option<u16>>,
-    extern_names: Vec<String>,
-    mem: Vec<u8>,
-    heap_top: u64,
-    regs: [i64; 16],
-    xmm: [[f64; 2]; 16],
-    flags: Flags,
+    img: Image,
+    code: Rc<[Inst]>,
+    meta: Rc<[InstMeta]>,
+    /// Flat µop translation of all block bodies (see [`uop`]).
+    uops: Rc<[Uop]>,
+    blocks: Rc<[Block]>,
+    /// instruction index → block index where a block starts there, else
+    /// `u32::MAX`.
+    block_of: Rc<[u32]>,
+    /// function index → entry block index (`u32::MAX` for empty symbols).
+    func_entry_block: Vec<u32>,
+    m: Machine,
     options: VmOptions,
     // counters
     excl: Vec<[u64; Category::COUNT]>,
     incl: Vec<[u64; Category::COUNT]>,
     calls: Vec<u64>,
-    line_keys: Vec<(u16, u32)>,
     line_counts: Vec<[u64; Category::COUNT]>,
+    /// Cumulative retirements per category since the last counter reset —
+    /// the vector frames snapshot for fold-on-pop inclusive accounting.
+    cum: [u64; Category::COUNT],
+    /// Fast-path executions per block; exclusive and per-line counters are
+    /// materialized from these lazily in [`Vm::profile`], so the hot loop
+    /// pays one increment instead of a sparse scatter.
+    n_exec: Vec<u64>,
     steps: u64,
 }
 
-const RSP: usize = 15;
-
 impl Vm {
-    /// Load an object into a fresh VM.
+    /// Load an object into a fresh VM: decode, partition into basic
+    /// blocks, pre-resolve all control-flow edges and aggregate per-block
+    /// attribution vectors.
     pub fn load(obj: &Object, options: VmOptions) -> Result<Vm, VmError> {
-        let table = LineTable::decode(&obj.line_program).map_err(|e| VmError::Object(e.to_string()))?;
-        let mut func_names = Vec::new();
-        let mut func_addrs = Vec::new();
-        let mut sym_to_func = Vec::new();
-        let mut extern_names = Vec::new();
-        for sym in &obj.symbols {
-            match sym {
-                Symbol::Func { name, addr, .. } => {
-                    sym_to_func.push(Some(func_names.len() as u16));
-                    func_names.push(name.clone());
-                    func_addrs.push(*addr);
-                }
-                Symbol::Extern { name } => {
-                    sym_to_func.push(None);
-                    extern_names.push(name.clone());
-                }
-            }
+        let mut img = Image::decode(obj)?;
+
+        let stream: Vec<(u32, Inst)> = img
+            .addrs
+            .iter()
+            .copied()
+            .zip(img.code.iter().copied())
+            .collect();
+        let ranges = mira_vobj::blocks::basic_blocks(&stream, &img.func_addrs);
+
+        let mut block_of = vec![u32::MAX; img.code.len()];
+        for (bi, r) in ranges.iter().enumerate() {
+            block_of[r.start] = bi as u32;
         }
+        let resolve_block = |addr: u32| -> u32 {
+            match img.addr_map.get(addr as usize) {
+                Some(&idx) if idx != u32::MAX => block_of[idx as usize],
+                _ => u32::MAX,
+            }
+        };
 
-        let mut insts = Vec::new();
-        let mut addr_map = vec![u32::MAX; obj.text.len() + 1];
-        let mut line_slot_map: HashMap<(u16, u32), u32> = HashMap::new();
-        let mut line_keys = Vec::new();
-
-        for sym in &obj.symbols {
-            let Symbol::Func { name, addr, size } = sym else {
-                continue;
+        let mut blocks = Vec::with_capacity(ranges.len());
+        let mut uops: Vec<Uop> = Vec::new();
+        for r in &ranges {
+            let last = r.end - 1;
+            let (term, term_idx) = match img.code[last] {
+                Inst::Jmp(t) => (
+                    Term::Jump {
+                        block: resolve_block(t),
+                        addr: t,
+                    },
+                    last,
+                ),
+                Inst::Jcc(cc, t) => {
+                    let fall = img.meta[last].next_addr;
+                    (
+                        Term::Branch {
+                            cc,
+                            target_block: resolve_block(t),
+                            target_addr: t,
+                            fall_block: resolve_block(fall),
+                            fall_addr: fall,
+                        },
+                        last,
+                    )
+                }
+                Inst::Call(sym) => {
+                    let ret = img.meta[last].next_addr;
+                    (
+                        Term::Call {
+                            sym,
+                            ret_block: resolve_block(ret),
+                            ret_addr: ret,
+                        },
+                        last,
+                    )
+                }
+                Inst::Ret => (Term::Ret, last),
+                Inst::Halt => (Term::Halt, last),
+                _ => {
+                    let next = img.meta[last].next_addr;
+                    (
+                        Term::Fall {
+                            block: resolve_block(next),
+                            addr: next,
+                        },
+                        r.end,
+                    )
+                }
             };
-            let func = func_names
+
+            let mut cat_counts = [0u32; Category::COUNT];
+            let mut line_agg: Vec<(u32, u8, u32)> = Vec::new();
+            for md in &img.meta[r.start..r.end] {
+                cat_counts[md.category as usize] += 1;
+                if md.line_slot != u32::MAX {
+                    match line_agg
+                        .iter_mut()
+                        .find(|(s, c, _)| *s == md.line_slot && *c == md.category)
+                    {
+                        Some(e) => e.2 += 1,
+                        None => line_agg.push((md.line_slot, md.category, 1)),
+                    }
+                }
+            }
+            let cats: Box<[(u8, u32)]> = cat_counts
                 .iter()
-                .position(|n| n == name)
-                .unwrap() as u16;
-            let start = *addr as usize;
-            let end = start + *size as usize;
-            if end > obj.text.len() {
-                return Err(VmError::Object(format!("{name} out of text range")));
-            }
-            let mut pos = start;
-            while pos < end {
-                let (inst, len) = Inst::decode(&obj.text, pos)
-                    .map_err(|e| VmError::Object(format!("{name}+{pos:#x}: {e}")))?;
-                let line = table.line_for_addr(pos as u32).unwrap_or(0);
-                let line_slot = if line != 0 {
-                    *line_slot_map.entry((func, line)).or_insert_with(|| {
-                        line_keys.push((func, line));
-                        (line_keys.len() - 1) as u32
-                    })
-                } else {
-                    u32::MAX
-                };
-                addr_map[pos] = insts.len() as u32;
-                insts.push(DecodedInst {
-                    inst,
-                    next: (pos + len) as u32,
-                    line_slot,
-                    category: inst.category(),
-                });
-                pos += len;
-            }
+                .enumerate()
+                .filter(|(_, n)| **n != 0)
+                .map(|(c, n)| (c as u8, *n))
+                .collect();
+
+            let uop_start = uops.len() as u32;
+            uops.extend(uop::translate_body(&img.code[r.start..term_idx]));
+            blocks.push(Block {
+                start: r.start as u32,
+                // blocks never span functions, so the block's function is
+                // its first instruction's
+                func: img.meta[r.start].func,
+                nsteps: (r.end - r.start) as u32,
+                uops: (uop_start, uops.len() as u32),
+                term,
+                cats,
+                lines: line_agg.into_boxed_slice(),
+            });
         }
 
-        let nfuncs = func_names.len();
-        let nlines = line_keys.len();
-        let mut mem = vec![0u8; options.mem_size];
-        // stack top (16-aligned)
-        let stack_top = (options.mem_size as u64 - 16) & !15;
-        let _ = &mut mem;
-        let mut vm = Vm {
-            insts,
-            addr_map,
-            func_names,
-            func_addrs,
-            sym_to_func,
-            extern_names,
-            mem,
-            heap_top: HEAP_BASE,
-            regs: [0; 16],
-            xmm: [[0.0; 2]; 16],
-            flags: Flags::Test(0),
+        let nfuncs = img.func_names.len();
+        let nlines = img.line_keys.len();
+        let nblocks = blocks.len();
+        let func_entry_block: Vec<u32> = img.func_addrs.iter().map(|&a| resolve_block(a)).collect();
+        let code: Rc<[Inst]> = std::mem::take(&mut img.code).into();
+        let meta: Rc<[InstMeta]> = std::mem::take(&mut img.meta).into();
+        Ok(Vm {
+            code,
+            meta,
+            uops: uops.into(),
+            blocks: blocks.into(),
+            block_of: block_of.into(),
+            func_entry_block,
+            m: Machine::new(options.mem_size),
             options,
             excl: vec![[0; Category::COUNT]; nfuncs],
             incl: vec![[0; Category::COUNT]; nfuncs],
             calls: vec![0; nfuncs],
-            line_keys,
             line_counts: vec![[0; Category::COUNT]; nlines],
+            cum: [0; Category::COUNT],
+            n_exec: vec![0; nblocks],
             steps: 0,
-        };
-        vm.regs[RSP] = stack_top as i64;
-        Ok(vm)
+            img,
+        })
     }
 
     /// Convenience: compile-free loading plus default options.
@@ -240,70 +385,57 @@ impl Vm {
 
     /// Allocate and initialize an array of doubles; returns its address.
     pub fn alloc_f64(&mut self, data: &[f64]) -> u64 {
-        let addr = self.bump(data.len() * 8);
-        for (i, v) in data.iter().enumerate() {
-            let a = addr as usize + i * 8;
-            self.mem[a..a + 8].copy_from_slice(&v.to_bits().to_le_bytes());
-        }
-        addr
+        self.m.alloc_f64(data)
     }
 
     /// Allocate and initialize an array of i64s; returns its address.
     pub fn alloc_i64(&mut self, data: &[i64]) -> u64 {
-        let addr = self.bump(data.len() * 8);
-        for (i, v) in data.iter().enumerate() {
-            let a = addr as usize + i * 8;
-            self.mem[a..a + 8].copy_from_slice(&v.to_le_bytes());
-        }
-        addr
+        self.m.alloc_i64(data)
     }
 
     /// Allocate zeroed space for `n` doubles.
     pub fn alloc_zeroed_f64(&mut self, n: usize) -> u64 {
-        self.bump(n * 8)
-    }
-
-    fn bump(&mut self, bytes: usize) -> u64 {
-        let addr = (self.heap_top + 15) & !15;
-        let new_top = addr + bytes as u64;
-        assert!(
-            (new_top as usize) + (1 << 20) < self.mem.len(),
-            "VM heap exhausted: grow VmOptions::mem_size"
-        );
-        self.heap_top = new_top;
-        addr
+        self.m.bump(n * 8)
     }
 
     /// Read back `n` doubles from memory.
     pub fn read_f64(&self, addr: u64, n: usize) -> Vec<f64> {
-        (0..n)
-            .map(|i| {
-                let a = addr as usize + i * 8;
-                f64::from_bits(u64::from_le_bytes(self.mem[a..a + 8].try_into().unwrap()))
-            })
-            .collect()
+        self.m.read_f64(addr, n)
     }
 
     /// Read back `n` i64s from memory.
     pub fn read_i64(&self, addr: u64, n: usize) -> Vec<i64> {
-        (0..n)
-            .map(|i| {
-                let a = addr as usize + i * 8;
-                i64::from_le_bytes(self.mem[a..a + 8].try_into().unwrap())
-            })
-            .collect()
+        self.m.read_i64(addr, n)
     }
 
     // ---- profiling access ----
 
     pub fn profile(&self) -> Profile {
+        // materialize the deferred fast-path attribution: each block
+        // execution contributes its aggregated category and line vectors
+        // to its owning function's exclusive counters
+        let mut excl = self.excl.clone();
+        let mut line_counts = self.line_counts.clone();
+        for (b, &n) in self.n_exec.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let blk = &self.blocks[b];
+            let f = blk.func as usize;
+            for &(c, k) in blk.cats.iter() {
+                excl[f][c as usize] += n * k as u64;
+            }
+            for &(slot, c, k) in blk.lines.iter() {
+                line_counts[slot as usize][c as usize] += n * k as u64;
+            }
+        }
         Profile::build(
-            &self.func_names,
-            &self.excl,
+            &self.img.func_names,
+            &excl,
             &self.incl,
             &self.calls,
-            &self.line_keys,
-            &self.line_counts,
+            &self.img.line_keys,
+            &line_counts,
         )
     }
 
@@ -320,6 +452,8 @@ impl Vm {
             *c = [0; Category::COUNT];
         }
         self.calls.iter_mut().for_each(|c| *c = 0);
+        self.n_exec.iter_mut().for_each(|c| *c = 0);
+        self.cum = [0; Category::COUNT];
         self.steps = 0;
     }
 
@@ -329,379 +463,302 @@ impl Vm {
     /// (the caller picks the interpretation via the function's return
     /// type).
     pub fn call(&mut self, name: &str, args: &[HostVal]) -> Result<HostVal, VmError> {
-        let fidx = self
-            .func_names
-            .iter()
-            .position(|n| n == name)
-            .ok_or_else(|| VmError::NoSuchFunction(name.to_string()))?;
-        let entry = self.func_addrs[fidx];
+        let fidx = *self
+            .img
+            .func_index
+            .get(name)
+            .ok_or_else(|| VmError::NoSuchFunction(name.to_string()))?
+            as usize;
+        let entry = self.img.func_addrs[fidx];
 
-        // place arguments per ABI: first six ints in registers, the rest on
-        // the stack (first overflow arg closest to the return address)
-        let mut int_idx = 0;
-        let mut fp_idx = 0;
-        let mut stack_args: Vec<i64> = Vec::new();
-        for a in args {
-            match a {
-                HostVal::Int(v) => {
-                    if int_idx < 6 {
-                        self.regs[int_idx] = *v;
-                        int_idx += 1;
-                    } else {
-                        stack_args.push(*v);
-                    }
-                }
-                HostVal::Fp(v) => {
-                    if fp_idx >= 8 {
-                        return Err(VmError::BadCall("too many fp args".to_string()));
-                    }
-                    self.xmm[fp_idx] = [*v, 0.0];
-                    fp_idx += 1;
-                }
-            }
-        }
-        for v in stack_args.iter().rev() {
-            self.push(*v)?;
-        }
-
-        // push sentinel return address
-        const SENTINEL: u64 = u64::MAX;
-        self.push(SENTINEL as i64)?;
-        let mut stack: Vec<u16> = vec![fidx as u16];
+        // ABI argument placement + sentinel return address, then the host
+        // entry frame
+        self.m.place_args(args)?;
+        let mut frames = vec![Frame {
+            func: fidx as u16,
+            ret_addr: SENTINEL,
+            ret_block: u32::MAX,
+            snap: self.cum,
+        }];
         self.calls[fidx] += 1;
 
-        let mut ip = self.addr_to_idx(entry)?;
-        loop {
-            if self.steps >= self.options.max_steps {
-                return Err(VmError::StepLimit);
+        let eb = self.func_entry_block[fidx];
+        let result = if eb != u32::MAX {
+            self.run(Cursor::Block(eb), &mut frames)
+        } else {
+            // empty or undecodable entry: fail exactly as the seed did
+            match self.img.addr_to_idx(entry) {
+                Ok(ip) => self.run(Cursor::Inst(ip), &mut frames),
+                Err(e) => Err(e),
             }
-            self.steps += 1;
-
-            let d = &self.insts[ip];
-            let cat = d.category.index();
-            // exclusive: innermost frame; inclusive: every frame on stack
-            let top = *stack.last().unwrap() as usize;
-            self.excl[top][cat] += 1;
-            for f in &stack {
-                self.incl[*f as usize][cat] += 1;
-            }
-            if d.line_slot != u32::MAX {
-                self.line_counts[d.line_slot as usize][cat] += 1;
-            }
-
-            let inst = d.inst;
-            let next = d.next;
-            match self.exec(inst, next)? {
-                Ctl::Next => ip = self.addr_to_idx(next)?,
-                Ctl::Jump(target) => ip = self.addr_to_idx(target)?,
-                Ctl::Call(sym) => {
-                    let callee = self
-                        .sym_to_func
-                        .get(sym as usize)
-                        .copied()
-                        .flatten()
-                        .ok_or_else(|| {
-                            let name = self
-                                .extern_name_of(sym)
-                                .unwrap_or_else(|| format!("sym#{sym}"));
-                            VmError::UnresolvedExtern(name)
-                        })?;
-                    self.push(next as i64)?;
-                    if stack.len() > 10_000 {
-                        return Err(VmError::StackOverflow);
-                    }
-                    stack.push(callee);
-                    self.calls[callee as usize] += 1;
-                    ip = self.addr_to_idx(self.func_addrs[callee as usize])?;
-                }
-                Ctl::Ret => {
-                    let ret = self.pop()? as u64;
-                    stack.pop();
-                    if ret == SENTINEL {
-                        break;
-                    }
-                    ip = self.addr_to_idx(ret as u32)?;
-                }
-                Ctl::Halt => break,
-            }
+        };
+        // fold every frame still live — on normal exit, Halt, or error —
+        // so inclusive counters cover all retired instructions exactly as
+        // the per-step scheme would have accumulated them
+        while let Some(fr) = frames.pop() {
+            self.fold_frame(&fr);
         }
+        result?;
 
         // integer return in r0; fp return in x0 — expose both via HostVal
         // pairs: the caller knows the signature, so return Int and provide
-        // `last_fp_return` for doubles.
-        Ok(HostVal::Int(self.regs[0]))
+        // `fp_return` for doubles.
+        Ok(HostVal::Int(self.m.regs[0]))
     }
 
     /// The FP return value of the last call (lane 0 of `x0`).
     pub fn fp_return(&self) -> f64 {
-        self.xmm[0][0]
+        self.m.xmm[0][0]
     }
 
     /// The integer return value of the last call.
     pub fn int_return(&self) -> i64 {
-        self.regs[0]
+        self.m.regs[0]
     }
 
-    fn extern_name_of(&self, sym: u32) -> Option<String> {
-        let mut ext = 0usize;
-        for (i, f) in self.sym_to_func.iter().enumerate() {
-            if f.is_none() {
-                if i == sym as usize {
-                    return self.extern_names.get(ext).cloned();
+    /// The dispatch loop. A [`Cursor::Block`] with enough step budget runs
+    /// the block fast path; everything else (mid-block entries after a
+    /// tampered return address, or the last instructions before the step
+    /// limit) drops to the per-instruction slow tier that mirrors the seed
+    /// interpreter one step at a time.
+    fn run(&mut self, mut cur: Cursor, frames: &mut Vec<Frame>) -> Result<(), VmError> {
+        let code = Rc::clone(&self.code);
+        let meta = Rc::clone(&self.meta);
+        let uops = Rc::clone(&self.uops);
+        let blocks = Rc::clone(&self.blocks);
+        let block_of = Rc::clone(&self.block_of);
+        let max_steps = self.options.max_steps;
+        loop {
+            let ip = match cur {
+                Cursor::Block(b) => {
+                    let blk = &blocks[b as usize];
+                    if max_steps - self.steps >= blk.nsteps as u64 {
+                        // fast path: straight-line µop body, then one
+                        // aggregated attribution, then the pre-resolved
+                        // terminator
+                        let s = blk.start as usize;
+                        let (us, ue) = (blk.uops.0 as usize, blk.uops.1 as usize);
+                        for (k, &u) in uops[us..ue].iter().enumerate() {
+                            if let Err((sub, e)) = self.m.exec_uop(u) {
+                                // the faulting instruction retired (it was
+                                // counted before exec in the seed scheme);
+                                // map µop position back to instruction count
+                                let consumed: usize = uops[us..us + k]
+                                    .iter()
+                                    .map(|u| u.width())
+                                    .sum::<usize>()
+                                    + sub as usize
+                                    + 1;
+                                self.attribute_prefix(&meta, frames, s, s + consumed);
+                                return Err(e);
+                            }
+                        }
+                        self.attribute_block(b as usize, blk, frames);
+                        match blk.term {
+                            Term::Fall { block, addr } | Term::Jump { block, addr } => {
+                                cur = self.resolve(block, addr)?;
+                            }
+                            Term::Branch {
+                                cc,
+                                target_block,
+                                target_addr,
+                                fall_block,
+                                fall_addr,
+                            } => {
+                                cur = if self.m.cond(cc) {
+                                    self.resolve(target_block, target_addr)?
+                                } else {
+                                    self.resolve(fall_block, fall_addr)?
+                                };
+                            }
+                            Term::Call {
+                                sym,
+                                ret_block,
+                                ret_addr,
+                            } => {
+                                cur = self.enter_call(sym, ret_addr as u64, ret_block, frames)?;
+                            }
+                            Term::Ret => match self.leave_call(frames)? {
+                                Some(next) => cur = next,
+                                None => return Ok(()),
+                            },
+                            Term::Halt => return Ok(()),
+                        }
+                        continue;
+                    }
+                    // not enough budget for the whole block: single-step it
+                    blk.start as usize
                 }
-                ext += 1;
+                Cursor::Inst(ip) => {
+                    // promote back to the fast path as soon as the cursor
+                    // reaches a block entry with budget to spare
+                    let b = block_of[ip];
+                    if b != u32::MAX && max_steps - self.steps >= blocks[b as usize].nsteps as u64
+                    {
+                        cur = Cursor::Block(b);
+                        continue;
+                    }
+                    ip
+                }
+            };
+
+            // slow tier: one instruction with seed-order accounting
+            if self.steps >= self.options.max_steps {
+                return Err(VmError::StepLimit);
+            }
+            self.steps += 1;
+            let inst = code[ip];
+            let md = meta[ip];
+            let cat = md.category as usize;
+            let top = frames.last().unwrap().func as usize;
+            self.excl[top][cat] += 1;
+            self.cum[cat] += 1;
+            if md.line_slot != u32::MAX {
+                self.line_counts[md.line_slot as usize][cat] += 1;
+            }
+            match self.m.exec(inst)? {
+                Ctl::Next => cur = Cursor::Inst(self.img.addr_to_idx(md.next_addr)?),
+                Ctl::Jump(t) => cur = Cursor::Inst(self.img.addr_to_idx(t)?),
+                Ctl::Call(sym) => {
+                    let ret_block = self.block_at_addr(md.next_addr);
+                    cur = self.enter_call(sym, md.next_addr as u64, ret_block, frames)?;
+                }
+                Ctl::Ret => match self.leave_call(frames)? {
+                    Some(next) => cur = next,
+                    None => return Ok(()),
+                },
+                Ctl::Halt => return Ok(()),
             }
         }
-        None
     }
 
-    fn addr_to_idx(&self, addr: u32) -> Result<usize, VmError> {
-        match self.addr_map.get(addr as usize) {
-            Some(&idx) if idx != u32::MAX => Ok(idx as usize),
-            _ => Err(VmError::WildJump(addr)),
+    /// Pre-resolved edge → cursor, falling back to the address map for
+    /// wild edges.
+    #[inline]
+    fn resolve(&self, block: u32, addr: u32) -> Result<Cursor, VmError> {
+        if block != u32::MAX {
+            Ok(Cursor::Block(block))
+        } else {
+            self.img.addr_to_idx(addr).map(Cursor::Inst)
         }
     }
 
-    // ---- memory ----
-
-    fn ea(&self, m: Mem) -> u64 {
-        let mut a = self.regs[m.base.0 as usize] as u64;
-        if let Some((r, s)) = m.index {
-            a = a.wrapping_add((self.regs[r.0 as usize] as u64).wrapping_mul(s as u64));
-        }
-        a.wrapping_add(m.disp as i64 as u64)
-    }
-
-    fn load64(&self, addr: u64) -> Result<u64, VmError> {
-        let a = addr as usize;
-        self.mem
-            .get(a..a + 8)
-            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
-            .ok_or(VmError::Fault { addr, len: 8 })
-    }
-
-    fn store64(&mut self, addr: u64, v: u64) -> Result<(), VmError> {
-        let a = addr as usize;
-        match self.mem.get_mut(a..a + 8) {
-            Some(b) => {
-                b.copy_from_slice(&v.to_le_bytes());
-                Ok(())
-            }
-            None => Err(VmError::Fault { addr, len: 8 }),
+    /// Block index starting at this byte address, or `u32::MAX`.
+    fn block_at_addr(&self, addr: u32) -> u32 {
+        match self.img.addr_map.get(addr as usize) {
+            Some(&idx) if idx != u32::MAX => self.block_of[idx as usize],
+            _ => u32::MAX,
         }
     }
 
-    fn push(&mut self, v: i64) -> Result<(), VmError> {
-        self.regs[RSP] -= 8;
-        if (self.regs[RSP] as u64) < self.heap_top {
+    fn enter_call(
+        &mut self,
+        sym: u32,
+        ret_addr: u64,
+        ret_block: u32,
+        frames: &mut Vec<Frame>,
+    ) -> Result<Cursor, VmError> {
+        let callee = self
+            .img
+            .sym_to_func
+            .get(sym as usize)
+            .copied()
+            .flatten()
+            .ok_or_else(|| {
+                let name = self
+                    .img
+                    .extern_name_of(sym)
+                    .unwrap_or_else(|| format!("sym#{sym}"));
+                VmError::UnresolvedExtern(name)
+            })?;
+        self.m.push(ret_addr as i64)?;
+        if frames.len() > 10_000 {
             return Err(VmError::StackOverflow);
         }
-        self.store64(self.regs[RSP] as u64, v as u64)
-    }
-
-    fn pop(&mut self) -> Result<i64, VmError> {
-        let v = self.load64(self.regs[RSP] as u64)? as i64;
-        self.regs[RSP] += 8;
-        Ok(v)
-    }
-
-    fn cond(&self, cc: Cc) -> bool {
-        match (cc, self.flags) {
-            (Cc::E, Flags::IntCmp(a, b)) => a == b,
-            (Cc::Ne, Flags::IntCmp(a, b)) => a != b,
-            (Cc::L, Flags::IntCmp(a, b)) => a < b,
-            (Cc::Le, Flags::IntCmp(a, b)) => a <= b,
-            (Cc::G, Flags::IntCmp(a, b)) => a > b,
-            (Cc::Ge, Flags::IntCmp(a, b)) => a >= b,
-            // unsigned below/above on int compares
-            (Cc::B, Flags::IntCmp(a, b)) => (a as u64) < (b as u64),
-            (Cc::Be, Flags::IntCmp(a, b)) => (a as u64) <= (b as u64),
-            (Cc::A, Flags::IntCmp(a, b)) => (a as u64) > (b as u64),
-            (Cc::Ae, Flags::IntCmp(a, b)) => (a as u64) >= (b as u64),
-            // FP compares (ucomisd): NaN ⇒ unordered ⇒ "below"-family true
-            (Cc::E, Flags::FpCmp(a, b)) => a == b,
-            (Cc::Ne, Flags::FpCmp(a, b)) => a != b,
-            (Cc::B | Cc::L, Flags::FpCmp(a, b)) => a < b || a.is_nan() || b.is_nan(),
-            (Cc::Be | Cc::Le, Flags::FpCmp(a, b)) => a <= b || a.is_nan() || b.is_nan(),
-            (Cc::A | Cc::G, Flags::FpCmp(a, b)) => a > b,
-            (Cc::Ae | Cc::Ge, Flags::FpCmp(a, b)) => a >= b,
-            (Cc::E, Flags::Test(v)) => v == 0,
-            (Cc::Ne, Flags::Test(v)) => v != 0,
-            (Cc::L, Flags::Test(v)) => v < 0,
-            (Cc::Ge, Flags::Test(v)) => v >= 0,
-            (Cc::Le, Flags::Test(v)) => v <= 0,
-            (Cc::G, Flags::Test(v)) => v > 0,
-            (Cc::B | Cc::Be | Cc::A | Cc::Ae, Flags::Test(_)) => false,
+        frames.push(Frame {
+            func: callee,
+            ret_addr,
+            ret_block,
+            snap: self.cum,
+        });
+        self.calls[callee as usize] += 1;
+        let eb = self.func_entry_block[callee as usize];
+        if eb != u32::MAX {
+            Ok(Cursor::Block(eb))
+        } else {
+            self.img
+                .addr_to_idx(self.img.func_addrs[callee as usize])
+                .map(Cursor::Inst)
         }
     }
 
-    fn exec(&mut self, inst: Inst, _next: u32) -> Result<Ctl, VmError> {
-        use Inst::*;
-        macro_rules! r {
-            ($reg:expr) => {
-                self.regs[$reg.0 as usize]
-            };
+    /// Pop the return address and the frame; `None` means the sentinel —
+    /// return to the host.
+    fn leave_call(&mut self, frames: &mut Vec<Frame>) -> Result<Option<Cursor>, VmError> {
+        let ret = self.m.pop()? as u64;
+        let fr = frames.pop().expect("frame stack underflow");
+        self.fold_frame(&fr);
+        if ret == SENTINEL {
+            return Ok(None);
         }
-        macro_rules! x {
-            ($reg:expr) => {
-                self.xmm[$reg.0 as usize]
-            };
+        if ret == fr.ret_addr && fr.ret_block != u32::MAX {
+            return Ok(Some(Cursor::Block(fr.ret_block)));
         }
-        match inst {
-            MovRR(d, s) => r!(d) = r!(s),
-            MovRI(d, v) => r!(d) = v,
-            Load(d, m) => {
-                let a = self.ea(m);
-                r!(d) = self.load64(a)? as i64;
-            }
-            Store(m, s) => {
-                let a = self.ea(m);
-                let v = r!(s) as u64;
-                self.store64(a, v)?;
-            }
-            Lea(d, m) => {
-                let a = self.ea(m);
-                r!(d) = a as i64;
-            }
-            Push(s) => {
-                let v = r!(s);
-                self.push(v)?;
-            }
-            Pop(d) => {
-                let v = self.pop()?;
-                r!(d) = v;
-            }
-            Movsxd(d, s) => r!(d) = r!(s) as i32 as i64,
-            Cqo => {} // sign extension is folded into Idiv below
-            AddRR(d, s) => r!(d) = r!(d).wrapping_add(r!(s)),
-            AddRI(d, v) => r!(d) = r!(d).wrapping_add(v),
-            SubRR(d, s) => r!(d) = r!(d).wrapping_sub(r!(s)),
-            SubRI(d, v) => r!(d) = r!(d).wrapping_sub(v),
-            ImulRR(d, s) => r!(d) = r!(d).wrapping_mul(r!(s)),
-            ImulRI(d, v) => r!(d) = r!(d).wrapping_mul(v),
-            Idiv(s) => {
-                let divisor = r!(s);
-                if divisor == 0 {
-                    return Err(VmError::DivByZero);
-                }
-                let dividend = self.regs[0];
-                self.regs[0] = dividend.wrapping_div(divisor);
-                self.regs[11] = dividend.wrapping_rem(divisor);
-            }
-            Neg(d) => r!(d) = r!(d).wrapping_neg(),
-            CmpRR(a, b) => self.flags = Flags::IntCmp(r!(a), r!(b)),
-            CmpRI(a, v) => self.flags = Flags::IntCmp(r!(a), v),
-            AndRR(d, s) => r!(d) &= r!(s),
-            OrRR(d, s) => r!(d) |= r!(s),
-            XorRR(d, s) => r!(d) ^= r!(s),
-            Not(d) => r!(d) = !r!(d),
-            ShlRI(d, k) => r!(d) = r!(d).wrapping_shl(k as u32),
-            SarRI(d, k) => r!(d) = r!(d).wrapping_shr(k as u32),
-            ShrRI(d, k) => r!(d) = ((r!(d) as u64).wrapping_shr(k as u32)) as i64,
-            TestRR(a, b) => self.flags = Flags::Test(r!(a) & r!(b)),
-            Setcc(cc, d) => r!(d) = self.cond(cc) as i64,
-            Jmp(t) => return Ok(Ctl::Jump(t)),
-            Jcc(cc, t) => {
-                if self.cond(cc) {
-                    return Ok(Ctl::Jump(t));
-                }
-            }
-            Call(sym) => return Ok(Ctl::Call(sym)),
-            Ret => return Ok(Ctl::Ret),
-            MovsdXX(d, s) => x!(d)[0] = x!(s)[0],
-            MovsdLoad(d, m) => {
-                let a = self.ea(m);
-                x!(d)[0] = f64::from_bits(self.load64(a)?);
-            }
-            MovsdStore(m, s) => {
-                let a = self.ea(m);
-                let v = x!(s)[0].to_bits();
-                self.store64(a, v)?;
-            }
-            MovapdXX(d, s) => x!(d) = x!(s),
-            MovupdLoad(d, m) => {
-                let a = self.ea(m);
-                x!(d)[0] = f64::from_bits(self.load64(a)?);
-                x!(d)[1] = f64::from_bits(self.load64(a + 8)?);
-            }
-            MovupdStore(m, s) => {
-                let a = self.ea(m);
-                let v = x!(s);
-                self.store64(a, v[0].to_bits())?;
-                self.store64(a + 8, v[1].to_bits())?;
-            }
-            MovqXR(d, s) => x!(d)[0] = f64::from_bits(r!(s) as u64),
-            MovqRX(d, s) => r!(d) = x!(s)[0].to_bits() as i64,
-            Addsd(d, s) => x!(d)[0] += x!(s)[0],
-            Subsd(d, s) => x!(d)[0] -= x!(s)[0],
-            Mulsd(d, s) => x!(d)[0] *= x!(s)[0],
-            Divsd(d, s) => x!(d)[0] /= x!(s)[0],
-            Sqrtsd(d, s) => x!(d)[0] = x!(s)[0].sqrt(),
-            Minsd(d, s) => x!(d)[0] = x!(d)[0].min(x!(s)[0]),
-            Maxsd(d, s) => x!(d)[0] = x!(d)[0].max(x!(s)[0]),
-            Addpd(d, s) => {
-                x!(d)[0] += x!(s)[0];
-                x!(d)[1] += x!(s)[1];
-            }
-            Subpd(d, s) => {
-                x!(d)[0] -= x!(s)[0];
-                x!(d)[1] -= x!(s)[1];
-            }
-            Mulpd(d, s) => {
-                x!(d)[0] *= x!(s)[0];
-                x!(d)[1] *= x!(s)[1];
-            }
-            Divpd(d, s) => {
-                x!(d)[0] /= x!(s)[0];
-                x!(d)[1] /= x!(s)[1];
-            }
-            Sqrtpd(d, s) => {
-                x!(d)[0] = x!(s)[0].sqrt();
-                x!(d)[1] = x!(s)[1].sqrt();
-            }
-            Andpd(d, s) => {
-                for l in 0..2 {
-                    x!(d)[l] =
-                        f64::from_bits(x!(d)[l].to_bits() & x!(s)[l].to_bits());
-                }
-            }
-            Orpd(d, s) => {
-                for l in 0..2 {
-                    x!(d)[l] =
-                        f64::from_bits(x!(d)[l].to_bits() | x!(s)[l].to_bits());
-                }
-            }
-            Xorpd(d, s) => {
-                for l in 0..2 {
-                    x!(d)[l] =
-                        f64::from_bits(x!(d)[l].to_bits() ^ x!(s)[l].to_bits());
-                }
-            }
-            Ucomisd(a, b) => self.flags = Flags::FpCmp(x!(a)[0], x!(b)[0]),
-            Unpckhpd(d, s) => {
-                let hi = x!(s)[1];
-                x!(d)[0] = x!(d)[1];
-                x!(d)[1] = hi;
-            }
-            Unpcklpd(d, s) => {
-                let lo = x!(s)[0];
-                x!(d)[1] = lo;
-            }
-            Cvtsi2sd(d, s) => x!(d)[0] = r!(s) as f64,
-            Cvttsd2si(d, s) => r!(d) = x!(s)[0] as i64,
-            Nop => {}
-            Halt => return Ok(Ctl::Halt),
-        }
-        Ok(Ctl::Next)
+        // tampered or indirect return address: translate like the seed did
+        self.img.addr_to_idx(ret as u32).map(|i| Some(Cursor::Inst(i)))
     }
-}
 
-enum Ctl {
-    Next,
-    Jump(u32),
-    Call(u32),
-    Ret,
-    Halt,
+    /// Add `cum − snapshot` to the frame's function's inclusive counters.
+    fn fold_frame(&mut self, fr: &Frame) {
+        let f = fr.func as usize;
+        for c in 0..Category::COUNT {
+            let d = self.cum[c] - fr.snap[c];
+            if d != 0 {
+                self.incl[f][c] += d;
+            }
+        }
+    }
+
+    /// Attribute one full block execution. The cumulative vector (which
+    /// fold-on-pop inclusive accounting reads live) is updated here; the
+    /// exclusive and per-line scatter is deferred to [`Vm::profile`] via
+    /// `n_exec` whenever the innermost frame is the block's own function —
+    /// which it always is, except after a cross-function fall-through,
+    /// where the seed semantics (attribute to the *frame*, not the code
+    /// owner) require the direct path.
+    fn attribute_block(&mut self, b: usize, blk: &Block, frames: &[Frame]) {
+        let top = frames.last().unwrap().func;
+        for &(c, n) in blk.cats.iter() {
+            self.cum[c as usize] += n as u64;
+        }
+        self.steps += blk.nsteps as u64;
+        if top == blk.func {
+            self.n_exec[b] += 1;
+        } else {
+            let t = top as usize;
+            for &(c, n) in blk.cats.iter() {
+                self.excl[t][c as usize] += n as u64;
+            }
+            for &(slot, c, n) in blk.lines.iter() {
+                self.line_counts[slot as usize][c as usize] += n as u64;
+            }
+        }
+    }
+
+    /// Attribute the retired prefix `[s, end)` of a block that faulted
+    /// mid-body, per instruction.
+    fn attribute_prefix(&mut self, meta: &[InstMeta], frames: &[Frame], s: usize, end: usize) {
+        let top = frames.last().unwrap().func as usize;
+        for md in &meta[s..end] {
+            let cat = md.category as usize;
+            self.excl[top][cat] += 1;
+            self.cum[cat] += 1;
+            if md.line_slot != u32::MAX {
+                self.line_counts[md.line_slot as usize][cat] += 1;
+            }
+        }
+        self.steps += (end - s) as u64;
+    }
 }
 
 #[cfg(test)]

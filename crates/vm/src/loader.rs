@@ -1,0 +1,151 @@
+//! Load-time decoding of a VOBJ [`Object`] into the flat instruction image
+//! both interpreters execute: symbol tables with a prebuilt name→index map,
+//! the decoded instruction stream with per-instruction attribution metadata
+//! (category, line slot, fall-through address), and the byte-address →
+//! instruction-index map used to resolve indirect control flow.
+
+use crate::VmError;
+use mira_isa::Inst;
+use mira_vobj::line::LineTable;
+use mira_vobj::{Object, Symbol};
+use std::collections::HashMap;
+
+/// Per-instruction attribution metadata, parallel to [`Image::code`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct InstMeta {
+    /// `Category::index()` of the instruction.
+    pub category: u8,
+    /// Function that owns the instruction.
+    pub func: u16,
+    /// Index into the per-line counter table, or `u32::MAX`.
+    pub line_slot: u32,
+    /// Byte address of the next sequential instruction.
+    pub next_addr: u32,
+}
+
+/// The decoded program image shared by [`crate::Vm`] and
+/// [`crate::reference::ReferenceVm`].
+pub(crate) struct Image {
+    pub func_names: Vec<String>,
+    pub func_addrs: Vec<u32>,
+    /// function name → index; replaces the O(n) linear scans the seed VM
+    /// did on every `call` and during loading.
+    pub func_index: HashMap<String, u16>,
+    /// symbol index → Some(function index) or None for externs.
+    pub sym_to_func: Vec<Option<u16>>,
+    pub extern_names: Vec<String>,
+    /// All decoded instructions, in symbol order.
+    pub code: Vec<Inst>,
+    /// Byte address of each instruction in [`Self::code`].
+    pub addrs: Vec<u32>,
+    pub meta: Vec<InstMeta>,
+    /// text address → instruction index (`u32::MAX` where not a boundary).
+    pub addr_map: Vec<u32>,
+    /// `(function index, line)` key of each line-counter slot.
+    pub line_keys: Vec<(u16, u32)>,
+}
+
+impl Image {
+    pub fn decode(obj: &Object) -> Result<Image, VmError> {
+        let table =
+            LineTable::decode(&obj.line_program).map_err(|e| VmError::Object(e.to_string()))?;
+        let mut func_names = Vec::new();
+        let mut func_addrs = Vec::new();
+        let mut func_index: HashMap<String, u16> = HashMap::new();
+        let mut sym_to_func = Vec::new();
+        let mut extern_names = Vec::new();
+        for sym in &obj.symbols {
+            match sym {
+                Symbol::Func { name, addr, .. } => {
+                    let idx = func_names.len() as u16;
+                    // first definition wins, matching the seed's
+                    // `iter().position()` semantics on duplicate names
+                    sym_to_func.push(Some(*func_index.entry(name.clone()).or_insert(idx)));
+                    func_names.push(name.clone());
+                    func_addrs.push(*addr);
+                }
+                Symbol::Extern { name } => {
+                    sym_to_func.push(None);
+                    extern_names.push(name.clone());
+                }
+            }
+        }
+
+        let mut code = Vec::new();
+        let mut addrs = Vec::new();
+        let mut meta = Vec::new();
+        let mut addr_map = vec![u32::MAX; obj.text.len() + 1];
+        let mut line_slot_map: HashMap<(u16, u32), u32> = HashMap::new();
+        let mut line_keys = Vec::new();
+
+        for sym in &obj.symbols {
+            let Symbol::Func { name, addr, size } = sym else {
+                continue;
+            };
+            let func = func_index[name.as_str()];
+            let start = *addr as usize;
+            let end = start + *size as usize;
+            if end > obj.text.len() {
+                return Err(VmError::Object(format!("{name} out of text range")));
+            }
+            let mut pos = start;
+            while pos < end {
+                let (inst, len) = Inst::decode(&obj.text, pos)
+                    .map_err(|e| VmError::Object(format!("{name}+{pos:#x}: {e}")))?;
+                let line = table.line_for_addr(pos as u32).unwrap_or(0);
+                let line_slot = if line != 0 {
+                    *line_slot_map.entry((func, line)).or_insert_with(|| {
+                        line_keys.push((func, line));
+                        (line_keys.len() - 1) as u32
+                    })
+                } else {
+                    u32::MAX
+                };
+                addr_map[pos] = code.len() as u32;
+                addrs.push(pos as u32);
+                meta.push(InstMeta {
+                    category: inst.category().index() as u8,
+                    func,
+                    line_slot,
+                    next_addr: (pos + len) as u32,
+                });
+                code.push(inst);
+                pos += len;
+            }
+        }
+
+        Ok(Image {
+            func_names,
+            func_addrs,
+            func_index,
+            sym_to_func,
+            extern_names,
+            code,
+            addrs,
+            meta,
+            addr_map,
+            line_keys,
+        })
+    }
+
+    pub fn addr_to_idx(&self, addr: u32) -> Result<usize, VmError> {
+        match self.addr_map.get(addr as usize) {
+            Some(&idx) if idx != u32::MAX => Ok(idx as usize),
+            _ => Err(VmError::WildJump(addr)),
+        }
+    }
+
+    /// Reverse-map an unresolved call's symbol index to its extern name.
+    pub fn extern_name_of(&self, sym: u32) -> Option<String> {
+        let mut ext = 0usize;
+        for (i, f) in self.sym_to_func.iter().enumerate() {
+            if f.is_none() {
+                if i == sym as usize {
+                    return self.extern_names.get(ext).cloned();
+                }
+                ext += 1;
+            }
+        }
+        None
+    }
+}

@@ -4,7 +4,7 @@ use mira_arch::{ArchDescription, Category, CategoryCounts};
 use std::collections::BTreeMap;
 
 /// Per-function dynamic counts.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct FuncProfile {
     pub name: String,
     /// Counts while the function was the innermost frame.
@@ -22,8 +22,10 @@ impl FuncProfile {
     }
 }
 
-/// A full dynamic profile.
-#[derive(Clone, Debug, Default)]
+/// A full dynamic profile. `PartialEq` compares every counter — the
+/// differential tests use it to pin the block engine to the per-step
+/// reference interpreter bit for bit.
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct Profile {
     pub functions: Vec<FuncProfile>,
     /// `(function name, line) → counts` for statement-level validation.

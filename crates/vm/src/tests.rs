@@ -350,6 +350,7 @@ fn casts_roundtrip() {
 }
 
 #[test]
+#[allow(clippy::identity_op, clippy::erasing_op)]
 fn logical_ops_and_comparisons() {
     let src = r#"
 int f(int a, int b) {
@@ -366,6 +367,216 @@ int f(int a, int b) {
         run_int(src, "f", &[HostVal::Int(1), HostVal::Int(3)]),
         0 + 2 * 0
     );
+}
+
+// ---- block engine vs per-step reference: differential + invariants ----
+//
+// The block-dispatch engine must produce *bit-identical* profiles to the
+// seed per-step interpreter (`reference::ReferenceVm`). The two share
+// instruction semantics (`machine::Machine`) but nothing of the
+// accounting, so any divergence below is an accounting bug.
+
+use crate::reference::ReferenceVm;
+use mira_arch::Category;
+use proptest::prelude::*;
+
+/// Run `func` on both engines and assert results, step counts and full
+/// profiles (exclusive, inclusive, per-line, call counts) are identical.
+fn assert_engines_agree(src: &str, func: &str, args: &[HostVal], options: VmOptions) {
+    let obj = compile_source(src, &Options::default()).unwrap();
+    let mut vm = Vm::load(&obj, options).unwrap();
+    let mut rvm = ReferenceVm::load(&obj, options).unwrap();
+    let r_new = vm.call(func, args);
+    let r_ref = rvm.call(func, args);
+    assert_eq!(r_new, r_ref, "call results diverge for:\n{src}");
+    assert_eq!(
+        vm.fp_return().to_bits(),
+        rvm.fp_return().to_bits(),
+        "fp returns diverge"
+    );
+    assert_eq!(vm.int_return(), rvm.int_return(), "int returns diverge");
+    assert_eq!(vm.steps(), rvm.steps(), "step counts diverge for:\n{src}");
+    assert_eq!(vm.profile(), rvm.profile(), "profiles diverge for:\n{src}");
+}
+
+/// Profile invariants every run must satisfy:
+/// * per function and category, inclusive ≥ exclusive;
+/// * per function, Σ per-line counts ≤ Σ exclusive counts, with equality
+///   over the line-covered instructions (prologue/epilogue instructions
+///   carry no line row, so the line total can only fall short, never
+///   exceed — each retired instruction is attributed at most once per
+///   view).
+fn assert_profile_invariants(prof: &Profile) {
+    for f in &prof.functions {
+        for cat in Category::ALL {
+            assert!(
+                f.inclusive.get(cat) >= f.exclusive.get(cat),
+                "{}: inclusive < exclusive for {cat}",
+                f.name
+            );
+        }
+        let line_total: i128 = prof
+            .lines
+            .iter()
+            .filter(|((name, _), _)| *name == f.name)
+            .map(|(_, c)| c.total())
+            .sum();
+        assert!(
+            line_total <= f.exclusive.total(),
+            "{}: line totals {line_total} exceed exclusive {}",
+            f.name,
+            f.exclusive.total()
+        );
+    }
+    let excl_total: i128 = prof.functions.iter().map(|f| f.exclusive.total()).sum();
+    let line_total: i128 = prof.lines.values().map(|c| c.total()).sum();
+    assert!(line_total <= excl_total);
+    if excl_total > 0 {
+        assert!(line_total > 0, "no line attribution at all");
+    }
+}
+
+const RECURSIVE_SRC: &str = r#"
+extern double sqrt(double);
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+double norm(double x, int depth) {
+    if (depth == 0) { return sqrt(x * x + 1.0); }
+    return norm(x * 0.5, depth - 1) + 1.0;
+}
+double deep(int n, int depth) {
+    double acc = 0.0;
+    for (int i = 0; i < n; i++) {
+        acc = acc + norm(acc + i, depth);
+    }
+    return acc + fib(12);
+}
+"#;
+
+#[test]
+fn engines_agree_on_recursive_workload() {
+    assert_engines_agree(
+        RECURSIVE_SRC,
+        "deep",
+        &[HostVal::Int(20), HostVal::Int(8)],
+        VmOptions::default(),
+    );
+}
+
+#[test]
+fn engines_agree_under_step_limit() {
+    // the limit lands mid-execution, exercising the per-instruction slow
+    // tier; retired prefixes must still be attributed identically
+    for max_steps in [1u64, 7, 63, 640, 6400] {
+        let options = VmOptions {
+            max_steps,
+            ..VmOptions::default()
+        };
+        assert_engines_agree(
+            RECURSIVE_SRC,
+            "deep",
+            &[HostVal::Int(50), HostVal::Int(30)],
+            options,
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_faulting_run() {
+    // div-by-zero fires deep inside the loop; both engines must have
+    // attributed the same retired prefix when the fault surfaces
+    let src = r#"
+int f(int n) {
+    int acc = 0;
+    for (int i = 3; i >= 0; i--) {
+        acc = acc + n / i;
+    }
+    return acc;
+}
+"#;
+    assert_engines_agree(src, "f", &[HostVal::Int(100)], VmOptions::default());
+}
+
+#[test]
+fn profile_invariants_on_recursion_and_libm() {
+    let obj = compile_source(RECURSIVE_SRC, &Options::default()).unwrap();
+    let mut vm = Vm::new(&obj).unwrap();
+    vm.call("deep", &[HostVal::Int(15), HostVal::Int(5)]).unwrap();
+    let prof = vm.profile();
+    assert_profile_invariants(&prof);
+    // recursion really exercises inclusive > exclusive
+    let fib = prof.function("fib").unwrap();
+    assert!(fib.inclusive.total() > fib.exclusive.total());
+}
+
+/// Random MiniC programs: loop nests of random depth/bounds with optional
+/// guards, a recursive reducer, and FP array traffic.
+#[allow(clippy::needless_range_loop)]
+fn render_random_program(depth: u8, bounds: &[u8], guard: Option<u8>, rec: u8) -> String {
+    let depth = (depth % 3 + 1) as usize;
+    let names = ["i", "j", "k"];
+    let mut src = String::from(
+        "extern double sqrt(double);\n\
+         int red(int n) {\n    if (n < 2) { return 1; }\n    return red(n - 1) + red(n - 2);\n}\n\
+         double kernel(int n, double* a, double* b) {\n    double acc = 0.0;\n",
+    );
+    let mut indent = String::from("    ");
+    for lvl in 0..depth {
+        let v = names[lvl];
+        let hi = bounds.get(lvl).copied().unwrap_or(2) % 5;
+        src.push_str(&format!(
+            "{indent}for (int {v} = 0; {v} < n + {hi}; {v}++) {{\n"
+        ));
+        indent.push_str("    ");
+    }
+    let inner = names[depth - 1];
+    if let Some(g) = guard {
+        src.push_str(&format!("{indent}if ({inner} > {}) {{\n", g % 4));
+        indent.push_str("    ");
+    }
+    src.push_str(&format!("{indent}acc = acc + a[{inner}] * b[{inner}];\n"));
+    src.push_str(&format!("{indent}b[{inner}] = sqrt(acc * acc + 1.0);\n"));
+    if guard.is_some() {
+        indent.truncate(indent.len() - 4);
+        src.push_str(&format!("{indent}}}\n"));
+    }
+    for _ in 0..depth {
+        indent.truncate(indent.len() - 4);
+        src.push_str(&format!("{indent}}}\n"));
+    }
+    src.push_str(&format!("    return acc + red({});\n}}\n", rec % 10 + 2));
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn prop_engines_agree_on_random_programs(
+        depth in 0u8..3,
+        bounds in proptest::collection::vec(0u8..5, 1..=3),
+        guard in proptest::option::of(0u8..4),
+        rec in 0u8..10,
+        n in 1i64..6,
+    ) {
+        let src = render_random_program(depth, &bounds, guard, rec);
+        let obj = compile_source(&src, &Options::default()).unwrap();
+        let mut vm = Vm::new(&obj).unwrap();
+        let mut rvm = ReferenceVm::new(&obj).unwrap();
+        let len = (n + 8) as usize;
+        let (a, b) = (vm.alloc_f64(&vec![1.0; len]), vm.alloc_f64(&vec![2.0; len]));
+        let (ra, rb) = (rvm.alloc_f64(&vec![1.0; len]), rvm.alloc_f64(&vec![2.0; len]));
+        prop_assert_eq!((a, b), (ra, rb)); // identical heap layout
+        let args = [HostVal::Int(n), HostVal::Int(a as i64), HostVal::Int(b as i64)];
+        vm.call("kernel", &args).unwrap();
+        rvm.call("kernel", &args).unwrap();
+        prop_assert_eq!(vm.fp_return().to_bits(), rvm.fp_return().to_bits());
+        prop_assert_eq!(vm.steps(), rvm.steps());
+        let prof = vm.profile();
+        prop_assert_eq!(&prof, &rvm.profile());
+        assert_profile_invariants(&prof);
+    }
 }
 
 #[test]

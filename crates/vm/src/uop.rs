@@ -1,0 +1,561 @@
+//! Pre-resolved micro-ops for the block fast path.
+//!
+//! The generic [`Machine::exec`] pays a ~60-way dispatch per retired
+//! instruction. Block *bodies* are translated once at load time into a
+//! narrow µop stream tuned to what `mira-vcc`'s spill-everything codegen
+//! actually emits (measured over the STREAM/DGEMM/miniFE objects):
+//! frame-slot reloads (`mov rX, [rbp±d]`) are by far the most retired
+//! instruction and overwhelmingly arrive in adjacent pairs, so they get
+//! dedicated handlers and two-way fusion ([`Uop::Load2`]/[`Uop::Store2`]).
+//! Anything outside the hot set falls back to the shared semantics
+//! ([`Uop::Other`]), so µop translation can never change behaviour —
+//! only speed. The differential tests against the per-step reference
+//! interpreter pin this.
+//!
+//! Control-transfer instructions never appear in a body (they terminate
+//! blocks), so µops are straight-line by construction.
+
+use crate::machine::{Ctl, Flags, Machine};
+use crate::VmError;
+use mira_isa::{Inst, Mem};
+
+/// Flattened addressing: `[regs[b] + regs[i]*s + d]`, `i == NO_INDEX` for
+/// plain base+displacement.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct MemU {
+    b: u8,
+    i: u8,
+    s: u8,
+    d: i32,
+}
+
+const NO_INDEX: u8 = 0xff;
+
+impl From<Mem> for MemU {
+    fn from(m: Mem) -> MemU {
+        match m.index {
+            Some((r, s)) => MemU {
+                b: m.base.0,
+                i: r.0,
+                s,
+                d: m.disp,
+            },
+            None => MemU {
+                b: m.base.0,
+                i: NO_INDEX,
+                s: 0,
+                d: m.disp,
+            },
+        }
+    }
+}
+
+#[inline(always)]
+fn ea(regs: &[i64; 16], m: MemU) -> u64 {
+    let mut a = regs[m.b as usize & 15] as u64;
+    if m.i != NO_INDEX {
+        a = a.wrapping_add((regs[m.i as usize & 15] as u64).wrapping_mul(m.s as u64));
+    }
+    a.wrapping_add(m.d as i64 as u64)
+}
+
+/// One micro-op: a specialized hot instruction, a fused pair, or a
+/// fallback to the generic interpreter. Fused pairs execute strictly in
+/// source order — the first half may redefine state the second half uses.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Uop {
+    /// Two consecutive integer loads (the dominant pair).
+    Load2 { d1: u8, m1: MemU, d2: u8, m2: MemU },
+    /// Two consecutive integer stores.
+    Store2 { s1: u8, m1: MemU, s2: u8, m2: MemU },
+    /// An integer load followed by one fixed reg-reg ALU op (the
+    /// spill-reload idiom `mov rX, [rbp±d]; op rA, rB`). One variant per
+    /// second op: a fused µop must stay a *single* dispatch — routing the
+    /// second op through a nested match would reintroduce the
+    /// data-dependent indirect branch fusion exists to remove.
+    LoadMov { d: u8, m: MemU, a: u8, b: u8 },
+    LoadAdd { d: u8, m: MemU, a: u8, b: u8 },
+    LoadSub { d: u8, m: MemU, a: u8, b: u8 },
+    LoadImul { d: u8, m: MemU, a: u8, b: u8 },
+    LoadCmp { d: u8, m: MemU, a: u8, b: u8 },
+    LoadTest { d: u8, m: MemU, a: u8, b: u8 },
+    /// A scalar-double load followed by one fixed scalar-double op.
+    FLoadMov { d: u8, m: MemU, a: u8, b: u8 },
+    FLoadAdd { d: u8, m: MemU, a: u8, b: u8 },
+    FLoadSub { d: u8, m: MemU, a: u8, b: u8 },
+    FLoadMul { d: u8, m: MemU, a: u8, b: u8 },
+    FLoadDiv { d: u8, m: MemU, a: u8, b: u8 },
+    /// `mov rD, imm; mov [mem], rS` (loop-counter initialization spill).
+    MovRIStore { d: u8, v: i64, s: u8, m: MemU },
+    /// `mov rD, [mem]; mov rE, imm` (reload + constant setup).
+    LoadMovRI { d: u8, m: MemU, e: u8, v: i64 },
+    /// `mov rD, imm; movq xmmX, rS` (FP zero/constant materialization).
+    MovRIMovqXR { d: u8, v: i64, x: u8, s: u8 },
+    /// `mov rD, rS; add rA, imm` (post-increment idiom).
+    MovRRAddRI { d: u8, s: u8, a: u8, v: i64 },
+    /// `add rA, imm; mov [mem], rS` (increment-then-spill idiom).
+    AddRIStore { a: u8, v: i64, s: u8, m: MemU },
+    Load { d: u8, m: MemU },
+    Store { s: u8, m: MemU },
+    FLoad { d: u8, m: MemU },
+    FStore { s: u8, m: MemU },
+    MovRR { d: u8, s: u8 },
+    MovRI { d: u8, v: i64 },
+    AddRR { d: u8, s: u8 },
+    AddRI { d: u8, v: i64 },
+    SubRR { d: u8, s: u8 },
+    SubRI { d: u8, v: i64 },
+    ImulRR { d: u8, s: u8 },
+    ImulRI { d: u8, v: i64 },
+    CmpRR { a: u8, b: u8 },
+    CmpRI { a: u8, v: i64 },
+    TestRR { a: u8, b: u8 },
+    Setcc { cc: mira_isa::Cc, d: u8 },
+    Movsxd { d: u8, s: u8 },
+    Push { s: u8 },
+    Pop { d: u8 },
+    MovsdXX { d: u8, s: u8 },
+    MovqXR { d: u8, s: u8 },
+    MovqRX { d: u8, s: u8 },
+    Addsd { d: u8, s: u8 },
+    Subsd { d: u8, s: u8 },
+    Mulsd { d: u8, s: u8 },
+    Divsd { d: u8, s: u8 },
+    Sqrtsd { d: u8, s: u8 },
+    Ucomisd { a: u8, b: u8 },
+    Cvtsi2sd { d: u8, s: u8 },
+    Cvttsd2si { d: u8, s: u8 },
+    /// Everything else, executed through the shared generic semantics.
+    Other(Inst),
+}
+
+impl Uop {
+    /// How many source instructions this µop retires.
+    #[inline]
+    pub fn width(&self) -> usize {
+        match self {
+            Uop::Load2 { .. }
+            | Uop::Store2 { .. }
+            | Uop::LoadMov { .. }
+            | Uop::LoadAdd { .. }
+            | Uop::LoadSub { .. }
+            | Uop::LoadImul { .. }
+            | Uop::LoadCmp { .. }
+            | Uop::LoadTest { .. }
+            | Uop::FLoadMov { .. }
+            | Uop::FLoadAdd { .. }
+            | Uop::FLoadSub { .. }
+            | Uop::FLoadMul { .. }
+            | Uop::FLoadDiv { .. }
+            | Uop::MovRIStore { .. }
+            | Uop::LoadMovRI { .. }
+            | Uop::MovRIMovqXR { .. }
+            | Uop::MovRRAddRI { .. }
+            | Uop::AddRIStore { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Build the fused `Load+ALU` µop for a following reg-reg op, if fusable.
+fn fuse_load_alu(d: u8, m: MemU, second: &Inst) -> Option<Uop> {
+    match *second {
+        Inst::MovRR(a, b) => Some(Uop::LoadMov { d, m, a: a.0, b: b.0 }),
+        Inst::AddRR(a, b) => Some(Uop::LoadAdd { d, m, a: a.0, b: b.0 }),
+        Inst::SubRR(a, b) => Some(Uop::LoadSub { d, m, a: a.0, b: b.0 }),
+        Inst::ImulRR(a, b) => Some(Uop::LoadImul { d, m, a: a.0, b: b.0 }),
+        Inst::CmpRR(a, b) => Some(Uop::LoadCmp { d, m, a: a.0, b: b.0 }),
+        Inst::TestRR(a, b) => Some(Uop::LoadTest { d, m, a: a.0, b: b.0 }),
+        Inst::MovRI(e, v) => Some(Uop::LoadMovRI { d, m, e: e.0, v }),
+        _ => None,
+    }
+}
+
+/// Build the fused `FLoad+op` µop for a following scalar-double op.
+fn fuse_fload_alu(d: u8, m: MemU, second: &Inst) -> Option<Uop> {
+    match *second {
+        Inst::MovsdXX(a, b) => Some(Uop::FLoadMov { d, m, a: a.0, b: b.0 }),
+        Inst::Addsd(a, b) => Some(Uop::FLoadAdd { d, m, a: a.0, b: b.0 }),
+        Inst::Subsd(a, b) => Some(Uop::FLoadSub { d, m, a: a.0, b: b.0 }),
+        Inst::Mulsd(a, b) => Some(Uop::FLoadMul { d, m, a: a.0, b: b.0 }),
+        Inst::Divsd(a, b) => Some(Uop::FLoadDiv { d, m, a: a.0, b: b.0 }),
+        _ => None,
+    }
+}
+
+/// Translate one block body (no control-transfer instructions) into µops.
+pub(crate) fn translate_body(body: &[Inst]) -> Vec<Uop> {
+    let mut out = Vec::with_capacity(body.len());
+    let mut i = 0;
+    while i < body.len() {
+        // two-way fusion of the dominant adjacent pairs (measured over
+        // the STREAM/DGEMM/miniFE objects — see module docs)
+        if i + 1 < body.len() {
+            let fused = match (body[i], body[i + 1]) {
+                (Inst::Load(d1, m1), Inst::Load(d2, m2)) => Some(Uop::Load2 {
+                    d1: d1.0,
+                    m1: m1.into(),
+                    d2: d2.0,
+                    m2: m2.into(),
+                }),
+                (Inst::Store(m1, s1), Inst::Store(m2, s2)) => Some(Uop::Store2 {
+                    s1: s1.0,
+                    m1: m1.into(),
+                    s2: s2.0,
+                    m2: m2.into(),
+                }),
+                (Inst::Load(d, m), ref second) => fuse_load_alu(d.0, m.into(), second),
+                (Inst::MovsdLoad(d, m), ref second) => fuse_fload_alu(d.0, m.into(), second),
+                (Inst::MovRI(d, v), Inst::Store(m, s)) => Some(Uop::MovRIStore {
+                    d: d.0,
+                    v,
+                    s: s.0,
+                    m: m.into(),
+                }),
+                (Inst::MovRI(d, v), Inst::MovqXR(x, s)) => Some(Uop::MovRIMovqXR {
+                    d: d.0,
+                    v,
+                    x: x.0,
+                    s: s.0,
+                }),
+                (Inst::MovRR(d, s), Inst::AddRI(a, v)) => Some(Uop::MovRRAddRI {
+                    d: d.0,
+                    s: s.0,
+                    a: a.0,
+                    v,
+                }),
+                (Inst::AddRI(a, v), Inst::Store(m, s)) => Some(Uop::AddRIStore {
+                    a: a.0,
+                    v,
+                    s: s.0,
+                    m: m.into(),
+                }),
+                _ => None,
+            };
+            if let Some(u) = fused {
+                out.push(u);
+                i += 2;
+                continue;
+            }
+        }
+        out.push(match body[i] {
+            Inst::Load(d, m) => Uop::Load {
+                d: d.0,
+                m: m.into(),
+            },
+            Inst::Store(m, s) => Uop::Store {
+                s: s.0,
+                m: m.into(),
+            },
+            Inst::MovsdLoad(d, m) => Uop::FLoad {
+                d: d.0,
+                m: m.into(),
+            },
+            Inst::MovsdStore(m, s) => Uop::FStore {
+                s: s.0,
+                m: m.into(),
+            },
+            Inst::MovRR(d, s) => Uop::MovRR { d: d.0, s: s.0 },
+            Inst::MovRI(d, v) => Uop::MovRI { d: d.0, v },
+            Inst::AddRR(d, s) => Uop::AddRR { d: d.0, s: s.0 },
+            Inst::AddRI(d, v) => Uop::AddRI { d: d.0, v },
+            Inst::SubRR(d, s) => Uop::SubRR { d: d.0, s: s.0 },
+            Inst::SubRI(d, v) => Uop::SubRI { d: d.0, v },
+            Inst::ImulRR(d, s) => Uop::ImulRR { d: d.0, s: s.0 },
+            Inst::ImulRI(d, v) => Uop::ImulRI { d: d.0, v },
+            Inst::CmpRR(a, b) => Uop::CmpRR { a: a.0, b: b.0 },
+            Inst::CmpRI(a, v) => Uop::CmpRI { a: a.0, v },
+            Inst::TestRR(a, b) => Uop::TestRR { a: a.0, b: b.0 },
+            Inst::Setcc(cc, d) => Uop::Setcc { cc, d: d.0 },
+            Inst::Movsxd(d, s) => Uop::Movsxd { d: d.0, s: s.0 },
+            Inst::Push(s) => Uop::Push { s: s.0 },
+            Inst::Pop(d) => Uop::Pop { d: d.0 },
+            Inst::MovsdXX(d, s) => Uop::MovsdXX { d: d.0, s: s.0 },
+            Inst::MovqXR(d, s) => Uop::MovqXR { d: d.0, s: s.0 },
+            Inst::MovqRX(d, s) => Uop::MovqRX { d: d.0, s: s.0 },
+            Inst::Addsd(d, s) => Uop::Addsd { d: d.0, s: s.0 },
+            Inst::Subsd(d, s) => Uop::Subsd { d: d.0, s: s.0 },
+            Inst::Mulsd(d, s) => Uop::Mulsd { d: d.0, s: s.0 },
+            Inst::Divsd(d, s) => Uop::Divsd { d: d.0, s: s.0 },
+            Inst::Sqrtsd(d, s) => Uop::Sqrtsd { d: d.0, s: s.0 },
+            Inst::Ucomisd(a, b) => Uop::Ucomisd { a: a.0, b: b.0 },
+            Inst::Cvtsi2sd(d, s) => Uop::Cvtsi2sd { d: d.0, s: s.0 },
+            Inst::Cvttsd2si(d, s) => Uop::Cvttsd2si { d: d.0, s: s.0 },
+            other => Uop::Other(other),
+        });
+        i += 1;
+    }
+    out
+}
+
+impl Machine {
+    /// Execute one µop. On error, the `u32` is the zero-based sub-
+    /// instruction within the µop that faulted (always 0 except for the
+    /// second half of a fused pair), so the caller can attribute the
+    /// retired prefix exactly.
+    #[inline(always)]
+    pub(crate) fn exec_uop(&mut self, u: Uop) -> Result<(), (u32, VmError)> {
+        match u {
+            Uop::Load2 { d1, m1, d2, m2 } => {
+                let a1 = ea(&self.regs, m1);
+                self.regs[d1 as usize & 15] = self.load64(a1).map_err(|e| (0, e))? as i64;
+                let a2 = ea(&self.regs, m2);
+                self.regs[d2 as usize & 15] = self.load64(a2).map_err(|e| (1, e))? as i64;
+            }
+            Uop::Store2 { s1, m1, s2, m2 } => {
+                let a1 = ea(&self.regs, m1);
+                let v1 = self.regs[s1 as usize & 15] as u64;
+                self.store64(a1, v1).map_err(|e| (0, e))?;
+                let a2 = ea(&self.regs, m2);
+                let v2 = self.regs[s2 as usize & 15] as u64;
+                self.store64(a2, v2).map_err(|e| (1, e))?;
+            }
+            Uop::LoadMov { d, m, a, b } => {
+                let addr = ea(&self.regs, m);
+                self.regs[d as usize & 15] = self.load64(addr).map_err(|e| (0, e))? as i64;
+                self.regs[a as usize & 15] = self.regs[b as usize & 15];
+            }
+            Uop::LoadAdd { d, m, a, b } => {
+                let addr = ea(&self.regs, m);
+                self.regs[d as usize & 15] = self.load64(addr).map_err(|e| (0, e))? as i64;
+                self.regs[a as usize & 15] =
+                    self.regs[a as usize & 15].wrapping_add(self.regs[b as usize & 15]);
+            }
+            Uop::LoadSub { d, m, a, b } => {
+                let addr = ea(&self.regs, m);
+                self.regs[d as usize & 15] = self.load64(addr).map_err(|e| (0, e))? as i64;
+                self.regs[a as usize & 15] =
+                    self.regs[a as usize & 15].wrapping_sub(self.regs[b as usize & 15]);
+            }
+            Uop::LoadImul { d, m, a, b } => {
+                let addr = ea(&self.regs, m);
+                self.regs[d as usize & 15] = self.load64(addr).map_err(|e| (0, e))? as i64;
+                self.regs[a as usize & 15] =
+                    self.regs[a as usize & 15].wrapping_mul(self.regs[b as usize & 15]);
+            }
+            Uop::LoadCmp { d, m, a, b } => {
+                let addr = ea(&self.regs, m);
+                self.regs[d as usize & 15] = self.load64(addr).map_err(|e| (0, e))? as i64;
+                self.flags =
+                    Flags::IntCmp(self.regs[a as usize & 15], self.regs[b as usize & 15]);
+            }
+            Uop::LoadTest { d, m, a, b } => {
+                let addr = ea(&self.regs, m);
+                self.regs[d as usize & 15] = self.load64(addr).map_err(|e| (0, e))? as i64;
+                self.flags =
+                    Flags::Test(self.regs[a as usize & 15] & self.regs[b as usize & 15]);
+            }
+            Uop::FLoadMov { d, m, a, b } => {
+                let addr = ea(&self.regs, m);
+                self.xmm[d as usize & 15][0] =
+                    f64::from_bits(self.load64(addr).map_err(|e| (0, e))?);
+                self.xmm[a as usize & 15][0] = self.xmm[b as usize & 15][0];
+            }
+            Uop::FLoadAdd { d, m, a, b } => {
+                let addr = ea(&self.regs, m);
+                self.xmm[d as usize & 15][0] =
+                    f64::from_bits(self.load64(addr).map_err(|e| (0, e))?);
+                self.xmm[a as usize & 15][0] += self.xmm[b as usize & 15][0];
+            }
+            Uop::FLoadSub { d, m, a, b } => {
+                let addr = ea(&self.regs, m);
+                self.xmm[d as usize & 15][0] =
+                    f64::from_bits(self.load64(addr).map_err(|e| (0, e))?);
+                self.xmm[a as usize & 15][0] -= self.xmm[b as usize & 15][0];
+            }
+            Uop::FLoadMul { d, m, a, b } => {
+                let addr = ea(&self.regs, m);
+                self.xmm[d as usize & 15][0] =
+                    f64::from_bits(self.load64(addr).map_err(|e| (0, e))?);
+                self.xmm[a as usize & 15][0] *= self.xmm[b as usize & 15][0];
+            }
+            Uop::FLoadDiv { d, m, a, b } => {
+                let addr = ea(&self.regs, m);
+                self.xmm[d as usize & 15][0] =
+                    f64::from_bits(self.load64(addr).map_err(|e| (0, e))?);
+                self.xmm[a as usize & 15][0] /= self.xmm[b as usize & 15][0];
+            }
+            Uop::MovRIStore { d, v, s, m } => {
+                self.regs[d as usize & 15] = v;
+                let a = ea(&self.regs, m);
+                let sv = self.regs[s as usize & 15] as u64;
+                self.store64(a, sv).map_err(|e| (1, e))?;
+            }
+            Uop::LoadMovRI { d, m, e, v } => {
+                let a = ea(&self.regs, m);
+                self.regs[d as usize & 15] = self.load64(a).map_err(|err| (0, err))? as i64;
+                self.regs[e as usize & 15] = v;
+            }
+            Uop::MovRIMovqXR { d, v, x, s } => {
+                self.regs[d as usize & 15] = v;
+                self.xmm[x as usize & 15][0] = f64::from_bits(self.regs[s as usize & 15] as u64);
+            }
+            Uop::MovRRAddRI { d, s, a, v } => {
+                self.regs[d as usize & 15] = self.regs[s as usize & 15];
+                self.regs[a as usize & 15] = self.regs[a as usize & 15].wrapping_add(v);
+            }
+            Uop::AddRIStore { a, v, s, m } => {
+                self.regs[a as usize & 15] = self.regs[a as usize & 15].wrapping_add(v);
+                let addr = ea(&self.regs, m);
+                let sv = self.regs[s as usize & 15] as u64;
+                self.store64(addr, sv).map_err(|e| (1, e))?;
+            }
+            Uop::Load { d, m } => {
+                let a = ea(&self.regs, m);
+                self.regs[d as usize & 15] = self.load64(a).map_err(|e| (0, e))? as i64;
+            }
+            Uop::Store { s, m } => {
+                let a = ea(&self.regs, m);
+                let v = self.regs[s as usize & 15] as u64;
+                self.store64(a, v).map_err(|e| (0, e))?;
+            }
+            Uop::FLoad { d, m } => {
+                let a = ea(&self.regs, m);
+                self.xmm[d as usize & 15][0] =
+                    f64::from_bits(self.load64(a).map_err(|e| (0, e))?);
+            }
+            Uop::FStore { s, m } => {
+                let a = ea(&self.regs, m);
+                let v = self.xmm[s as usize & 15][0].to_bits();
+                self.store64(a, v).map_err(|e| (0, e))?;
+            }
+            Uop::MovRR { d, s } => self.regs[d as usize & 15] = self.regs[s as usize & 15],
+            Uop::MovRI { d, v } => self.regs[d as usize & 15] = v,
+            Uop::AddRR { d, s } => {
+                self.regs[d as usize & 15] =
+                    self.regs[d as usize & 15].wrapping_add(self.regs[s as usize & 15]);
+            }
+            Uop::AddRI { d, v } => {
+                self.regs[d as usize & 15] = self.regs[d as usize & 15].wrapping_add(v);
+            }
+            Uop::SubRR { d, s } => {
+                self.regs[d as usize & 15] =
+                    self.regs[d as usize & 15].wrapping_sub(self.regs[s as usize & 15]);
+            }
+            Uop::SubRI { d, v } => {
+                self.regs[d as usize & 15] = self.regs[d as usize & 15].wrapping_sub(v);
+            }
+            Uop::ImulRR { d, s } => {
+                self.regs[d as usize & 15] =
+                    self.regs[d as usize & 15].wrapping_mul(self.regs[s as usize & 15]);
+            }
+            Uop::ImulRI { d, v } => {
+                self.regs[d as usize & 15] = self.regs[d as usize & 15].wrapping_mul(v);
+            }
+            Uop::CmpRR { a, b } => {
+                self.flags = Flags::IntCmp(self.regs[a as usize & 15], self.regs[b as usize & 15]);
+            }
+            Uop::CmpRI { a, v } => {
+                self.flags = Flags::IntCmp(self.regs[a as usize & 15], v);
+            }
+            Uop::TestRR { a, b } => {
+                self.flags = Flags::Test(self.regs[a as usize & 15] & self.regs[b as usize & 15]);
+            }
+            Uop::Setcc { cc, d } => {
+                self.regs[d as usize & 15] = self.cond(cc) as i64;
+            }
+            Uop::Movsxd { d, s } => {
+                self.regs[d as usize & 15] = self.regs[s as usize & 15] as i32 as i64;
+            }
+            Uop::Push { s } => {
+                let v = self.regs[s as usize & 15];
+                self.push(v).map_err(|e| (0, e))?;
+            }
+            Uop::Pop { d } => {
+                let v = self.pop().map_err(|e| (0, e))?;
+                self.regs[d as usize & 15] = v;
+            }
+            Uop::MovsdXX { d, s } => {
+                self.xmm[d as usize & 15][0] = self.xmm[s as usize & 15][0];
+            }
+            Uop::MovqXR { d, s } => {
+                self.xmm[d as usize & 15][0] = f64::from_bits(self.regs[s as usize & 15] as u64);
+            }
+            Uop::MovqRX { d, s } => {
+                self.regs[d as usize & 15] = self.xmm[s as usize & 15][0].to_bits() as i64;
+            }
+            Uop::Addsd { d, s } => {
+                self.xmm[d as usize & 15][0] += self.xmm[s as usize & 15][0];
+            }
+            Uop::Subsd { d, s } => {
+                self.xmm[d as usize & 15][0] -= self.xmm[s as usize & 15][0];
+            }
+            Uop::Mulsd { d, s } => {
+                self.xmm[d as usize & 15][0] *= self.xmm[s as usize & 15][0];
+            }
+            Uop::Divsd { d, s } => {
+                self.xmm[d as usize & 15][0] /= self.xmm[s as usize & 15][0];
+            }
+            Uop::Sqrtsd { d, s } => {
+                self.xmm[d as usize & 15][0] = self.xmm[s as usize & 15][0].sqrt();
+            }
+            Uop::Ucomisd { a, b } => {
+                self.flags = Flags::FpCmp(self.xmm[a as usize & 15][0], self.xmm[b as usize & 15][0]);
+            }
+            Uop::Cvtsi2sd { d, s } => {
+                self.xmm[d as usize & 15][0] = self.regs[s as usize & 15] as f64;
+            }
+            Uop::Cvttsd2si { d, s } => {
+                self.regs[d as usize & 15] = self.xmm[s as usize & 15][0] as i64;
+            }
+            Uop::Other(inst) => match self.exec(inst) {
+                Ok(Ctl::Next) => {}
+                Ok(_) => unreachable!("control instruction in block body"),
+                Err(e) => return Err((0, e)),
+            },
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_isa::Reg;
+
+    #[test]
+    fn fusion_widths_cover_body() {
+        let body = vec![
+            Inst::Load(Reg(1), Mem::base_disp(Reg(14), -8)),
+            Inst::Load(Reg(2), Mem::base_disp(Reg(14), -16)),
+            Inst::AddRR(Reg(1), Reg(2)),
+            Inst::Store(Mem::base_disp(Reg(14), -8), Reg(1)),
+        ];
+        let uops = translate_body(&body);
+        assert_eq!(uops.iter().map(|u| u.width()).sum::<usize>(), body.len());
+        assert!(matches!(uops[0], Uop::Load2 { .. }));
+    }
+
+    #[test]
+    fn fused_load_respects_sequential_semantics() {
+        // first load redefines the base register of the second address
+        let mut m = Machine::new(1 << 20);
+        let slot_a = 4096u64;
+        let slot_b = 5000u64;
+        m.store64(slot_a, slot_b).unwrap();
+        m.store64(slot_b, 77).unwrap();
+        m.regs[3] = slot_a as i64;
+        let uops = translate_body(&[
+            Inst::Load(Reg(5), Mem::base(Reg(3))),
+            Inst::Load(Reg(6), Mem::base(Reg(5))),
+        ]);
+        assert_eq!(uops.len(), 1);
+        m.exec_uop(uops[0]).unwrap();
+        assert_eq!(m.regs[5], slot_b as i64);
+        assert_eq!(m.regs[6], 77);
+    }
+
+    #[test]
+    fn fused_fault_reports_sub_instruction() {
+        let mut m = Machine::new(1 << 20);
+        m.regs[3] = 4096;
+        m.regs[4] = i64::MAX - 100;
+        let uops = translate_body(&[
+            Inst::Load(Reg(5), Mem::base(Reg(3))),
+            Inst::Load(Reg(6), Mem::base(Reg(4))),
+        ]);
+        let (sub, err) = m.exec_uop(uops[0]).unwrap_err();
+        assert_eq!(sub, 1);
+        assert!(matches!(err, VmError::Fault { .. }));
+    }
+}

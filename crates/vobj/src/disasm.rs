@@ -39,6 +39,18 @@ impl BinFunction {
             .iter()
             .filter(move |i| i.line == Some(line))
     }
+
+    /// Basic-block boundaries of this function as index ranges into
+    /// [`instructions`](Self::instructions) (see [`crate::blocks`]). This is
+    /// the granularity at which `mira-vm` dispatches and attributes counts.
+    pub fn basic_blocks(&self) -> Vec<std::ops::Range<usize>> {
+        let stream: Vec<(u32, Inst)> = self
+            .instructions
+            .iter()
+            .map(|i| (i.addr, i.inst))
+            .collect();
+        crate::blocks::basic_blocks(&stream, &[self.addr])
+    }
 }
 
 /// The binary AST: the decoded, line-annotated view of an [`Object`].

@@ -19,6 +19,7 @@
 //! — the binary-side tree of Figure 3 — with every instruction tagged with
 //! its category and source line.
 
+pub mod blocks;
 pub mod disasm;
 pub mod line;
 

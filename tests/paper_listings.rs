@@ -2,7 +2,7 @@
 
 use mira_core::{analyze_source, MiraOptions};
 use mira_sym::bindings;
-use mira_vm::{HostVal, Vm};
+use mira_vm::Vm;
 
 fn count_via(src: &str, binds: &[(&str, i128)]) -> (i64, i128, i128) {
     // returns (vm result, static IntArith-ish FPI proxy: we use total, dynamic total)
