@@ -6,8 +6,16 @@
 //! profiles are bit-identical, and writes throughput plus speedup to
 //! `BENCH_vm.json` so future PRs have a perf baseline to defend.
 //!
-//! Usage: `cargo run --release -p mira-bench --bin bench_vm [--quick]`
-//! (`--quick` shrinks sizes and rounds for CI smoke runs).
+//! Since `mira-vcc` gained a register allocator, each row also records the
+//! dynamic retired-instruction count of the same workload compiled with
+//! the spill-everything baseline (`baseline_steps`) next to the default
+//! regalloc build (`steps`), and their ratio (`step_reduction`) — so
+//! step-count regressions are caught, not just wall-clock ones.
+//!
+//! Usage: `cargo run --release -p mira-bench --bin bench_vm [--quick|--pairs]`
+//! (`--quick` shrinks sizes and rounds for CI smoke runs; `--pairs`
+//! prints the execution-weighted adjacent-instruction pairs the µop
+//! fusion table in `mira_vm::uop` is tuned against, instead of timing).
 
 use mira_vm::reference::ReferenceVm;
 use mira_vm::{HostVal, Vm, VmOptions};
@@ -17,6 +25,7 @@ use std::time::Instant;
 struct Row {
     workload: &'static str,
     steps: u64,
+    baseline_steps: u64,
     engine_ns: f64,
     reference_ns: f64,
 }
@@ -30,6 +39,9 @@ impl Row {
     }
     fn speedup(&self) -> f64 {
         self.reference_ns / self.engine_ns
+    }
+    fn step_reduction(&self) -> f64 {
+        self.baseline_steps as f64 / self.steps as f64
     }
 }
 
@@ -57,6 +69,7 @@ macro_rules! timed_call {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let pairs = std::env::args().any(|a| a == "--pairs");
     let rounds = if quick { 2 } else { 5 };
     let (stream_n, dgemm_n, grid) = if quick {
         (500i64, 12i64, 6i64)
@@ -67,6 +80,16 @@ fn main() {
     let stream = Stream::new();
     let dgemm = Dgemm::new();
     let minife = MiniFe::new();
+
+    if pairs {
+        print_pairs(&stream, &dgemm, &minife, stream_n, dgemm_n, grid);
+        return;
+    }
+
+    let spill = mira_vcc::Options::spill_everything();
+    let stream_spill = Stream::with_compiler(spill);
+    let dgemm_spill = Dgemm::with_compiler(spill);
+    let minife_spill = MiniFe::with_compiler(spill);
     let mut rows = Vec::new();
 
     // sanity: the two engines must agree bit for bit before we compare speed
@@ -94,7 +117,13 @@ fn main() {
             )
         });
         assert_eq!(steps, rsteps);
-        rows.push(Row { workload: "stream_triad", steps, engine_ns, reference_ns });
+        let baseline_steps = timed_call!(
+            Vm,
+            &stream_spill.analysis.object,
+            |vm: &mut Vm| stream_args(vm, stream_n),
+            "stream_kernels"
+        );
+        rows.push(Row { workload: "stream_triad", steps, baseline_steps, engine_ns, reference_ns });
     }
 
     // DGEMM (Table IV path)
@@ -111,7 +140,13 @@ fn main() {
             )
         });
         assert_eq!(steps, rsteps);
-        rows.push(Row { workload: "dgemm", steps, engine_ns, reference_ns });
+        let baseline_steps = timed_call!(
+            Vm,
+            &dgemm_spill.analysis.object,
+            |vm: &mut Vm| dgemm_args(vm, dgemm_n),
+            "dgemm_bench"
+        );
+        rows.push(Row { workload: "dgemm", steps, baseline_steps, engine_ns, reference_ns });
     }
 
     // miniFE CG solve (Table V deep-call path): assembly excluded, like the
@@ -121,15 +156,18 @@ fn main() {
         let (rsteps, reference_ns) =
             best_of(rounds, || minife_solve_steps::<ReferenceVm>(&minife, grid));
         assert_eq!(steps, rsteps);
-        rows.push(Row { workload: "minife_cg", steps, engine_ns, reference_ns });
+        let baseline_steps = minife_solve_steps::<Vm>(&minife_spill, grid);
+        rows.push(Row { workload: "minife_cg", steps, baseline_steps, engine_ns, reference_ns });
     }
 
     let mut json = String::from("{\n  \"bench\": \"vm_throughput\",\n  \"unit\": \"Minst/s\",\n  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"steps\": {}, \"engine_minst_per_s\": {:.1}, \"reference_minst_per_s\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"workload\": \"{}\", \"steps\": {}, \"baseline_steps\": {}, \"step_reduction\": {:.2}, \"engine_minst_per_s\": {:.1}, \"reference_minst_per_s\": {:.1}, \"speedup\": {:.2}}}{}\n",
             r.workload,
             r.steps,
+            r.baseline_steps,
+            r.step_reduction(),
             r.engine_minst_s(),
             r.reference_minst_s(),
             r.speedup(),
@@ -139,18 +177,60 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
 
-    println!("{:<14} {:>12} {:>16} {:>16} {:>9}", "workload", "steps", "engine Minst/s", "seed Minst/s", "speedup");
+    println!(
+        "{:<14} {:>12} {:>14} {:>10} {:>16} {:>16} {:>9}",
+        "workload", "steps", "spill steps", "step red.", "engine Minst/s", "seed Minst/s", "speedup"
+    );
     for r in &rows {
         println!(
-            "{:<14} {:>12} {:>16.1} {:>16.1} {:>8.2}x",
+            "{:<14} {:>12} {:>14} {:>9.2}x {:>16.1} {:>16.1} {:>8.2}x",
             r.workload,
             r.steps,
+            r.baseline_steps,
+            r.step_reduction(),
             r.engine_minst_s(),
             r.reference_minst_s(),
             r.speedup()
         );
     }
     println!("\nwrote BENCH_vm.json");
+}
+
+/// `--pairs`: print the execution-weighted adjacent-pair histograms the
+/// µop fusion table is tuned against.
+fn print_pairs(
+    stream: &Stream,
+    dgemm: &Dgemm,
+    minife: &MiniFe,
+    stream_n: i64,
+    dgemm_n: i64,
+    grid: i64,
+) {
+    let report = |name: &str, vm: &Vm| {
+        println!("== {name}: top adjacent pairs (execution-weighted) ==");
+        for ((a, b), n) in vm.pair_profile().into_iter().take(20) {
+            println!("{n:>12}  {a} + {b}");
+        }
+        println!();
+    };
+    {
+        let mut vm = Vm::new(&stream.analysis.object).unwrap();
+        let args = stream_args(&mut vm, stream_n);
+        vm.call("stream_kernels", &args).unwrap();
+        report("stream", &vm);
+    }
+    {
+        let mut vm = Vm::new(&dgemm.analysis.object).unwrap();
+        let args = dgemm_args(&mut vm, dgemm_n);
+        vm.call("dgemm_bench", &args).unwrap();
+        report("dgemm", &vm);
+    }
+    {
+        // same assemble-then-reset scoping as the timed path, so the
+        // histogram covers exactly what the benchmark counts
+        let vm: Vm = minife_solve(minife, grid);
+        report("minife", &vm);
+    }
 }
 
 fn stream_args(vm: &mut Vm, n: i64) -> Vec<HostVal> {
@@ -212,6 +292,12 @@ fn dgemm_args_r(vm: &mut ReferenceVm, n: i64) -> Vec<HostVal> {
 /// Run assemble (untimed elsewhere — included in the closure but dominated
 /// by the solve at these grids) then CG; return solve-phase steps.
 fn minife_solve_steps<V: MiniFeVm>(m: &MiniFe, d: i64) -> u64 {
+    minife_solve::<V>(m, d).steps_()
+}
+
+/// Assemble the system, reset the counters, run the CG solve, and hand
+/// back the VM — counters cover the solve phase only.
+fn minife_solve<V: MiniFeVm>(m: &MiniFe, d: i64) -> V {
     let n = (d * d * d) as usize;
     let nnz_cap = 7 * n + 16;
     let mut vm = V::load_obj(&m.analysis.object);
@@ -252,7 +338,7 @@ fn minife_solve_steps<V: MiniFeVm>(m: &MiniFe, d: i64) -> u64 {
             HostVal::Fp(1e-8),
         ],
     );
-    vm.steps_()
+    vm
 }
 
 /// The common surface of the two engines, for the generic miniFE driver.

@@ -1,13 +1,39 @@
 //! Tree-walking code generator: typed MiniC AST → VX86.
 //!
-//! Conventions (see `mira-isa` docs): integer/pointer arguments arrive in
-//! `r0`–`r5`, FP arguments in `x0`–`x7`; all parameters are spilled to the
-//! frame at entry and every local lives in a frame slot. Expression
-//! temporaries come from scratch pools (`r6`–`r13`, `x8`–`x15`); live
-//! temporaries are saved to frame slots around calls. Loops emit
-//! `.loopmeta` records with exact init/cond/step/body address ranges.
+//! ## Calling convention
+//!
+//! Integer/pointer arguments arrive in `r0`–`r5`, FP arguments in
+//! `x0`–`x7`, further integer arguments on the stack at `[rbp + 16 + 8k]`;
+//! results return in `r0`/`x0`. Scratch registers are split per the
+//! [`regalloc`] module's convention: `r10`/`r12`/`r13` and
+//! `x8`–`x11` are caller-saved expression temporaries (live ones are
+//! spilled to frame slots around calls), while `r6`–`r9` and `x12`–`x15`
+//! are callee-saved variable homes (any function that writes one saves it
+//! in the prologue and restores it in the epilogue).
+//!
+//! ## Value binding
+//!
+//! Every declaration is bound either to a frame slot or — when register
+//! allocation promotes it — to a callee-saved home register. Expression
+//! codegen works on [`Value`]s: owned temporaries from the scratch pools,
+//! or *borrowed* home registers ([`Value::IHome`]/[`Value::FHome`]) that
+//! are read in place and copied to a temporary only when an operation
+//! would mutate them. Compound assignments and `++`/`--` on
+//! register-resident variables update the home register directly, which
+//! is where the large retired-instruction reductions come from (a
+//! spill-mode `load; add; store` becomes a single `add`).
+//!
+//! With `Options::regalloc` disabled every binding is a frame slot and
+//! user functions compile byte-for-byte to the seed spill-everything
+//! output (only the hand-written libm `fabs` body differs from the
+//! seed: its scratch register moved off the callee-saved set).
+//!
+//! Loops emit `.loopmeta` records with exact init/cond/step/body address
+//! ranges in both modes, so the static analyzer tracks either codegen
+//! automatically.
 
 use crate::emitter::{assemble_object, FuncAsm, Label, LoopLabels};
+use crate::regalloc::{self, Allocation, Home, CALLEE_SAVED_FP, CALLEE_SAVED_INT, SCRATCH_FP, SCRATCH_INT};
 use crate::{fold, libm, vect, CompileError, Options};
 use mira_isa::{Cc, Inst, Mem, Reg, XReg, RARG, RBP, RSP, XARG};
 use mira_minic::{
@@ -15,41 +41,55 @@ use mira_minic::{
 };
 use std::collections::HashMap;
 
-/// Scratch register pools. `r11` is excluded: it is the implicit remainder
-/// output of `idiv`, so allocating it as a temporary would let divisions
-/// clobber live values.
-const INT_SCRATCH: [Reg; 7] = [
-    Reg(6),
-    Reg(7),
-    Reg(8),
-    Reg(9),
-    Reg(10),
-    Reg(12),
-    Reg(13),
-];
-const FP_SCRATCH: [XReg; 8] = [
-    XReg(8),
-    XReg(9),
-    XReg(10),
-    XReg(11),
-    XReg(12),
-    XReg(13),
-    XReg(14),
-    XReg(15),
-];
+/// Which temporary pool ran dry, recorded on the [`Codegen`] when
+/// allocation fails so the retry driver in [`compile_function`] can
+/// demote homes of the right class — a structured signal, independent
+/// of error-message wording.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Pool {
+    Int,
+    Fp,
+}
 
-/// A value produced by expression codegen.
+/// A value produced by expression codegen: an owned scratch temporary
+/// (freed by its consumer) or a borrowed variable home register (never
+/// freed, never mutated in place — codegen copies a borrowed home to an
+/// owned temporary before any operation that would write it).
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum Value {
     I(Reg),
     F(XReg),
+    /// Borrowed integer home of a register-allocated variable.
+    IHome(Reg),
+    /// Borrowed FP home of a register-allocated variable.
+    FHome(XReg),
     None,
 }
 
+impl Value {
+    fn is_int(&self) -> bool {
+        matches!(self, Value::I(_) | Value::IHome(_))
+    }
+
+    fn is_fp(&self) -> bool {
+        matches!(self, Value::F(_) | Value::FHome(_))
+    }
+}
+
+/// Where a declared variable lives.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Loc {
+    /// Frame slot at `[rbp + offset]` (offset negative).
+    Slot(i32),
+    /// Callee-saved integer home register.
+    IntReg(Reg),
+    /// Callee-saved FP home register.
+    FpReg(XReg),
+}
+
 #[derive(Clone, Debug)]
-struct VarSlot {
-    /// Negative frame offset (value at `[rbp + offset]`).
-    offset: i32,
+struct VarBinding {
+    loc: Loc,
     ty: Type,
     /// Local arrays: the slot *is* the storage; the value is its address.
     is_array: bool,
@@ -113,9 +153,7 @@ pub fn compile_program(program: &Program, options: &Options) -> Result<mira_vobj
 
     let mut funcs = Vec::new();
     for f in program.functions() {
-        let mut cg = Codegen::new(f, options, &sym_ids, &sigs);
-        cg.gen_function(f)?;
-        funcs.push(cg.asm);
+        funcs.push(compile_function(f, options, &sym_ids, &sigs)?);
     }
     for name in libm_names {
         funcs.push(libm::build(name).expect("libm body"));
@@ -123,66 +161,195 @@ pub fn compile_program(program: &Program, options: &Options) -> Result<mira_vobj
     assemble_object(funcs, externs)
 }
 
+/// Compile one function, retrying with fewer register homes when the
+/// shrunken temporary pools cannot cover the expression pressure. The
+/// first successful pass discovers which callee-saved registers the body
+/// writes; a second identical pass emits their prologue saves and
+/// epilogue restores.
+fn compile_function(
+    f: &Func,
+    options: &Options,
+    sym_ids: &HashMap<String, u32>,
+    sigs: &HashMap<String, FnSig>,
+) -> Result<FuncAsm, CompileError> {
+    let (mut cap_int, mut cap_fp) = if options.regalloc {
+        (CALLEE_SAVED_INT.len(), CALLEE_SAVED_FP.len())
+    } else {
+        (0, 0)
+    };
+    loop {
+        let alloc = regalloc::allocate(f, cap_int, cap_fp);
+        let mut cg = Codegen::new(f, options, &alloc, Vec::new(), sym_ids, sigs);
+        match cg.gen_function(f) {
+            Ok(()) => {
+                let saves = cg.written_callee_saved();
+                if saves.is_empty() {
+                    return Ok(cg.asm);
+                }
+                let mut cg = Codegen::new(f, options, &alloc, saves, sym_ids, sigs);
+                cg.gen_function(f)?;
+                return Ok(cg.asm);
+            }
+            // expression too complex for the reduced pool: demote the
+            // weakest variables back to frame slots and retry
+            Err(_) if cg.exhausted == Some(Pool::Int) && cap_int > 0 => cap_int -= 1,
+            Err(_) if cg.exhausted == Some(Pool::Fp) && cap_fp > 0 => cap_fp -= 1,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 pub struct Codegen<'a> {
     pub asm: FuncAsm,
     pub options: &'a Options,
     sym_ids: &'a HashMap<String, u32>,
     sigs: &'a HashMap<String, FnSig>,
-    scopes: Vec<HashMap<String, VarSlot>>,
+    alloc: &'a Allocation,
+    /// Declarations seen so far — the index into the allocation.
+    decl_idx: usize,
+    /// Callee-saved registers to save in the prologue (pass 2 only).
+    saves: Vec<Home>,
+    save_slots: Vec<(i32, Home)>,
+    scopes: Vec<HashMap<String, VarBinding>>,
     /// Next free byte below rbp.
     frame_top: i32,
     int_free: Vec<Reg>,
     fp_free: Vec<XReg>,
     int_used: Vec<Reg>,
     fp_used: Vec<XReg>,
+    /// Every scratch register handed out at least once (used to decide
+    /// which callee-saved registers need prologue saves).
+    touched_int: Vec<Reg>,
+    touched_fp: Vec<XReg>,
+    /// Set when a temporary pool ran dry; the retry driver reads it to
+    /// demote homes of the exhausted class.
+    exhausted: Option<Pool>,
     exit_label: Label,
-    ret_ty: Type,
 }
 
 impl<'a> Codegen<'a> {
     fn new(
         f: &Func,
         options: &'a Options,
+        alloc: &'a Allocation,
+        saves: Vec<Home>,
         sym_ids: &'a HashMap<String, u32>,
         sigs: &'a HashMap<String, FnSig>,
     ) -> Codegen<'a> {
         let mut asm = FuncAsm::new(&f.name);
         asm.cur_line = f.span.line;
         let exit_label = asm.new_label();
+        // Temporary pools, in pop-from-the-end order. Spill mode keeps the
+        // seed layout (callee-saved regs double as plain scratch, high
+        // registers first). Regalloc mode reserves assigned homes and
+        // places leftover callee-saved registers at the bottom of the pool
+        // so they are only touched — and hence saved — under pressure.
+        let (int_free, fp_free) = if options.regalloc {
+            let int_homes = alloc.int_homes();
+            let fp_homes = alloc.fp_homes();
+            let mut ints: Vec<Reg> = CALLEE_SAVED_INT
+                .iter()
+                .filter(|r| !int_homes.contains(r))
+                .copied()
+                .collect();
+            ints.extend(SCRATCH_INT);
+            let mut fps: Vec<XReg> = CALLEE_SAVED_FP
+                .iter()
+                .filter(|x| !fp_homes.contains(x))
+                .copied()
+                .collect();
+            fps.extend(SCRATCH_FP);
+            (ints, fps)
+        } else {
+            let mut ints = CALLEE_SAVED_INT.to_vec();
+            ints.extend(SCRATCH_INT);
+            let mut fps = SCRATCH_FP.to_vec();
+            fps.extend(CALLEE_SAVED_FP);
+            (ints, fps)
+        };
         Codegen {
             asm,
             options,
             sym_ids,
             sigs,
+            alloc,
+            decl_idx: 0,
+            saves,
+            save_slots: Vec::new(),
             scopes: Vec::new(),
             frame_top: 0,
-            int_free: INT_SCRATCH.to_vec(),
-            fp_free: FP_SCRATCH.to_vec(),
+            int_free,
+            fp_free,
             int_used: Vec::new(),
             fp_used: Vec::new(),
+            touched_int: Vec::new(),
+            touched_fp: Vec::new(),
+            exhausted: None,
             exit_label,
-            ret_ty: f.ret.clone(),
         }
+    }
+
+    /// The callee-saved registers this compilation wrote: every assigned
+    /// home plus any callee-saved register the temporary pool handed out.
+    /// Empty in spill mode, where nothing is callee-saved by convention.
+    fn written_callee_saved(&self) -> Vec<Home> {
+        if !self.options.regalloc {
+            return Vec::new();
+        }
+        let int_homes = self.alloc.int_homes();
+        let fp_homes = self.alloc.fp_homes();
+        let mut out = Vec::new();
+        for r in CALLEE_SAVED_INT {
+            if int_homes.contains(&r) || self.touched_int.contains(&r) {
+                out.push(Home::Int(r));
+            }
+        }
+        for x in CALLEE_SAVED_FP {
+            if fp_homes.contains(&x) || self.touched_fp.contains(&x) {
+                out.push(Home::Fp(x));
+            }
+        }
+        out
     }
 
     // ---- register pool ----
 
     fn alloc_int(&mut self) -> Result<Reg, CompileError> {
-        let r = self.int_free.pop().ok_or_else(|| CompileError {
-            msg: format!("{}: expression too complex (out of integer registers)", self.asm.name),
-        })?;
+        let Some(r) = self.int_free.pop() else {
+            self.exhausted = Some(Pool::Int);
+            return Err(CompileError {
+                msg: format!(
+                    "{}: expression too complex (out of integer registers)",
+                    self.asm.name
+                ),
+            });
+        };
         self.int_used.push(r);
+        if !self.touched_int.contains(&r) {
+            self.touched_int.push(r);
+        }
         Ok(r)
     }
 
     fn alloc_fp(&mut self) -> Result<XReg, CompileError> {
-        let r = self.fp_free.pop().ok_or_else(|| CompileError {
-            msg: format!("{}: expression too complex (out of FP registers)", self.asm.name),
-        })?;
+        let Some(r) = self.fp_free.pop() else {
+            self.exhausted = Some(Pool::Fp);
+            return Err(CompileError {
+                msg: format!(
+                    "{}: expression too complex (out of FP registers)",
+                    self.asm.name
+                ),
+            });
+        };
         self.fp_used.push(r);
+        if !self.touched_fp.contains(&r) {
+            self.touched_fp.push(r);
+        }
         Ok(r)
     }
 
+    /// Release an owned temporary. Borrowed home registers are not pool
+    /// values, so freeing them is a no-op.
     pub(crate) fn free(&mut self, v: Value) {
         match v {
             Value::I(r) => {
@@ -193,7 +360,42 @@ impl<'a> Codegen<'a> {
                 self.fp_used.retain(|x| *x != r);
                 self.fp_free.push(r);
             }
-            Value::None => {}
+            Value::IHome(_) | Value::FHome(_) | Value::None => {}
+        }
+    }
+
+    /// The integer register holding `v` (owned or borrowed).
+    pub(crate) fn value_ireg(&self, v: Value) -> Reg {
+        match v {
+            Value::I(r) | Value::IHome(r) => r,
+            other => panic!("expected integer value, got {other:?}"),
+        }
+    }
+
+    /// The XMM register holding `v` (owned or borrowed).
+    pub(crate) fn value_xreg(&self, v: Value) -> XReg {
+        match v {
+            Value::F(x) | Value::FHome(x) => x,
+            other => panic!("expected FP value, got {other:?}"),
+        }
+    }
+
+    /// Ensure `v` is an owned temporary: borrowed home registers are
+    /// copied, so the result may be mutated (or survive a later write to
+    /// the variable) without touching the variable's home.
+    pub(crate) fn pin_value(&mut self, v: Value) -> Result<Value, CompileError> {
+        match v {
+            Value::IHome(h) => {
+                let t = self.alloc_int()?;
+                self.asm.emit(Inst::MovRR(t, h));
+                Ok(Value::I(t))
+            }
+            Value::FHome(h) => {
+                let t = self.alloc_fp()?;
+                self.asm.emit(Inst::MovsdXX(t, h));
+                Ok(Value::F(t))
+            }
+            owned => Ok(owned),
         }
     }
 
@@ -204,18 +406,30 @@ impl<'a> Codegen<'a> {
         self.frame_top
     }
 
-    fn declare_var(&mut self, name: &str, ty: Type, array_len: Option<i64>) -> VarSlot {
-        let slot = if let Some(n) = array_len {
+    fn declare_var(&mut self, name: &str, ty: Type, array_len: Option<i64>) -> VarBinding {
+        let decl = self.decl_idx;
+        self.decl_idx += 1;
+        let binding = if let Some(n) = array_len {
             let offset = self.new_slot_bytes((n as i32) * 8);
-            VarSlot {
-                offset,
+            VarBinding {
+                loc: Loc::Slot(offset),
                 ty: Type::ptr_to(ty),
                 is_array: true,
             }
         } else {
-            let offset = self.new_slot_bytes(8);
-            VarSlot {
-                offset,
+            let loc = match self.alloc.home(decl) {
+                Some(Home::Int(r)) => {
+                    debug_assert!(ty != Type::Double, "int home for double {name}");
+                    Loc::IntReg(r)
+                }
+                Some(Home::Fp(x)) => {
+                    debug_assert!(ty == Type::Double, "fp home for non-double {name}");
+                    Loc::FpReg(x)
+                }
+                None => Loc::Slot(self.new_slot_bytes(8)),
+            };
+            VarBinding {
+                loc,
                 ty,
                 is_array: false,
             }
@@ -223,11 +437,11 @@ impl<'a> Codegen<'a> {
         self.scopes
             .last_mut()
             .expect("no scope")
-            .insert(name.to_string(), slot.clone());
-        slot
+            .insert(name.to_string(), binding.clone());
+        binding
     }
 
-    fn lookup(&self, name: &str) -> &VarSlot {
+    fn lookup(&self, name: &str) -> &VarBinding {
         self.scopes
             .iter()
             .rev()
@@ -243,14 +457,27 @@ impl<'a> Codegen<'a> {
         self.asm.emit(Inst::MovRR(RBP, RSP));
         self.asm.emit_frame_placeholder();
 
-        // spill parameters to frame slots; integer parameters beyond the
-        // six registers arrive on the stack at [rbp + 16 + 8k]
+        // save the callee-saved registers this function writes
+        for h in self.saves.clone() {
+            let off = self.new_slot_bytes(8);
+            match h {
+                Home::Int(r) => self.asm.emit(Inst::Store(Mem::base_disp(RBP, off), r)),
+                Home::Fp(x) => self
+                    .asm
+                    .emit(Inst::MovsdStore(Mem::base_disp(RBP, off), x)),
+            }
+            self.save_slots.push((off, h));
+        }
+
+        // bind parameters: register-allocated ones move straight into
+        // their homes, the rest spill to frame slots; integer parameters
+        // beyond the six registers arrive on the stack at [rbp + 16 + 8k]
         self.scopes.push(HashMap::new());
         let mut int_idx = 0;
         let mut fp_idx = 0;
         let mut stack_idx = 0;
         for p in &f.params {
-            let slot = self.declare_var(&p.name, p.ty.clone(), None);
+            let binding = self.declare_var(&p.name, p.ty.clone(), None);
             match p.ty {
                 Type::Double => {
                     if fp_idx >= XARG.len() {
@@ -260,26 +487,38 @@ impl<'a> Codegen<'a> {
                     }
                     let src = XARG[fp_idx];
                     fp_idx += 1;
-                    self.asm
-                        .emit(Inst::MovsdStore(Mem::base_disp(RBP, slot.offset), src));
+                    match binding.loc {
+                        Loc::FpReg(h) => self.asm.emit(Inst::MovsdXX(h, src)),
+                        Loc::Slot(off) => self
+                            .asm
+                            .emit(Inst::MovsdStore(Mem::base_disp(RBP, off), src)),
+                        Loc::IntReg(_) => unreachable!("int home for FP parameter"),
+                    }
                 }
                 _ => {
                     if int_idx < RARG.len() {
                         let src = RARG[int_idx];
                         int_idx += 1;
-                        self.asm
-                            .emit(Inst::Store(Mem::base_disp(RBP, slot.offset), src));
+                        match binding.loc {
+                            Loc::IntReg(h) => self.asm.emit(Inst::MovRR(h, src)),
+                            Loc::Slot(off) => {
+                                self.asm.emit(Inst::Store(Mem::base_disp(RBP, off), src))
+                            }
+                            Loc::FpReg(_) => unreachable!("fp home for int parameter"),
+                        }
                     } else {
-                        // stack-passed: load from caller frame, spill locally
-                        let tmp = self.alloc_int()?;
-                        self.asm.emit(Inst::Load(
-                            tmp,
-                            Mem::base_disp(RBP, 16 + 8 * stack_idx),
-                        ));
-                        self.asm
-                            .emit(Inst::Store(Mem::base_disp(RBP, slot.offset), tmp));
-                        self.free(Value::I(tmp));
+                        let caller = Mem::base_disp(RBP, 16 + 8 * stack_idx);
                         stack_idx += 1;
+                        match binding.loc {
+                            Loc::IntReg(h) => self.asm.emit(Inst::Load(h, caller)),
+                            Loc::Slot(off) => {
+                                let tmp = self.alloc_int()?;
+                                self.asm.emit(Inst::Load(tmp, caller));
+                                self.asm.emit(Inst::Store(Mem::base_disp(RBP, off), tmp));
+                                self.free(Value::I(tmp));
+                            }
+                            Loc::FpReg(_) => unreachable!("fp home for int parameter"),
+                        }
                     }
                 }
             }
@@ -292,6 +531,15 @@ impl<'a> Codegen<'a> {
         let exit = self.exit_label;
         self.asm.bind(exit);
         self.asm.cur_line = f.span.line;
+        // restore callee-saved registers
+        for (off, h) in self.save_slots.clone().iter().rev() {
+            match h {
+                Home::Int(r) => self.asm.emit(Inst::Load(*r, Mem::base_disp(RBP, *off))),
+                Home::Fp(x) => self
+                    .asm
+                    .emit(Inst::MovsdLoad(*x, Mem::base_disp(RBP, *off))),
+            }
+        }
         self.asm.emit(Inst::MovRR(RSP, RBP));
         self.asm.emit(Inst::Pop(RBP));
         self.asm.emit(Inst::Ret);
@@ -316,10 +564,10 @@ impl<'a> Codegen<'a> {
                 array_len,
                 init,
             } => {
-                let slot = self.declare_var(name, ty.clone(), *array_len);
+                let binding = self.declare_var(name, ty.clone(), *array_len);
                 if let Some(e) = init {
                     let v = self.gen_expr(e)?;
-                    self.store_to_slot(&slot, v);
+                    self.store_to_binding(&binding, v);
                     self.free(v);
                 }
             }
@@ -330,10 +578,16 @@ impl<'a> Codegen<'a> {
             StmtKind::Return(value) => {
                 if let Some(e) = value {
                     let v = self.gen_expr(e)?;
-                    match (v, &self.ret_ty) {
-                        (Value::I(r), _) => self.asm.emit(Inst::MovRR(Reg(0), r)),
-                        (Value::F(x), _) => self.asm.emit(Inst::MovsdXX(XReg(0), x)),
-                        (Value::None, _) => {}
+                    match v {
+                        _ if v.is_int() => {
+                            let r = self.value_ireg(v);
+                            self.asm.emit(Inst::MovRR(Reg(0), r));
+                        }
+                        _ if v.is_fp() => {
+                            let x = self.value_xreg(v);
+                            self.asm.emit(Inst::MovsdXX(XReg(0), x));
+                        }
+                        _ => {}
                     }
                     self.free(v);
                 }
@@ -464,12 +718,32 @@ impl<'a> Codegen<'a> {
         Ok(())
     }
 
-    fn store_to_slot(&mut self, slot: &VarSlot, v: Value) {
-        let mem = Mem::base_disp(RBP, slot.offset);
-        match v {
-            Value::I(r) => self.asm.emit(Inst::Store(mem, r)),
-            Value::F(x) => self.asm.emit(Inst::MovsdStore(mem, x)),
-            Value::None => {}
+    /// Write `v` to a variable binding: a store for frame slots, a
+    /// register move for homes.
+    fn store_to_binding(&mut self, binding: &VarBinding, v: Value) {
+        match binding.loc {
+            Loc::Slot(off) => {
+                let mem = Mem::base_disp(RBP, off);
+                match v {
+                    _ if v.is_int() => {
+                        let r = self.value_ireg(v);
+                        self.asm.emit(Inst::Store(mem, r));
+                    }
+                    _ if v.is_fp() => {
+                        let x = self.value_xreg(v);
+                        self.asm.emit(Inst::MovsdStore(mem, x));
+                    }
+                    _ => {}
+                }
+            }
+            Loc::IntReg(h) => {
+                let r = self.value_ireg(v);
+                self.asm.emit(Inst::MovRR(h, r));
+            }
+            Loc::FpReg(h) => {
+                let x = self.value_xreg(v);
+                self.asm.emit(Inst::MovsdXX(h, x));
+            }
         }
     }
 
@@ -487,33 +761,18 @@ impl<'a> Codegen<'a> {
         match &cond.kind {
             ExprKind::Binary { op, lhs, rhs } if op.is_comparison() => {
                 let fp = lhs.ty == Type::Double;
-                let l = self.gen_expr(lhs)?;
+                let mut l = self.gen_expr(lhs)?;
+                if regalloc::has_side_effects(rhs) {
+                    l = self.pin_value(l)?;
+                }
                 let r = self.gen_expr(rhs)?;
-                let cc = if fp {
-                    match op {
-                        BinOp::Lt => Cc::B,
-                        BinOp::Le => Cc::Be,
-                        BinOp::Gt => Cc::A,
-                        BinOp::Ge => Cc::Ae,
-                        BinOp::Eq => Cc::E,
-                        BinOp::Ne => Cc::Ne,
-                        _ => unreachable!(),
-                    }
+                let cc = comparison_cc(*op, fp);
+                if fp {
+                    let (a, b) = (self.value_xreg(l), self.value_xreg(r));
+                    self.asm.emit(Inst::Ucomisd(a, b));
                 } else {
-                    match op {
-                        BinOp::Lt => Cc::L,
-                        BinOp::Le => Cc::Le,
-                        BinOp::Gt => Cc::G,
-                        BinOp::Ge => Cc::Ge,
-                        BinOp::Eq => Cc::E,
-                        BinOp::Ne => Cc::Ne,
-                        _ => unreachable!(),
-                    }
-                };
-                match (l, r) {
-                    (Value::I(a), Value::I(b)) => self.asm.emit(Inst::CmpRR(a, b)),
-                    (Value::F(a), Value::F(b)) => self.asm.emit(Inst::Ucomisd(a, b)),
-                    _ => unreachable!("sema guarantees same-type comparison"),
+                    let (a, b) = (self.value_ireg(l), self.value_ireg(r));
+                    self.asm.emit(Inst::CmpRR(a, b));
                 }
                 self.free(l);
                 self.free(r);
@@ -565,14 +824,16 @@ impl<'a> Codegen<'a> {
             _ => {
                 let v = self.gen_expr(cond)?;
                 match v {
-                    Value::I(r) => {
+                    _ if v.is_int() => {
+                        let r = self.value_ireg(v);
                         self.asm.emit(Inst::TestRR(r, r));
                         self.free(v);
                         self.asm
                             .jcc(if jump_if_true { Cc::Ne } else { Cc::E }, target);
                     }
-                    Value::F(x) => {
+                    _ if v.is_fp() => {
                         // compare against zero
+                        let x = self.value_xreg(v);
                         let z = self.alloc_fp()?;
                         self.asm.emit(Inst::Xorpd(z, z));
                         self.asm.emit(Inst::Ucomisd(x, z));
@@ -581,7 +842,7 @@ impl<'a> Codegen<'a> {
                         self.asm
                             .jcc(if jump_if_true { Cc::Ne } else { Cc::E }, target);
                     }
-                    Value::None => {
+                    _ => {
                         return Err(CompileError {
                             msg: "void value used as condition".to_string(),
                         })
@@ -610,20 +871,26 @@ impl<'a> Codegen<'a> {
                 Ok(Value::F(x))
             }
             ExprKind::Var(name) => {
-                let slot = self.lookup(name).clone();
-                if slot.is_array {
-                    let r = self.alloc_int()?;
-                    self.asm.emit(Inst::Lea(r, Mem::base_disp(RBP, slot.offset)));
-                    Ok(Value::I(r))
-                } else if slot.ty == Type::Double {
-                    let x = self.alloc_fp()?;
-                    self.asm
-                        .emit(Inst::MovsdLoad(x, Mem::base_disp(RBP, slot.offset)));
-                    Ok(Value::F(x))
-                } else {
-                    let r = self.alloc_int()?;
-                    self.asm.emit(Inst::Load(r, Mem::base_disp(RBP, slot.offset)));
-                    Ok(Value::I(r))
+                let binding = self.lookup(name).clone();
+                match binding.loc {
+                    Loc::IntReg(h) => Ok(Value::IHome(h)),
+                    Loc::FpReg(h) => Ok(Value::FHome(h)),
+                    Loc::Slot(off) => {
+                        if binding.is_array {
+                            let r = self.alloc_int()?;
+                            self.asm.emit(Inst::Lea(r, Mem::base_disp(RBP, off)));
+                            Ok(Value::I(r))
+                        } else if binding.ty == Type::Double {
+                            let x = self.alloc_fp()?;
+                            self.asm
+                                .emit(Inst::MovsdLoad(x, Mem::base_disp(RBP, off)));
+                            Ok(Value::F(x))
+                        } else {
+                            let r = self.alloc_int()?;
+                            self.asm.emit(Inst::Load(r, Mem::base_disp(RBP, off)));
+                            Ok(Value::I(r))
+                        }
+                    }
                 }
             }
             ExprKind::Index { base, index } => {
@@ -648,23 +915,27 @@ impl<'a> Codegen<'a> {
             ExprKind::Unary { op, operand } => {
                 let v = self.gen_expr(operand)?;
                 match (op, v) {
-                    (UnOp::Neg, Value::I(r)) => {
-                        self.asm.emit(Inst::Neg(r));
+                    (UnOp::Neg, v) if v.is_int() => {
+                        let v = self.pin_value(v)?;
+                        self.asm.emit(Inst::Neg(self.value_ireg(v)));
                         Ok(v)
                     }
-                    (UnOp::Neg, Value::F(x)) => {
+                    (UnOp::Neg, v) if v.is_fp() => {
+                        let x = self.value_xreg(v);
                         let z = self.alloc_fp()?;
                         self.asm.emit(Inst::Xorpd(z, z));
                         self.asm.emit(Inst::Subsd(z, x));
                         self.free(v);
                         Ok(Value::F(z))
                     }
-                    (UnOp::Not, Value::I(r)) => {
+                    (UnOp::Not, v) if v.is_int() => {
+                        let v = self.pin_value(v)?;
+                        let r = self.value_ireg(v);
                         self.asm.emit(Inst::TestRR(r, r));
                         self.asm.emit(Inst::Setcc(Cc::E, r));
                         Ok(v)
                     }
-                    (UnOp::Not, Value::F(_)) | (_, Value::None) => Err(CompileError {
+                    _ => Err(CompileError {
                         msg: "bad unary operand".to_string(),
                     }),
                 }
@@ -672,15 +943,15 @@ impl<'a> Codegen<'a> {
             ExprKind::Cast { ty, operand } | ExprKind::ImplicitCast { ty, operand } => {
                 let v = self.gen_expr(operand)?;
                 match (v, ty) {
-                    (Value::I(r), Type::Double) => {
+                    (v, Type::Double) if v.is_int() => {
                         let x = self.alloc_fp()?;
-                        self.asm.emit(Inst::Cvtsi2sd(x, r));
+                        self.asm.emit(Inst::Cvtsi2sd(x, self.value_ireg(v)));
                         self.free(v);
                         Ok(Value::F(x))
                     }
-                    (Value::F(x), Type::Int) => {
+                    (v, Type::Int) if v.is_fp() => {
                         let r = self.alloc_int()?;
-                        self.asm.emit(Inst::Cvttsd2si(r, x));
+                        self.asm.emit(Inst::Cvttsd2si(r, self.value_xreg(v)));
                         self.free(v);
                         Ok(Value::I(r))
                     }
@@ -692,24 +963,43 @@ impl<'a> Codegen<'a> {
                 increment,
                 target,
             } => {
+                let delta = if *increment { 1 } else { -1 };
                 // sema guarantees an int lvalue
                 match &target.kind {
                     ExprKind::Var(name) => {
-                        let slot = self.lookup(name).clone();
-                        let mem = Mem::base_disp(RBP, slot.offset);
-                        let r = self.alloc_int()?;
-                        self.asm.emit(Inst::Load(r, mem));
-                        if *prefix {
-                            self.asm.emit(Inst::AddRI(r, if *increment { 1 } else { -1 }));
-                            self.asm.emit(Inst::Store(mem, r));
-                            Ok(Value::I(r))
-                        } else {
-                            let old = self.alloc_int()?;
-                            self.asm.emit(Inst::MovRR(old, r));
-                            self.asm.emit(Inst::AddRI(r, if *increment { 1 } else { -1 }));
-                            self.asm.emit(Inst::Store(mem, r));
-                            self.free(Value::I(r));
-                            Ok(Value::I(old))
+                        let binding = self.lookup(name).clone();
+                        match binding.loc {
+                            Loc::IntReg(h) => {
+                                if *prefix {
+                                    self.asm.emit(Inst::AddRI(h, delta));
+                                    Ok(Value::IHome(h))
+                                } else {
+                                    let old = self.alloc_int()?;
+                                    self.asm.emit(Inst::MovRR(old, h));
+                                    self.asm.emit(Inst::AddRI(h, delta));
+                                    Ok(Value::I(old))
+                                }
+                            }
+                            Loc::Slot(off) => {
+                                let mem = Mem::base_disp(RBP, off);
+                                let r = self.alloc_int()?;
+                                self.asm.emit(Inst::Load(r, mem));
+                                if *prefix {
+                                    self.asm.emit(Inst::AddRI(r, delta));
+                                    self.asm.emit(Inst::Store(mem, r));
+                                    Ok(Value::I(r))
+                                } else {
+                                    let old = self.alloc_int()?;
+                                    self.asm.emit(Inst::MovRR(old, r));
+                                    self.asm.emit(Inst::AddRI(r, delta));
+                                    self.asm.emit(Inst::Store(mem, r));
+                                    self.free(Value::I(r));
+                                    Ok(Value::I(old))
+                                }
+                            }
+                            Loc::FpReg(_) => Err(CompileError {
+                                msg: "++/-- on non-int".to_string(),
+                            }),
                         }
                     }
                     ExprKind::Index { base, index } => {
@@ -717,13 +1007,13 @@ impl<'a> Codegen<'a> {
                         let r = self.alloc_int()?;
                         self.asm.emit(Inst::Load(r, mem));
                         let result = if *prefix {
-                            self.asm.emit(Inst::AddRI(r, if *increment { 1 } else { -1 }));
+                            self.asm.emit(Inst::AddRI(r, delta));
                             self.asm.emit(Inst::Store(mem, r));
                             Value::I(r)
                         } else {
                             let old = self.alloc_int()?;
                             self.asm.emit(Inst::MovRR(old, r));
-                            self.asm.emit(Inst::AddRI(r, if *increment { 1 } else { -1 }));
+                            self.asm.emit(Inst::AddRI(r, delta));
                             self.asm.emit(Inst::Store(mem, r));
                             self.free(Value::I(r));
                             Value::I(old)
@@ -743,31 +1033,54 @@ impl<'a> Codegen<'a> {
     }
 
     /// Compute the effective address of `base[index]` (element size 8).
-    /// Returns the memory operand plus the registers that must stay live
+    /// Returns the memory operand plus the values that must stay live
     /// while it is used.
     pub(crate) fn gen_address(
         &mut self,
         base: &Expr,
         index: &Expr,
     ) -> Result<(Mem, Vec<Value>), CompileError> {
-        let b = self.gen_expr(base)?;
-        let Value::I(rb) = b else {
+        self.gen_address_pinned(base, index, false)
+    }
+
+    /// Like [`gen_address`](Self::gen_address), but with `pin` set the
+    /// address components are copied out of borrowed home registers, so
+    /// the memory operand stays valid even if code emitted *after* it —
+    /// e.g. the right-hand side of an assignment — writes those
+    /// variables.
+    fn gen_address_pinned(
+        &mut self,
+        base: &Expr,
+        index: &Expr,
+        pin: bool,
+    ) -> Result<(Mem, Vec<Value>), CompileError> {
+        let mut b = self.gen_expr(base)?;
+        if pin || regalloc::has_side_effects(index) {
+            b = self.pin_value(b)?;
+        }
+        if !b.is_int() {
             return Err(CompileError {
                 msg: "indexing a non-pointer".to_string(),
             });
-        };
+        }
+        let rb = self.value_ireg(b);
         // constant index folds into the displacement (strength reduction)
         if let ExprKind::IntLit(k) = index.kind {
             if self.options.opt_level >= 1 && (k * 8).abs() < i32::MAX as i64 {
                 return Ok((Mem::base_disp(rb, (k * 8) as i32), vec![b]));
             }
         }
-        let i = self.gen_expr(index)?;
-        let Value::I(ri) = i else {
+        let mut i = self.gen_expr(index)?;
+        if pin {
+            i = self.pin_value(i)?;
+        }
+        if !i.is_int() {
             return Err(CompileError {
                 msg: "non-integer index".to_string(),
             });
-        };
+        }
+        let rb = self.value_ireg(b); // b may have been pinned to a new reg
+        let ri = self.value_ireg(i);
         Ok((Mem::base_index(rb, ri, 8, 0), vec![b, i]))
     }
 
@@ -779,44 +1092,70 @@ impl<'a> Codegen<'a> {
     ) -> Result<Value, CompileError> {
         match &target.kind {
             ExprKind::Var(name) => {
-                let slot = self.lookup(name).clone();
-                let mem = Mem::base_disp(RBP, slot.offset);
+                let binding = self.lookup(name).clone();
                 let v = self.gen_expr(value)?;
                 if op == AssignOp::Set {
-                    self.store_to_slot(&slot, v);
+                    self.store_to_binding(&binding, v);
                     return Ok(v);
                 }
-                // compound: load, combine, store
-                match v {
-                    Value::I(rv) => {
-                        let cur = self.alloc_int()?;
-                        self.asm.emit(Inst::Load(cur, mem));
-                        self.emit_int_op(op_to_bin(op), cur, rv)?;
-                        self.asm.emit(Inst::Store(mem, cur));
+                // compound: combine into the home register directly, or
+                // load-combine-store through the frame slot
+                match binding.loc {
+                    Loc::IntReg(h) => {
+                        let rv = self.value_ireg(v);
+                        self.emit_int_op(op_to_bin(op), h, rv)?;
                         self.free(v);
-                        Ok(Value::I(cur))
+                        Ok(Value::IHome(h))
                     }
-                    Value::F(xv) => {
-                        let cur = self.alloc_fp()?;
-                        self.asm.emit(Inst::MovsdLoad(cur, mem));
-                        self.emit_fp_op(op_to_bin(op), cur, xv);
-                        self.asm.emit(Inst::MovsdStore(mem, cur));
+                    Loc::FpReg(h) => {
+                        let xv = self.value_xreg(v);
+                        self.emit_fp_op(op_to_bin(op), h, xv);
                         self.free(v);
-                        Ok(Value::F(cur))
+                        Ok(Value::FHome(h))
                     }
-                    Value::None => Err(CompileError {
-                        msg: "void value assigned".to_string(),
-                    }),
+                    Loc::Slot(off) => {
+                        let mem = Mem::base_disp(RBP, off);
+                        match v {
+                            _ if v.is_int() => {
+                                let rv = self.value_ireg(v);
+                                let cur = self.alloc_int()?;
+                                self.asm.emit(Inst::Load(cur, mem));
+                                self.emit_int_op(op_to_bin(op), cur, rv)?;
+                                self.asm.emit(Inst::Store(mem, cur));
+                                self.free(v);
+                                Ok(Value::I(cur))
+                            }
+                            _ if v.is_fp() => {
+                                let xv = self.value_xreg(v);
+                                let cur = self.alloc_fp()?;
+                                self.asm.emit(Inst::MovsdLoad(cur, mem));
+                                self.emit_fp_op(op_to_bin(op), cur, xv);
+                                self.asm.emit(Inst::MovsdStore(mem, cur));
+                                self.free(v);
+                                Ok(Value::F(cur))
+                            }
+                            _ => Err(CompileError {
+                                msg: "void value assigned".to_string(),
+                            }),
+                        }
+                    }
                 }
             }
             ExprKind::Index { base, index } => {
-                let (mem, hold) = self.gen_address(base, index)?;
+                let pin = regalloc::has_side_effects(value);
+                let (mem, hold) = self.gen_address_pinned(base, index, pin)?;
                 let v = self.gen_expr(value)?;
                 let result = if op == AssignOp::Set {
                     match v {
-                        Value::I(r) => self.asm.emit(Inst::Store(mem, r)),
-                        Value::F(x) => self.asm.emit(Inst::MovsdStore(mem, x)),
-                        Value::None => {
+                        _ if v.is_int() => {
+                            let r = self.value_ireg(v);
+                            self.asm.emit(Inst::Store(mem, r));
+                        }
+                        _ if v.is_fp() => {
+                            let x = self.value_xreg(v);
+                            self.asm.emit(Inst::MovsdStore(mem, x));
+                        }
+                        _ => {
                             return Err(CompileError {
                                 msg: "void value assigned".to_string(),
                             })
@@ -825,7 +1164,8 @@ impl<'a> Codegen<'a> {
                     v
                 } else {
                     match v {
-                        Value::I(rv) => {
+                        _ if v.is_int() => {
+                            let rv = self.value_ireg(v);
                             let cur = self.alloc_int()?;
                             self.asm.emit(Inst::Load(cur, mem));
                             self.emit_int_op(op_to_bin(op), cur, rv)?;
@@ -833,7 +1173,8 @@ impl<'a> Codegen<'a> {
                             self.free(v);
                             Value::I(cur)
                         }
-                        Value::F(xv) => {
+                        _ if v.is_fp() => {
+                            let xv = self.value_xreg(v);
                             let cur = self.alloc_fp()?;
                             self.asm.emit(Inst::MovsdLoad(cur, mem));
                             self.emit_fp_op(op_to_bin(op), cur, xv);
@@ -841,7 +1182,7 @@ impl<'a> Codegen<'a> {
                             self.free(v);
                             Value::F(cur)
                         }
-                        Value::None => {
+                        _ => {
                             return Err(CompileError {
                                 msg: "void value assigned".to_string(),
                             })
@@ -862,14 +1203,19 @@ impl<'a> Codegen<'a> {
     fn gen_binary(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<Value, CompileError> {
         if op.is_comparison() {
             let fp = lhs.ty == Type::Double;
-            let l = self.gen_expr(lhs)?;
+            let mut l = self.gen_expr(lhs)?;
+            if regalloc::has_side_effects(rhs) {
+                l = self.pin_value(l)?;
+            }
             let r = self.gen_expr(rhs)?;
             let out = self.alloc_int()?;
             let cc = comparison_cc(op, fp);
-            match (l, r) {
-                (Value::I(a), Value::I(b)) => self.asm.emit(Inst::CmpRR(a, b)),
-                (Value::F(a), Value::F(b)) => self.asm.emit(Inst::Ucomisd(a, b)),
-                _ => unreachable!(),
+            if fp {
+                let (a, b) = (self.value_xreg(l), self.value_xreg(r));
+                self.asm.emit(Inst::Ucomisd(a, b));
+            } else {
+                let (a, b) = (self.value_ireg(l), self.value_ireg(r));
+                self.asm.emit(Inst::CmpRR(a, b));
             }
             self.asm.emit(Inst::Setcc(cc, out));
             self.free(l);
@@ -877,21 +1223,26 @@ impl<'a> Codegen<'a> {
             return Ok(Value::I(out));
         }
         if op.is_logical() {
-            // branchless normalize-to-bool then and/or
+            // branchless normalize-to-bool then and/or (both operands are
+            // normalized in place, so both must be owned temporaries)
             let l = self.gen_expr(lhs)?;
-            let Value::I(a) = l else {
+            if !l.is_int() {
                 return Err(CompileError {
                     msg: "logical op on non-int".to_string(),
                 });
-            };
+            }
+            let l = self.pin_value(l)?;
+            let a = self.value_ireg(l);
             self.asm.emit(Inst::TestRR(a, a));
             self.asm.emit(Inst::Setcc(Cc::Ne, a));
             let r = self.gen_expr(rhs)?;
-            let Value::I(b) = r else {
+            if !r.is_int() {
                 return Err(CompileError {
                     msg: "logical op on non-int".to_string(),
                 });
-            };
+            }
+            let r = self.pin_value(r)?;
+            let b = self.value_ireg(r);
             self.asm.emit(Inst::TestRR(b, b));
             self.asm.emit(Inst::Setcc(Cc::Ne, b));
             match op {
@@ -902,15 +1253,23 @@ impl<'a> Codegen<'a> {
             self.free(r);
             return Ok(l);
         }
-        let l = self.gen_expr(lhs)?;
+        let mut l = self.gen_expr(lhs)?;
+        if regalloc::has_side_effects(rhs) {
+            l = self.pin_value(l)?;
+        }
         let r = self.gen_expr(rhs)?;
+        // the left operand is the destination: copy it out of a borrowed
+        // home before operating
+        let l = self.pin_value(l)?;
         match (l, r) {
-            (Value::I(a), Value::I(b)) => {
+            (l, r) if l.is_int() && r.is_int() => {
+                let (a, b) = (self.value_ireg(l), self.value_ireg(r));
                 self.emit_int_op_rr(op, a, b)?;
                 self.free(r);
                 Ok(l)
             }
-            (Value::F(a), Value::F(b)) => {
+            (l, r) if l.is_fp() && r.is_fp() => {
+                let (a, b) = (self.value_xreg(l), self.value_xreg(r));
                 self.emit_fp_op(op, a, b);
                 self.free(r);
                 Ok(l)
@@ -930,8 +1289,8 @@ impl<'a> Codegen<'a> {
             BinOp::Mul => self.asm.emit(Inst::ImulRR(a, b)),
             BinOp::Div | BinOp::Mod => {
                 // VX86 idiv convention: r0 = r0 / src, r11 = r0 % src.
-                // r11 is in the scratch pool; make sure the operand isn't
-                // r11 itself before clobbering.
+                // r11 is in no pool, so divisions cannot clobber live
+                // values.
                 self.asm.emit(Inst::MovRR(Reg(0), a));
                 self.asm.emit(Inst::Cqo);
                 self.asm.emit(Inst::Idiv(b));
@@ -962,13 +1321,20 @@ impl<'a> Codegen<'a> {
             msg: format!("unresolved call target `{name}`"),
         })?;
 
-        // evaluate arguments into scratch temps
+        // evaluate arguments into scratch temps; a borrowed home is
+        // pinned if a later argument could write the variable
         let mut vals = Vec::with_capacity(args.len());
-        for a in args {
-            vals.push(self.gen_expr(a)?);
+        for (k, a) in args.iter().enumerate() {
+            let mut v = self.gen_expr(a)?;
+            if args[k + 1..].iter().any(regalloc::has_side_effects) {
+                v = self.pin_value(v)?;
+            }
+            vals.push(v);
         }
 
-        // save live scratch registers that are NOT the argument temps
+        // save live caller-saved temporaries that are NOT the argument
+        // temps (home registers are callee-saved — the callee preserves
+        // them)
         let live_ints: Vec<Reg> = self
             .int_used
             .iter()
@@ -1001,24 +1367,26 @@ impl<'a> Codegen<'a> {
         let mut stack_args: Vec<Reg> = Vec::new();
         for v in &vals {
             match v {
-                Value::I(r) => {
+                v if v.is_int() => {
+                    let r = self.value_ireg(*v);
                     if int_idx < RARG.len() {
-                        self.asm.emit(Inst::MovRR(RARG[int_idx], *r));
+                        self.asm.emit(Inst::MovRR(RARG[int_idx], r));
                         int_idx += 1;
                     } else {
-                        stack_args.push(*r);
+                        stack_args.push(r);
                     }
                 }
-                Value::F(x) => {
+                v if v.is_fp() => {
                     if fp_idx >= XARG.len() {
                         return Err(CompileError {
                             msg: format!("too many FP arguments in call to {name}"),
                         });
                     }
-                    self.asm.emit(Inst::MovsdXX(XARG[fp_idx], *x));
+                    let x = self.value_xreg(*v);
+                    self.asm.emit(Inst::MovsdXX(XARG[fp_idx], x));
                     fp_idx += 1;
                 }
-                Value::None => {
+                _ => {
                     return Err(CompileError {
                         msg: "void argument".to_string(),
                     })
@@ -1060,7 +1428,7 @@ impl<'a> Codegen<'a> {
             match v {
                 Value::I(r) => self.asm.emit(Inst::Load(r, Mem::base_disp(RBP, off))),
                 Value::F(x) => self.asm.emit(Inst::MovsdLoad(x, Mem::base_disp(RBP, off))),
-                Value::None => {}
+                _ => {}
             }
         }
         let _ = self.sigs; // signatures currently only needed by sema
@@ -1084,9 +1452,55 @@ impl<'a> Codegen<'a> {
         self.new_slot_bytes(8)
     }
 
-    /// Frame offset of a declared variable.
-    pub(crate) fn var_offset(&self, name: &str) -> i32 {
-        self.lookup(name).offset
+    /// Read an integer/pointer variable: a borrow of its home register,
+    /// or a fresh temporary loaded from its frame slot.
+    pub(crate) fn load_int_var(&mut self, name: &str) -> Result<Value, CompileError> {
+        let binding = self.lookup(name).clone();
+        match binding.loc {
+            Loc::IntReg(h) => Ok(Value::IHome(h)),
+            Loc::Slot(off) => {
+                let r = self.alloc_int()?;
+                self.asm.emit(Inst::Load(r, Mem::base_disp(RBP, off)));
+                Ok(Value::I(r))
+            }
+            Loc::FpReg(_) => unreachable!("int read of FP variable {name}"),
+        }
+    }
+
+    /// Add a constant to an integer variable in place.
+    pub(crate) fn bump_int_var(&mut self, name: &str, delta: i64) -> Result<(), CompileError> {
+        let binding = self.lookup(name).clone();
+        match binding.loc {
+            Loc::IntReg(h) => {
+                self.asm.emit(Inst::AddRI(h, delta));
+            }
+            Loc::Slot(off) => {
+                let mem = Mem::base_disp(RBP, off);
+                let r = self.alloc_int()?;
+                self.asm.emit(Inst::Load(r, mem));
+                self.asm.emit(Inst::AddRI(r, delta));
+                self.asm.emit(Inst::Store(mem, r));
+                self.free(Value::I(r));
+            }
+            Loc::FpReg(_) => unreachable!("int bump of FP variable {name}"),
+        }
+        Ok(())
+    }
+
+    /// Load a scalar double variable broadcast across both lanes of a
+    /// fresh XMM temporary.
+    pub(crate) fn load_fp_var_broadcast(&mut self, name: &str) -> Result<XReg, CompileError> {
+        let binding = self.lookup(name).clone();
+        let x = self.alloc_fp()?;
+        match binding.loc {
+            Loc::FpReg(h) => self.asm.emit(Inst::MovsdXX(x, h)),
+            Loc::Slot(off) => self
+                .asm
+                .emit(Inst::MovsdLoad(x, Mem::base_disp(RBP, off))),
+            Loc::IntReg(_) => unreachable!("fp read of int variable {name}"),
+        }
+        self.asm.emit(Inst::Unpcklpd(x, x));
+        Ok(x)
     }
 
     pub(crate) fn alloc_int_pub(&mut self) -> Result<Reg, CompileError> {
@@ -1138,8 +1552,8 @@ mod tests {
     use crate::compile_source;
     use mira_vobj::disasm::disassemble;
 
-    fn mnemonics(src: &str, func: &str) -> Vec<&'static str> {
-        let obj = compile_source(src, &Options::default()).unwrap();
+    fn mnemonics_with(src: &str, func: &str, options: &Options) -> Vec<&'static str> {
+        let obj = compile_source(src, options).unwrap();
         let ast = disassemble(&obj).unwrap();
         ast.function(func)
             .unwrap()
@@ -1147,6 +1561,10 @@ mod tests {
             .iter()
             .map(|i| i.inst.mnemonic())
             .collect()
+    }
+
+    fn mnemonics(src: &str, func: &str) -> Vec<&'static str> {
+        mnemonics_with(src, func, &Options::default())
     }
 
     #[test]
@@ -1258,5 +1676,140 @@ mod tests {
     fn many_int_params_use_stack_slots() {
         let src = "int f(int a, int b, int c, int d, int e, int g, int h, int i) { return h + i; }";
         assert!(compile_source(src, &Options::default()).is_ok());
+    }
+
+    const DOT: &str = r#"
+double dot(int n, double* x, double* y) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += x[i] * y[i];
+    }
+    return s;
+}
+"#;
+
+    #[test]
+    fn regalloc_prologue_saves_callee_saved_homes() {
+        let obj = compile_source(DOT, &Options::default()).unwrap();
+        let ast = disassemble(&obj).unwrap();
+        let f = ast.function("dot").unwrap();
+        // a callee-saved GPR is saved right after the frame reservation
+        // and the loop condition compares two registers with no loads
+        let saves = f
+            .instructions
+            .iter()
+            .filter(|i| matches!(i.inst, Inst::Store(m, r) if m.base == RBP && r.0 >= 6 && r.0 <= 9))
+            .count();
+        assert!(saves >= 1, "no callee-saved saves in {f:?}");
+        // the accumulator lives in an XMM home: addsd into x12..x15
+        let acc = f
+            .instructions
+            .iter()
+            .any(|i| matches!(i.inst, Inst::Addsd(d, _) if d.0 >= 12));
+        assert!(acc, "accumulator not register-allocated");
+    }
+
+    #[test]
+    fn regalloc_shrinks_code_and_spill_mode_matches_seed_shape() {
+        let fast = mnemonics(DOT, "dot");
+        let spill = mnemonics_with(DOT, "dot", &Options::spill_everything());
+        assert!(
+            fast.len() < spill.len(),
+            "regalloc ({}) not smaller than spill ({})",
+            fast.len(),
+            spill.len()
+        );
+        // the spill baseline still stores every parameter to the frame
+        let obj = compile_source(DOT, &Options::spill_everything()).unwrap();
+        let ast = disassemble(&obj).unwrap();
+        let param_spills = ast
+            .function("dot")
+            .unwrap()
+            .instructions
+            .iter()
+            .filter(|i| matches!(i.inst, Inst::Store(m, _) if m.base == RBP))
+            .count();
+        assert!(param_spills >= 3);
+    }
+
+    #[test]
+    fn compound_assign_into_home_register() {
+        // with regalloc on, `s += ...` must not touch memory for s
+        let obj = compile_source(DOT, &Options::default()).unwrap();
+        let ast = disassemble(&obj).unwrap();
+        let f = ast.function("dot").unwrap();
+        let fp_stores = f
+            .instructions
+            .iter()
+            .filter(|i| matches!(i.inst, Inst::MovsdStore(..)))
+            .count();
+        // only the callee-saved xmm save in the prologue remains
+        assert!(fp_stores <= 1, "{fp_stores} movsd stores");
+    }
+
+    #[test]
+    fn both_modes_compute_identical_results() {
+        use mira_vm::{HostVal, Vm};
+        for opts in [Options::default(), Options::spill_everything()] {
+            let obj = compile_source(DOT, &opts).unwrap();
+            let mut vm = Vm::new(&obj).unwrap();
+            let x = vm.alloc_f64(&[1.0, 2.0, 3.0, 4.0]);
+            let y = vm.alloc_f64(&[2.0, 0.5, 1.0, 0.25]);
+            vm.call("dot", &[HostVal::Int(4), HostVal::Int(x as i64), HostVal::Int(y as i64)])
+                .unwrap();
+            assert_eq!(vm.fp_return(), 1.0 * 2.0 + 2.0 * 0.5 + 3.0 * 1.0 + 4.0 * 0.25);
+        }
+    }
+
+    #[test]
+    fn homes_survive_calls() {
+        // the loop counter and accumulator live in callee-saved homes and
+        // must survive the call to g, which itself uses registers freely
+        use mira_vm::{HostVal, Vm};
+        let src = r#"
+double g(double x) {
+    double t = 0.0;
+    for (int k = 0; k < 3; k++) { t += x; }
+    return t;
+}
+double f(int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += g(1.0) + (double)i;
+    }
+    return s;
+}
+"#;
+        let obj = compile_source(src, &Options::default()).unwrap();
+        let mut vm = Vm::new(&obj).unwrap();
+        vm.call("f", &[HostVal::Int(4)]).unwrap();
+        // sum over i of (3 + i) = 12 + 6
+        assert_eq!(vm.fp_return(), 18.0);
+    }
+
+    #[test]
+    fn assignment_ordering_hazards_are_pinned() {
+        use mira_vm::{HostVal, Vm};
+        // the RHS reassigns the index variable: the store must still go to
+        // a[old i], matching the spill-everything semantics
+        let src = r#"
+int f(int n, int* a) {
+    int acc = 0;
+    for (int i = 2; i < n; i = i) {
+        a[i] = (i = n);
+    }
+    for (int j = 0; j < n; j++) { acc = acc + a[j]; }
+    return acc;
+}
+"#;
+        let mut results = Vec::new();
+        for opts in [Options::default(), Options::spill_everything()] {
+            let obj = compile_source(src, &opts).unwrap();
+            let mut vm = Vm::new(&obj).unwrap();
+            let a = vm.alloc_i64(&[0; 8]);
+            vm.call("f", &[HostVal::Int(5), HostVal::Int(a as i64)]).unwrap();
+            results.push(vm.int_return());
+        }
+        assert_eq!(results[0], results[1]);
     }
 }

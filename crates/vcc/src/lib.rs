@@ -9,10 +9,21 @@
 //! * constant folding and algebraic simplification ([`fold`]);
 //! * strength reduction (multiplications by powers of two become shifts,
 //!   index arithmetic folds into addressing modes);
+//! * **register allocation** of scalar locals and loop induction
+//!   variables ([`regalloc`]): live ranges are computed per function and
+//!   the hottest variables are promoted from frame slots into
+//!   callee-saved registers by a weight-ordered linear scan, with frame
+//!   slots as the spill fallback. `Options::regalloc` (default on)
+//!   selects it; turning it off reproduces the seed's spill-everything
+//!   codegen, kept as the measurement baseline;
 //! * SSE2-style **auto-vectorization** of map-style innermost loops
 //!   ([`vect`]): packed `movupd`/`addpd`/`mulpd` main loops plus scalar
 //!   remainders — this is what makes source-only FP counts (PBound) wrong
 //!   by ~2× and binary-informed counts (Mira) right.
+//!
+//! The calling convention and the caller-saved/callee-saved register
+//! split are documented in [`regalloc`]; [`codegen`] documents how values
+//! are bound to frame slots or home registers.
 //!
 //! Output is a [`mira_vobj::Object`] with:
 //! * `.text` — encoded VX86;
@@ -27,6 +38,7 @@ pub mod codegen;
 pub mod emitter;
 pub mod fold;
 pub mod libm;
+pub mod regalloc;
 pub mod vect;
 
 use mira_minic::Program;
@@ -45,6 +57,12 @@ pub struct Options {
     /// when false, those remain extern symbols and calling them traps in
     /// the VM.
     pub include_libm: bool,
+    /// Promote hot scalar locals and loop induction variables into
+    /// callee-saved registers (see [`regalloc`]). On by default; when
+    /// disabled every value lives in a frame slot — the seed's
+    /// spill-everything codegen, kept as the baseline the dynamic
+    /// step-count reductions are measured against.
+    pub regalloc: bool,
 }
 
 impl Default for Options {
@@ -53,6 +71,7 @@ impl Default for Options {
             opt_level: 1,
             vectorize: false,
             include_libm: true,
+            regalloc: true,
         }
     }
 }
@@ -61,6 +80,14 @@ impl Options {
     pub fn vectorized() -> Options {
         Options {
             vectorize: true,
+            ..Options::default()
+        }
+    }
+
+    /// The spill-everything baseline: no register allocation.
+    pub fn spill_everything() -> Options {
+        Options {
+            regalloc: false,
             ..Options::default()
         }
     }

@@ -61,9 +61,11 @@ pub fn build(name: &str) -> Option<FuncAsm> {
             prologue(&mut f);
             // clear the sign bit: and with 0x7fff...f (SSE2 logical — not an
             // FP-arithmetic instruction, so fabs contributes zero FPI, like
-            // the real andpd-based implementation)
-            f.emit(Inst::MovRI(Reg(6), 0x7fff_ffff_ffff_ffff));
-            f.emit(Inst::MovqXR(XReg(1), Reg(6)));
+            // the real andpd-based implementation). r10 is caller-saved
+            // scratch: libm bodies must not touch the callee-saved set
+            // (r6–r9, x12–x15) that register-allocated callers rely on.
+            f.emit(Inst::MovRI(Reg(10), 0x7fff_ffff_ffff_ffff));
+            f.emit(Inst::MovqXR(XReg(1), Reg(10)));
             f.emit(Inst::Andpd(XReg(0), XReg(1)));
             epilogue(&mut f);
         }

@@ -113,19 +113,19 @@ pub fn try_vectorize(cg: &mut Codegen, s: &Stmt) -> Result<Option<()>, CompileEr
     // scope for the induction variable
     cg.push_scope();
     let init_start = cg.asm.here();
-    // i slot
+    // i binding (frame slot or register home, per the allocator)
     cg.gen_stmt(init)?;
-    // bound and bound-1 slots (evaluated once; loop-invariant)
+    // bound and bound-1 slots (evaluated once; loop-invariant); the bound
+    // may be a borrowed home register, so copy before decrementing
     let bv = cg.gen_expr(bound)?;
-    let Value::I(rb) = bv else { unreachable!() };
+    let bv = cg.pin_value(bv)?;
+    let rb = cg.value_ireg(bv);
     let slot_bound = cg.scratch_slot();
     cg.asm.emit(Inst::Store(Mem::base_disp(RBP, slot_bound), rb));
     cg.asm.emit(Inst::AddRI(rb, -1));
     let slot_lim = cg.scratch_slot();
     cg.asm.emit(Inst::Store(Mem::base_disp(RBP, slot_lim), rb));
     cg.free(bv);
-
-    let ivar_slot = cg.var_offset(ivar);
 
     let l_main = cg.asm.new_label();
     let l_rem = cg.asm.new_label();
@@ -137,26 +137,22 @@ pub fn try_vectorize(cg: &mut Codegen, s: &Stmt) -> Result<Option<()>, CompileEr
     let cond_start = cg.asm.here();
     cg.asm.cur_line = header_line;
     {
-        let ri = cg.alloc_int_pub()?;
-        cg.asm.emit(Inst::Load(ri, Mem::base_disp(RBP, ivar_slot)));
+        let iv = cg.load_int_var(ivar)?;
         let rl = cg.alloc_int_pub()?;
         cg.asm.emit(Inst::Load(rl, Mem::base_disp(RBP, slot_lim)));
-        cg.asm.emit(Inst::CmpRR(ri, rl));
-        cg.free(Value::I(ri));
+        cg.asm.emit(Inst::CmpRR(cg.value_ireg(iv), rl));
+        cg.free(iv);
         cg.free(Value::I(rl));
         cg.asm.jcc(Cc::Ge, l_rem);
     }
     let body_start = cg.asm.here();
     for (line, op, arr, value) in &plans {
         cg.asm.cur_line = *line;
-        let x = gen_packed(cg, value, ivar, ivar_slot)?;
+        let x = gen_packed(cg, value, ivar)?;
         // address of arr[i]
-        let ra = cg.alloc_int_pub()?;
-        let arr_off = cg.var_offset(arr);
-        cg.asm.emit(Inst::Load(ra, Mem::base_disp(RBP, arr_off)));
-        let ri = cg.alloc_int_pub()?;
-        cg.asm.emit(Inst::Load(ri, Mem::base_disp(RBP, ivar_slot)));
-        let mem = Mem::base_index(ra, ri, 8, 0);
+        let av = cg.load_int_var(arr)?;
+        let iv = cg.load_int_var(ivar)?;
+        let mem = Mem::base_index(cg.value_ireg(av), cg.value_ireg(iv), 8, 0);
         if *op == AssignOp::Set {
             cg.asm.emit(Inst::MovupdStore(mem, x));
         } else {
@@ -166,19 +162,13 @@ pub fn try_vectorize(cg: &mut Codegen, s: &Stmt) -> Result<Option<()>, CompileEr
             cg.asm.emit(Inst::MovupdStore(mem, cur));
             cg.free(Value::F(cur));
         }
-        cg.free(Value::I(ra));
-        cg.free(Value::I(ri));
+        cg.free(av);
+        cg.free(iv);
         cg.free(Value::F(x));
     }
     let step_start = cg.asm.here();
     cg.asm.cur_line = header_line;
-    {
-        let ri = cg.alloc_int_pub()?;
-        cg.asm.emit(Inst::Load(ri, Mem::base_disp(RBP, ivar_slot)));
-        cg.asm.emit(Inst::AddRI(ri, 2));
-        cg.asm.emit(Inst::Store(Mem::base_disp(RBP, ivar_slot), ri));
-        cg.free(Value::I(ri));
-    }
+    cg.bump_int_var(ivar, 2)?;
     cg.asm.jmp(l_main);
     cg.asm.bind(l_rem);
     let main_end = cg.asm.here();
@@ -202,12 +192,11 @@ pub fn try_vectorize(cg: &mut Codegen, s: &Stmt) -> Result<Option<()>, CompileEr
     let rem_cond_start = main_end;
     cg.asm.cur_line = header_line;
     {
-        let ri = cg.alloc_int_pub()?;
-        cg.asm.emit(Inst::Load(ri, Mem::base_disp(RBP, ivar_slot)));
+        let iv = cg.load_int_var(ivar)?;
         let rb2 = cg.alloc_int_pub()?;
         cg.asm.emit(Inst::Load(rb2, Mem::base_disp(RBP, slot_bound)));
-        cg.asm.emit(Inst::CmpRR(ri, rb2));
-        cg.free(Value::I(ri));
+        cg.asm.emit(Inst::CmpRR(cg.value_ireg(iv), rb2));
+        cg.free(iv);
         cg.free(Value::I(rb2));
         cg.asm.jcc(Cc::Ge, l_end);
     }
@@ -217,13 +206,7 @@ pub fn try_vectorize(cg: &mut Codegen, s: &Stmt) -> Result<Option<()>, CompileEr
     }
     let rem_step_start = cg.asm.here();
     cg.asm.cur_line = header_line;
-    {
-        let ri = cg.alloc_int_pub()?;
-        cg.asm.emit(Inst::Load(ri, Mem::base_disp(RBP, ivar_slot)));
-        cg.asm.emit(Inst::AddRI(ri, 1));
-        cg.asm.emit(Inst::Store(Mem::base_disp(RBP, ivar_slot), ri));
-        cg.free(Value::I(ri));
-    }
+    cg.bump_int_var(ivar, 1)?;
     cg.asm.jmp(l_rem_cond);
     cg.asm.bind(l_end);
     let rem_end = cg.asm.here();
@@ -247,13 +230,7 @@ pub fn try_vectorize(cg: &mut Codegen, s: &Stmt) -> Result<Option<()>, CompileEr
 }
 
 /// Generate a packed (2-lane) evaluation of a packable expression.
-#[allow(clippy::only_used_in_recursion)]
-fn gen_packed(
-    cg: &mut Codegen,
-    e: &Expr,
-    ivar: &str,
-    ivar_slot: i32,
-) -> Result<XReg, CompileError> {
+fn gen_packed(cg: &mut Codegen, e: &Expr, ivar: &str) -> Result<XReg, CompileError> {
     match &e.kind {
         ExprKind::FloatLit(v) => {
             let rt = cg.alloc_int_pub()?;
@@ -265,32 +242,25 @@ fn gen_packed(
             Ok(x)
         }
         ExprKind::Var(name) => {
-            // loop-invariant scalar double: load + broadcast
-            let off = cg.var_offset(name);
-            let x = cg.alloc_fp_pub()?;
-            cg.asm.emit(Inst::MovsdLoad(x, Mem::base_disp(RBP, off)));
-            cg.asm.emit(Inst::Unpcklpd(x, x));
-            Ok(x)
+            // loop-invariant scalar double: read + broadcast
+            cg.load_fp_var_broadcast(name)
         }
         ExprKind::Index { base, .. } => {
             let ExprKind::Var(arr) = &base.kind else {
                 unreachable!("packable checked")
             };
-            let ra = cg.alloc_int_pub()?;
-            let arr_off = cg.var_offset(arr);
-            cg.asm.emit(Inst::Load(ra, Mem::base_disp(RBP, arr_off)));
-            let ri = cg.alloc_int_pub()?;
-            cg.asm.emit(Inst::Load(ri, Mem::base_disp(RBP, ivar_slot)));
+            let av = cg.load_int_var(arr)?;
+            let iv = cg.load_int_var(ivar)?;
             let x = cg.alloc_fp_pub()?;
-            cg.asm
-                .emit(Inst::MovupdLoad(x, Mem::base_index(ra, ri, 8, 0)));
-            cg.free(Value::I(ra));
-            cg.free(Value::I(ri));
+            let mem = Mem::base_index(cg.value_ireg(av), cg.value_ireg(iv), 8, 0);
+            cg.asm.emit(Inst::MovupdLoad(x, mem));
+            cg.free(av);
+            cg.free(iv);
             Ok(x)
         }
         ExprKind::Binary { op, lhs, rhs } => {
-            let a = gen_packed(cg, lhs, ivar, ivar_slot)?;
-            let b = gen_packed(cg, rhs, ivar, ivar_slot)?;
+            let a = gen_packed(cg, lhs, ivar)?;
+            let b = gen_packed(cg, rhs, ivar)?;
             emit_packed_op(cg, *op, a, b);
             cg.free(Value::F(b));
             Ok(a)

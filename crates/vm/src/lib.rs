@@ -50,7 +50,7 @@
 //!   scatter lazily from the per-block vectors.
 //!
 //! * **µop bodies.** Block bodies are pre-translated into a micro-op
-//!   stream ([`uop`]) with dedicated handlers for the compiler's dominant
+//!   stream (`uop`) with dedicated handlers for the compiler's dominant
 //!   spill idioms and two-way fusion of adjacent pairs (`Load+Load`,
 //!   `Load+ALU`, `FLoad+FP-op`, …), cutting dispatches per retired
 //!   instruction well below one. `bench_vm` (in `mira-bench`) records the
@@ -743,6 +743,59 @@ impl Vm {
                 self.line_counts[slot as usize][c as usize] += n as u64;
             }
         }
+    }
+
+    /// Tuning aid for the µop fusion table (`uop`): execution-weighted
+    /// counts of adjacent instruction pairs inside retired block bodies,
+    /// most frequent first. Pairs involving a terminator are skipped —
+    /// they can never fuse. `bench_vm --pairs` (in `mira-bench`) prints
+    /// this for the three benchmark workloads; it is how the fusion table
+    /// was re-measured after `mira-vcc` grew a register allocator.
+    pub fn pair_profile(&self) -> Vec<((&'static str, &'static str), u64)> {
+        fn kind(i: &Inst) -> &'static str {
+            use Inst::*;
+            match i {
+                MovRR(..) => "MovRR",
+                MovRI(..) => "MovRI",
+                Load(..) => "Load",
+                Store(..) => "Store",
+                Lea(..) => "Lea",
+                MovsdXX(..) => "MovsdXX",
+                MovsdLoad(..) => "MovsdLoad",
+                MovsdStore(..) => "MovsdStore",
+                MovupdLoad(..) => "MovupdLoad",
+                MovupdStore(..) => "MovupdStore",
+                MovqXR(..) => "MovqXR",
+                MovqRX(..) => "MovqRX",
+                AddRR(..) => "AddRR",
+                AddRI(..) => "AddRI",
+                SubRR(..) => "SubRR",
+                SubRI(..) => "SubRI",
+                ImulRR(..) => "ImulRR",
+                ImulRI(..) => "ImulRI",
+                CmpRR(..) => "CmpRR",
+                CmpRI(..) => "CmpRI",
+                other => other.mnemonic(),
+            }
+        }
+        let mut counts: std::collections::HashMap<(&'static str, &'static str), u64> =
+            std::collections::HashMap::new();
+        for (b, &n) in self.n_exec.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let blk = &self.blocks[b];
+            let s = blk.start as usize;
+            for w in self.code[s..s + blk.nsteps as usize].windows(2) {
+                if w[0].is_terminator() || w[1].is_terminator() {
+                    continue;
+                }
+                *counts.entry((kind(&w[0]), kind(&w[1]))).or_default() += n;
+            }
+        }
+        let mut v: Vec<_> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
     }
 
     /// Attribute the retired prefix `[s, end)` of a block that faulted

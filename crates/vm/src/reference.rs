@@ -14,7 +14,7 @@
 //!    `BENCH_vm.json`.
 //!
 //! Instruction *semantics* are shared with the fast engine through
-//! [`Machine`], so the engines can only ever disagree about accounting.
+//! `Machine`, so the engines can only ever disagree about accounting.
 
 use crate::loader::Image;
 use crate::machine::{Ctl, Machine};

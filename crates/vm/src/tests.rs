@@ -591,3 +591,41 @@ int f(int a) {
     // a: 5 → b=5, a=6 → a=7, c=7 → 700 + 50 + 7
     assert_eq!(run_int(src, "f", &[HostVal::Int(5)]), 757);
 }
+
+#[test]
+fn pair_profile_reports_executed_pairs_most_frequent_first() {
+    let src = r#"
+double dot(int n, double* x, double* y) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += x[i] * y[i];
+    }
+    return s;
+}
+"#;
+    let obj = compile_source(src, &Options::default()).unwrap();
+    let mut vm = Vm::new(&obj).unwrap();
+    let x = vm.alloc_f64(&vec![1.0; 64]);
+    let y = vm.alloc_f64(&vec![2.0; 64]);
+    vm.call("dot", &[HostVal::Int(64), HostVal::Int(x as i64), HostVal::Int(y as i64)])
+        .unwrap();
+    let pairs = vm.pair_profile();
+    assert!(!pairs.is_empty());
+    // sorted by weight, descending
+    for w in pairs.windows(2) {
+        assert!(w[0].1 >= w[1].1);
+    }
+    // the reduction body pair dominates: element loads feeding the
+    // multiply-accumulate chain, executed once per iteration
+    let top: Vec<&(&str, &str)> = pairs.iter().take(3).map(|(p, _)| p).collect();
+    assert!(
+        top.iter().any(|(a, b)| a.contains("Load") || b.contains("mulsd") || b.contains("addsd")),
+        "unexpected top pairs: {top:?}"
+    );
+    // no pair may involve a block terminator
+    for ((a, b), _) in &pairs {
+        for k in [a, b] {
+            assert!(!matches!(*k, "jmp" | "jcc" | "call" | "ret" | "halt"), "{k}");
+        }
+    }
+}

@@ -2,15 +2,29 @@
 //!
 //! The generic [`Machine::exec`] pays a ~60-way dispatch per retired
 //! instruction. Block *bodies* are translated once at load time into a
-//! narrow µop stream tuned to what `mira-vcc`'s spill-everything codegen
-//! actually emits (measured over the STREAM/DGEMM/miniFE objects):
-//! frame-slot reloads (`mov rX, [rbp±d]`) are by far the most retired
-//! instruction and overwhelmingly arrive in adjacent pairs, so they get
-//! dedicated handlers and two-way fusion ([`Uop::Load2`]/[`Uop::Store2`]).
-//! Anything outside the hot set falls back to the shared semantics
-//! ([`Uop::Other`]), so µop translation can never change behaviour —
-//! only speed. The differential tests against the per-step reference
-//! interpreter pin this.
+//! narrow µop stream with dedicated handlers for the hot instructions
+//! and two-way fusion of the dominant adjacent pairs. Anything outside
+//! the hot set falls back to the shared semantics ([`Uop::Other`]), so
+//! µop translation can never change behaviour — only speed. The
+//! differential tests against the per-step reference interpreter pin
+//! this.
+//!
+//! The fusion table is *measured*, not guessed: `bench_vm --pairs` (in
+//! `mira-bench`) prints execution-weighted adjacent-pair histograms via
+//! [`crate::Vm::pair_profile`]. It has been tuned twice:
+//!
+//! * against the original spill-everything `mira-vcc` codegen, where
+//!   frame-slot reloads (`mov rX, [rbp±d]`) dominated and overwhelmingly
+//!   arrived in pairs ([`Uop::Load2`]/[`Uop::Store2`], `Load+ALU`,
+//!   `FLoad+FP-op`, and the counter-spill idioms);
+//! * again after the register allocator landed (the current baseline):
+//!   with induction variables and accumulators living in registers, the
+//!   survivors are mixed load pairs (`Load+MovsdLoad` — pointer reload
+//!   then element load), FP chains (`mulsd+addsd` in reductions,
+//!   `MovsdXX+mulsd` for broadcast scalars), op+store pairs
+//!   (`addsd+MovsdStore`), address arithmetic (`ImulRR+AddRR`,
+//!   `AddRR+Load` from `a[i*n+j]`), and reg-reg move pairs around homes
+//!   ([`Uop::MovRRAddRR`], [`Uop::FAddMov`]).
 //!
 //! Control-transfer instructions never appear in a body (they terminate
 //! blocks), so µops are straight-line by construction.
@@ -91,10 +105,43 @@ pub(crate) enum Uop {
     LoadMovRI { d: u8, m: MemU, e: u8, v: i64 },
     /// `mov rD, imm; movq xmmX, rS` (FP zero/constant materialization).
     MovRIMovqXR { d: u8, v: i64, x: u8, s: u8 },
+    /// `mov rD, imm; mov rA, rB` (constant + home/ABI move).
+    MovRIMovRR { d: u8, v: i64, a: u8, b: u8 },
     /// `mov rD, rS; add rA, imm` (post-increment idiom).
     MovRRAddRI { d: u8, s: u8, a: u8, v: i64 },
+    /// `mov rD, rS; add rA, rB` (home copy + address arithmetic).
+    MovRRAddRR { d: u8, s: u8, a: u8, b: u8 },
     /// `add rA, imm; mov [mem], rS` (increment-then-spill idiom).
     AddRIStore { a: u8, v: i64, s: u8, m: MemU },
+    /// `imul rA, rB; add rC, rD` (row-major index `i*n + j`).
+    ImulAdd { a: u8, b: u8, c: u8, d: u8 },
+    /// `add rA, rB; mov rD, [mem]` (index finish + element load).
+    AddLoad { a: u8, b: u8, d: u8, m: MemU },
+    /// `add rA, rB; movsd xmmD, [mem]`.
+    AddFLoad { a: u8, b: u8, d: u8, m: MemU },
+    /// Two consecutive scalar-double loads.
+    FLoad2 { d1: u8, m1: MemU, d2: u8, m2: MemU },
+    /// `mov rD, [mem]; movsd xmmX, [mem2]` — pointer reload followed by
+    /// the element load through it (the dominant pair once scalar locals
+    /// live in registers).
+    LoadFLoad { d: u8, m: MemU, x: u8, xm: MemU },
+    /// `movsd xmmD, [mem]; mov rE, [mem2]`.
+    FLoadLoad { d: u8, m: MemU, e: u8, em: MemU },
+    /// `movsd xmmD, [mem]; movsd [mem2], xmmS` (array copy).
+    FLoadFStore { d: u8, m: MemU, s: u8, sm: MemU },
+    /// `movsd [mem], xmmS; mov rD, rB` (store + home move).
+    FStoreMov { s: u8, m: MemU, d: u8, b: u8 },
+    /// `movsd xmmD, xmmS; mulsd xmmA, xmmB` (broadcast scalar × element).
+    FMovMul { d: u8, s: u8, a: u8, b: u8 },
+    /// `mulsd xmmA, xmmB; addsd xmmC, xmmD` (reduction kernel:
+    /// multiply-then-accumulate into a register home).
+    FMulAdd { a: u8, b: u8, c: u8, d: u8 },
+    /// `mulsd xmmA, xmmB; movsd xmmD, [mem]`.
+    FMulFLoad { a: u8, b: u8, d: u8, m: MemU },
+    /// `addsd xmmA, xmmB; movsd [mem], xmmS`.
+    FAddStore { a: u8, b: u8, s: u8, m: MemU },
+    /// `addsd xmmA, xmmB; mov rD, rS` (accumulate + int home move).
+    FAddMov { a: u8, b: u8, d: u8, s: u8 },
     Load { d: u8, m: MemU },
     Store { s: u8, m: MemU },
     FLoad { d: u8, m: MemU },
@@ -150,14 +197,29 @@ impl Uop {
             | Uop::MovRIStore { .. }
             | Uop::LoadMovRI { .. }
             | Uop::MovRIMovqXR { .. }
+            | Uop::MovRIMovRR { .. }
             | Uop::MovRRAddRI { .. }
-            | Uop::AddRIStore { .. } => 2,
+            | Uop::MovRRAddRR { .. }
+            | Uop::AddRIStore { .. }
+            | Uop::ImulAdd { .. }
+            | Uop::AddLoad { .. }
+            | Uop::AddFLoad { .. }
+            | Uop::FLoad2 { .. }
+            | Uop::LoadFLoad { .. }
+            | Uop::FLoadLoad { .. }
+            | Uop::FLoadFStore { .. }
+            | Uop::FStoreMov { .. }
+            | Uop::FMovMul { .. }
+            | Uop::FMulAdd { .. }
+            | Uop::FMulFLoad { .. }
+            | Uop::FAddStore { .. }
+            | Uop::FAddMov { .. } => 2,
             _ => 1,
         }
     }
 }
 
-/// Build the fused `Load+ALU` µop for a following reg-reg op, if fusable.
+/// Build the fused `Load+second` µop for an integer load, if fusable.
 fn fuse_load_alu(d: u8, m: MemU, second: &Inst) -> Option<Uop> {
     match *second {
         Inst::MovRR(a, b) => Some(Uop::LoadMov { d, m, a: a.0, b: b.0 }),
@@ -167,11 +229,13 @@ fn fuse_load_alu(d: u8, m: MemU, second: &Inst) -> Option<Uop> {
         Inst::CmpRR(a, b) => Some(Uop::LoadCmp { d, m, a: a.0, b: b.0 }),
         Inst::TestRR(a, b) => Some(Uop::LoadTest { d, m, a: a.0, b: b.0 }),
         Inst::MovRI(e, v) => Some(Uop::LoadMovRI { d, m, e: e.0, v }),
+        Inst::MovsdLoad(x, xm) => Some(Uop::LoadFLoad { d, m, x: x.0, xm: xm.into() }),
         _ => None,
     }
 }
 
-/// Build the fused `FLoad+op` µop for a following scalar-double op.
+/// Build the fused `FLoad+second` µop for a scalar-double load, if
+/// fusable.
 fn fuse_fload_alu(d: u8, m: MemU, second: &Inst) -> Option<Uop> {
     match *second {
         Inst::MovsdXX(a, b) => Some(Uop::FLoadMov { d, m, a: a.0, b: b.0 }),
@@ -179,6 +243,19 @@ fn fuse_fload_alu(d: u8, m: MemU, second: &Inst) -> Option<Uop> {
         Inst::Subsd(a, b) => Some(Uop::FLoadSub { d, m, a: a.0, b: b.0 }),
         Inst::Mulsd(a, b) => Some(Uop::FLoadMul { d, m, a: a.0, b: b.0 }),
         Inst::Divsd(a, b) => Some(Uop::FLoadDiv { d, m, a: a.0, b: b.0 }),
+        Inst::MovsdLoad(d2, m2) => Some(Uop::FLoad2 {
+            d1: d,
+            m1: m,
+            d2: d2.0,
+            m2: m2.into(),
+        }),
+        Inst::Load(e, em) => Some(Uop::FLoadLoad { d, m, e: e.0, em: em.into() }),
+        Inst::MovsdStore(sm, s) => Some(Uop::FLoadFStore {
+            d,
+            m,
+            s: s.0,
+            sm: sm.into(),
+        }),
         _ => None,
     }
 }
@@ -218,17 +295,83 @@ pub(crate) fn translate_body(body: &[Inst]) -> Vec<Uop> {
                     x: x.0,
                     s: s.0,
                 }),
+                (Inst::MovRI(d, v), Inst::MovRR(a, b)) => Some(Uop::MovRIMovRR {
+                    d: d.0,
+                    v,
+                    a: a.0,
+                    b: b.0,
+                }),
                 (Inst::MovRR(d, s), Inst::AddRI(a, v)) => Some(Uop::MovRRAddRI {
                     d: d.0,
                     s: s.0,
                     a: a.0,
                     v,
                 }),
+                (Inst::MovRR(d, s), Inst::AddRR(a, b)) => Some(Uop::MovRRAddRR {
+                    d: d.0,
+                    s: s.0,
+                    a: a.0,
+                    b: b.0,
+                }),
                 (Inst::AddRI(a, v), Inst::Store(m, s)) => Some(Uop::AddRIStore {
                     a: a.0,
                     v,
                     s: s.0,
                     m: m.into(),
+                }),
+                (Inst::ImulRR(a, b), Inst::AddRR(c, d)) => Some(Uop::ImulAdd {
+                    a: a.0,
+                    b: b.0,
+                    c: c.0,
+                    d: d.0,
+                }),
+                (Inst::AddRR(a, b), Inst::Load(d, m)) => Some(Uop::AddLoad {
+                    a: a.0,
+                    b: b.0,
+                    d: d.0,
+                    m: m.into(),
+                }),
+                (Inst::AddRR(a, b), Inst::MovsdLoad(d, m)) => Some(Uop::AddFLoad {
+                    a: a.0,
+                    b: b.0,
+                    d: d.0,
+                    m: m.into(),
+                }),
+                (Inst::MovsdStore(m, s), Inst::MovRR(d, b)) => Some(Uop::FStoreMov {
+                    s: s.0,
+                    m: m.into(),
+                    d: d.0,
+                    b: b.0,
+                }),
+                (Inst::MovsdXX(d, s), Inst::Mulsd(a, b)) => Some(Uop::FMovMul {
+                    d: d.0,
+                    s: s.0,
+                    a: a.0,
+                    b: b.0,
+                }),
+                (Inst::Mulsd(a, b), Inst::Addsd(c, d)) => Some(Uop::FMulAdd {
+                    a: a.0,
+                    b: b.0,
+                    c: c.0,
+                    d: d.0,
+                }),
+                (Inst::Mulsd(a, b), Inst::MovsdLoad(d, m)) => Some(Uop::FMulFLoad {
+                    a: a.0,
+                    b: b.0,
+                    d: d.0,
+                    m: m.into(),
+                }),
+                (Inst::Addsd(a, b), Inst::MovsdStore(m, s)) => Some(Uop::FAddStore {
+                    a: a.0,
+                    b: b.0,
+                    s: s.0,
+                    m: m.into(),
+                }),
+                (Inst::Addsd(a, b), Inst::MovRR(d, s)) => Some(Uop::FAddMov {
+                    a: a.0,
+                    b: b.0,
+                    d: d.0,
+                    s: s.0,
                 }),
                 _ => None,
             };
@@ -394,11 +537,100 @@ impl Machine {
                 self.regs[d as usize & 15] = self.regs[s as usize & 15];
                 self.regs[a as usize & 15] = self.regs[a as usize & 15].wrapping_add(v);
             }
+            Uop::MovRIMovRR { d, v, a, b } => {
+                self.regs[d as usize & 15] = v;
+                self.regs[a as usize & 15] = self.regs[b as usize & 15];
+            }
+            Uop::MovRRAddRR { d, s, a, b } => {
+                self.regs[d as usize & 15] = self.regs[s as usize & 15];
+                self.regs[a as usize & 15] =
+                    self.regs[a as usize & 15].wrapping_add(self.regs[b as usize & 15]);
+            }
             Uop::AddRIStore { a, v, s, m } => {
                 self.regs[a as usize & 15] = self.regs[a as usize & 15].wrapping_add(v);
                 let addr = ea(&self.regs, m);
                 let sv = self.regs[s as usize & 15] as u64;
                 self.store64(addr, sv).map_err(|e| (1, e))?;
+            }
+            Uop::ImulAdd { a, b, c, d } => {
+                self.regs[a as usize & 15] =
+                    self.regs[a as usize & 15].wrapping_mul(self.regs[b as usize & 15]);
+                self.regs[c as usize & 15] =
+                    self.regs[c as usize & 15].wrapping_add(self.regs[d as usize & 15]);
+            }
+            Uop::AddLoad { a, b, d, m } => {
+                self.regs[a as usize & 15] =
+                    self.regs[a as usize & 15].wrapping_add(self.regs[b as usize & 15]);
+                let addr = ea(&self.regs, m);
+                self.regs[d as usize & 15] = self.load64(addr).map_err(|e| (1, e))? as i64;
+            }
+            Uop::AddFLoad { a, b, d, m } => {
+                self.regs[a as usize & 15] =
+                    self.regs[a as usize & 15].wrapping_add(self.regs[b as usize & 15]);
+                let addr = ea(&self.regs, m);
+                self.xmm[d as usize & 15][0] =
+                    f64::from_bits(self.load64(addr).map_err(|e| (1, e))?);
+            }
+            Uop::FLoad2 { d1, m1, d2, m2 } => {
+                let a1 = ea(&self.regs, m1);
+                self.xmm[d1 as usize & 15][0] =
+                    f64::from_bits(self.load64(a1).map_err(|e| (0, e))?);
+                let a2 = ea(&self.regs, m2);
+                self.xmm[d2 as usize & 15][0] =
+                    f64::from_bits(self.load64(a2).map_err(|e| (1, e))?);
+            }
+            Uop::LoadFLoad { d, m, x, xm } => {
+                let a1 = ea(&self.regs, m);
+                self.regs[d as usize & 15] = self.load64(a1).map_err(|e| (0, e))? as i64;
+                // the FP load's address may use the register just loaded
+                let a2 = ea(&self.regs, xm);
+                self.xmm[x as usize & 15][0] =
+                    f64::from_bits(self.load64(a2).map_err(|e| (1, e))?);
+            }
+            Uop::FLoadLoad { d, m, e, em } => {
+                let a1 = ea(&self.regs, m);
+                self.xmm[d as usize & 15][0] =
+                    f64::from_bits(self.load64(a1).map_err(|err| (0, err))?);
+                let a2 = ea(&self.regs, em);
+                self.regs[e as usize & 15] = self.load64(a2).map_err(|err| (1, err))? as i64;
+            }
+            Uop::FLoadFStore { d, m, s, sm } => {
+                let a1 = ea(&self.regs, m);
+                self.xmm[d as usize & 15][0] =
+                    f64::from_bits(self.load64(a1).map_err(|e| (0, e))?);
+                let a2 = ea(&self.regs, sm);
+                let v = self.xmm[s as usize & 15][0].to_bits();
+                self.store64(a2, v).map_err(|e| (1, e))?;
+            }
+            Uop::FStoreMov { s, m, d, b } => {
+                let a = ea(&self.regs, m);
+                let v = self.xmm[s as usize & 15][0].to_bits();
+                self.store64(a, v).map_err(|e| (0, e))?;
+                self.regs[d as usize & 15] = self.regs[b as usize & 15];
+            }
+            Uop::FMovMul { d, s, a, b } => {
+                self.xmm[d as usize & 15][0] = self.xmm[s as usize & 15][0];
+                self.xmm[a as usize & 15][0] *= self.xmm[b as usize & 15][0];
+            }
+            Uop::FMulAdd { a, b, c, d } => {
+                self.xmm[a as usize & 15][0] *= self.xmm[b as usize & 15][0];
+                self.xmm[c as usize & 15][0] += self.xmm[d as usize & 15][0];
+            }
+            Uop::FMulFLoad { a, b, d, m } => {
+                self.xmm[a as usize & 15][0] *= self.xmm[b as usize & 15][0];
+                let addr = ea(&self.regs, m);
+                self.xmm[d as usize & 15][0] =
+                    f64::from_bits(self.load64(addr).map_err(|e| (1, e))?);
+            }
+            Uop::FAddStore { a, b, s, m } => {
+                self.xmm[a as usize & 15][0] += self.xmm[b as usize & 15][0];
+                let addr = ea(&self.regs, m);
+                let v = self.xmm[s as usize & 15][0].to_bits();
+                self.store64(addr, v).map_err(|e| (1, e))?;
+            }
+            Uop::FAddMov { a, b, d, s } => {
+                self.xmm[a as usize & 15][0] += self.xmm[b as usize & 15][0];
+                self.regs[d as usize & 15] = self.regs[s as usize & 15];
             }
             Uop::Load { d, m } => {
                 let a = ea(&self.regs, m);

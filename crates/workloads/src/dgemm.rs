@@ -47,7 +47,17 @@ impl Default for Dgemm {
 
 impl Dgemm {
     pub fn new() -> Dgemm {
-        let analysis = analyze_source(DGEMM_SRC, &MiraOptions::default()).expect("DGEMM analyzes");
+        Dgemm::with_compiler(mira_vcc::Options::default())
+    }
+
+    /// With explicit compiler options (e.g. the spill-everything
+    /// baseline).
+    pub fn with_compiler(compiler: mira_vcc::Options) -> Dgemm {
+        let opts = MiraOptions {
+            compiler,
+            ..MiraOptions::default()
+        };
+        let analysis = analyze_source(DGEMM_SRC, &opts).expect("DGEMM analyzes");
         Dgemm { analysis }
     }
 

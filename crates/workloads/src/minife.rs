@@ -122,8 +122,17 @@ impl Default for MiniFe {
 
 impl MiniFe {
     pub fn new() -> MiniFe {
-        let analysis =
-            analyze_source(MINIFE_SRC, &MiraOptions::default()).expect("miniFE analyzes");
+        MiniFe::with_compiler(mira_vcc::Options::default())
+    }
+
+    /// With explicit compiler options (e.g. the spill-everything
+    /// baseline).
+    pub fn with_compiler(compiler: mira_vcc::Options) -> MiniFe {
+        let opts = MiraOptions {
+            compiler,
+            ..MiraOptions::default()
+        };
+        let analysis = analyze_source(MINIFE_SRC, &opts).expect("miniFE analyzes");
         MiniFe { analysis }
     }
 

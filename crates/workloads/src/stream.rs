@@ -72,8 +72,15 @@ impl Stream {
 
     /// With vectorization enabled (for the PBound comparison).
     pub fn vectorized() -> Stream {
+        Stream::with_compiler(mira_vcc::Options::vectorized())
+    }
+
+    /// With explicit compiler options (e.g.
+    /// `mira_vcc::Options::spill_everything()` for the no-regalloc
+    /// baseline `bench_vm` compares step counts against).
+    pub fn with_compiler(compiler: mira_vcc::Options) -> Stream {
         let opts = MiraOptions {
-            compiler: mira_vcc::Options::vectorized(),
+            compiler,
             ..MiraOptions::default()
         };
         let analysis = analyze_source(STREAM_SRC, &opts).expect("STREAM analyzes");
