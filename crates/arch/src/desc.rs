@@ -26,6 +26,42 @@ use crate::Category;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// One cache level from a `[cache lN]` section: capacity and associativity
+/// (the line size is shared across the hierarchy via
+/// `machine.cache_line_bytes`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheLevel {
+    pub size_bytes: u32,
+    pub assoc: u32,
+}
+
+impl CacheLevel {
+    /// Number of sets at a given line size.
+    pub fn sets(&self, line_bytes: u32) -> u32 {
+        (self.size_bytes / (line_bytes * self.assoc)).max(1)
+    }
+}
+
+/// The cache hierarchy a description file declares — the parameters the
+/// `mira-mem` simulator and the static distinct-line models consume.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheHierarchy {
+    pub line_bytes: u32,
+    pub l1: CacheLevel,
+    pub l2: CacheLevel,
+}
+
+impl Default for CacheHierarchy {
+    fn default() -> Self {
+        let m = MachineParams::default();
+        CacheHierarchy {
+            line_bytes: m.cache_line_bytes,
+            l1: m.l1,
+            l2: m.l2,
+        }
+    }
+}
+
 /// Machine parameters from the `[machine]` section.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct MachineParams {
@@ -35,6 +71,10 @@ pub struct MachineParams {
     pub vector_bits: u32,
     /// Double-precision lanes per vector register (2 for SSE2, 4 for AVX).
     pub fp_lanes_per_vector: u32,
+    /// First-level data cache (`[cache l1]`).
+    pub l1: CacheLevel,
+    /// Second-level cache (`[cache l2]`).
+    pub l2: CacheLevel,
 }
 
 impl Default for MachineParams {
@@ -45,6 +85,14 @@ impl Default for MachineParams {
             cache_line_bytes: 64,
             vector_bits: 128,
             fp_lanes_per_vector: 2,
+            l1: CacheLevel {
+                size_bytes: 32 * 1024,
+                assoc: 8,
+            },
+            l2: CacheLevel {
+                size_bytes: 256 * 1024,
+                assoc: 8,
+            },
         }
     }
 }
@@ -93,6 +141,15 @@ cache_line_bytes = 64
 vector_bits = 128
 fp_lanes_per_vector = 2
 
+# Cache hierarchy (sizes and associativity; the line size above is shared).
+[cache l1]
+size_bytes = 32768
+assoc = 8
+
+[cache l2]
+size_bytes = 262144
+assoc = 8
+
 # PAPI_FP_INS equivalent: scalar+packed double/single FP arithmetic.
 [metric fpi]
 categories = sse2_packed_arith, sse_packed_arith, x87_basic_arith, avx_arith, fma
@@ -123,6 +180,8 @@ impl ArchDescription {
         enum Section {
             None,
             Machine,
+            /// `true` selects L2, `false` L1.
+            Cache(bool),
             Metric(String),
         }
         let mut machine = MachineParams::default();
@@ -142,6 +201,17 @@ impl ArchDescription {
                 let inner = inner.trim();
                 if inner == "machine" {
                     section = Section::Machine;
+                } else if let Some(level) = inner.strip_prefix("cache ") {
+                    section = match level.trim() {
+                        "l1" => Section::Cache(false),
+                        "l2" => Section::Cache(true),
+                        other => {
+                            return Err(DescError::Syntax {
+                                line: lineno,
+                                msg: format!("unknown cache level `{other}` (expected l1 or l2)"),
+                            })
+                        }
+                    };
                 } else if let Some(name) = inner.strip_prefix("metric ") {
                     let name = name.trim().to_string();
                     metrics.entry(name.clone()).or_default();
@@ -176,11 +246,19 @@ impl ArchDescription {
                         })?
                     }
                     "cache_line_bytes" => {
-                        machine.cache_line_bytes =
-                            value.parse().map_err(|_| DescError::BadValue {
+                        // the mira-mem simulator and line-footprint
+                        // closed forms both assume power-of-two lines
+                        let v: u32 = value.parse().map_err(|_| DescError::BadValue {
+                            line: lineno,
+                            key: key.to_string(),
+                        })?;
+                        if v < 8 || !v.is_power_of_two() {
+                            return Err(DescError::BadValue {
                                 line: lineno,
                                 key: key.to_string(),
-                            })?
+                            });
+                        }
+                        machine.cache_line_bytes = v;
                     }
                     "vector_bits" => {
                         machine.vector_bits = value.parse().map_err(|_| DescError::BadValue {
@@ -202,6 +280,33 @@ impl ArchDescription {
                         })
                     }
                 },
+                Section::Cache(is_l2) => {
+                    let level = if *is_l2 {
+                        &mut machine.l2
+                    } else {
+                        &mut machine.l1
+                    };
+                    let parsed: u32 = value.parse().map_err(|_| DescError::BadValue {
+                        line: lineno,
+                        key: key.to_string(),
+                    })?;
+                    if parsed == 0 {
+                        return Err(DescError::BadValue {
+                            line: lineno,
+                            key: key.to_string(),
+                        });
+                    }
+                    match key {
+                        "size_bytes" => level.size_bytes = parsed,
+                        "assoc" => level.assoc = parsed,
+                        other => {
+                            return Err(DescError::UnknownKey {
+                                line: lineno,
+                                key: other.to_string(),
+                            })
+                        }
+                    }
+                }
                 Section::Metric(name) => match key {
                     "categories" => {
                         let mut cats = Vec::new();
@@ -250,6 +355,17 @@ impl ArchDescription {
         self.metrics.insert(name.to_string(), cats);
     }
 
+    /// The declared cache hierarchy (line size from `[machine]`, levels
+    /// from the `[cache lN]` sections) — what the `mira-mem` simulator and
+    /// distinct-line models are parameterized by.
+    pub fn cache_hierarchy(&self) -> CacheHierarchy {
+        CacheHierarchy {
+            line_bytes: self.machine.cache_line_bytes,
+            l1: self.machine.l1,
+            l2: self.machine.l2,
+        }
+    }
+
     /// Serialize back to the INI dialect (round-trippable).
     pub fn to_ini(&self) -> String {
         let mut out = String::new();
@@ -265,6 +381,12 @@ impl ArchDescription {
             "fp_lanes_per_vector = {}\n",
             self.machine.fp_lanes_per_vector
         ));
+        for (name, level) in [("l1", self.machine.l1), ("l2", self.machine.l2)] {
+            out.push_str(&format!(
+                "\n[cache {name}]\nsize_bytes = {}\nassoc = {}\n",
+                level.size_bytes, level.assoc
+            ));
+        }
         for (name, cats) in &self.metrics {
             out.push_str(&format!("\n[metric {name}]\ncategories = "));
             let names: Vec<&str> = cats.iter().map(|c| c.name()).collect();
@@ -335,6 +457,81 @@ mod tests {
             ArchDescription::parse("[weird]\n"),
             Err(DescError::Syntax { .. })
         ));
+    }
+
+    #[test]
+    fn default_cache_hierarchy() {
+        let d = ArchDescription::default();
+        let h = d.cache_hierarchy();
+        assert_eq!(h.line_bytes, 64);
+        assert_eq!(h.l1.size_bytes, 32 * 1024);
+        assert_eq!(h.l1.assoc, 8);
+        assert_eq!(h.l2.size_bytes, 256 * 1024);
+        assert_eq!(h.l1.sets(64), 64);
+        assert_eq!(h.l2.sets(64), 512);
+    }
+
+    #[test]
+    fn cache_sections_roundtrip() {
+        // parse → serialize → parse must be the identity on the cache
+        // hierarchy fields
+        let text = "[machine]\nname = m\ncache_line_bytes = 32\n\
+                    [cache l1]\nsize_bytes = 16384\nassoc = 4\n\
+                    [cache l2]\nsize_bytes = 524288\nassoc = 16\n";
+        let d = ArchDescription::parse(text).unwrap();
+        assert_eq!(
+            d.machine.l1,
+            CacheLevel {
+                size_bytes: 16384,
+                assoc: 4
+            }
+        );
+        assert_eq!(
+            d.machine.l2,
+            CacheLevel {
+                size_bytes: 524288,
+                assoc: 16
+            }
+        );
+        let d2 = ArchDescription::parse(&d.to_ini()).unwrap();
+        assert_eq!(d, d2);
+        let d3 = ArchDescription::parse(&d2.to_ini()).unwrap();
+        assert_eq!(d2, d3);
+        assert_eq!(d2.cache_hierarchy().l1.sets(32), 128);
+    }
+
+    #[test]
+    fn cache_section_errors() {
+        // unknown key inside a cache section is rejected
+        assert!(matches!(
+            ArchDescription::parse("[cache l1]\nlatency = 4\n"),
+            Err(DescError::UnknownKey { .. })
+        ));
+        // unknown cache level
+        assert!(matches!(
+            ArchDescription::parse("[cache l3]\nsize_bytes = 1\n"),
+            Err(DescError::Syntax { .. })
+        ));
+        // malformed and degenerate values
+        assert!(matches!(
+            ArchDescription::parse("[cache l1]\nsize_bytes = big\n"),
+            Err(DescError::BadValue { .. })
+        ));
+        assert!(matches!(
+            ArchDescription::parse("[cache l2]\nassoc = 0\n"),
+            Err(DescError::BadValue { .. })
+        ));
+        // line size must be a power of two ≥ 8 (simulator + footprint
+        // closed forms assume it)
+        assert!(matches!(
+            ArchDescription::parse("[machine]\ncache_line_bytes = 48\n"),
+            Err(DescError::BadValue { .. })
+        ));
+        assert!(matches!(
+            ArchDescription::parse("[machine]\ncache_line_bytes = 4\n"),
+            Err(DescError::BadValue { .. })
+        ));
+        assert!(ArchDescription::parse("[machine]\ncache_line_bytes = 32\n").is_ok());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 pub mod desc;
 
-pub use desc::{ArchDescription, DescError, MachineParams};
+pub use desc::{ArchDescription, CacheHierarchy, CacheLevel, DescError, MachineParams};
 
 /// The 64 instruction categories, mirroring the Intel SDM's grouping of the
 /// x86 instruction set (general-purpose groups, x87, MMX, SSE–SSE4.2, AVX,

@@ -1,0 +1,121 @@
+//! `bench_mem` — the memory-traffic trajectory.
+//!
+//! Runs the STREAM triad, the four STREAM kernels, DGEMM and the miniFE
+//! CG solve through the `mira-mem` validation harnesses
+//! (`mira_workloads::memval`): each workload is evaluated statically
+//! (closed-form bytes/FLOPs plus distinct-line footprints) and executed
+//! dynamically under the VM cache simulator, and the agreement plus the
+//! per-level miss counts land in `BENCH_mem.json`. A separate timing pass
+//! runs each workload with the simulator off and on to record the
+//! instrumentation overhead (`sim_overhead`, wall-clock ratio) — the
+//! price of `VmOptions::mem_profile`, which stays off the hot path by
+//! default.
+//!
+//! Usage: `cargo run --release -p mira-bench --bin bench_mem [--quick]`
+//! (`--quick` shrinks sizes for the CI smoke run).
+
+use mira_workloads::memval::{self, MemRow};
+
+struct Entry {
+    row: MemRow,
+    sim_overhead: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (stream_n, reps, dgemm_n, grid) = if quick {
+        (1024i64, 2i64, 12i64, 5i64)
+    } else {
+        (20_000, 2, 40, 8)
+    };
+
+    // one overhead measurement per kernel shape (the slowest part of this
+    // bench); the SIMD triad shares the scalar STREAM number
+    let stream_ovhd = memval::stream_sim_overhead(stream_n, reps, 3);
+    let entries = vec![
+        Entry {
+            row: memval::triad_row(stream_n, reps, false),
+            sim_overhead: stream_ovhd,
+        },
+        Entry {
+            row: memval::triad_row(stream_n, reps, true),
+            sim_overhead: f64::NAN, // overhead measured once on the scalar path
+        },
+        Entry {
+            row: memval::stream_row(stream_n, reps),
+            sim_overhead: stream_ovhd,
+        },
+        Entry {
+            row: memval::dgemm_row(dgemm_n, 1),
+            sim_overhead: memval::dgemm_sim_overhead(dgemm_n, 3),
+        },
+        Entry {
+            row: memval::minife_row(grid, 2000, 1e-8),
+            sim_overhead: f64::NAN, // dominated by the solve; see stream/dgemm
+        },
+    ];
+
+    let mut json = String::from("{\n  \"bench\": \"mem_traffic\",\n  \"workloads\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let r = &e.row;
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"static_load_bytes\": {}, \"static_store_bytes\": {}, \"dynamic_load_bytes\": {}, \"dynamic_store_bytes\": {}, \"bytes_exact\": {}, \"static_lines\": {}, \"data_l1_fills\": {}, \"l1_misses\": {}, \"l2_misses\": {}, \"flops\": {}, \"bytes_ai\": {:.4}, \"sim_overhead\": {}}}{}\n",
+            r.workload,
+            r.static_load_bytes,
+            r.static_store_bytes,
+            r.dynamic.load_bytes,
+            r.dynamic.store_bytes,
+            r.bytes_exact(),
+            r.static_lines,
+            r.dynamic.data_l1_fills,
+            r.dynamic.l1.misses,
+            r.dynamic.l2.misses,
+            r.static_flops,
+            r.bytes_ai,
+            if e.sim_overhead.is_nan() {
+                "null".to_string()
+            } else {
+                format!("{:.2}", e.sim_overhead)
+            },
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_mem.json", &json).expect("write BENCH_mem.json");
+
+    println!(
+        "{:<18} {:>14} {:>14} {:>6} {:>10} {:>10} {:>10} {:>8} {:>9}",
+        "workload", "static bytes", "dynamic bytes", "exact", "lines", "L1 fills", "L2 miss", "AI", "sim ovhd"
+    );
+    for e in &entries {
+        let r = &e.row;
+        println!(
+            "{:<18} {:>14} {:>14} {:>6} {:>10} {:>10} {:>10} {:>8.4} {:>9}",
+            r.workload,
+            r.static_load_bytes + r.static_store_bytes,
+            r.dynamic.total_bytes(),
+            r.bytes_exact(),
+            r.static_lines,
+            r.dynamic.data_l1_fills,
+            r.dynamic.l2.misses,
+            r.bytes_ai,
+            if e.sim_overhead.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.2}x", e.sim_overhead)
+            },
+        );
+    }
+    println!("\nwrote BENCH_mem.json");
+
+    // the validation contract the tests pin, enforced here too so a CI
+    // smoke run fails loudly if the halves ever drift
+    for e in &entries {
+        assert!(
+            e.row.bytes_exact(),
+            "{}: static and simulated bytes diverged",
+            e.row.workload
+        );
+    }
+}
+

@@ -12,10 +12,14 @@
 //! regalloc build (`steps`), and their ratio (`step_reduction`) — so
 //! step-count regressions are caught, not just wall-clock ones.
 //!
-//! Usage: `cargo run --release -p mira-bench --bin bench_vm [--quick|--pairs]`
+//! Usage: `cargo run --release -p mira-bench --bin bench_vm [--quick|--pairs|--check]`
 //! (`--quick` shrinks sizes and rounds for CI smoke runs; `--pairs`
 //! prints the execution-weighted adjacent-instruction pairs the µop
-//! fusion table in `mira_vm::uop` is tuned against, instead of timing).
+//! fusion table in `mira_vm::uop` is tuned against, instead of timing;
+//! `--check` re-measures the dynamic step counts at the committed sizes
+//! and exits non-zero when any workload regressed more than 2% versus
+//! the committed `BENCH_vm.json` — the CI gate that turns step-count
+//! regressions into failures instead of printed numbers).
 
 use mira_vm::reference::ReferenceVm;
 use mira_vm::{HostVal, Vm, VmOptions};
@@ -70,10 +74,13 @@ macro_rules! timed_call {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let pairs = std::env::args().any(|a| a == "--pairs");
+    let check = std::env::args().any(|a| a == "--check");
     let rounds = if quick { 2 } else { 5 };
-    let (stream_n, dgemm_n, grid) = if quick {
+    let (stream_n, dgemm_n, grid) = if quick && !check {
         (500i64, 12i64, 6i64)
     } else {
+        // --check always measures at the committed sizes, or the
+        // comparison would be apples to oranges
         (20_000, 40, 10)
     };
 
@@ -83,6 +90,10 @@ fn main() {
 
     if pairs {
         print_pairs(&stream, &dgemm, &minife, stream_n, dgemm_n, grid);
+        return;
+    }
+    if check {
+        check_steps(&stream, &dgemm, &minife, stream_n, dgemm_n, grid);
         return;
     }
 
@@ -196,6 +207,79 @@ fn main() {
     println!("\nwrote BENCH_vm.json");
 }
 
+/// `--check`: re-measure dynamic step counts (deterministic — no timing)
+/// and fail when any workload retired more than 2% extra steps versus
+/// the committed BENCH_vm.json.
+fn check_steps(
+    stream: &Stream,
+    dgemm: &Dgemm,
+    minife: &MiniFe,
+    stream_n: i64,
+    dgemm_n: i64,
+    grid: i64,
+) {
+    let committed = std::fs::read_to_string("BENCH_vm.json")
+        .expect("BENCH_vm.json not found — run bench_vm once to create the baseline");
+    let current: Vec<(&str, u64)> = vec![
+        (
+            "stream_triad",
+            timed_call!(Vm, &stream.analysis.object, |vm: &mut Vm| stream_args(vm, stream_n), "stream_kernels"),
+        ),
+        (
+            "dgemm",
+            timed_call!(Vm, &dgemm.analysis.object, |vm: &mut Vm| dgemm_args(vm, dgemm_n), "dgemm_bench"),
+        ),
+        ("minife_cg", minife_solve_steps::<Vm>(minife, grid)),
+    ];
+    let mut failed = false;
+    println!(
+        "{:<14} {:>14} {:>14} {:>9}  verdict",
+        "workload", "committed", "current", "delta"
+    );
+    for (name, steps) in &current {
+        let Some(baseline) = committed_steps(&committed, name) else {
+            println!("{name:<14} {:>14} {steps:>14} {:>9}  MISSING from BENCH_vm.json", "-", "-");
+            failed = true;
+            continue;
+        };
+        let delta = 100.0 * (*steps as f64 - baseline as f64) / baseline as f64;
+        let regressed = *steps as f64 > baseline as f64 * 1.02;
+        if regressed {
+            failed = true;
+        }
+        println!(
+            "{name:<14} {baseline:>14} {steps:>14} {delta:>+8.2}%  {}",
+            if regressed {
+                "REGRESSED (>2%)"
+            } else if delta < -2.0 {
+                "improved — consider regenerating BENCH_vm.json"
+            } else {
+                "ok"
+            }
+        );
+    }
+    if failed {
+        eprintln!("\nbench_vm --check: step-count regression beyond 2% — failing");
+        std::process::exit(1);
+    }
+    println!("\nbench_vm --check: all step counts within 2% of the committed baseline");
+}
+
+/// Pull `"steps": N` for one workload out of the committed JSON (no
+/// serde in this offline environment — the file is written by this very
+/// binary, so the shape is known).
+fn committed_steps(json: &str, workload: &str) -> Option<u64> {
+    let key = format!("\"workload\": \"{workload}\"");
+    let at = json.find(&key)?;
+    let rest = &json[at..];
+    let steps_at = rest.find("\"steps\": ")?;
+    let digits: String = rest[steps_at + 9..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
 /// `--pairs`: print the execution-weighted adjacent-pair histograms the
 /// µop fusion table is tuned against.
 fn print_pairs(
@@ -296,56 +380,22 @@ fn minife_solve_steps<V: MiniFeVm>(m: &MiniFe, d: i64) -> u64 {
 }
 
 /// Assemble the system, reset the counters, run the CG solve, and hand
-/// back the VM — counters cover the solve phase only.
+/// back the VM — counters cover the solve phase only. The allocation
+/// shape and call contracts live in `mira_workloads::minife`
+/// (`SolveBuffers`), shared with `run_dynamic` and the `memval` rows.
 fn minife_solve<V: MiniFeVm>(m: &MiniFe, d: i64) -> V {
     let n = (d * d * d) as usize;
-    let nnz_cap = 7 * n + 16;
     let mut vm = V::load_obj(&m.analysis.object);
-    let row_ptr = vm.alloc_i64_(&vec![0; n + 1]);
-    let cols = vm.alloc_i64_(&vec![0; nnz_cap]);
-    let vals = vm.alloc_zeroed(nnz_cap);
-    let b = vm.alloc_zeroed(n);
-    let x = vm.alloc_zeroed(n);
-    let r = vm.alloc_zeroed(n);
-    let p = vm.alloc_zeroed(n);
-    let ap = vm.alloc_zeroed(n);
-    vm.call_(
-        "assemble",
-        &[
-            HostVal::Int(d),
-            HostVal::Int(d),
-            HostVal::Int(d),
-            HostVal::Int(row_ptr as i64),
-            HostVal::Int(cols as i64),
-            HostVal::Int(vals as i64),
-            HostVal::Int(b as i64),
-        ],
-    );
+    let bufs = mira_workloads::minife::SolveBuffers::alloc(&mut vm, n);
+    vm.call_("assemble", &bufs.assemble_args(d, d, d));
     vm.reset_counters_();
-    vm.call_(
-        "cg_solve",
-        &[
-            HostVal::Int(n as i64),
-            HostVal::Int(row_ptr as i64),
-            HostVal::Int(cols as i64),
-            HostVal::Int(vals as i64),
-            HostVal::Int(b as i64),
-            HostVal::Int(x as i64),
-            HostVal::Int(r as i64),
-            HostVal::Int(p as i64),
-            HostVal::Int(ap as i64),
-            HostVal::Int(500),
-            HostVal::Fp(1e-8),
-        ],
-    );
+    vm.call_("cg_solve", &bufs.solve_args(n as i64, 500, 1e-8));
     vm
 }
 
 /// The common surface of the two engines, for the generic miniFE driver.
-trait MiniFeVm {
+trait MiniFeVm: mira_workloads::minife::SolveAlloc {
     fn load_obj(obj: &mira_vobj::Object) -> Self;
-    fn alloc_i64_(&mut self, data: &[i64]) -> u64;
-    fn alloc_zeroed(&mut self, n: usize) -> u64;
     fn call_(&mut self, func: &str, args: &[HostVal]);
     fn reset_counters_(&mut self);
     fn steps_(&self) -> u64;
@@ -356,12 +406,6 @@ macro_rules! impl_minife_vm {
         impl MiniFeVm for $t {
             fn load_obj(obj: &mira_vobj::Object) -> Self {
                 <$t>::load(obj, VmOptions::default()).unwrap()
-            }
-            fn alloc_i64_(&mut self, data: &[i64]) -> u64 {
-                self.alloc_i64(data)
-            }
-            fn alloc_zeroed(&mut self, n: usize) -> u64 {
-                self.alloc_zeroed_f64(n)
             }
             fn call_(&mut self, func: &str, args: &[HostVal]) {
                 self.call(func, args).unwrap();

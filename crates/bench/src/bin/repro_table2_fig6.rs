@@ -33,7 +33,13 @@ fn main() {
         let bar = "#".repeat((pct / 2.0).round() as usize);
         println!("{name:<42} {pct:>5.1}% {bar}");
     }
-    let ai = report.arithmetic_intensity(&m.analysis.arch);
+    let ai = report.instruction_arithmetic_intensity(&m.analysis.arch);
     println!("\nPrediction (SIV-D2): instruction-based arithmetic intensity of cg_solve");
     println!("  FPI / FP-data-movement = {ai:.2}   (paper reports 0.53)");
+    println!(
+        "  bytes-based            = {:.3} FLOPs/byte ({} FLOPs over {} bytes moved)",
+        report.bytes_arithmetic_intensity(),
+        report.flops,
+        report.total_bytes()
+    );
 }

@@ -155,7 +155,9 @@ pub fn generate_model(
         let mut params: std::collections::BTreeSet<String> = Default::default();
         for op in &gen.ops {
             match op {
-                ModelOp::Acc { count, .. } => params.extend(count.params()),
+                ModelOp::Acc { count, .. }
+                | ModelOp::MemAcc { count, .. }
+                | ModelOp::FlopAcc { count, .. } => params.extend(count.params()),
                 ModelOp::Call { multiplier, .. } => params.extend(multiplier.params()),
             }
         }
@@ -256,14 +258,36 @@ impl<'a> FuncGen<'a> {
             return;
         }
         let mut by_cat: BTreeMap<Category, i128> = BTreeMap::new();
+        // explicit memory traffic, keyed by direction and access width so
+        // packed (16-byte) accesses stay distinguishable in the model
+        let mut by_mem: BTreeMap<(bool, u32), i128> = BTreeMap::new();
+        let mut flops: i128 = 0;
         for i in insts {
             *by_cat.entry(i.inst.category()).or_insert(0) += 1;
+            if let Some((store, bytes)) = i.inst.memory_bytes() {
+                *by_mem.entry((store, bytes)).or_insert(0) += 1;
+            }
+            flops += i.inst.flop_count() as i128;
         }
         for (category, k) in by_cat {
             self.ops.push(ModelOp::Acc {
                 line,
                 category,
                 count: count.scale(Rat::int(k)),
+            });
+        }
+        for ((store, bytes_per_exec), k) in by_mem {
+            self.ops.push(ModelOp::MemAcc {
+                line,
+                store,
+                bytes_per_exec,
+                count: count.scale(Rat::int(k)),
+            });
+        }
+        if flops != 0 {
+            self.ops.push(ModelOp::FlopAcc {
+                line,
+                count: count.scale(Rat::int(flops)),
             });
         }
     }

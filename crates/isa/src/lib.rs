@@ -817,6 +817,41 @@ impl Inst {
         )
     }
 
+    /// Explicit data-memory traffic of one execution: `(is_store, bytes)`.
+    ///
+    /// This is the byte-accounting contract shared by the static memory
+    /// models (`mira-mem` / `ModelOp::MemAcc`) and the VM cache simulator:
+    /// only instructions with an explicit memory operand count, with packed
+    /// (`movupd`) accesses at their full 16-byte width. `push`/`pop` and
+    /// the implicit return-address traffic of `call`/`ret` are *excluded*
+    /// on both sides — roofline bytes measure data movement, not the stack
+    /// engine.
+    pub fn memory_bytes(&self) -> Option<(bool, u32)> {
+        use Inst::*;
+        match self {
+            Load(..) | MovsdLoad(..) => Some((false, 8)),
+            Store(..) | MovsdStore(..) => Some((true, 8)),
+            MovupdLoad(..) => Some((false, 16)),
+            MovupdStore(..) => Some((true, 16)),
+            _ => None,
+        }
+    }
+
+    /// Source-level floating-point operations performed by one execution:
+    /// 1 for scalar double arithmetic, 2 for packed (both lanes), 0
+    /// otherwise. The numerator of bytes-based arithmetic intensity
+    /// (FLOPs/byte) — unlike raw FPI, it credits a packed instruction with
+    /// both of the operations it retires.
+    pub fn flop_count(&self) -> u32 {
+        use Inst::*;
+        match self {
+            Addsd(..) | Subsd(..) | Mulsd(..) | Divsd(..) | Sqrtsd(..) | Minsd(..)
+            | Maxsd(..) => 1,
+            Addpd(..) | Subpd(..) | Mulpd(..) | Divpd(..) | Sqrtpd(..) => 2,
+            _ => 0,
+        }
+    }
+
     /// Is this a control-transfer instruction that ends a basic block?
     pub fn is_terminator(&self) -> bool {
         use Inst::*;
@@ -1083,6 +1118,38 @@ mod tests {
         assert!(Addpd(XReg(0), XReg(1)).is_packed_fp());
         assert!(!Addsd(XReg(0), XReg(1)).is_packed_fp());
         assert!(!MovapdXX(XReg(0), XReg(1)).is_packed_fp());
+    }
+
+    #[test]
+    fn memory_bytes_contract() {
+        use Inst::*;
+        assert_eq!(Load(Reg(0), Mem::base(Reg(1))).memory_bytes(), Some((false, 8)));
+        assert_eq!(Store(Mem::base(Reg(1)), Reg(0)).memory_bytes(), Some((true, 8)));
+        assert_eq!(
+            MovsdLoad(XReg(0), Mem::base(Reg(1))).memory_bytes(),
+            Some((false, 8))
+        );
+        assert_eq!(
+            MovupdStore(Mem::base(Reg(1)), XReg(0)).memory_bytes(),
+            Some((true, 16))
+        );
+        // stack-engine and implicit traffic is excluded by contract
+        assert_eq!(Push(Reg(0)).memory_bytes(), None);
+        assert_eq!(Pop(Reg(0)).memory_bytes(), None);
+        assert_eq!(Call(0).memory_bytes(), None);
+        assert_eq!(Ret.memory_bytes(), None);
+        assert_eq!(Lea(Reg(0), Mem::base(Reg(1))).memory_bytes(), None);
+    }
+
+    #[test]
+    fn flop_counts() {
+        use Inst::*;
+        assert_eq!(Addsd(XReg(0), XReg(1)).flop_count(), 1);
+        assert_eq!(Sqrtsd(XReg(0), XReg(1)).flop_count(), 1);
+        assert_eq!(Mulpd(XReg(0), XReg(1)).flop_count(), 2);
+        assert_eq!(Andpd(XReg(0), XReg(1)).flop_count(), 0);
+        assert_eq!(Ucomisd(XReg(0), XReg(1)).flop_count(), 0);
+        assert_eq!(MovsdLoad(XReg(0), Mem::base(Reg(1))).flop_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! The dynamic half of `mira-mem`: a two-level set-associative LRU cache
+//! simulator the VM hangs off its load/store path (behind
+//! `VmOptions::mem_profile`).
+//!
+//! Semantics, chosen to make the static models checkable *exactly*:
+//!
+//! * Every probe is one explicit-memory-operand word access (8 bytes; a
+//!   packed `movupd` arrives as two consecutive 8-byte accesses, touching
+//!   the same lines one 16-byte access would). `push`/`pop` and implicit
+//!   `call`/`ret` return-address traffic never reach the simulator —
+//!   mirroring `mira_isa::Inst::memory_bytes`, the byte-accounting
+//!   contract the static side counts against.
+//! * Both levels are set-associative with true LRU replacement; loads and
+//!   stores allocate alike (write-allocate), and write-backs are not
+//!   modeled — a fill is a fill, which is what the static distinct-line
+//!   predictions count.
+//! * L1 fills are split into *data* fills (the VM heap, where host-allocated
+//!   arrays live) and *stack* fills (frames, spills), so cold-cache data
+//!   fills can be compared against the per-array footprints of
+//!   [`crate::access`] without the frame noise.
+
+use mira_arch::{CacheHierarchy, CacheLevel};
+
+/// Hit/miss counters of one cache level (line-granular probes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LevelStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl LevelStats {
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]` (0 when the level was never probed).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// Everything the simulator counts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MemStats {
+    /// Word accesses (one per 8-byte load/store reaching the simulator).
+    pub loads: u64,
+    pub stores: u64,
+    /// Bytes moved by explicit memory operands.
+    pub load_bytes: u64,
+    pub store_bytes: u64,
+    pub l1: LevelStats,
+    pub l2: LevelStats,
+    /// L1 fills whose line lies in the VM heap (host-allocated arrays).
+    pub data_l1_fills: u64,
+    /// L1 fills whose line lies in the stack region (frames, spills).
+    pub stack_l1_fills: u64,
+}
+
+impl MemStats {
+    pub fn total_bytes(&self) -> u64 {
+        self.load_bytes + self.store_bytes
+    }
+
+    /// Bytes that had to come past L1 (line-fill traffic into L1).
+    pub fn l1_fill_bytes(&self, line_bytes: u32) -> u64 {
+        self.l1.misses * line_bytes as u64
+    }
+
+    /// Bytes that had to come past L2 (line-fill traffic into L2).
+    pub fn l2_fill_bytes(&self, line_bytes: u32) -> u64 {
+        self.l2.misses * line_bytes as u64
+    }
+}
+
+/// One set-associative level: per set, resident line numbers ordered
+/// most-recently-used first.
+struct Level {
+    sets: Vec<Vec<u64>>,
+    assoc: usize,
+}
+
+impl Level {
+    fn new(level: CacheLevel, line_bytes: u32) -> Level {
+        // the set-count formula lives in mira-arch so the static models
+        // and the simulator can never disagree about geometry
+        Level {
+            sets: vec![Vec::new(); level.sets(line_bytes) as usize],
+            assoc: level.assoc.max(1) as usize,
+        }
+    }
+
+    /// Probe for `line`; returns `true` on hit. Misses allocate (LRU
+    /// eviction when the set is full).
+    fn probe(&mut self, line: u64) -> bool {
+        let idx = (line as usize) % self.sets.len();
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            if pos != 0 {
+                let l = set.remove(pos);
+                set.insert(0, l);
+            }
+            true
+        } else {
+            if set.len() == self.assoc {
+                set.pop();
+            }
+            set.insert(0, line);
+            false
+        }
+    }
+
+    fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+}
+
+/// The simulator: L1 and L2, shared line size, LRU, write-allocate.
+pub struct CacheSim {
+    line_shift: u32,
+    l1: Level,
+    l2: Level,
+    stats: MemStats,
+}
+
+impl CacheSim {
+    /// Build a cold simulator from a declared hierarchy.
+    ///
+    /// Panics on a line size that is not a power of two ≥ 8 — the
+    /// description parser rejects those, and a hand-built hierarchy that
+    /// slipped one through would make the simulator silently disagree
+    /// with the static line-footprint models.
+    pub fn new(h: CacheHierarchy) -> CacheSim {
+        let line = h.line_bytes;
+        assert!(
+            line >= 8 && line.is_power_of_two(),
+            "cache line size must be a power of two >= 8, got {line}"
+        );
+        CacheSim {
+            line_shift: line.trailing_zeros(),
+            l1: Level::new(h.l1, line),
+            l2: Level::new(h.l2, line),
+            stats: MemStats::default(),
+        }
+    }
+
+    pub fn line_bytes(&self) -> u32 {
+        1 << self.line_shift
+    }
+
+    /// Record one access. `stack` marks accesses outside the VM heap
+    /// (frame slots and spills); they are simulated identically but their
+    /// L1 fills are tallied separately.
+    #[inline]
+    pub fn access(&mut self, addr: u64, len: u32, store: bool, stack: bool) {
+        if store {
+            self.stats.stores += 1;
+            self.stats.store_bytes += len as u64;
+        } else {
+            self.stats.loads += 1;
+            self.stats.load_bytes += len as u64;
+        }
+        let first = addr >> self.line_shift;
+        let last = (addr + len.max(1) as u64 - 1) >> self.line_shift;
+        for line in first..=last {
+            if self.l1.probe(line) {
+                self.stats.l1.hits += 1;
+            } else {
+                self.stats.l1.misses += 1;
+                if stack {
+                    self.stats.stack_l1_fills += 1;
+                } else {
+                    self.stats.data_l1_fills += 1;
+                }
+                if self.l2.probe(line) {
+                    self.stats.l2.hits += 1;
+                } else {
+                    self.stats.l2.misses += 1;
+                }
+            }
+        }
+    }
+
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Back to a cold cache with zeroed counters.
+    pub fn reset(&mut self) {
+        self.l1.clear();
+        self.l2.clear();
+        self.stats = MemStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_arch::{CacheHierarchy, CacheLevel};
+
+    fn tiny() -> CacheSim {
+        // 2 sets × 2 ways × 64B lines = 256B L1; 1KB L2
+        CacheSim::new(CacheHierarchy {
+            line_bytes: 64,
+            l1: CacheLevel {
+                size_bytes: 256,
+                assoc: 2,
+            },
+            l2: CacheLevel {
+                size_bytes: 1024,
+                assoc: 4,
+            },
+        })
+    }
+
+    #[test]
+    fn bytes_and_word_counts() {
+        let mut s = tiny();
+        s.access(0, 8, false, false);
+        s.access(8, 8, true, false);
+        s.access(64, 16, false, false);
+        let st = s.stats();
+        assert_eq!(st.loads, 2);
+        assert_eq!(st.stores, 1);
+        assert_eq!(st.load_bytes, 24);
+        assert_eq!(st.store_bytes, 8);
+        assert_eq!(st.total_bytes(), 32);
+    }
+
+    #[test]
+    fn same_line_hits_after_cold_fill() {
+        let mut s = tiny();
+        s.access(0, 8, false, false);
+        for i in 1..8 {
+            s.access(i * 8, 8, false, false);
+        }
+        let st = s.stats();
+        assert_eq!(st.l1.misses, 1, "one cold fill for the line");
+        assert_eq!(st.l1.hits, 7);
+        assert_eq!(st.l2.misses, 1);
+        assert_eq!(st.data_l1_fills, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_way() {
+        let mut s = tiny();
+        // set 0 holds lines 0, 2, 4, ... (2 sets); fill both ways
+        s.access(0, 8, false, false); // line 0 → miss
+        s.access(128, 8, false, false); // line 2 → miss
+        s.access(0, 8, false, false); // line 0 → hit, now MRU
+        s.access(256, 8, false, false); // line 4 → miss, evicts line 2
+        s.access(0, 8, false, false); // line 0 still resident → hit
+        s.access(128, 8, false, false); // line 2 evicted → miss, but L2 hit
+        let st = s.stats();
+        assert_eq!(st.l1.misses, 4);
+        assert_eq!(st.l1.hits, 2);
+        assert_eq!(st.l2.misses, 3, "only the cold misses reach memory");
+        assert_eq!(st.l2.hits, 1);
+    }
+
+    #[test]
+    fn straddling_access_touches_both_lines() {
+        let mut s = tiny();
+        s.access(56, 16, false, false); // crosses the 64-byte boundary
+        let st = s.stats();
+        assert_eq!(st.l1.misses, 2);
+        assert_eq!(st.load_bytes, 16);
+    }
+
+    #[test]
+    fn stack_fills_tallied_separately() {
+        let mut s = tiny();
+        s.access(0, 8, false, false);
+        s.access(1 << 20, 8, true, true);
+        let st = s.stats();
+        assert_eq!(st.data_l1_fills, 1);
+        assert_eq!(st.stack_l1_fills, 1);
+        assert_eq!(st.l1.misses, 2);
+    }
+
+    #[test]
+    fn reset_is_cold() {
+        let mut s = tiny();
+        s.access(0, 8, false, false);
+        s.access(0, 8, false, false);
+        assert_eq!(s.stats().l1.hits, 1);
+        s.reset();
+        assert_eq!(s.stats(), MemStats::default());
+        s.access(0, 8, false, false);
+        assert_eq!(s.stats().l1.misses, 1, "cache content was cleared");
+    }
+
+    #[test]
+    fn streaming_fills_equal_footprint_when_resident() {
+        // default hierarchy: 3 arrays of 1024 doubles fit L1 entirely →
+        // cold fills = 3 · 8KiB/64 = 384 no matter how many sweeps
+        let mut s = CacheSim::new(CacheHierarchy::default());
+        let base = [0u64, 8192, 16384];
+        for _ in 0..3 {
+            for i in 0..1024u64 {
+                for b in base {
+                    s.access(b + i * 8, 8, false, false);
+                }
+            }
+        }
+        assert_eq!(s.stats().data_l1_fills, 384);
+        assert_eq!(s.stats().l1.misses, 384);
+    }
+}

@@ -1,0 +1,118 @@
+//! # mira-mem — memory-traffic models and the VM cache simulator
+//!
+//! Mira's headline derived metric is arithmetic intensity (paper §IV-D2,
+//! Fig. 6), but instruction ratios alone cannot anchor a roofline: that
+//! takes *bytes moved through the memory hierarchy*. This crate adds the
+//! missing axis with two halves that are validated against each other:
+//!
+//! * **Static half.** The metric generator (`mira-core`) attributes every
+//!   explicit memory instruction of the binary to its source statement
+//!   with an exact polyhedral execution count, and emits
+//!   `ModelOp::MemAcc`/`FlopAcc` ops; `mira_model::Model` evaluates them
+//!   to closed-form load/store **bytes** and packed-aware FLOPs
+//!   ([`mira_model::Report::bytes_arithmetic_intensity`]). On top of
+//!   that, [`access`] derives each array reference's affine access
+//!   function over its SCoP and predicts the **distinct cache lines**
+//!   touched per array — stride- and vector-width-aware, composed across
+//!   calls, exact for dense affine coverage
+//!   ([`access::FuncFootprints`]).
+//! * **Dynamic half.** [`cachesim::CacheSim`] is a two-level
+//!   set-associative LRU simulator the VM hangs off its load/store path
+//!   when `VmOptions::mem_profile` is set (mirrored in `ReferenceVm`, so
+//!   the differential tests stay bit-identical with instrumentation on or
+//!   off). It counts per-level hits/misses and load/store bytes under the
+//!   same accounting contract (`mira_isa::Inst::memory_bytes`): explicit
+//!   memory operands only, no `push`/`pop` or return-address traffic.
+//!
+//! The two halves agree by construction wherever the instruction-count
+//! models are exact: static bytes equal simulated bytes on the affine
+//! subset, and static distinct-line footprints equal simulated cold-cache
+//! L1 *data* fills for streaming kernels (`crates/workloads` pins both on
+//! STREAM, DGEMM and miniFE cg_solve; `bench_mem` records the trajectory
+//! in `BENCH_mem.json`).
+
+pub mod access;
+pub mod cachesim;
+
+pub use access::{analyze_program, AccessModel, ArrayFootprint, FuncFootprints};
+pub use cachesim::{CacheSim, LevelStats, MemStats};
+
+use mira_core::Analysis;
+use mira_sym::Bindings;
+
+/// One row of the per-function memory-traffic rollup (the bytes analogue
+/// of the Table-II category table).
+#[derive(Clone, Debug)]
+pub struct TrafficRow {
+    pub line: u32,
+    pub load_bytes: i128,
+    pub store_bytes: i128,
+}
+
+/// Statement-level memory-traffic table of one function under concrete
+/// parameter bindings, descending by total traffic.
+pub fn traffic_table(
+    analysis: &Analysis,
+    func: &str,
+    bindings: &Bindings,
+) -> Result<Vec<TrafficRow>, mira_model::ModelError> {
+    let report = analysis.report(func, bindings)?;
+    let mut rows: Vec<TrafficRow> = report
+        .line_bytes
+        .iter()
+        .map(|(line, (l, s))| TrafficRow {
+            line: *line,
+            load_bytes: *l,
+            store_bytes: *s,
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.load_bytes + r.store_bytes));
+    Ok(rows)
+}
+
+/// Distinct-line footprints for `func`, derived from the analysis'
+/// source program.
+pub fn footprints(analysis: &Analysis, func: &str) -> FuncFootprints {
+    analyze_program(&analysis.program).footprint(func)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_core::{analyze_source, MiraOptions};
+    use mira_sym::bindings;
+
+    #[test]
+    fn traffic_table_rolls_up_per_line() {
+        let src = "double dot(int n, double* x, double* y) {\n\
+                   double s = 0.0;\n\
+                   for (int i = 0; i < n; i++) {\n\
+                   s += x[i] * y[i];\n\
+                   }\n\
+                   return s;\n}";
+        let analysis = analyze_source(src, &MiraOptions::default()).unwrap();
+        let b = bindings(&[("n", 1000)]);
+        let rows = traffic_table(&analysis, "dot", &b).unwrap();
+        assert!(!rows.is_empty());
+        // the kernel line (4) dominates: it loads x[i] and y[i] every
+        // iteration — at least 16 bytes per element
+        assert_eq!(rows[0].line, 4);
+        assert!(rows[0].load_bytes >= 16_000, "{rows:?}");
+        // and the whole-function report agrees with the rollup total
+        let report = analysis.report("dot", &b).unwrap();
+        let sum: i128 = rows.iter().map(|r| r.load_bytes + r.store_bytes).sum();
+        assert_eq!(sum, report.total_bytes());
+        assert_eq!(report.flops, 2000);
+    }
+
+    #[test]
+    fn footprints_from_analysis() {
+        let src = "void scale(int n, double* b, double* c, double s) {\n\
+                   for (int i = 0; i < n; i++) { b[i] = s * c[i]; }\n}";
+        let analysis = analyze_source(src, &MiraOptions::default()).unwrap();
+        let fp = footprints(&analysis, "scale");
+        assert!(fp.is_exact(64));
+        let b = bindings(&[("n", 512)]);
+        assert_eq!(fp.total_lines_expr(64).eval_count(&b).unwrap(), 128);
+    }
+}

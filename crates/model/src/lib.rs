@@ -15,7 +15,7 @@
 pub mod python;
 
 use mira_arch::{ArchDescription, Category, CategoryCounts};
-use mira_sym::{Bindings, EvalError, SymExpr};
+use mira_sym::{Bindings, EvalError, Rat, SymExpr};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -37,6 +37,21 @@ pub enum ModelOp {
         line: u32,
         multiplier: SymExpr,
     },
+    /// `bytes += bytes_per_exec * count` — explicit data-memory traffic of
+    /// the instructions on `line` (see `mira_isa::Inst::memory_bytes` for
+    /// the accounting contract shared with the VM cache simulator).
+    MemAcc {
+        line: u32,
+        /// `true` for stores, `false` for loads.
+        store: bool,
+        /// Bytes moved per execution (8 scalar, 16 packed).
+        bytes_per_exec: u32,
+        count: SymExpr,
+    },
+    /// `flops += count` — source-level FP operations (packed instructions
+    /// contribute both lanes), the numerator of bytes-based arithmetic
+    /// intensity.
+    FlopAcc { line: u32, count: SymExpr },
 }
 
 /// The model of one source function.
@@ -92,6 +107,15 @@ pub struct Report {
     /// line → counts for the *directly owned* contributions (callee counts
     /// are merged only into `counts`, attributed to the call line).
     pub lines: BTreeMap<u32, CategoryCounts>,
+    /// Bytes loaded through explicit memory operands (callees included).
+    pub load_bytes: i128,
+    /// Bytes stored through explicit memory operands (callees included).
+    pub store_bytes: i128,
+    /// Source-level FP operations (packed instructions count both lanes).
+    pub flops: i128,
+    /// line → `(load bytes, store bytes)` for the directly owned
+    /// contributions — the per-statement rollup of the memory model.
+    pub line_bytes: BTreeMap<u32, (i128, i128)>,
 }
 
 impl Report {
@@ -106,8 +130,11 @@ impl Report {
     }
 
     /// Instruction-based arithmetic intensity (paper §IV-D2): FP arithmetic
-    /// instructions over FP data-movement instructions.
-    pub fn arithmetic_intensity(&self, arch: &ArchDescription) -> f64 {
+    /// instructions over FP data-movement instructions. A ratio of retired
+    /// instruction counts — not bytes; see
+    /// [`Report::bytes_arithmetic_intensity`] for the roofline-style
+    /// FLOPs-per-byte metric.
+    pub fn instruction_arithmetic_intensity(&self, arch: &ArchDescription) -> f64 {
         let num = self.fpi(arch) as f64;
         let den = self
             .counts
@@ -116,6 +143,40 @@ impl Report {
             0.0
         } else {
             num / den
+        }
+    }
+
+    /// Deprecated alias of [`Report::instruction_arithmetic_intensity`] —
+    /// the unqualified name was ambiguous once the bytes-based metric
+    /// existed.
+    #[deprecated(
+        since = "0.1.0",
+        note = "renamed to `instruction_arithmetic_intensity`; for FLOPs/byte use `bytes_arithmetic_intensity`"
+    )]
+    pub fn arithmetic_intensity(&self, arch: &ArchDescription) -> f64 {
+        self.instruction_arithmetic_intensity(arch)
+    }
+
+    /// Total explicit-memory-operand traffic, loads plus stores.
+    pub fn total_bytes(&self) -> i128 {
+        self.load_bytes + self.store_bytes
+    }
+
+    /// Bytes-based arithmetic intensity: FLOPs per byte moved through
+    /// explicit memory operands — the x-axis of a roofline plot. A
+    /// kernel that computes without touching memory is compute-bound in
+    /// the extreme: `+∞`, not `0` (which would claim the opposite).
+    /// `0.0` only when there are neither FLOPs nor bytes.
+    pub fn bytes_arithmetic_intensity(&self) -> f64 {
+        let b = self.total_bytes();
+        if b == 0 {
+            if self.flops == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.flops as f64 / b as f64
         }
     }
 
@@ -196,6 +257,28 @@ impl Model {
                     }
                     let sub = self.eval_depth(callee, bindings, depth + 1)?;
                     report.counts.merge_scaled(&sub.counts, k);
+                    report.load_bytes += sub.load_bytes * k;
+                    report.store_bytes += sub.store_bytes * k;
+                    report.flops += sub.flops * k;
+                }
+                ModelOp::MemAcc {
+                    line,
+                    store,
+                    bytes_per_exec,
+                    count,
+                } => {
+                    let b = count.eval_count(bindings)? * *bytes_per_exec as i128;
+                    let entry = report.line_bytes.entry(*line).or_default();
+                    if *store {
+                        report.store_bytes += b;
+                        entry.1 += b;
+                    } else {
+                        report.load_bytes += b;
+                        entry.0 += b;
+                    }
+                }
+                ModelOp::FlopAcc { line: _, count } => {
+                    report.flops += count.eval_count(bindings)?;
                 }
             }
         }
@@ -206,6 +289,67 @@ impl Model {
     /// closed form a user can inspect.
     pub fn fpi_expr(&self, func: &str, arch: &ArchDescription) -> Result<SymExpr, ModelError> {
         self.metric_expr(func, arch.fpi(), 0)
+    }
+
+    /// Closed-form expression for the bytes loaded by one call of `func`
+    /// (callees composed through their multipliers).
+    pub fn load_bytes_expr(&self, func: &str) -> Result<SymExpr, ModelError> {
+        self.bytes_expr(func, false, 0)
+    }
+
+    /// Closed-form expression for the bytes stored by one call of `func`.
+    pub fn store_bytes_expr(&self, func: &str) -> Result<SymExpr, ModelError> {
+        self.bytes_expr(func, true, 0)
+    }
+
+    /// Closed-form expression for the FLOPs of one call of `func`.
+    pub fn flops_expr(&self, func: &str) -> Result<SymExpr, ModelError> {
+        self.fold_expr(func, 0, &|op| match op {
+            ModelOp::FlopAcc { count, .. } => Some(count.clone()),
+            _ => None,
+        })
+    }
+
+    fn bytes_expr(&self, func: &str, want_store: bool, depth: u32) -> Result<SymExpr, ModelError> {
+        self.fold_expr(func, depth, &|op| match op {
+            ModelOp::MemAcc {
+                store,
+                bytes_per_exec,
+                count,
+                ..
+            } if *store == want_store => Some(count.scale(Rat::int(*bytes_per_exec as i128))),
+            _ => None,
+        })
+    }
+
+    /// Sum `pick`'s contributions over a function's ops, composing callees
+    /// scaled by their call multipliers.
+    fn fold_expr(
+        &self,
+        func: &str,
+        depth: u32,
+        pick: &dyn Fn(&ModelOp) -> Option<SymExpr>,
+    ) -> Result<SymExpr, ModelError> {
+        if depth > 64 {
+            return Err(ModelError::TooDeep);
+        }
+        let fm = self
+            .functions
+            .get(func)
+            .ok_or_else(|| ModelError::UnknownFunction(func.to_string()))?;
+        let mut total = SymExpr::zero();
+        for op in &fm.ops {
+            if let Some(e) = pick(op) {
+                total = total.add_expr(&e);
+            } else if let ModelOp::Call {
+                callee, multiplier, ..
+            } = op
+            {
+                let sub = self.fold_expr(callee, depth + 1, pick)?;
+                total = total.add_expr(&sub.mul_expr(multiplier));
+            }
+        }
+        Ok(total)
     }
 
     fn metric_expr(
@@ -237,6 +381,7 @@ impl Model {
                     let sub = self.metric_expr(callee, cats, depth + 1)?;
                     total = total.add_expr(&sub.mul_expr(multiplier));
                 }
+                ModelOp::MemAcc { .. } | ModelOp::FlopAcc { .. } => {}
             }
         }
         Ok(total)
@@ -249,7 +394,8 @@ mod tests {
     use mira_sym::bindings;
 
     fn simple_model() -> Model {
-        // leaf: per call, n mulsd + n addsd (one parametric loop)
+        // leaf: per call, n mulsd + n addsd (one parametric loop), loading
+        // two doubles and storing one per element
         let n = SymExpr::param("n");
         let leaf = FuncModel {
             name: "waxpby".to_string(),
@@ -265,6 +411,22 @@ mod tests {
                     line: 2,
                     category: Category::Sse2DataMovement,
                     count: n.clone().scale(mira_sym::Rat::int(3)),
+                },
+                ModelOp::MemAcc {
+                    line: 2,
+                    store: false,
+                    bytes_per_exec: 8,
+                    count: n.clone().scale(mira_sym::Rat::int(2)),
+                },
+                ModelOp::MemAcc {
+                    line: 2,
+                    store: true,
+                    bytes_per_exec: 8,
+                    count: n.clone(),
+                },
+                ModelOp::FlopAcc {
+                    line: 2,
+                    count: n.clone().scale(mira_sym::Rat::int(2)),
                 },
             ],
         };
@@ -320,7 +482,57 @@ mod tests {
         let arch = ArchDescription::default();
         let r = m.eval("waxpby", &bindings(&[("n", 10)])).unwrap();
         // 20 FPI / 30 movement
-        assert!((r.arithmetic_intensity(&arch) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.instruction_arithmetic_intensity(&arch) - 2.0 / 3.0).abs() < 1e-12);
+        // the deprecated alias must keep answering the same number
+        #[allow(deprecated)]
+        let alias = r.arithmetic_intensity(&arch);
+        assert_eq!(alias, r.instruction_arithmetic_intensity(&arch));
+    }
+
+    #[test]
+    fn bytes_and_flops_eval_and_compose() {
+        let m = simple_model();
+        let r = m.eval("waxpby", &bindings(&[("n", 10)])).unwrap();
+        assert_eq!(r.load_bytes, 160);
+        assert_eq!(r.store_bytes, 80);
+        assert_eq!(r.total_bytes(), 240);
+        assert_eq!(r.flops, 20);
+        assert_eq!(r.line_bytes.get(&2), Some(&(160, 80)));
+        // 20 flops / 240 bytes
+        assert!((r.bytes_arithmetic_intensity() - 20.0 / 240.0).abs() < 1e-12);
+        // register-only FP work is compute-bound (+inf), not 0
+        let pure = Report {
+            flops: 10,
+            ..Report::default()
+        };
+        assert_eq!(pure.bytes_arithmetic_intensity(), f64::INFINITY);
+        assert_eq!(Report::default().bytes_arithmetic_intensity(), 0.0);
+        // call composition scales bytes and flops by the multiplier
+        let r = m
+            .eval("solve", &bindings(&[("n", 10), ("iters", 3)]))
+            .unwrap();
+        assert_eq!(r.load_bytes, 480);
+        assert_eq!(r.store_bytes, 240);
+        assert_eq!(r.flops, 60);
+    }
+
+    #[test]
+    fn bytes_closed_forms() {
+        let m = simple_model();
+        let b = bindings(&[("n", 10), ("iters", 3)]);
+        assert_eq!(
+            m.load_bytes_expr("solve").unwrap().eval_count(&b).unwrap(),
+            480
+        );
+        assert_eq!(
+            m.store_bytes_expr("solve").unwrap().eval_count(&b).unwrap(),
+            240
+        );
+        assert_eq!(m.flops_expr("solve").unwrap().eval_count(&b).unwrap(), 60);
+        assert!(matches!(
+            m.load_bytes_expr("nope"),
+            Err(ModelError::UnknownFunction(_))
+        ));
     }
 
     #[test]

@@ -82,6 +82,12 @@ pub struct VmOptions {
     pub mem_size: usize,
     /// Abort after this many executed instructions.
     pub max_steps: u64,
+    /// Memory profiling: simulate this cache hierarchy on the explicit
+    /// load/store path (`mira_mem::CacheSim`), counting per-level
+    /// hits/misses and load/store bytes. `None` (the default) keeps the
+    /// simulator entirely off the hot path. Profiles are bit-identical
+    /// either way; [`Vm::mem_stats`] exposes the counts.
+    pub mem_profile: Option<mira_arch::CacheHierarchy>,
 }
 
 impl Default for VmOptions {
@@ -89,6 +95,7 @@ impl Default for VmOptions {
         VmOptions {
             mem_size: 256 << 20,
             max_steps: u64::MAX,
+            mem_profile: None,
         }
     }
 }
@@ -356,6 +363,10 @@ impl Vm {
         let func_entry_block: Vec<u32> = img.func_addrs.iter().map(|&a| resolve_block(a)).collect();
         let code: Rc<[Inst]> = std::mem::take(&mut img.code).into();
         let meta: Rc<[InstMeta]> = std::mem::take(&mut img.meta).into();
+        let mut m = Machine::new(options.mem_size);
+        m.sim = options
+            .mem_profile
+            .map(|h| Box::new(mira_mem::CacheSim::new(h)));
         Ok(Vm {
             code,
             meta,
@@ -363,7 +374,7 @@ impl Vm {
             blocks: blocks.into(),
             block_of: block_of.into(),
             func_entry_block,
-            m: Machine::new(options.mem_size),
+            m,
             options,
             excl: vec![[0; Category::COUNT]; nfuncs],
             incl: vec![[0; Category::COUNT]; nfuncs],
@@ -443,7 +454,14 @@ impl Vm {
         self.steps
     }
 
-    /// Reset all counters (not memory) — e.g. to skip setup phases.
+    /// Memory-profiling counters, when `VmOptions::mem_profile` is on.
+    pub fn mem_stats(&self) -> Option<mira_mem::MemStats> {
+        self.m.sim.as_ref().map(|s| s.stats())
+    }
+
+    /// Reset all counters (not memory) — e.g. to skip setup phases. The
+    /// cache simulator (if any) goes back to a *cold* cache, so counts
+    /// after a reset match the static cold-cache predictions.
     pub fn reset_counters(&mut self) {
         for c in self.excl.iter_mut().chain(self.incl.iter_mut()) {
             *c = [0; Category::COUNT];
@@ -455,6 +473,9 @@ impl Vm {
         self.n_exec.iter_mut().for_each(|c| *c = 0);
         self.cum = [0; Category::COUNT];
         self.steps = 0;
+        if let Some(sim) = self.m.sim.as_deref_mut() {
+            sim.reset();
+        }
     }
 
     // ---- execution ----

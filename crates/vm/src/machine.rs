@@ -7,6 +7,7 @@
 
 use crate::VmError;
 use mira_isa::{Cc, Inst, Mem};
+use mira_mem::CacheSim;
 
 /// Flag state captured lazily from the last compare/test.
 #[derive(Clone, Copy, Debug)]
@@ -35,6 +36,15 @@ pub(crate) struct Machine {
     pub regs: [i64; 16],
     pub xmm: [[f64; 2]; 16],
     pub flags: Flags,
+    /// Optional cache simulator (`VmOptions::mem_profile`). Hooked into
+    /// [`Machine::load64`]/[`Machine::store64`] — the explicit-memory-
+    /// operand path — while `push`/`pop`, `call`/`ret` return addresses
+    /// and host argument setup go through the raw accessors and are never
+    /// simulated (the `Inst::memory_bytes` accounting contract). The
+    /// simulator only observes; it can never change architectural state
+    /// or retirement counters, so profiles stay bit-identical with
+    /// instrumentation on or off.
+    pub sim: Option<Box<CacheSim>>,
 }
 
 impl Machine {
@@ -45,6 +55,7 @@ impl Machine {
             regs: [0; 16],
             xmm: [[0.0; 2]; 16],
             flags: Flags::Test(0),
+            sim: None,
         };
         // stack top (16-aligned), growing down toward the heap
         m.regs[RSP] = ((mem_size as u64 - 16) & !15) as i64;
@@ -53,8 +64,11 @@ impl Machine {
 
     // ---- host heap ----
 
+    /// Bump-allocate host data, cache-line (64-byte) aligned so the
+    /// static distinct-line footprints of `mira-mem` are exact without an
+    /// alignment parameter.
     pub fn bump(&mut self, bytes: usize) -> u64 {
-        let addr = (self.heap_top + 15) & !15;
+        let addr = (self.heap_top + 63) & !63;
         let new_top = addr + bytes as u64;
         assert!(
             (new_top as usize) + (1 << 20) < self.mem.len(),
@@ -144,16 +158,19 @@ impl Machine {
         a.wrapping_add(m.disp as i64 as u64)
     }
 
+    /// Uninstrumented 8-byte load: stack-engine traffic (`push`/`pop`,
+    /// return addresses) and host access paths.
     #[inline]
-    pub fn load64(&self, addr: u64) -> Result<u64, VmError> {
+    pub fn load64_raw(&self, addr: u64) -> Result<u64, VmError> {
         match self.mem.get(addr as usize..).and_then(|s| s.first_chunk::<8>()) {
             Some(b) => Ok(u64::from_le_bytes(*b)),
             None => Err(VmError::Fault { addr, len: 8 }),
         }
     }
 
+    /// Uninstrumented 8-byte store (see [`Machine::load64_raw`]).
     #[inline]
-    pub fn store64(&mut self, addr: u64, v: u64) -> Result<(), VmError> {
+    pub fn store64_raw(&mut self, addr: u64, v: u64) -> Result<(), VmError> {
         match self
             .mem
             .get_mut(addr as usize..)
@@ -167,18 +184,39 @@ impl Machine {
         }
     }
 
+    /// 8-byte load through an explicit memory operand — feeds the cache
+    /// simulator when memory profiling is on. Accesses below the heap top
+    /// are data (host-allocated arrays); everything above is stack.
+    #[inline]
+    pub fn load64(&mut self, addr: u64) -> Result<u64, VmError> {
+        if let Some(sim) = self.sim.as_deref_mut() {
+            sim.access(addr, 8, false, addr >= self.heap_top);
+        }
+        self.load64_raw(addr)
+    }
+
+    /// 8-byte store through an explicit memory operand (see
+    /// [`Machine::load64`]).
+    #[inline]
+    pub fn store64(&mut self, addr: u64, v: u64) -> Result<(), VmError> {
+        if let Some(sim) = self.sim.as_deref_mut() {
+            sim.access(addr, 8, true, addr >= self.heap_top);
+        }
+        self.store64_raw(addr, v)
+    }
+
     #[inline]
     pub fn push(&mut self, v: i64) -> Result<(), VmError> {
         self.regs[RSP] -= 8;
         if (self.regs[RSP] as u64) < self.heap_top {
             return Err(VmError::StackOverflow);
         }
-        self.store64(self.regs[RSP] as u64, v as u64)
+        self.store64_raw(self.regs[RSP] as u64, v as u64)
     }
 
     #[inline]
     pub fn pop(&mut self) -> Result<i64, VmError> {
-        let v = self.load64(self.regs[RSP] as u64)? as i64;
+        let v = self.load64_raw(self.regs[RSP] as u64)? as i64;
         self.regs[RSP] += 8;
         Ok(v)
     }

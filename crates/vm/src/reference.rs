@@ -54,8 +54,15 @@ impl ReferenceVm {
         let img = Image::decode(obj)?;
         let nfuncs = img.func_names.len();
         let nlines = img.line_keys.len();
+        // memory profiling is mirrored here: the simulator lives in the
+        // shared Machine, so both engines observe the identical access
+        // stream and the differential tests can pin the stats too
+        let mut m = Machine::new(options.mem_size);
+        m.sim = options
+            .mem_profile
+            .map(|h| Box::new(mira_mem::CacheSim::new(h)));
         Ok(ReferenceVm {
-            m: Machine::new(options.mem_size),
+            m,
             options,
             excl: vec![[0; Category::COUNT]; nfuncs],
             incl: vec![[0; Category::COUNT]; nfuncs],
@@ -114,6 +121,14 @@ impl ReferenceVm {
         }
         self.calls.iter_mut().for_each(|c| *c = 0);
         self.steps = 0;
+        if let Some(sim) = self.m.sim.as_deref_mut() {
+            sim.reset();
+        }
+    }
+
+    /// Memory-profiling counters, when `VmOptions::mem_profile` is on.
+    pub fn mem_stats(&self) -> Option<mira_mem::MemStats> {
+        self.m.sim.as_ref().map(|s| s.stats())
     }
 
     pub fn fp_return(&self) -> f64 {

@@ -15,6 +15,7 @@
 
 pub mod corpus;
 pub mod dgemm;
+pub mod memval;
 pub mod minife;
 pub mod stream;
 

@@ -94,6 +94,101 @@ int cg_solve(int n, int* row_ptr, int* cols, double* vals, double* b, double* x,
 }
 "#;
 
+/// CSR capacity (with slack) every harness allocates for an `n`-row
+/// system — one definition, so the dynamic harnesses here, in `memval`
+/// and in `bench_vm` can never drift apart.
+pub fn nnz_capacity(n: usize) -> usize {
+    7 * n + 16
+}
+
+/// VM memory size that comfortably fits an `n`-row solve.
+pub fn solve_mem_size(n: usize) -> usize {
+    ((nnz_capacity(n) * 2 + n * 8) * 8 + (64 << 20)).max(64 << 20)
+}
+
+/// The eight solver buffers and the `assemble`/`cg_solve` calling
+/// contracts, shared by every harness that drives the solve.
+pub struct SolveBuffers {
+    pub row_ptr: u64,
+    pub cols: u64,
+    pub vals: u64,
+    pub b: u64,
+    pub x: u64,
+    pub r: u64,
+    pub p: u64,
+    pub ap: u64,
+}
+
+impl SolveBuffers {
+    /// Allocate the buffers in the canonical order on either VM engine.
+    pub fn alloc<A: SolveAlloc>(vm: &mut A, n: usize) -> SolveBuffers {
+        let cap = nnz_capacity(n);
+        SolveBuffers {
+            row_ptr: vm.host_alloc_i64(&vec![0; n + 1]),
+            cols: vm.host_alloc_i64(&vec![0; cap]),
+            vals: vm.host_alloc_zeroed_f64(cap),
+            b: vm.host_alloc_zeroed_f64(n),
+            x: vm.host_alloc_zeroed_f64(n),
+            r: vm.host_alloc_zeroed_f64(n),
+            p: vm.host_alloc_zeroed_f64(n),
+            ap: vm.host_alloc_zeroed_f64(n),
+        }
+    }
+
+    pub fn assemble_args(&self, nx: i64, ny: i64, nz: i64) -> Vec<HostVal> {
+        vec![
+            HostVal::Int(nx),
+            HostVal::Int(ny),
+            HostVal::Int(nz),
+            HostVal::Int(self.row_ptr as i64),
+            HostVal::Int(self.cols as i64),
+            HostVal::Int(self.vals as i64),
+            HostVal::Int(self.b as i64),
+        ]
+    }
+
+    pub fn solve_args(&self, n: i64, max_iter: i64, tol: f64) -> Vec<HostVal> {
+        vec![
+            HostVal::Int(n),
+            HostVal::Int(self.row_ptr as i64),
+            HostVal::Int(self.cols as i64),
+            HostVal::Int(self.vals as i64),
+            HostVal::Int(self.b as i64),
+            HostVal::Int(self.x as i64),
+            HostVal::Int(self.r as i64),
+            HostVal::Int(self.p as i64),
+            HostVal::Int(self.ap as i64),
+            HostVal::Int(max_iter),
+            HostVal::Fp(tol),
+        ]
+    }
+}
+
+/// Host-allocation surface shared by both VM engines, so one harness
+/// definition can drive either.
+pub trait SolveAlloc {
+    fn host_alloc_i64(&mut self, data: &[i64]) -> u64;
+    fn host_alloc_zeroed_f64(&mut self, n: usize) -> u64;
+}
+
+impl SolveAlloc for Vm {
+    fn host_alloc_i64(&mut self, data: &[i64]) -> u64 {
+        self.alloc_i64(data)
+    }
+    fn host_alloc_zeroed_f64(&mut self, n: usize) -> u64 {
+        self.alloc_zeroed_f64(n)
+    }
+}
+
+impl SolveAlloc for mira_vm::reference::ReferenceVm {
+    fn host_alloc_i64(&mut self, data: &[i64]) -> u64 {
+        self.alloc_i64(data)
+    }
+    fn host_alloc_zeroed_f64(&mut self, n: usize) -> u64 {
+        self.alloc_zeroed_f64(n)
+    }
+}
+
 /// Outcome of one dynamic miniFE solve.
 #[derive(Clone, Debug)]
 pub struct MiniFeRun {
@@ -174,59 +269,24 @@ impl MiniFe {
     /// measurement to the solve).
     pub fn run_dynamic(&self, nx: i64, ny: i64, nz: i64, max_iter: i64, tol: f64) -> MiniFeRun {
         let n = (nx * ny * nz) as usize;
-        let nnz_cap = 7 * n + 16;
-        let mem = ((nnz_cap * 2 + n * 8) * 8 + (64 << 20)).max(64 << 20);
         let mut vm = Vm::load(
             &self.analysis.object,
             VmOptions {
-                mem_size: mem,
+                mem_size: solve_mem_size(n),
                 ..VmOptions::default()
             },
         )
         .expect("vm loads");
-        let row_ptr = vm.alloc_i64(&vec![0; n + 1]);
-        let cols = vm.alloc_i64(&vec![0; nnz_cap]);
-        let vals = vm.alloc_zeroed_f64(nnz_cap);
-        let b = vm.alloc_zeroed_f64(n);
-        let x = vm.alloc_zeroed_f64(n);
-        let r = vm.alloc_zeroed_f64(n);
-        let p = vm.alloc_zeroed_f64(n);
-        let ap = vm.alloc_zeroed_f64(n);
+        let bufs = SolveBuffers::alloc(&mut vm, n);
 
-        vm.call(
-            "assemble",
-            &[
-                HostVal::Int(nx),
-                HostVal::Int(ny),
-                HostVal::Int(nz),
-                HostVal::Int(row_ptr as i64),
-                HostVal::Int(cols as i64),
-                HostVal::Int(vals as i64),
-                HostVal::Int(b as i64),
-            ],
-        )
-        .expect("assemble runs");
+        vm.call("assemble", &bufs.assemble_args(nx, ny, nz))
+            .expect("assemble runs");
         let nnz = vm.int_return();
         assert_eq!(nnz, Self::nnz_formula(nx, ny, nz), "assembly nnz formula");
 
         vm.reset_counters(); // measure the solve only, like the paper
-        vm.call(
-            "cg_solve",
-            &[
-                HostVal::Int(n as i64),
-                HostVal::Int(row_ptr as i64),
-                HostVal::Int(cols as i64),
-                HostVal::Int(vals as i64),
-                HostVal::Int(b as i64),
-                HostVal::Int(x as i64),
-                HostVal::Int(r as i64),
-                HostVal::Int(p as i64),
-                HostVal::Int(ap as i64),
-                HostVal::Int(max_iter),
-                HostVal::Fp(tol),
-            ],
-        )
-        .expect("cg_solve runs");
+        vm.call("cg_solve", &bufs.solve_args(n as i64, max_iter, tol))
+            .expect("cg_solve runs");
         let iterations = vm.int_return();
         let prof = vm.profile();
         let arch = &self.analysis.arch;

@@ -1,8 +1,14 @@
-//! Derived-metric prediction (paper §IV-D2): instruction-based arithmetic
-//! intensity of miniFE's cg_solve from the architecture description file's
-//! metric groups.
+//! Derived-metric prediction (paper §IV-D2): arithmetic intensity of
+//! miniFE's cg_solve, both ways —
 //!
-//! Run with: `cargo run --release -p mira-bench --example arithmetic_intensity`
+//! * **instruction-based** (the paper's Fig. 6 metric): FPI over FP
+//!   data-movement instructions, from the architecture description's
+//!   metric groups;
+//! * **bytes-based** (the roofline x-axis, new with `mira-mem`): FLOPs
+//!   over bytes moved through explicit memory operands, from the static
+//!   memory-traffic model.
+//!
+//! Run with: `cargo run --release --example arithmetic_intensity`
 
 use mira_sym::bindings;
 use mira_workloads::minife::MiniFe;
@@ -22,7 +28,15 @@ fn main() {
         println!("  {name:<42} {count:>12}");
     }
     println!(
-        "\n  arithmetic intensity = FPI / FP movement = {:.2}  (paper: 0.53)",
-        report.arithmetic_intensity(&m.analysis.arch)
+        "\n  instruction arithmetic intensity = FPI / FP movement = {:.2}  (paper: 0.53)",
+        report.instruction_arithmetic_intensity(&m.analysis.arch)
+    );
+    println!(
+        "  bytes-based arithmetic intensity = FLOPs / byte      = {:.4}",
+        report.bytes_arithmetic_intensity()
+    );
+    println!(
+        "      ({} FLOPs over {} B loaded + {} B stored)",
+        report.flops, report.load_bytes, report.store_bytes
     );
 }

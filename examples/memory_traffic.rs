@@ -1,0 +1,54 @@
+//! `mira-mem` end to end: static bytes/lines models against the VM cache
+//! simulator on the STREAM triad.
+//!
+//! Run with: `cargo run --release --example memory_traffic`
+
+use mira_sym::bindings;
+use mira_workloads::memval;
+
+fn main() {
+    let (n, reps) = (4096, 3);
+    let row = memval::triad_row(n, reps, false);
+
+    println!("STREAM triad, n = {n}, reps = {reps}\n");
+    println!("static model (closed forms evaluated):");
+    println!("  load bytes  = {}", row.static_load_bytes);
+    println!("  store bytes = {}", row.static_store_bytes);
+    println!("  FLOPs       = {}", row.static_flops);
+    println!("  distinct cache lines (cold footprint) = {}", row.static_lines);
+    println!("  bytes-based arithmetic intensity      = {:.4}", row.bytes_ai);
+
+    let d = &row.dynamic;
+    println!("\ncache simulator (L1/L2, LRU, write-allocate):");
+    println!("  load bytes  = {}", d.load_bytes);
+    println!("  store bytes = {}", d.store_bytes);
+    println!(
+        "  L1: {} hits / {} misses ({} data fills, {} stack fills)",
+        d.l1.hits, d.l1.misses, d.data_l1_fills, d.stack_l1_fills
+    );
+    println!("  L2: {} hits / {} misses", d.l2.hits, d.l2.misses);
+
+    println!(
+        "\nstatic == dynamic bytes: {}",
+        if row.bytes_exact() { "EXACT" } else { "MISMATCH" }
+    );
+
+    // the same closed forms, symbolically — what a user can inspect
+    let triad = mira_core::analyze_source(
+        memval::TRIAD_SRC,
+        &mira_core::MiraOptions::default(),
+    )
+    .unwrap();
+    let loads = triad.model.load_bytes_expr("triad").unwrap();
+    let b = bindings(&[("n", n as i128), ("reps", reps as i128)]);
+    println!("\nclosed-form load bytes(n, reps) evaluates to {}", loads.eval_count(&b).unwrap());
+    let fp = mira_mem::footprints(&triad, "triad");
+    for a in &fp.arrays {
+        println!(
+            "  array {:<2} footprint: {} lines{}",
+            a.array,
+            a.lines_expr(64).eval_count(&b).unwrap(),
+            if a.exact_for(64) { "" } else { " (approx)" }
+        );
+    }
+}

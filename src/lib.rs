@@ -14,12 +14,15 @@
 //! * [`model`] — generated performance models (incl. Python emission);
 //! * [`pbound`] — the source-only baseline analyzer;
 //! * [`vm`] — the instrumented VX86 interpreter (TAU/PAPI stand-in);
+//! * [`mem`] — static memory-traffic models (bytes, distinct cache
+//!   lines) and the VM cache simulator for bytes-based roofline work;
 //! * [`core`] — the end-to-end static analysis pipeline;
 //! * [`workloads`] — STREAM / DGEMM / miniFE and the survey corpus.
 
 pub use mira_arch as arch;
 pub use mira_core as core;
 pub use mira_isa as isa;
+pub use mira_mem as mem;
 pub use mira_minic as minic;
 pub use mira_model as model;
 pub use mira_poly as poly;
