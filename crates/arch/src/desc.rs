@@ -62,6 +62,61 @@ impl Default for CacheHierarchy {
     }
 }
 
+/// Peak floating-point issue parameters from the `[peak]` section — the
+/// compute ceiling of a roofline plot, in FLOPs per cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PeakParams {
+    /// Floating-point execution pipes that can issue each cycle (2 for
+    /// the classic separate add + multiply pipes).
+    pub fp_pipes: u32,
+    /// Fused multiply-add support: each pipe retires two FLOPs per op.
+    pub fma: bool,
+}
+
+impl Default for PeakParams {
+    fn default() -> Self {
+        PeakParams {
+            fp_pipes: 2,
+            fma: false,
+        }
+    }
+}
+
+impl PeakParams {
+    /// Peak scalar double-precision FLOPs per cycle.
+    pub fn scalar_flops_per_cycle(&self) -> u32 {
+        self.fp_pipes * if self.fma { 2 } else { 1 }
+    }
+
+    /// Peak vector FLOPs per cycle at a given lane count
+    /// (`machine.fp_lanes_per_vector`).
+    pub fn vector_flops_per_cycle(&self, lanes: u32) -> u32 {
+        self.scalar_flops_per_cycle() * lanes.max(1)
+    }
+}
+
+/// Sustainable bandwidth of each memory-hierarchy boundary, in bytes per
+/// cycle, from the `[bandwidth lN]` / `[bandwidth dram]` sections. Each
+/// value caps the traffic crossing *into* that level: `l1` is the
+/// core↔L1 load/store bandwidth, `l2` the L1↔L2 fill/write-back path,
+/// `dram` the L2↔memory path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Bandwidths {
+    pub l1: u32,
+    pub l2: u32,
+    pub dram: u32,
+}
+
+impl Default for Bandwidths {
+    fn default() -> Self {
+        Bandwidths {
+            l1: 32,
+            l2: 16,
+            dram: 4,
+        }
+    }
+}
+
 /// Machine parameters from the `[machine]` section.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct MachineParams {
@@ -75,6 +130,10 @@ pub struct MachineParams {
     pub l1: CacheLevel,
     /// Second-level cache (`[cache l2]`).
     pub l2: CacheLevel,
+    /// Peak FLOP issue rates (`[peak]`).
+    pub peak: PeakParams,
+    /// Per-boundary sustainable bandwidths (`[bandwidth *]`).
+    pub bandwidth: Bandwidths,
 }
 
 impl Default for MachineParams {
@@ -93,6 +152,8 @@ impl Default for MachineParams {
                 size_bytes: 256 * 1024,
                 assoc: 8,
             },
+            peak: PeakParams::default(),
+            bandwidth: Bandwidths::default(),
         }
     }
 }
@@ -150,6 +211,23 @@ assoc = 8
 size_bytes = 262144
 assoc = 8
 
+# Peak FP issue: two pipes (add + multiply), no FMA — 2 scalar FLOPs/cycle,
+# 4 packed at 2 lanes. The compute ceiling of the roofline.
+[peak]
+fp_pipes = 2
+fma = no
+
+# Sustainable bytes/cycle across each hierarchy boundary — the memory
+# ceilings of the roofline (core-L1, L1-L2, L2-memory).
+[bandwidth l1]
+bytes_per_cycle = 32
+
+[bandwidth l2]
+bytes_per_cycle = 16
+
+[bandwidth dram]
+bytes_per_cycle = 4
+
 # PAPI_FP_INS equivalent: scalar+packed double/single FP arithmetic.
 [metric fpi]
 categories = sse2_packed_arith, sse_packed_arith, x87_basic_arith, avx_arith, fma
@@ -182,6 +260,9 @@ impl ArchDescription {
             Machine,
             /// `true` selects L2, `false` L1.
             Cache(bool),
+            Peak,
+            /// 0 = l1, 1 = l2, 2 = dram.
+            Bandwidth(u8),
             Metric(String),
         }
         let mut machine = MachineParams::default();
@@ -209,6 +290,22 @@ impl ArchDescription {
                             return Err(DescError::Syntax {
                                 line: lineno,
                                 msg: format!("unknown cache level `{other}` (expected l1 or l2)"),
+                            })
+                        }
+                    };
+                } else if inner == "peak" {
+                    section = Section::Peak;
+                } else if let Some(level) = inner.strip_prefix("bandwidth ") {
+                    section = match level.trim() {
+                        "l1" => Section::Bandwidth(0),
+                        "l2" => Section::Bandwidth(1),
+                        "dram" => Section::Bandwidth(2),
+                        other => {
+                            return Err(DescError::Syntax {
+                                line: lineno,
+                                msg: format!(
+                                    "unknown bandwidth level `{other}` (expected l1, l2 or dram)"
+                                ),
                             })
                         }
                     };
@@ -307,6 +404,64 @@ impl ArchDescription {
                         }
                     }
                 }
+                Section::Peak => match key {
+                    "fp_pipes" => {
+                        let v: u32 = value.parse().map_err(|_| DescError::BadValue {
+                            line: lineno,
+                            key: key.to_string(),
+                        })?;
+                        if v == 0 {
+                            return Err(DescError::BadValue {
+                                line: lineno,
+                                key: key.to_string(),
+                            });
+                        }
+                        machine.peak.fp_pipes = v;
+                    }
+                    "fma" => {
+                        machine.peak.fma = match value {
+                            "yes" | "true" | "1" => true,
+                            "no" | "false" | "0" => false,
+                            _ => {
+                                return Err(DescError::BadValue {
+                                    line: lineno,
+                                    key: key.to_string(),
+                                })
+                            }
+                        }
+                    }
+                    other => {
+                        return Err(DescError::UnknownKey {
+                            line: lineno,
+                            key: other.to_string(),
+                        })
+                    }
+                },
+                Section::Bandwidth(level) => match key {
+                    "bytes_per_cycle" => {
+                        let v: u32 = value.parse().map_err(|_| DescError::BadValue {
+                            line: lineno,
+                            key: key.to_string(),
+                        })?;
+                        if v == 0 {
+                            return Err(DescError::BadValue {
+                                line: lineno,
+                                key: key.to_string(),
+                            });
+                        }
+                        match level {
+                            0 => machine.bandwidth.l1 = v,
+                            1 => machine.bandwidth.l2 = v,
+                            _ => machine.bandwidth.dram = v,
+                        }
+                    }
+                    other => {
+                        return Err(DescError::UnknownKey {
+                            line: lineno,
+                            key: other.to_string(),
+                        })
+                    }
+                },
                 Section::Metric(name) => match key {
                     "categories" => {
                         let mut cats = Vec::new();
@@ -386,6 +541,15 @@ impl ArchDescription {
                 "\n[cache {name}]\nsize_bytes = {}\nassoc = {}\n",
                 level.size_bytes, level.assoc
             ));
+        }
+        out.push_str(&format!(
+            "\n[peak]\nfp_pipes = {}\nfma = {}\n",
+            self.machine.peak.fp_pipes,
+            if self.machine.peak.fma { "yes" } else { "no" }
+        ));
+        let bw = self.machine.bandwidth;
+        for (name, v) in [("l1", bw.l1), ("l2", bw.l2), ("dram", bw.dram)] {
+            out.push_str(&format!("\n[bandwidth {name}]\nbytes_per_cycle = {v}\n"));
         }
         for (name, cats) in &self.metrics {
             out.push_str(&format!("\n[metric {name}]\ncategories = "));
@@ -532,6 +696,76 @@ mod tests {
             Err(DescError::BadValue { .. })
         ));
         assert!(ArchDescription::parse("[machine]\ncache_line_bytes = 32\n").is_ok());
+    }
+
+    #[test]
+    fn peak_and_bandwidth_defaults() {
+        let d = ArchDescription::default();
+        assert_eq!(d.machine.peak.fp_pipes, 2);
+        assert!(!d.machine.peak.fma);
+        assert_eq!(d.machine.peak.scalar_flops_per_cycle(), 2);
+        assert_eq!(
+            d.machine
+                .peak
+                .vector_flops_per_cycle(d.machine.fp_lanes_per_vector),
+            4
+        );
+        assert_eq!(d.machine.bandwidth, Bandwidths { l1: 32, l2: 16, dram: 4 });
+    }
+
+    #[test]
+    fn peak_and_bandwidth_roundtrip() {
+        let text = "[machine]\nname = m\n\
+                    [peak]\nfp_pipes = 1\nfma = yes\n\
+                    [bandwidth l1]\nbytes_per_cycle = 64\n\
+                    [bandwidth l2]\nbytes_per_cycle = 24\n\
+                    [bandwidth dram]\nbytes_per_cycle = 8\n";
+        let d = ArchDescription::parse(text).unwrap();
+        assert_eq!(d.machine.peak, PeakParams { fp_pipes: 1, fma: true });
+        // FMA doubles the per-pipe rate
+        assert_eq!(d.machine.peak.scalar_flops_per_cycle(), 2);
+        assert_eq!(d.machine.peak.vector_flops_per_cycle(4), 8);
+        assert_eq!(d.machine.bandwidth, Bandwidths { l1: 64, l2: 24, dram: 8 });
+        // parse → serialize → parse is the identity on every new field
+        let d2 = ArchDescription::parse(&d.to_ini()).unwrap();
+        assert_eq!(d, d2);
+        let d3 = ArchDescription::parse(&d2.to_ini()).unwrap();
+        assert_eq!(d2, d3);
+    }
+
+    #[test]
+    fn peak_and_bandwidth_errors() {
+        // unknown keys inside the new sections are rejected
+        assert!(matches!(
+            ArchDescription::parse("[peak]\nfrequency_mhz = 2600\n"),
+            Err(DescError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            ArchDescription::parse("[bandwidth l1]\nlatency = 4\n"),
+            Err(DescError::UnknownKey { .. })
+        ));
+        // unknown bandwidth level
+        assert!(matches!(
+            ArchDescription::parse("[bandwidth l3]\nbytes_per_cycle = 1\n"),
+            Err(DescError::Syntax { .. })
+        ));
+        // malformed and degenerate values
+        assert!(matches!(
+            ArchDescription::parse("[peak]\nfp_pipes = 0\n"),
+            Err(DescError::BadValue { .. })
+        ));
+        assert!(matches!(
+            ArchDescription::parse("[peak]\nfma = maybe\n"),
+            Err(DescError::BadValue { .. })
+        ));
+        assert!(matches!(
+            ArchDescription::parse("[bandwidth dram]\nbytes_per_cycle = 0\n"),
+            Err(DescError::BadValue { .. })
+        ));
+        assert!(matches!(
+            ArchDescription::parse("[bandwidth l2]\nbytes_per_cycle = wide\n"),
+            Err(DescError::BadValue { .. })
+        ));
     }
 
     #[test]

@@ -18,7 +18,9 @@
 
 pub mod desc;
 
-pub use desc::{ArchDescription, CacheHierarchy, CacheLevel, DescError, MachineParams};
+pub use desc::{
+    ArchDescription, Bandwidths, CacheHierarchy, CacheLevel, DescError, MachineParams, PeakParams,
+};
 
 /// The 64 instruction categories, mirroring the Intel SDM's grouping of the
 /// x86 instruction set (general-purpose groups, x87, MMX, SSE–SSE4.2, AVX,

@@ -59,7 +59,7 @@ fn main() {
     for (i, e) in entries.iter().enumerate() {
         let r = &e.row;
         json.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"static_load_bytes\": {}, \"static_store_bytes\": {}, \"dynamic_load_bytes\": {}, \"dynamic_store_bytes\": {}, \"bytes_exact\": {}, \"static_lines\": {}, \"data_l1_fills\": {}, \"l1_misses\": {}, \"l2_misses\": {}, \"flops\": {}, \"bytes_ai\": {:.4}, \"sim_overhead\": {}}}{}\n",
+            "    {{\"workload\": \"{}\", \"static_load_bytes\": {}, \"static_store_bytes\": {}, \"dynamic_load_bytes\": {}, \"dynamic_store_bytes\": {}, \"bytes_exact\": {}, \"static_lines\": {}, \"data_l1_fills\": {}, \"l1_misses\": {}, \"l2_misses\": {}, \"l1_writebacks\": {}, \"l2_writebacks\": {}, \"flops\": {}, \"bytes_ai\": {:.4}, \"sim_overhead\": {}}}{}\n",
             r.workload,
             r.static_load_bytes,
             r.static_store_bytes,
@@ -70,6 +70,8 @@ fn main() {
             r.dynamic.data_l1_fills,
             r.dynamic.l1.misses,
             r.dynamic.l2.misses,
+            r.dynamic.l1.writebacks,
+            r.dynamic.l2.writebacks,
             r.static_flops,
             r.bytes_ai,
             if e.sim_overhead.is_nan() {

@@ -1,0 +1,218 @@
+//! `bench_roofline` — the roofline-placement trajectory.
+//!
+//! Runs the STREAM triad (scalar and SSE2), the four STREAM kernels,
+//! DGEMM and the miniFE CG solve through the `mira-workloads::roofval`
+//! harnesses: each workload is placed on the roofline twice — from the
+//! static closed forms (`mira-roofline`) and from the cache simulator's
+//! per-boundary fill/write-back traffic — and both bound classifications,
+//! the per-ceiling cycle bounds and their agreement land in
+//! `BENCH_roofline.json`, together with the DGEMM regime crossover
+//! (bisection-solved and brute-force-swept).
+//!
+//! Usage: `cargo run --release -p mira-bench --bin bench_roofline
+//! [--quick|--check]` — `--quick` shrinks sizes for the CI smoke run;
+//! `--check` re-derives the placements at the committed sizes and exits
+//! non-zero when any bound classification (or the crossover) changed
+//! versus the committed `BENCH_roofline.json`, the regression gate that
+//! turns silent regime changes into failures.
+
+use mira_workloads::roofval::{self, RoofRow};
+
+/// The trajectory rows, each under a stable key (the workload name plus
+/// the capacity regime its size targets, so the capacity and resident
+/// variants coexist in the JSON and the `--check` gate can match them
+/// unambiguously).
+fn rows(quick: bool) -> Vec<(String, RoofRow)> {
+    let (stream_n, stream_reps, resident_n, resident_reps, dgemm_n, grid) = if quick {
+        // capacity-regime sizes shrink; the resident shapes stay as-is
+        // (they are already small)
+        (6_000i64, 2i64, 1024i64, 20i64, 16i64, 5i64)
+    } else {
+        (20_000, 2, 1024, 20, 32, 15)
+    };
+    let mut out: Vec<(String, RoofRow)> = vec![
+        ("triad_capacity".into(), roofval::triad_roof(stream_n, stream_reps, false)),
+        ("triad_resident".into(), roofval::triad_roof(resident_n, resident_reps, false)),
+        ("triad_simd_resident".into(), roofval::triad_roof(resident_n, resident_reps, true)),
+        ("stream_capacity".into(), roofval::stream_roof(stream_n, stream_reps)),
+        ("stream_resident".into(), roofval::stream_roof(resident_n, resident_reps)),
+    ];
+    let dgemm = roofval::dgemm_roof(dgemm_n, 1);
+    let minife = roofval::minife_roof(grid, 2000, 1e-8);
+    out.push((dgemm.workload.clone(), dgemm));
+    out.push((minife.workload.clone(), minife));
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let check = std::env::args().any(|a| a == "--check");
+    // --check always measures at the committed sizes
+    let rows = rows(quick && !check);
+    let (solved, swept) = roofval::dgemm_crossover(2, 64);
+
+    if check {
+        check_placements(&rows, &solved, &swept);
+        return;
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"roofline\",\n  \"workloads\": [\n");
+    for (i, (k, r)) in rows.iter().enumerate() {
+        let sp = &r.static_p;
+        let dp = &r.dynamic_p;
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"flops\": {}, \"static_data_bytes\": {}, \"dynamic_data_bytes\": {}, \"data_bytes_exact\": {}, \"footprint_lines\": {}, \"static_bound\": \"{}\", \"dynamic_bound\": \"{}\", \"agree\": {}, \"compute_cycles\": {:.0}, \"static_l1_cycles\": {:.0}, \"static_l2_cycles\": {:.0}, \"static_dram_cycles\": {:.0}, \"dynamic_l2_cycles\": {:.0}, \"dynamic_dram_cycles\": {:.0}}}{}\n",
+            k,
+            r.flops,
+            r.static_data_bytes,
+            r.dynamic_data_bytes,
+            r.data_bytes_exact(),
+            r.footprint_lines,
+            sp.binding,
+            dp.binding,
+            r.agrees(),
+            sp.compute_cycles,
+            sp.mem_cycles[0],
+            sp.mem_cycles[1],
+            sp.mem_cycles[2],
+            dp.mem_cycles[1],
+            dp.mem_cycles[2],
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    let x = solved.expect("DGEMM crosses regimes in [2, 64]");
+    json.push_str(&format!(
+        "  \"dgemm_crossover\": {{\"param\": \"n\", \"solved\": {}, \"swept\": {}, \"from\": \"{}\", \"to\": \"{}\", \"match\": {}}}\n",
+        x.value,
+        swept.map(|s| s.value.to_string()).unwrap_or_else(|| "null".to_string()),
+        x.from,
+        x.to,
+        solved == swept,
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_roofline.json", &json).expect("write BENCH_roofline.json");
+
+    println!(
+        "{:<22} {:>12} {:>14} {:>6} {:>9} {:>9}  agree",
+        "workload", "flops", "data bytes", "exact", "static", "dynamic"
+    );
+    for (k, r) in &rows {
+        println!(
+            "{:<22} {:>12} {:>14} {:>6} {:>9} {:>9}  {}",
+            k,
+            r.flops,
+            r.static_data_bytes,
+            r.data_bytes_exact(),
+            r.static_p.binding.to_string(),
+            r.dynamic_p.binding.to_string(),
+            r.agrees(),
+        );
+    }
+    println!(
+        "\nDGEMM leaves the {} roof at n = {} (sweep: {}) → {}",
+        x.from,
+        x.value,
+        swept.map(|s| s.value.to_string()).unwrap_or_else(|| "-".to_string()),
+        x.to
+    );
+    println!("wrote BENCH_roofline.json");
+
+    // the validation contract the tests pin, enforced here too so a CI
+    // smoke run fails loudly if the placements ever drift apart
+    for (k, r) in &rows {
+        assert!(
+            r.agrees(),
+            "{k}: static {} vs simulator {} placement",
+            r.static_p,
+            r.dynamic_p
+        );
+        assert!(r.data_bytes_exact(), "{k}: data bytes diverged");
+    }
+    assert_eq!(solved, swept, "crossover solver disagrees with the sweep");
+}
+
+/// `--check`: re-derive every placement at the committed sizes and fail
+/// when any bound classification changed versus BENCH_roofline.json.
+fn check_placements(
+    rows: &[(String, RoofRow)],
+    solved: &Option<mira_roofline::Crossover>,
+    swept: &Option<mira_roofline::Crossover>,
+) {
+    let committed = std::fs::read_to_string("BENCH_roofline.json").expect(
+        "BENCH_roofline.json not found — run bench_roofline once to create the baseline",
+    );
+    let mut failed = false;
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}  verdict",
+        "workload", "com.static", "static", "com.dyn", "dynamic"
+    );
+    for (k, r) in rows {
+        let com_s = committed_field(&committed, k, "static_bound");
+        let com_d = committed_field(&committed, k, "dynamic_bound");
+        let (cur_s, cur_d) = (r.static_p.binding.to_string(), r.dynamic_p.binding.to_string());
+        let ok = com_s.as_deref() == Some(cur_s.as_str())
+            && com_d.as_deref() == Some(cur_d.as_str())
+            && r.agrees();
+        if !ok {
+            failed = true;
+        }
+        println!(
+            "{k:<22} {:>10} {cur_s:>10} {:>10} {cur_d:>10}  {}",
+            com_s.as_deref().unwrap_or("MISSING"),
+            com_d.as_deref().unwrap_or("MISSING"),
+            if ok { "ok" } else { "CHANGED" }
+        );
+    }
+    match (solved, swept) {
+        (Some(x), Some(y)) if x == y => {
+            // value AND both roof names: a switch that stays at the same
+            // n but lands on a different roof is still a regime change
+            for (field, cur) in [
+                ("solved", x.value.to_string()),
+                ("from", x.from.to_string()),
+                ("to", x.to.to_string()),
+            ] {
+                let com = committed_field(&committed, "dgemm_crossover", field);
+                if com.as_deref() == Some(cur.as_str()) {
+                    println!("dgemm crossover {field} = {cur}: ok");
+                } else {
+                    failed = true;
+                    println!(
+                        "dgemm crossover {field} = {cur} (committed {}): CHANGED",
+                        com.as_deref().unwrap_or("MISSING")
+                    );
+                }
+            }
+        }
+        _ => {
+            failed = true;
+            println!("dgemm crossover: solver and sweep disagree — {solved:?} vs {swept:?}");
+        }
+    }
+    if failed {
+        eprintln!("\nbench_roofline --check: bound classifications changed — failing");
+        std::process::exit(1);
+    }
+    println!("\nbench_roofline --check: all placements match the committed baseline");
+}
+
+/// Pull `"field": value` out of the entry whose line mentions
+/// `"workload": "<key>"` (or the `dgemm_crossover` object). No serde in
+/// this offline environment — the file is written by this very binary,
+/// one JSON object per line, so line-scoped scanning is exact.
+fn committed_field(json: &str, entry_key: &str, field: &str) -> Option<String> {
+    let needle_a = format!("\"workload\": \"{entry_key}\"");
+    let needle_b = format!("\"{entry_key}\"");
+    let line = json
+        .lines()
+        .find(|l| l.contains(&needle_a) || (entry_key == "dgemm_crossover" && l.contains(&needle_b)))?;
+    let at = line.find(&format!("\"{field}\": "))?;
+    let rest = &line[at + field.len() + 4..];
+    let value: String = rest
+        .chars()
+        .skip_while(|c| *c == ' ')
+        .take_while(|c| !",}".contains(*c))
+        .collect();
+    Some(value.trim().trim_matches('"').to_string())
+}

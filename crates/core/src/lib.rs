@@ -101,9 +101,11 @@ impl Analysis {
         self.model.eval(func, bindings)
     }
 
-    /// The generated model as Python source (the paper's output format).
+    /// The generated model as Python source (the paper's output format),
+    /// including the architecture's roofline constants and a
+    /// `roofline_cycles` placement helper.
     pub fn python_model(&self) -> String {
-        mira_model::python::emit(&self.model)
+        mira_model::python::emit_with_arch(&self.model, &self.arch)
     }
 
     /// All model parameters the user may need to bind.

@@ -258,14 +258,15 @@ impl<'a> FuncGen<'a> {
             return;
         }
         let mut by_cat: BTreeMap<Category, i128> = BTreeMap::new();
-        // explicit memory traffic, keyed by direction and access width so
-        // packed (16-byte) accesses stay distinguishable in the model
-        let mut by_mem: BTreeMap<(bool, u32), i128> = BTreeMap::new();
+        // explicit memory traffic, keyed by direction, access width and
+        // frame-vs-data target so packed (16-byte) accesses and spill
+        // traffic both stay distinguishable in the model
+        let mut by_mem: BTreeMap<(bool, u32, bool), i128> = BTreeMap::new();
         let mut flops: i128 = 0;
         for i in insts {
             *by_cat.entry(i.inst.category()).or_insert(0) += 1;
             if let Some((store, bytes)) = i.inst.memory_bytes() {
-                *by_mem.entry((store, bytes)).or_insert(0) += 1;
+                *by_mem.entry((store, bytes, i.inst.is_frame_access())).or_insert(0) += 1;
             }
             flops += i.inst.flop_count() as i128;
         }
@@ -276,11 +277,12 @@ impl<'a> FuncGen<'a> {
                 count: count.scale(Rat::int(k)),
             });
         }
-        for ((store, bytes_per_exec), k) in by_mem {
+        for ((store, bytes_per_exec, frame), k) in by_mem {
             self.ops.push(ModelOp::MemAcc {
                 line,
                 store,
                 bytes_per_exec,
+                frame,
                 count: count.scale(Rat::int(k)),
             });
         }

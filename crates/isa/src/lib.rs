@@ -837,6 +837,31 @@ impl Inst {
         }
     }
 
+    /// The explicit memory operand, for instructions that have one. `Lea`
+    /// forms an address without accessing memory, so it returns `None` —
+    /// this accessor exists for classifying *traffic*, mirroring
+    /// [`Inst::memory_bytes`].
+    pub fn mem_operand(&self) -> Option<Mem> {
+        use Inst::*;
+        match self {
+            Load(_, m) | MovsdLoad(_, m) | MovupdLoad(_, m) => Some(*m),
+            Store(m, _) | MovsdStore(m, _) | MovupdStore(m, _) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// Does this instruction's explicit memory operand address the stack
+    /// frame (`rbp`/`rsp`-based: locals, spill slots, stack-passed
+    /// arguments) rather than heap data? Frame traffic is register-
+    /// allocation artifact — it stays resident in L1 and never pressures
+    /// the deeper memory ceilings — so the roofline models account it
+    /// separately from array data. `vcc` codegen addresses every frame
+    /// slot through `rbp` (or `rsp`), and array elements only ever through
+    /// pointer registers, so the base register decides.
+    pub fn is_frame_access(&self) -> bool {
+        matches!(self.mem_operand(), Some(m) if m.base == RBP || m.base == RSP)
+    }
+
     /// Source-level floating-point operations performed by one execution:
     /// 1 for scalar double arithmetic, 2 for packed (both lanes), 0
     /// otherwise. The numerator of bytes-based arithmetic intensity
@@ -1139,6 +1164,25 @@ mod tests {
         assert_eq!(Call(0).memory_bytes(), None);
         assert_eq!(Ret.memory_bytes(), None);
         assert_eq!(Lea(Reg(0), Mem::base(Reg(1))).memory_bytes(), None);
+    }
+
+    #[test]
+    fn frame_access_classification() {
+        use Inst::*;
+        // rbp/rsp-based operands are frame traffic …
+        assert!(Load(Reg(0), Mem::base_disp(RBP, -8)).is_frame_access());
+        assert!(MovsdStore(Mem::base_disp(RBP, -16), XReg(0)).is_frame_access());
+        assert!(Load(Reg(0), Mem::base(RSP)).is_frame_access());
+        // … pointer-register operands are data traffic …
+        assert!(!Load(Reg(0), Mem::base(Reg(1))).is_frame_access());
+        assert!(!MovupdLoad(XReg(0), Mem::base(Reg(2))).is_frame_access());
+        // … and instructions without a memory operand are neither
+        assert!(!Push(Reg(0)).is_frame_access());
+        assert!(Lea(Reg(0), Mem::base(RBP)).mem_operand().is_none());
+        assert_eq!(
+            Store(Mem::base(Reg(3)), Reg(0)).mem_operand(),
+            Some(Mem::base(Reg(3)))
+        );
     }
 
     #[test]

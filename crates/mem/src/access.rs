@@ -19,9 +19,25 @@
 //! mutated scalar locals) poison that array: it is reported in
 //! [`FuncFootprints::unknown`] and the function's total is flagged
 //! approximate, mirroring the paper's annotation-required cases.
+//!
+//! Two `#pragma @Annotation` keys let the user close those cases the same
+//! way `lp_iters` closes data-dependent trip counts:
+//!
+//! * `lp_cumulative: yes` on an annotated data-dependent loop asserts its
+//!   induction variable sweeps a *cumulative prefix* across the enclosing
+//!   nest (the CSR pattern: `for (k = row_ptr[i]; k < row_ptr[i+1]; …)`
+//!   covers `[0, nnz)` densely over all rows). The loop then becomes a
+//!   synthetic affine dimension of extent `enclosing-trip-count ·
+//!   lp_iters · lp_scale`, and arrays it indexes directly (`vals[k]`,
+//!   `cols[k]`) get exact dense footprints.
+//! * `idx_extent: n` bounds every *remaining* unanalyzable subscript in
+//!   the annotated loop's body to `[0, n-1]` (the gather `x[cols[k]]`
+//!   reads some subset of an `n`-vector). The bounded array is counted at
+//!   that range but never claims dense coverage — an upper bound, like
+//!   guarded references.
 
 use mira_core::scop::{extract_for_scop, LoopScope};
-use mira_minic::{BinOp, Expr, ExprKind, Func, Program, Stmt, StmtKind, UnOp};
+use mira_minic::{AnnotValue, Annotation, BinOp, Expr, ExprKind, Func, Program, Stmt, StmtKind, UnOp};
 use mira_sym::{Rat, SymExpr};
 use std::collections::BTreeMap;
 
@@ -359,6 +375,18 @@ struct LoopDim {
     step: i64,
 }
 
+impl LoopDim {
+    /// Trip count of this dimension: `(hi - lo)/step + 1`.
+    fn extent(&self) -> SymExpr {
+        let span = self.hi.sub_expr(&self.lo);
+        if self.step > 1 {
+            span.floor_div(self.step).add_expr(&SymExpr::constant(1))
+        } else {
+            span.add_expr(&SymExpr::constant(1))
+        }
+    }
+}
+
 struct Walker {
     scope: LoopScope,
     loops: Vec<LoopDim>,
@@ -374,6 +402,10 @@ struct Walker {
     /// only shrink the touched set, so its range stays a valid bound but
     /// must not claim dense coverage.
     branch_depth: u32,
+    /// Innermost-last stack of `idx_extent` annotations: unanalyzable
+    /// subscripts inside an annotated loop are bounded to
+    /// `[0, extent - 1]` instead of poisoning their array.
+    extent_stack: Vec<SymExpr>,
     refs: Vec<RawRef>,
     unknown: Vec<String>,
     calls: Vec<CallSite>,
@@ -498,6 +530,7 @@ fn analyze_func(f: &Func) -> FuncInfo {
         poisoned,
         safe_params,
         branch_depth: 0,
+        extent_stack: Vec::new(),
         refs: Vec::new(),
         unknown: Vec::new(),
         calls: Vec::new(),
@@ -563,7 +596,7 @@ impl Walker {
                 cond,
                 step,
                 body,
-            } => self.walk_for(init, cond, step, body),
+            } => self.walk_for(init, cond, step, body, s.annotation.as_ref()),
         }
     }
 
@@ -573,6 +606,7 @@ impl Walker {
         cond: &Option<Expr>,
         step: &Option<Expr>,
         body: &Stmt,
+        ann: Option<&Annotation>,
     ) {
         let scop = match (init, cond, step) {
             (Some(i), Some(c), Some(st)) => extract_for_scop(i, c, st, &self.scope),
@@ -592,6 +626,13 @@ impl Walker {
         if let Some(st) = step {
             self.walk_expr(st, false);
         }
+        let pushed_extent = match ann.and_then(|a| self.annot_expr(a, "idx_extent")) {
+            Some(e) => {
+                self.extent_stack.push(e);
+                true
+            }
+            None => false,
+        };
         match scop {
             Some(scop) => {
                 let dom = format!("{}@{}", scop.var, self.var_counter);
@@ -615,13 +656,100 @@ impl Walker {
                     }
                 }
             }
-            None => {
-                // unanalyzable bounds: the induction variable is already
-                // poisoned by the mutation pre-pass (its step assigns
-                // it), so references indexed by it are reported unknown
-                self.walk_stmt(body);
-            }
+            None => match self.cumulative_dim(init, ann) {
+                Some((var, dim)) => {
+                    // a `{lp_iters: t, lp_cumulative: yes}` annotation: the
+                    // data-dependent loop sweeps a cumulative prefix across
+                    // the enclosing nest, so it acts as one synthetic affine
+                    // dimension of extent (enclosing trip count) · t
+                    let dom = dim.var.clone();
+                    self.loops.push(dim);
+                    let saved = self.scope.insert(var.clone(), dom);
+                    self.walk_stmt(body);
+                    self.loops.pop();
+                    match saved {
+                        Some(v) => {
+                            self.scope.insert(var.clone(), v);
+                        }
+                        None => {
+                            self.scope.remove(&var);
+                        }
+                    }
+                }
+                None => {
+                    // unanalyzable bounds: the induction variable is already
+                    // poisoned by the mutation pre-pass (its step assigns
+                    // it), so references indexed by it are reported unknown
+                    self.walk_stmt(body);
+                }
+            },
         }
+        if pushed_extent {
+            self.extent_stack.pop();
+        }
+    }
+
+    /// An annotation value as a symbolic expression: identifiers become
+    /// model parameters, numbers constants; rejected when the named
+    /// parameter is mutable state.
+    fn annot_expr(&self, ann: &Annotation, key: &str) -> Option<SymExpr> {
+        let e = match ann.get(key)? {
+            AnnotValue::Ident(name) if !self.poisoned.contains(name) => SymExpr::param(name),
+            AnnotValue::Num(v) => SymExpr::constant(*v as i128),
+            _ => return None,
+        };
+        Some(e)
+    }
+
+    /// The synthetic dimension for a `lp_cumulative` annotated loop:
+    /// `[0, N·t - 1]` where `N` is the trip count of the *immediately
+    /// enclosing* loop and `t = lp_iters · lp_scale` the annotated
+    /// per-entry trip estimate. Only the direct parent extends the
+    /// prefix: the CSR pattern restarts at `row_ptr[0]` whenever an
+    /// outer loop (a benchmark-style repetition loop, a higher nest
+    /// level) re-enters the row loop, so outer dimensions are revisits
+    /// of the same `[0, N·t)` range — exactly how an affine reference's
+    /// range behaves under an enclosing reps loop.
+    fn cumulative_dim(
+        &mut self,
+        init: &Option<Box<Stmt>>,
+        ann: Option<&Annotation>,
+    ) -> Option<(String, LoopDim)> {
+        let ann = ann?;
+        if !ann.flag("lp_cumulative") {
+            return None;
+        }
+        let mut iters = self.annot_expr(ann, "lp_iters")?;
+        if let Some(AnnotValue::Num(f)) = ann.get("lp_scale") {
+            iters = iters.scale(Rat::new((f * 1_000_000_000.0).round() as i128, 1_000_000_000));
+        }
+        // the annotated loop's induction variable, from its init clause
+        let var = match init.as_deref().map(|s| &s.kind) {
+            Some(StmtKind::Decl { name, .. }) => name.clone(),
+            Some(StmtKind::Expr(e)) => match &e.kind {
+                ExprKind::Assign { target, .. } => match &target.kind {
+                    ExprKind::Var(n) => n.clone(),
+                    _ => return None,
+                },
+                _ => return None,
+            },
+            _ => return None,
+        };
+        let mut total = iters;
+        if let Some(parent) = self.loops.last() {
+            total = total.mul_expr(&parent.extent());
+        }
+        let dom = format!("{var}@{}", self.var_counter);
+        self.var_counter += 1;
+        Some((
+            var,
+            LoopDim {
+                var: dom,
+                lo: SymExpr::zero(),
+                hi: total.sub_expr(&SymExpr::constant(1)),
+                step: 1,
+            },
+        ))
     }
 
     fn walk_expr(&mut self, e: &Expr, is_store: bool) {
@@ -756,17 +884,17 @@ impl Walker {
             return;
         }
         let Some(idx) = self.index_affine(index) else {
-            self.unknown.push(array.clone());
+            self.bounded_or_unknown(array, store);
             return;
         };
         if !self.expr_is_safe(&idx) || self.is_poisoned(&idx) {
-            self.unknown.push(array.clone());
+            self.bounded_or_unknown(array, store);
             return;
         }
         match self.range_of(&idx) {
             // loop bounds may have pulled mutable locals into the range
             Some((min, max, _)) if self.is_poisoned(&min) || self.is_poisoned(&max) => {
-                self.unknown.push(array.clone());
+                self.bounded_or_unknown(array, store);
             }
             Some((min, max, stride)) => self.refs.push(RawRef {
                 array: array.clone(),
@@ -776,8 +904,28 @@ impl Walker {
                 stored: store,
                 stride_bytes: if self.branch_depth == 0 { stride } else { None },
             }),
-            None => self.unknown.push(array.clone()),
+            None => self.bounded_or_unknown(array, store),
         }
+    }
+
+    /// An unanalyzable reference: inside an `idx_extent`-annotated loop it
+    /// is bounded to `[0, extent - 1]` — a coverage-unproven upper bound,
+    /// like a guarded reference — otherwise the array is unknown.
+    fn bounded_or_unknown(&mut self, array: &str, store: bool) {
+        if let Some(extent) = self.extent_stack.last() {
+            if !self.is_poisoned(extent) {
+                self.refs.push(RawRef {
+                    array: array.to_string(),
+                    min: SymExpr::zero(),
+                    max: extent.sub_expr(&SymExpr::constant(1)),
+                    loaded: !store,
+                    stored: store,
+                    stride_bytes: None,
+                });
+                return;
+            }
+        }
+        self.unknown.push(array.to_string());
     }
 
     fn is_poisoned(&self, e: &SymExpr) -> bool {
@@ -861,12 +1009,7 @@ impl Walker {
             };
             // trip count along this dimension, in index units of `coeff`:
             // a stride-s loop visits (hi-lo)/s + 1 values
-            let span = dim.hi.sub_expr(&dim.lo);
-            let extent = if dim.step > 1 {
-                span.floor_div(dim.step).add_expr(&SymExpr::constant(1))
-            } else {
-                span.add_expr(&SymExpr::constant(1))
-            };
+            let extent = dim.extent();
             // the element stride seen by the index is coeff · loop step
             let coeff = if dim.step > 1 {
                 coeff.scale(Rat::int(dim.step as i128))
@@ -1159,6 +1302,114 @@ mod tests {
             "g",
         );
         assert!(fp.array("a").unwrap().exact_for(64), "{fp:?}");
+    }
+
+    #[test]
+    fn cumulative_annotation_bounds_csr_arrays() {
+        // the CSR matvec pattern: k sweeps row_ptr[i]..row_ptr[i+1], which
+        // across all rows covers [0, nnz) densely; the gather x[cols[k]]
+        // is bounded by the vector length
+        let fp = footprint(
+            "void matvec(int n, int* row_ptr, int* cols, double* vals, double* x, double* y) {\n\
+               for (int i = 0; i < n; i++) {\n\
+                 double s = 0.0;\n\
+             #pragma @Annotation {lp_iters: nnz_row_milli, lp_scale: 0.001, lp_cumulative: yes, idx_extent: n}\n\
+                 for (int k = row_ptr[i]; k < row_ptr[i + 1]; k++) {\n\
+                   s += vals[k] * x[cols[k]];\n\
+                 }\n\
+                 y[i] = s;\n\
+               } }",
+            "matvec",
+        );
+        assert!(fp.unknown.is_empty(), "annotations close every case: {fp:?}");
+        let b = bindings(&[("n", 216), ("nnz_row_milli", 6000)]);
+        // vals and cols cover [0, n·6 - 1] densely — exact footprints
+        for arr in ["vals", "cols"] {
+            let a = fp.array(arr).unwrap();
+            assert!(a.exact_for(64), "{arr}: {fp:?}");
+            assert_eq!(a.max_index.eval_count(&b).unwrap(), 1295, "{arr}");
+            // 1296 elements · 8 B / 64 B = 162 lines
+            assert_eq!(a.lines_expr(64).eval_count(&b).unwrap(), 162, "{arr}");
+        }
+        // the gather target is bounded to [0, n-1] but never exact
+        let x = fp.array("x").unwrap();
+        assert!(!x.exact_for(64));
+        assert_eq!(x.max_index.eval_count(&b).unwrap(), 215);
+        assert_eq!(x.lines_expr(64).eval_count(&b).unwrap(), 27);
+        // affine neighbours keep their exactness
+        assert!(fp.array("row_ptr").unwrap().exact_for(64));
+        assert!(fp.array("y").unwrap().exact_for(64));
+        assert!(!fp.is_exact(64), "the bound on x is not dense coverage");
+    }
+
+    #[test]
+    fn cumulative_prefix_restarts_under_an_outer_reps_loop() {
+        // wrapping the annotated CSR nest in a benchmark-style reps loop
+        // must not inflate the claimed-dense range: the prefix restarts
+        // at row_ptr[0] on every repetition, so the union stays [0, n·t)
+        let fp = footprint(
+            "void bench(int n, int reps, int* row_ptr, int* cols, double* vals, double* x, double* y) {\n\
+               for (int r = 0; r < reps; r++) {\n\
+                 for (int i = 0; i < n; i++) {\n\
+                   double s = 0.0;\n\
+             #pragma @Annotation {lp_iters: nnz_row_milli, lp_scale: 0.001, lp_cumulative: yes, idx_extent: n}\n\
+                   for (int k = row_ptr[i]; k < row_ptr[i + 1]; k++) {\n\
+                     s += vals[k] * x[cols[k]];\n\
+                   }\n\
+                   y[i] = s;\n\
+                 } } }",
+            "bench",
+        );
+        let b = bindings(&[("n", 216), ("reps", 5), ("nnz_row_milli", 6000)]);
+        for arr in ["vals", "cols"] {
+            let a = fp.array(arr).unwrap();
+            assert_eq!(
+                a.max_index.eval_count(&b).unwrap(),
+                1295,
+                "{arr}: reps must not scale the prefix"
+            );
+            assert!(a.exact_for(64), "{arr}: {fp:?}");
+        }
+    }
+
+    #[test]
+    fn idx_extent_without_cumulative_still_bounds_gathers() {
+        // a histogram update: the write target is data-dependent but
+        // bounded; the loop itself is affine
+        let fp = footprint(
+            "void hist(int n, int bins, int* idx, double* h) {\n\
+             #pragma @Annotation {idx_extent: bins}\n\
+               for (int i = 0; i < n; i++) { h[idx[i]] = h[idx[i]] + 1.0; } }",
+            "hist",
+        );
+        assert!(fp.unknown.is_empty(), "{fp:?}");
+        let h = fp.array("h").unwrap();
+        assert!(h.loaded && h.stored);
+        assert!(!h.exact_for(64), "upper bound only");
+        let b = bindings(&[("n", 100), ("bins", 64)]);
+        assert_eq!(h.max_index.eval_count(&b).unwrap(), 63);
+        assert_eq!(h.lines_expr(64).eval_count(&b).unwrap(), 8);
+        assert!(fp.array("idx").unwrap().exact_for(64));
+    }
+
+    #[test]
+    fn unannotated_csr_still_unknown() {
+        // without the annotation nothing changes: data-dependent loops
+        // and gathers stay unknown rather than silently estimated
+        let fp = footprint(
+            "void matvec(int n, int* row_ptr, int* cols, double* vals, double* x, double* y) {\n\
+               for (int i = 0; i < n; i++) {\n\
+                 double s = 0.0;\n\
+                 for (int k = row_ptr[i]; k < row_ptr[i + 1]; k++) {\n\
+                   s += vals[k] * x[cols[k]];\n\
+                 }\n\
+                 y[i] = s;\n\
+               } }",
+            "matvec",
+        );
+        for arr in ["vals", "cols", "x"] {
+            assert!(fp.unknown.contains(&arr.to_string()), "{arr}: {fp:?}");
+        }
     }
 
     #[test]

@@ -11,21 +11,33 @@
 //!   mirroring `mira_isa::Inst::memory_bytes`, the byte-accounting
 //!   contract the static side counts against.
 //! * Both levels are set-associative with true LRU replacement; loads and
-//!   stores allocate alike (write-allocate), and write-backs are not
-//!   modeled — a fill is a fill, which is what the static distinct-line
-//!   predictions count.
-//! * L1 fills are split into *data* fills (the VM heap, where host-allocated
-//!   arrays live) and *stack* fills (frames, spills), so cold-cache data
-//!   fills can be compared against the per-array footprints of
-//!   [`crate::access`] without the frame noise.
+//!   stores allocate alike (write-allocate), and dirty lines are tracked:
+//!   evicting a dirty L1 line writes it back toward L2
+//!   ([`LevelStats::writebacks`]), marking the L2 copy dirty — or passing
+//!   straight through to memory (an L2 write-back) when L2 no longer
+//!   holds it; evicting a dirty L2 line is an L2 write-back. Together
+//!   with the fills this makes the traffic crossing each boundary
+//!   observable: [`MemStats::beyond_l1_bytes`] /
+//!   [`MemStats::beyond_l2_bytes`] are what a roofline's L2 and memory
+//!   ceilings cap. [`CacheSim::flush`] drains still-resident dirty lines
+//!   so end-of-run store traffic is accounted before the stats are read.
+//! * L1 fills and byte counts are split into *data* (the VM heap, where
+//!   host-allocated arrays live) and *stack* (frames, spills), so
+//!   cold-cache data fills can be compared against the per-array
+//!   footprints of [`crate::access`], and data bytes against the
+//!   frame-excluded closed forms (`Model::data_load_bytes_expr`).
 
 use mira_arch::{CacheHierarchy, CacheLevel};
 
-/// Hit/miss counters of one cache level (line-granular probes).
+/// Hit/miss/write-back counters of one cache level (line-granular probes).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct LevelStats {
     pub hits: u64,
     pub misses: u64,
+    /// Dirty lines this level evicted (or flushed) toward the next level —
+    /// at L1 the L1→L2 write-back traffic, at L2 the L2→memory traffic
+    /// (including L1 write-backs that passed through a non-resident L2).
+    pub writebacks: u64,
 }
 
 impl LevelStats {
@@ -41,6 +53,11 @@ impl LevelStats {
             self.misses as f64 / self.accesses() as f64
         }
     }
+
+    /// Write-back traffic leaving this level, in bytes.
+    pub fn writeback_bytes(&self, line_bytes: u32) -> u64 {
+        self.writebacks * line_bytes as u64
+    }
 }
 
 /// Everything the simulator counts.
@@ -52,17 +69,34 @@ pub struct MemStats {
     /// Bytes moved by explicit memory operands.
     pub load_bytes: u64,
     pub store_bytes: u64,
+    /// The subset of `load_bytes`/`store_bytes` that targets the VM heap
+    /// (host-allocated arrays) rather than the stack region — the
+    /// dynamic counterpart of the model's frame-excluded data bytes.
+    pub data_load_bytes: u64,
+    pub data_store_bytes: u64,
     pub l1: LevelStats,
     pub l2: LevelStats,
     /// L1 fills whose line lies in the VM heap (host-allocated arrays).
     pub data_l1_fills: u64,
     /// L1 fills whose line lies in the stack region (frames, spills).
     pub stack_l1_fills: u64,
+    /// Heap-data subsets of the boundary-crossing counters, so roofline
+    /// consumers can keep frame traffic out of the deeper memory
+    /// ceilings (the stack totals are the `LevelStats` counters minus
+    /// these).
+    pub data_l1_writebacks: u64,
+    pub data_l2_fills: u64,
+    pub data_l2_writebacks: u64,
 }
 
 impl MemStats {
     pub fn total_bytes(&self) -> u64 {
         self.load_bytes + self.store_bytes
+    }
+
+    /// Heap-data traffic only (frame/spill bytes excluded).
+    pub fn data_bytes(&self) -> u64 {
+        self.data_load_bytes + self.data_store_bytes
     }
 
     /// Bytes that had to come past L1 (line-fill traffic into L1).
@@ -74,12 +108,47 @@ impl MemStats {
     pub fn l2_fill_bytes(&self, line_bytes: u32) -> u64 {
         self.l2.misses * line_bytes as u64
     }
+
+    /// Traffic crossing the L1↔L2 boundary: fills into L1 plus dirty
+    /// lines written back out of it — what a roofline L2 ceiling caps.
+    pub fn beyond_l1_bytes(&self, line_bytes: u32) -> u64 {
+        (self.l1.misses + self.l1.writebacks) * line_bytes as u64
+    }
+
+    /// Traffic crossing the L2↔memory boundary: fills into L2 plus dirty
+    /// write-backs leaving it — what a roofline DRAM ceiling caps.
+    pub fn beyond_l2_bytes(&self, line_bytes: u32) -> u64 {
+        (self.l2.misses + self.l2.writebacks) * line_bytes as u64
+    }
+
+    /// Heap-data traffic crossing the L1↔L2 boundary — the L2 ceiling's
+    /// input with frame (stack) lines excluded, mirroring the static
+    /// side's frame-free closed forms.
+    pub fn data_beyond_l1_bytes(&self, line_bytes: u32) -> u64 {
+        (self.data_l1_fills + self.data_l1_writebacks) * line_bytes as u64
+    }
+
+    /// Heap-data traffic crossing the L2↔memory boundary (see
+    /// [`MemStats::data_beyond_l1_bytes`]).
+    pub fn data_beyond_l2_bytes(&self, line_bytes: u32) -> u64 {
+        (self.data_l2_fills + self.data_l2_writebacks) * line_bytes as u64
+    }
 }
 
-/// One set-associative level: per set, resident line numbers ordered
+/// One resident line of a set: line number, dirty bit, and whether it
+/// lies in the stack region (the flag rides along so evictions and
+/// write-backs can be attributed to data vs frame traffic).
+#[derive(Clone, Copy)]
+struct LineState {
+    line: u64,
+    dirty: bool,
+    stack: bool,
+}
+
+/// One set-associative level: per set, resident lines ordered
 /// most-recently-used first.
 struct Level {
-    sets: Vec<Vec<u64>>,
+    sets: Vec<Vec<LineState>>,
     assoc: usize,
 }
 
@@ -93,24 +162,60 @@ impl Level {
         }
     }
 
-    /// Probe for `line`; returns `true` on hit. Misses allocate (LRU
-    /// eviction when the set is full).
-    fn probe(&mut self, line: u64) -> bool {
+    /// Probe for `line`; returns `(hit, evicted_dirty_line)` — the
+    /// victim as `(line, was_stack)`. Misses allocate (LRU eviction when
+    /// the set is full); `dirty` marks the line dirty on top of whatever
+    /// state it had.
+    fn probe(&mut self, line: u64, dirty: bool, stack: bool) -> (bool, Option<(u64, bool)>) {
         let idx = (line as usize) % self.sets.len();
         let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|&l| l == line) {
+        if let Some(pos) = set.iter().position(|l| l.line == line) {
             if pos != 0 {
                 let l = set.remove(pos);
                 set.insert(0, l);
             }
-            true
+            set[0].dirty |= dirty;
+            (true, None)
         } else {
-            if set.len() == self.assoc {
-                set.pop();
-            }
-            set.insert(0, line);
-            false
+            let victim = if set.len() == self.assoc {
+                set.pop().filter(|v| v.dirty).map(|v| (v.line, v.stack))
+            } else {
+                None
+            };
+            set.insert(0, LineState { line, dirty, stack });
+            (false, victim)
         }
+    }
+
+    /// Set the dirty bit of `line` if resident, *without* touching LRU
+    /// order (a write-back arriving from the level above is not a use).
+    /// Returns whether the line was resident.
+    fn mark_dirty(&mut self, line: u64) -> bool {
+        let idx = (line as usize) % self.sets.len();
+        match self.sets[idx].iter_mut().find(|l| l.line == line) {
+            Some(l) => {
+                l.dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Clear every dirty bit, returning the `(line, was_stack)` pairs
+    /// that were dirty (in set order — deterministic). Residency and LRU
+    /// order are kept, like a `wbnoinvd` that writes back without
+    /// invalidating.
+    fn drain_dirty(&mut self) -> Vec<(u64, bool)> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            for l in set.iter_mut() {
+                if l.dirty {
+                    l.dirty = false;
+                    out.push((l.line, l.stack));
+                }
+            }
+        }
+        out
     }
 
     fn clear(&mut self) {
@@ -120,7 +225,8 @@ impl Level {
     }
 }
 
-/// The simulator: L1 and L2, shared line size, LRU, write-allocate.
+/// The simulator: L1 and L2, shared line size, LRU, write-allocate,
+/// write-back.
 pub struct CacheSim {
     line_shift: u32,
     l1: Level,
@@ -153,22 +259,53 @@ impl CacheSim {
         1 << self.line_shift
     }
 
+    /// A dirty line leaving L1 heads for L2: mark the resident copy dirty
+    /// (no LRU update — a write-back is not a use), or pass straight
+    /// through to memory as an L2 write-back when L2 evicted it already.
+    ///
+    /// A line can legitimately produce *two* L2→memory write-backs when
+    /// it is re-dirtied across an intervening L2 eviction (the L2 victim
+    /// carries the earlier store generation, the pass-through the later
+    /// one) — each crossing moves distinct data, as on real hardware.
+    fn writeback_from_l1(&mut self, line: u64, stack: bool) {
+        self.stats.l1.writebacks += 1;
+        if !stack {
+            self.stats.data_l1_writebacks += 1;
+        }
+        if !self.l2.mark_dirty(line) {
+            self.stats.l2.writebacks += 1;
+            if !stack {
+                self.stats.data_l2_writebacks += 1;
+            }
+        }
+    }
+
     /// Record one access. `stack` marks accesses outside the VM heap
     /// (frame slots and spills); they are simulated identically but their
-    /// L1 fills are tallied separately.
+    /// bytes and L1 fills are tallied separately.
     #[inline]
     pub fn access(&mut self, addr: u64, len: u32, store: bool, stack: bool) {
         if store {
             self.stats.stores += 1;
             self.stats.store_bytes += len as u64;
+            if !stack {
+                self.stats.data_store_bytes += len as u64;
+            }
         } else {
             self.stats.loads += 1;
             self.stats.load_bytes += len as u64;
+            if !stack {
+                self.stats.data_load_bytes += len as u64;
+            }
         }
         let first = addr >> self.line_shift;
         let last = (addr + len.max(1) as u64 - 1) >> self.line_shift;
         for line in first..=last {
-            if self.l1.probe(line) {
+            let (hit, victim) = self.l1.probe(line, store, stack);
+            if let Some((v, v_stack)) = victim {
+                self.writeback_from_l1(v, v_stack);
+            }
+            if hit {
                 self.stats.l1.hits += 1;
             } else {
                 self.stats.l1.misses += 1;
@@ -177,11 +314,40 @@ impl CacheSim {
                 } else {
                     self.stats.data_l1_fills += 1;
                 }
-                if self.l2.probe(line) {
+                // the line fills into L2 clean — the freshly written data
+                // lives (dirty) in L1 until it is evicted back down
+                let (l2_hit, l2_victim) = self.l2.probe(line, false, stack);
+                if let Some((_, v_stack)) = l2_victim {
+                    self.stats.l2.writebacks += 1;
+                    if !v_stack {
+                        self.stats.data_l2_writebacks += 1;
+                    }
+                }
+                if l2_hit {
                     self.stats.l2.hits += 1;
                 } else {
                     self.stats.l2.misses += 1;
+                    if !stack {
+                        self.stats.data_l2_fills += 1;
+                    }
                 }
+            }
+        }
+    }
+
+    /// Write back every still-resident dirty line (L1 first, so its
+    /// write-backs land in L2 before L2 drains), leaving residency and
+    /// LRU order untouched. Call before reading [`CacheSim::stats`] when
+    /// end-of-run store traffic must be on the books — a kernel's final
+    /// results sit dirty in cache until something forces them out.
+    pub fn flush(&mut self) {
+        for (line, stack) in self.l1.drain_dirty() {
+            self.writeback_from_l1(line, stack);
+        }
+        for (_, stack) in self.l2.drain_dirty() {
+            self.stats.l2.writebacks += 1;
+            if !stack {
+                self.stats.data_l2_writebacks += 1;
             }
         }
     }
@@ -230,6 +396,21 @@ mod tests {
         assert_eq!(st.load_bytes, 24);
         assert_eq!(st.store_bytes, 8);
         assert_eq!(st.total_bytes(), 32);
+        assert_eq!(st.data_bytes(), 32, "no stack accesses yet");
+    }
+
+    #[test]
+    fn data_vs_stack_byte_split() {
+        let mut s = tiny();
+        s.access(0, 8, false, false); // data load
+        s.access(1 << 20, 8, true, true); // stack store (spill)
+        s.access(8, 16, true, false); // data store
+        let st = s.stats();
+        assert_eq!(st.load_bytes, 8);
+        assert_eq!(st.store_bytes, 24);
+        assert_eq!(st.data_load_bytes, 8);
+        assert_eq!(st.data_store_bytes, 16, "the spill store is excluded");
+        assert_eq!(st.data_bytes(), 24);
     }
 
     #[test]
@@ -261,6 +442,7 @@ mod tests {
         assert_eq!(st.l1.hits, 2);
         assert_eq!(st.l2.misses, 3, "only the cold misses reach memory");
         assert_eq!(st.l2.hits, 1);
+        assert_eq!(st.l1.writebacks, 0, "clean evictions write nothing back");
     }
 
     #[test]
@@ -281,18 +463,122 @@ mod tests {
         assert_eq!(st.data_l1_fills, 1);
         assert_eq!(st.stack_l1_fills, 1);
         assert_eq!(st.l1.misses, 2);
+        assert_eq!(st.data_l2_fills, 1, "only the data line counts");
+    }
+
+    #[test]
+    fn stack_writebacks_excluded_from_data_counters() {
+        // one dirty data line and one dirty stack line, both flushed: the
+        // totals see two write-backs per level, the data counters one —
+        // frame spill traffic must never reach the roofline's deeper
+        // ceilings
+        let mut s = tiny();
+        s.access(0, 8, true, false); // data store
+        s.access(1 << 20, 8, true, true); // stack spill store
+        s.flush();
+        let st = s.stats();
+        assert_eq!(st.l1.writebacks, 2);
+        assert_eq!(st.l2.writebacks, 2);
+        assert_eq!(st.data_l1_writebacks, 1, "{st:?}");
+        assert_eq!(st.data_l2_writebacks, 1, "{st:?}");
+        assert_eq!(st.data_beyond_l1_bytes(64), (1 + 1) * 64);
+        assert_eq!(st.beyond_l1_bytes(64), (2 + 2) * 64);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_and_marks_l2() {
+        let mut s = tiny();
+        s.access(0, 8, true, false); // line 0 dirty in L1
+        s.access(128, 8, false, false); // line 2 fills the other way
+        s.access(256, 8, false, false); // line 4 evicts line 0 (LRU) → wb
+        let st = s.stats();
+        assert_eq!(st.l1.writebacks, 1, "dirty line 0 written back to L2");
+        assert_eq!(st.l2.writebacks, 0, "L2 still holds it — absorbed");
+        // bring line 0 back: it must come from L2 (hit), not memory
+        s.access(0, 8, false, false);
+        assert_eq!(s.stats().l2.hits, 1);
+        // flushing now drains the re-dirtied L2 copy
+        s.flush();
+        assert_eq!(s.stats().l2.writebacks, 1, "L2's dirty copy reaches memory");
+    }
+
+    #[test]
+    fn writeback_passes_through_when_l2_evicted_the_line() {
+        // L1 keeps a dirty line alive while 4 other lines of the same L2
+        // set march through L2 and evict its copy; the eventual L1
+        // eviction then writes back straight to memory
+        let mut s = tiny();
+        s.access(0, 8, true, false); // line 0 dirty in L1 (set 0 of both)
+        // lines 8,16,24,32 map to L2 set 0 (8 sets… L2: 1024/64/4 = 4 sets)
+        // pick lines ≡ 0 mod 4 for L2 set 0: 4, 8, 12, 16 → addrs 256·k
+        for k in 1..=4u64 {
+            // L1 set of line 4k alternates; keep line 0 in L1 by touching it
+            s.access(0, 8, false, false);
+            s.access(4 * k * 64, 8, false, false);
+        }
+        // L2 set 0 now holds {16,12,8,4}: line 0 was evicted clean from L2
+        // evict line 0 from its L1 set (set 0 holds {0, even lines…}):
+        // lines 2 and 4 are already there; touch two fresh even lines
+        s.access(6 * 64, 8, false, false);
+        s.access(10 * 64, 8, false, false);
+        let st = s.stats();
+        assert_eq!(st.l1.writebacks, 1, "dirty line 0 left L1");
+        assert_eq!(
+            st.l2.writebacks, 1,
+            "L2 no longer held line 0 — write-back passed through to memory"
+        );
+    }
+
+    #[test]
+    fn flush_drains_dirty_lines_once_and_keeps_residency() {
+        let mut s = tiny();
+        s.access(0, 8, true, false);
+        s.access(64, 8, true, false);
+        s.access(128, 8, false, false);
+        s.flush();
+        let st = s.stats();
+        assert_eq!(st.l1.writebacks, 2, "both dirty lines drained");
+        assert_eq!(st.l2.writebacks, 2, "…and propagated to memory");
+        // idempotent: nothing left dirty
+        s.flush();
+        assert_eq!(s.stats().l1.writebacks, 2);
+        // lines stayed resident: re-touching them hits
+        s.access(0, 8, false, false);
+        s.access(64, 8, false, false);
+        assert_eq!(s.stats().l1.misses, 3, "no new misses after flush");
+    }
+
+    #[test]
+    fn streaming_store_traffic_equals_store_bytes() {
+        // stream a 16KiB array (≫ 256B L1, ≫ 1KB L2) with stores: after a
+        // flush, every stored byte has crossed both boundaries exactly
+        // once — fills (write-allocate) plus write-backs
+        let mut s = tiny();
+        let lines = 256u64;
+        for i in 0..lines * 8 {
+            s.access(i * 8, 8, true, false);
+        }
+        s.flush();
+        let st = s.stats();
+        assert_eq!(st.l1.misses, lines);
+        assert_eq!(st.l1.writebacks, lines, "every line was dirty");
+        assert_eq!(st.l2.writebacks, lines);
+        assert_eq!(st.beyond_l1_bytes(64), 2 * st.store_bytes);
+        assert_eq!(st.beyond_l2_bytes(64), 2 * st.store_bytes);
     }
 
     #[test]
     fn reset_is_cold() {
         let mut s = tiny();
-        s.access(0, 8, false, false);
+        s.access(0, 8, true, false);
         s.access(0, 8, false, false);
         assert_eq!(s.stats().l1.hits, 1);
         s.reset();
         assert_eq!(s.stats(), MemStats::default());
         s.access(0, 8, false, false);
         assert_eq!(s.stats().l1.misses, 1, "cache content was cleared");
+        s.flush();
+        assert_eq!(s.stats().l1.writebacks, 0, "dirty bits were cleared too");
     }
 
     #[test]
@@ -310,5 +596,6 @@ mod tests {
         }
         assert_eq!(s.stats().data_l1_fills, 384);
         assert_eq!(s.stats().l1.misses, 384);
+        assert_eq!(s.stats().l1.writebacks, 0, "loads never dirty a line");
     }
 }

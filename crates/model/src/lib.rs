@@ -46,6 +46,11 @@ pub enum ModelOp {
         store: bool,
         /// Bytes moved per execution (8 scalar, 16 packed).
         bytes_per_exec: u32,
+        /// `true` when the operand addresses the stack frame (spill
+        /// slots, stack-passed arguments — `mira_isa::Inst::is_frame_access`)
+        /// rather than heap arrays. Frame traffic counts toward the byte
+        /// totals but not toward the roofline's *data* traffic.
+        frame: bool,
         count: SymExpr,
     },
     /// `flops += count` — source-level FP operations (packed instructions
@@ -111,6 +116,12 @@ pub struct Report {
     pub load_bytes: i128,
     /// Bytes stored through explicit memory operands (callees included).
     pub store_bytes: i128,
+    /// The subset of `load_bytes` that targets heap data (arrays) rather
+    /// than the stack frame — the load traffic a roofline memory ceiling
+    /// sees.
+    pub data_load_bytes: i128,
+    /// Heap-data subset of `store_bytes` (see `data_load_bytes`).
+    pub data_store_bytes: i128,
     /// Source-level FP operations (packed instructions count both lanes).
     pub flops: i128,
     /// line → `(load bytes, store bytes)` for the directly owned
@@ -160,6 +171,11 @@ impl Report {
     /// Total explicit-memory-operand traffic, loads plus stores.
     pub fn total_bytes(&self) -> i128 {
         self.load_bytes + self.store_bytes
+    }
+
+    /// Heap-data traffic only — frame (spill/argument) bytes excluded.
+    pub fn data_bytes(&self) -> i128 {
+        self.data_load_bytes + self.data_store_bytes
     }
 
     /// Bytes-based arithmetic intensity: FLOPs per byte moved through
@@ -259,21 +275,30 @@ impl Model {
                     report.counts.merge_scaled(&sub.counts, k);
                     report.load_bytes += sub.load_bytes * k;
                     report.store_bytes += sub.store_bytes * k;
+                    report.data_load_bytes += sub.data_load_bytes * k;
+                    report.data_store_bytes += sub.data_store_bytes * k;
                     report.flops += sub.flops * k;
                 }
                 ModelOp::MemAcc {
                     line,
                     store,
                     bytes_per_exec,
+                    frame,
                     count,
                 } => {
                     let b = count.eval_count(bindings)? * *bytes_per_exec as i128;
                     let entry = report.line_bytes.entry(*line).or_default();
                     if *store {
                         report.store_bytes += b;
+                        if !frame {
+                            report.data_store_bytes += b;
+                        }
                         entry.1 += b;
                     } else {
                         report.load_bytes += b;
+                        if !frame {
+                            report.data_load_bytes += b;
+                        }
                         entry.0 += b;
                     }
                 }
@@ -294,12 +319,23 @@ impl Model {
     /// Closed-form expression for the bytes loaded by one call of `func`
     /// (callees composed through their multipliers).
     pub fn load_bytes_expr(&self, func: &str) -> Result<SymExpr, ModelError> {
-        self.bytes_expr(func, false, 0)
+        self.bytes_expr(func, false, false)
     }
 
     /// Closed-form expression for the bytes stored by one call of `func`.
     pub fn store_bytes_expr(&self, func: &str) -> Result<SymExpr, ModelError> {
-        self.bytes_expr(func, true, 0)
+        self.bytes_expr(func, true, false)
+    }
+
+    /// Closed-form heap-data load bytes (frame traffic excluded) — the
+    /// numerator of a roofline memory ceiling.
+    pub fn data_load_bytes_expr(&self, func: &str) -> Result<SymExpr, ModelError> {
+        self.bytes_expr(func, false, true)
+    }
+
+    /// Closed-form heap-data store bytes (frame traffic excluded).
+    pub fn data_store_bytes_expr(&self, func: &str) -> Result<SymExpr, ModelError> {
+        self.bytes_expr(func, true, true)
     }
 
     /// Closed-form expression for the FLOPs of one call of `func`.
@@ -310,14 +346,22 @@ impl Model {
         })
     }
 
-    fn bytes_expr(&self, func: &str, want_store: bool, depth: u32) -> Result<SymExpr, ModelError> {
-        self.fold_expr(func, depth, &|op| match op {
+    fn bytes_expr(
+        &self,
+        func: &str,
+        want_store: bool,
+        data_only: bool,
+    ) -> Result<SymExpr, ModelError> {
+        self.fold_expr(func, 0, &|op| match op {
             ModelOp::MemAcc {
                 store,
                 bytes_per_exec,
+                frame,
                 count,
                 ..
-            } if *store == want_store => Some(count.scale(Rat::int(*bytes_per_exec as i128))),
+            } if *store == want_store && !(data_only && *frame) => {
+                Some(count.scale(Rat::int(*bytes_per_exec as i128)))
+            }
             _ => None,
         })
     }
@@ -416,13 +460,24 @@ mod tests {
                     line: 2,
                     store: false,
                     bytes_per_exec: 8,
+                    frame: false,
                     count: n.clone().scale(mira_sym::Rat::int(2)),
                 },
                 ModelOp::MemAcc {
                     line: 2,
                     store: true,
                     bytes_per_exec: 8,
+                    frame: false,
                     count: n.clone(),
+                },
+                // one spilled local per call: frame traffic counts toward
+                // the totals but not toward the data bytes
+                ModelOp::MemAcc {
+                    line: 3,
+                    store: true,
+                    bytes_per_exec: 8,
+                    frame: true,
+                    count: SymExpr::constant(1),
                 },
                 ModelOp::FlopAcc {
                     line: 2,
@@ -494,12 +549,17 @@ mod tests {
         let m = simple_model();
         let r = m.eval("waxpby", &bindings(&[("n", 10)])).unwrap();
         assert_eq!(r.load_bytes, 160);
-        assert_eq!(r.store_bytes, 80);
-        assert_eq!(r.total_bytes(), 240);
+        assert_eq!(r.store_bytes, 88, "80 data + 8 frame");
+        assert_eq!(r.total_bytes(), 248);
+        // the frame spill is excluded from the data traffic
+        assert_eq!(r.data_load_bytes, 160);
+        assert_eq!(r.data_store_bytes, 80);
+        assert_eq!(r.data_bytes(), 240);
         assert_eq!(r.flops, 20);
         assert_eq!(r.line_bytes.get(&2), Some(&(160, 80)));
-        // 20 flops / 240 bytes
-        assert!((r.bytes_arithmetic_intensity() - 20.0 / 240.0).abs() < 1e-12);
+        assert_eq!(r.line_bytes.get(&3), Some(&(0, 8)));
+        // 20 flops / 248 bytes
+        assert!((r.bytes_arithmetic_intensity() - 20.0 / 248.0).abs() < 1e-12);
         // register-only FP work is compute-bound (+inf), not 0
         let pure = Report {
             flops: 10,
@@ -507,12 +567,13 @@ mod tests {
         };
         assert_eq!(pure.bytes_arithmetic_intensity(), f64::INFINITY);
         assert_eq!(Report::default().bytes_arithmetic_intensity(), 0.0);
-        // call composition scales bytes and flops by the multiplier
+        // call composition scales bytes (total and data) and flops
         let r = m
             .eval("solve", &bindings(&[("n", 10), ("iters", 3)]))
             .unwrap();
         assert_eq!(r.load_bytes, 480);
-        assert_eq!(r.store_bytes, 240);
+        assert_eq!(r.store_bytes, 264);
+        assert_eq!(r.data_store_bytes, 240);
         assert_eq!(r.flops, 60);
     }
 
@@ -526,7 +587,20 @@ mod tests {
         );
         assert_eq!(
             m.store_bytes_expr("solve").unwrap().eval_count(&b).unwrap(),
+            264
+        );
+        // the data-only closed forms drop the frame contribution …
+        assert_eq!(
+            m.data_store_bytes_expr("solve")
+                .unwrap()
+                .eval_count(&b)
+                .unwrap(),
             240
+        );
+        // … and match the total where no frame ops exist
+        assert_eq!(
+            m.data_load_bytes_expr("solve").unwrap(),
+            m.load_bytes_expr("solve").unwrap()
         );
         assert_eq!(m.flops_expr("solve").unwrap().eval_count(&b).unwrap(), 60);
         assert!(matches!(

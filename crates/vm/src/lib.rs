@@ -459,6 +459,17 @@ impl Vm {
         self.m.sim.as_ref().map(|s| s.stats())
     }
 
+    /// Write back every dirty line still resident in the simulated caches
+    /// (see `mira_mem::CacheSim::flush`). Call before [`Vm::mem_stats`]
+    /// when end-of-run store traffic must be on the books — e.g. before
+    /// placing a kernel on a roofline, where the results it produced have
+    /// to reach memory eventually. No-op without memory profiling.
+    pub fn flush_mem(&mut self) {
+        if let Some(sim) = self.m.sim.as_deref_mut() {
+            sim.flush();
+        }
+    }
+
     /// Reset all counters (not memory) — e.g. to skip setup phases. The
     /// cache simulator (if any) goes back to a *cold* cache, so counts
     /// after a reset match the static cold-cache predictions.

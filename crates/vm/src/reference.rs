@@ -131,6 +131,14 @@ impl ReferenceVm {
         self.m.sim.as_ref().map(|s| s.stats())
     }
 
+    /// Write back resident dirty lines (mirrors `Vm::flush_mem`, so the
+    /// differential tests can pin write-back counters too).
+    pub fn flush_mem(&mut self) {
+        if let Some(sim) = self.m.sim.as_deref_mut() {
+            sim.flush();
+        }
+    }
+
     pub fn fp_return(&self) -> f64 {
         self.m.xmm[0][0]
     }

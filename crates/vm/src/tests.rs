@@ -711,6 +711,13 @@ fn mem_profile_mirrored_in_reference_vm() {
     rvm.call("copy", &args).unwrap();
     assert_eq!(vm.profile(), rvm.profile());
     assert_eq!(vm.mem_stats().unwrap(), rvm.mem_stats().unwrap());
+    // write-back draining is mirrored bit-identically too
+    vm.flush_mem();
+    rvm.flush_mem();
+    let (s, r) = (vm.mem_stats().unwrap(), rvm.mem_stats().unwrap());
+    assert_eq!(s, r);
+    // 200 stored doubles = 25 dirty data lines must have been drained
+    assert!(s.l1.writebacks >= 25, "{s:?}");
 }
 
 #[test]

@@ -17,6 +17,7 @@ pub mod corpus;
 pub mod dgemm;
 pub mod memval;
 pub mod minife;
+pub mod roofval;
 pub mod stream;
 
 use mira_arch::ArchDescription;

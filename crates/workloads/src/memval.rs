@@ -76,7 +76,7 @@ impl MemRow {
     }
 }
 
-fn vm_for(analysis: &Analysis, mem_size: usize, profile: bool) -> Vm {
+pub(crate) fn vm_for(analysis: &Analysis, mem_size: usize, profile: bool) -> Vm {
     Vm::load(
         &analysis.object,
         VmOptions {
@@ -88,18 +88,18 @@ fn vm_for(analysis: &Analysis, mem_size: usize, profile: bool) -> Vm {
     .expect("vm loads")
 }
 
-fn mem_vm(analysis: &Analysis, mem_size: usize) -> Vm {
+pub(crate) fn mem_vm(analysis: &Analysis, mem_size: usize) -> Vm {
     vm_for(analysis, mem_size, true)
 }
 
-fn stream_mem_size(n: i64) -> usize {
+pub(crate) fn stream_mem_size(n: i64) -> usize {
     (3 * n as usize * 8 + (64 << 20)).max(64 << 20)
 }
 
 /// Allocate the three STREAM-shaped arrays and build the six-argument
 /// call (shared by the triad and the four-kernel harnesses, rows and
 /// overhead timing alike).
-fn stream_shape_args(vm: &mut Vm, n: i64, reps: i64) -> Vec<HostVal> {
+pub(crate) fn stream_shape_args(vm: &mut Vm, n: i64, reps: i64) -> Vec<HostVal> {
     let a = vm.alloc_f64(&vec![1.0; n as usize]);
     let b = vm.alloc_f64(&vec![2.0; n as usize]);
     let c = vm.alloc_f64(&vec![0.0; n as usize]);
@@ -113,7 +113,7 @@ fn stream_shape_args(vm: &mut Vm, n: i64, reps: i64) -> Vec<HostVal> {
     ]
 }
 
-fn dgemm_args(vm: &mut Vm, n: i64, reps: i64) -> Vec<HostVal> {
+pub(crate) fn dgemm_args(vm: &mut Vm, n: i64, reps: i64) -> Vec<HostVal> {
     let nn = (n * n) as usize;
     let a = vm.alloc_f64(&vec![0.5; nn]);
     let b = vm.alloc_f64(&vec![0.25; nn]);
@@ -267,11 +267,11 @@ pub fn dgemm_row(n: i64, reps: i64) -> MemRow {
 
 /// miniFE `cg_solve` on a `d³` cube: assemble, reset to a cold cache,
 /// solve; the static side is evaluated at the *measured* iteration count
-/// (the paper's best-knowledge comparison). The distinct-line prediction
-/// adds a harness-side `⌈8·nnz/64⌉` estimate for the two data-dependent
-/// CSR arrays (`vals`, `cols`) the affine analysis reports as unknown —
-/// the same user-supplied-knowledge route as the `nnz_row_milli`
-/// annotation.
+/// (the paper's best-knowledge comparison). The two data-dependent CSR
+/// arrays (`vals`, `cols`) and the gather target are covered by the
+/// `lp_cumulative`/`idx_extent` annotation on the matvec inner loop, so
+/// the distinct-line prediction comes entirely out of the model — no
+/// harness-side estimates.
 pub fn minife_row(d: i64, max_iter: i64, tol: f64) -> MemRow {
     let minife = MiniFe::new();
     let analysis = &minife.analysis;
@@ -280,7 +280,6 @@ pub fn minife_row(d: i64, max_iter: i64, tol: f64) -> MemRow {
     let bufs = crate::minife::SolveBuffers::alloc(&mut vm, n);
     vm.call("assemble", &bufs.assemble_args(d, d, d))
         .expect("assemble runs");
-    let nnz = vm.int_return();
     vm.reset_counters(); // cold cache, solve-phase scope (like the paper)
     vm.call("cg_solve", &bufs.solve_args(n as i64, max_iter, tol))
         .expect("cg_solve runs");
@@ -292,11 +291,7 @@ pub fn minife_row(d: i64, max_iter: i64, tol: f64) -> MemRow {
         ("nnz_row_milli", MiniFe::nnz_row_milli(d, d, d) as i128),
         ("cg_iters", iterations as i128),
     ]);
-    let (lb, sb, fl, ai, mut lines, _) = static_side(analysis, "cg_solve", &binds);
-    let line_bytes = analysis.arch.cache_hierarchy().line_bytes as i128;
-    // vals (doubles) and cols (ints) each hold nnz contiguous 8-byte
-    // elements the CSR indirection hides from the affine analysis
-    lines += 2 * ((8 * nnz as i128 + line_bytes - 1) / line_bytes);
+    let (lb, sb, fl, ai, lines, exact) = static_side(analysis, "cg_solve", &binds);
     MemRow {
         workload: format!("minife_cg_{d}x{d}x{d}"),
         function: "cg_solve".to_string(),
@@ -304,7 +299,7 @@ pub fn minife_row(d: i64, max_iter: i64, tol: f64) -> MemRow {
         static_store_bytes: sb,
         static_flops: fl,
         static_lines: lines,
-        lines_exact: false,
+        lines_exact: exact,
         dynamic: vm.mem_stats().expect("profiling on"),
         bytes_ai: ai,
     }
@@ -368,7 +363,8 @@ mod tests {
     /// miniFE cg_solve: bytes exact (the 6³ cube makes the nnz-per-row
     /// fixed-point annotation exact, and libm bodies move no explicit
     /// bytes); distinct lines within the stated tolerance of the
-    /// cold-cache fills (CSR indirection is estimated, not analyzed).
+    /// cold-cache fills (the CSR arrays come from the `lp_cumulative`
+    /// annotation; the gather bound on `x` is an estimate, not coverage).
     #[test]
     fn minife_cg_bytes_exact_lines_close() {
         let row = minife_row(6, 500, 1e-8);

@@ -7,6 +7,10 @@
 //! * the CSR inner loop's trip count is data-dependent (`row_ptr`), so it
 //!   is annotated with a fixed-point per-row estimate (`nnz_row_milli`,
 //!   scaled by 1/1000) that the user derives from the assembly formula;
+//!   the same pragma carries `lp_cumulative` (the loop sweeps the CSR
+//!   arrays as one cumulative prefix — `vals`/`cols` footprints become
+//!   exact) and `idx_extent: n` (the gather `x[cols[k]]` is bounded by
+//!   the vector length) for the `mira-mem` footprint analysis;
 //! * the CG while-loop runs until convergence, so it is annotated with the
 //!   user's iteration estimate (`cg_iters`) — the dominant source of
 //!   static-vs-dynamic error, growing with problem size like the paper's.
@@ -35,7 +39,7 @@ double dot(int n, double* x, double* y) {
 void matvec(int n, int* row_ptr, int* cols, double* vals, double* x, double* y) {
     for (int i = 0; i < n; i++) {
         double s = 0.0;
-#pragma @Annotation {lp_iters: nnz_row_milli, lp_scale: 0.001}
+#pragma @Annotation {lp_iters: nnz_row_milli, lp_scale: 0.001, lp_cumulative: yes, idx_extent: n}
         for (int k = row_ptr[i]; k < row_ptr[i + 1]; k++) {
             s += vals[k] * x[cols[k]];
         }
