@@ -30,12 +30,26 @@ fn rows(quick: bool) -> Vec<(String, RoofRow)> {
     } else {
         (20_000, 2, 1024, 20, 32, 15)
     };
+    // blocked/tiled shapes: their footprints exceed L1 (dgemm_ws,
+    // dgemm_tiled) or every cache (triad_blocked), but their per-nest
+    // working sets keep the traffic compulsory-only — the placements the
+    // reuse-distance model is gated on
+    let (tiled_n, blocked_n, blocked_reps) = if quick {
+        (32i64, 8192i64, 2i64)
+    } else {
+        (64, 65536, 4)
+    };
     let mut out: Vec<(String, RoofRow)> = vec![
         ("triad_capacity".into(), roofval::triad_roof(stream_n, stream_reps, false)),
         ("triad_resident".into(), roofval::triad_roof(resident_n, resident_reps, false)),
         ("triad_simd_resident".into(), roofval::triad_roof(resident_n, resident_reps, true)),
         ("stream_capacity".into(), roofval::stream_roof(stream_n, stream_reps)),
         ("stream_resident".into(), roofval::stream_roof(resident_n, resident_reps)),
+        ("triad_blocked".into(), roofval::triad_blocked_roof(blocked_n, blocked_reps)),
+        ("dgemm_tiled".into(), roofval::dgemm_tiled_roof(tiled_n, 1)),
+        // the ROADMAP's working-set case at full size in both modes —
+        // it is already tiny
+        ("dgemm_ws40".into(), roofval::dgemm_roof(40, 1)),
     ];
     let dgemm = roofval::dgemm_roof(dgemm_n, 1);
     let minife = roofval::minife_roof(grid, 2000, 1e-8);

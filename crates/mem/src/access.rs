@@ -38,7 +38,7 @@
 
 use mira_core::scop::{extract_for_scop, LoopScope};
 use mira_minic::{AnnotValue, Annotation, BinOp, Expr, ExprKind, Func, Program, Stmt, StmtKind, UnOp};
-use mira_sym::{Rat, SymExpr};
+use mira_sym::{Bindings, EvalError, Rat, SymExpr};
 use std::collections::BTreeMap;
 
 /// Every VX86 array element (double or 64-bit int) is 8 bytes wide.
@@ -75,17 +75,7 @@ impl ArrayFootprint {
     /// Closed-form count of distinct cache lines touched, assuming the
     /// array base is line-aligned: `⌊(E·max + E − 1)/L⌋ − ⌊E·min/L⌋ + 1`.
     pub fn lines_expr(&self, line_bytes: u32) -> SymExpr {
-        let l = line_bytes as i64;
-        let last = self
-            .max_index
-            .scale(Rat::int(ELEM_BYTES as i128))
-            .add_expr(&SymExpr::constant(ELEM_BYTES as i128 - 1))
-            .floor_div(l);
-        let first = self
-            .min_index
-            .scale(Rat::int(ELEM_BYTES as i128))
-            .floor_div(l);
-        last.sub_expr(&first).add_expr(&SymExpr::constant(1))
+        range_lines_expr(&self.min_index, &self.max_index, line_bytes)
     }
 
     /// Extent of the accessed range in bytes.
@@ -95,6 +85,19 @@ impl ArrayFootprint {
             .add_expr(&SymExpr::constant(1))
             .scale(Rat::int(ELEM_BYTES as i128))
     }
+}
+
+/// Closed-form distinct-line count of an inclusive element index range
+/// `[min, max]` on a line-aligned base: `⌊(E·max + E − 1)/L⌋ − ⌊E·min/L⌋
+/// + 1`.
+pub fn range_lines_expr(min_index: &SymExpr, max_index: &SymExpr, line_bytes: u32) -> SymExpr {
+    let l = line_bytes as i64;
+    let last = max_index
+        .scale(Rat::int(ELEM_BYTES as i128))
+        .add_expr(&SymExpr::constant(ELEM_BYTES as i128 - 1))
+        .floor_div(l);
+    let first = min_index.scale(Rat::int(ELEM_BYTES as i128)).floor_div(l);
+    last.sub_expr(&first).add_expr(&SymExpr::constant(1))
 }
 
 /// All footprints of one function, callee references included.
@@ -143,6 +146,57 @@ struct FuncInfo {
     refs: Vec<RawRef>,
     unknown: Vec<String>,
     calls: Vec<CallSite>,
+    /// The function's loop forest (parents before children), for the
+    /// per-nest working-set model.
+    nodes: Vec<NodeBuild>,
+    /// Own references with their nest context — the inputs of
+    /// [`AccessModel::nest_model`].
+    nest_refs: Vec<NestRef>,
+    /// Some traffic escaped the nest bookkeeping (guarded or bounded
+    /// references, unanalyzable loops): the per-nest model would
+    /// under-count, so it is not built.
+    nest_tainted: bool,
+}
+
+/// One loop of the function's loop forest as recorded by the walker; it
+/// outlives the walk (unlike the [`LoopDim`] stack) so working sets can
+/// be derived per nest level afterwards.
+struct NodeBuild {
+    parent: Option<usize>,
+    /// Renamed (unique) induction variable.
+    var: String,
+    lo: SymExpr,
+    hi: SymExpr,
+    step: i64,
+}
+
+impl NodeBuild {
+    /// Trip count `(hi - lo)/step + 1`, in outer domain variables.
+    fn extent(&self) -> SymExpr {
+        let span = self.hi.sub_expr(&self.lo);
+        if self.step > 1 {
+            span.floor_div(self.step).add_expr(&SymExpr::constant(1))
+        } else {
+            span.add_expr(&SymExpr::constant(1))
+        }
+    }
+}
+
+/// One own array reference with its nest context: the enclosing loop
+/// path and the index range at every pin depth.
+struct NestRef {
+    array: String,
+    /// Node ids of the enclosing loops, outermost first.
+    path: Vec<usize>,
+    /// `ranges[l]` is the index range with the outermost `l` loops of
+    /// `path` pinned at their first iteration and the rest swept — the
+    /// working-set ladder (`ranges[0]` is the full-sweep range).
+    ranges: Vec<(SymExpr, SymExpr)>,
+    /// The affine access function itself (domain variables renamed).
+    idx: SymExpr,
+    stored: bool,
+    /// See [`ArrayFootprint::stride_bytes`] (full-sweep dense coverage).
+    stride_bytes: Option<i128>,
 }
 
 #[derive(Clone)]
@@ -282,6 +336,453 @@ impl AccessModel {
     }
 }
 
+// ---- per-nest working-set (reuse-distance) model ----
+
+/// One loop of a function's loop forest as the per-nest model exposes it
+/// (parents precede children; roots have no parent).
+#[derive(Clone, Debug)]
+pub struct NestNode {
+    pub parent: Option<usize>,
+    /// Trip count, with every ancestor pinned at its first iteration.
+    pub extent: SymExpr,
+    /// One-iteration working set of this loop, in distinct cache lines:
+    /// the loop's variable and every ancestor pinned at their first
+    /// iteration, everything deeper swept — united per array, summed
+    /// across arrays. The quantity a cache level must hold for all reuse
+    /// *inside* one iteration of this loop to hit.
+    pub ws_lines: SymExpr,
+}
+
+/// The traffic contribution of one array inside one loop nest: closed
+/// forms for the lines it moves across a boundary in every capture
+/// regime, plus the structure needed to pick the regime at evaluation
+/// time.
+#[derive(Clone, Debug)]
+pub struct NestGroup {
+    pub array: String,
+    /// Enclosing loop node ids, outermost first (empty for straight-line
+    /// references).
+    pub path: Vec<usize>,
+    pub stored: bool,
+    /// Distinct lines of the union of the group's references over the
+    /// full nest sweep — the compulsory fill count when reuse is
+    /// captured.
+    pub lines: SymExpr,
+    /// Distinct lines of the union of the *stored* references (zero when
+    /// nothing stores): each eventually crosses back down as a
+    /// write-back.
+    pub stored_lines: SymExpr,
+    /// Sum of per-access-function distinct lines — the fallback count
+    /// when inter-reference (stencil) reuse is *not* captured and each
+    /// offset access re-fills its own range.
+    pub sum_lines: SymExpr,
+    pub sum_stored_lines: SymExpr,
+    /// Per path level: does the reference range move with that loop's
+    /// iterations? Independent levels re-touch the same lines, so an
+    /// uncaptured independent loop multiplies the traffic.
+    pub depends: Vec<bool>,
+    /// Deepest capture level at which union counting stays valid: when
+    /// `ℓ_fit` exceeds this, inter-reference (stencil) reuse escapes the
+    /// cache and [`NestGroup::sum_lines`] applies. `usize::MAX` for
+    /// single-access groups.
+    pub union_capture_level: usize,
+    /// Every reference's stride chain closes at the model's line size
+    /// and the offset analysis resolved: the traffic counts are exact
+    /// for a fully-associative LRU cache with clear capacity margins,
+    /// not upper bounds.
+    pub exact: bool,
+}
+
+/// Evaluated traffic crossing one hierarchy boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BoundaryTraffic {
+    /// Lines filled across the boundary (compulsory + capacity misses).
+    pub fill_lines: i128,
+    /// Dirty lines written back across it.
+    pub writeback_lines: i128,
+}
+
+impl BoundaryTraffic {
+    /// Total lines crossing the boundary, both directions.
+    pub fn total_lines(&self) -> i128 {
+        self.fill_lines + self.writeback_lines
+    }
+}
+
+/// The per-nest working-set traffic model of one function — the
+/// reuse-distance refinement of the whole-footprint fits-or-streams
+/// decision. For each array × nest group it answers: at a boundary whose
+/// upper level holds `C` bytes, how many lines cross?
+///
+/// The capture level `ℓ_fit` of a group is the outermost nest level
+/// whose one-iteration working set ([`NestNode::ws_lines`], *all* arrays
+/// united) fits in `C`: all reuse inside one iteration of that loop
+/// hits above the boundary. Loops outside the captured subtree replay
+/// the subtree's traffic once per iteration when the group's range does
+/// not move with them (cyclic re-sweeps of the same lines, evicted
+/// between uses because the carried working set exceeds `C`); ranges
+/// that do move are already counted once each by the distinct-line
+/// union. Built by [`AccessModel::nest_model`].
+#[derive(Clone, Debug)]
+pub struct NestModel {
+    pub nodes: Vec<NestNode>,
+    pub groups: Vec<NestGroup>,
+    pub line_bytes: u32,
+}
+
+impl NestModel {
+    /// Every group's traffic count is exact (dense affine coverage,
+    /// resolved stencil offsets) rather than an upper bound.
+    pub fn exact(&self) -> bool {
+        self.groups.iter().all(|g| g.exact)
+    }
+
+    /// Line traffic crossing a hierarchy boundary whose above-capacity
+    /// is `cap_bytes`, at concrete parameter values. The caller is
+    /// expected to have short-circuited the fully-resident case (whole
+    /// footprint ≤ capacity) to the compulsory-only count; this method
+    /// handles every partial-capture regime in between, down to full
+    /// streaming.
+    pub fn boundary_traffic(
+        &self,
+        cap_bytes: u64,
+        b: &Bindings,
+    ) -> Result<BoundaryTraffic, EvalError> {
+        let cap_lines = (cap_bytes / self.line_bytes.max(1) as u64) as i128;
+        let mut ws = Vec::with_capacity(self.nodes.len());
+        let mut ext = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            ws.push(n.ws_lines.eval_count(b)?);
+            ext.push(n.extent.eval_count(b)?.max(0));
+        }
+        let mut t = BoundaryTraffic::default();
+        for g in &self.groups {
+            let depth = g.path.len();
+            // the capture level: the outermost nest level whose
+            // one-iteration working set fits above the boundary
+            let mut fit = depth + 1;
+            for l in 1..=depth {
+                if ws[g.path[l - 1]] <= cap_lines {
+                    fit = l;
+                    break;
+                }
+            }
+            // uncaptured independent loops replay the traffic. The
+            // reuse an independent level carries is separated by one
+            // iteration of the *deepest* loop that still touches the
+            // group's whole range — the leading-independent prefix `d`:
+            // as long as capture reaches that depth (`fit ≤ needed`),
+            // the lines are re-touched before anything can evict them
+            // and no outer level multiplies.
+            let d = g.depends.iter().take_while(|dep| !**dep).count();
+            let mut mult: i128 = 1;
+            for j in 0..depth {
+                if g.depends[j] {
+                    continue;
+                }
+                let needed = if j < d { d } else { j + 1 };
+                if fit > needed {
+                    mult = mult.saturating_mul(ext[g.path[j]]);
+                }
+            }
+            let (lines, stored) = if fit <= g.union_capture_level {
+                (&g.lines, &g.stored_lines)
+            } else {
+                (&g.sum_lines, &g.sum_stored_lines)
+            };
+            t.fill_lines += lines.eval_count(b)?.max(0) * mult;
+            t.writeback_lines += stored.eval_count(b)?.max(0) * mult;
+        }
+        Ok(t)
+    }
+}
+
+/// Pin every ancestor loop variable of `start`'s chain inside `e` at its
+/// first iteration (ancestors resolve outward, so triangular bounds
+/// collapse to closed forms in function parameters).
+fn pin_ancestors(
+    nodes: &[NodeBuild],
+    pinned_lo: &[SymExpr],
+    start: Option<usize>,
+    mut e: SymExpr,
+) -> Option<SymExpr> {
+    let mut p = start;
+    while let Some(a) = p {
+        let var = &nodes[a].var;
+        if e.degree_in(var) > 0 {
+            if e.degree_in(var) > 1 || e.param_in_composite_atom(var) {
+                return None;
+            }
+            e = e.substitute(var, &pinned_lo[a]);
+        }
+        p = nodes[a].parent;
+    }
+    Some(e)
+}
+
+impl AccessModel {
+    /// Build the per-nest working-set model of `func`, or `None` when
+    /// its traffic cannot be fully attributed to the affine loop nests
+    /// of its own body — composed callees, guarded or data-dependent
+    /// references, unanalyzable loops. Callers fall back to the
+    /// whole-footprint fits-or-streams model in that case, which is
+    /// exactly as conservative as before this model existed.
+    pub fn nest_model(&self, func: &str, line_bytes: u32) -> Option<NestModel> {
+        let info = self.functions.get(func)?;
+        if info.nest_tainted || !info.unknown.is_empty() {
+            return None;
+        }
+        // callee traffic has no nest context here; calls to functions
+        // outside the program (libm externs) move no modeled bytes
+        if info
+            .calls
+            .iter()
+            .any(|c| self.functions.contains_key(&c.callee))
+        {
+            return None;
+        }
+        // depth, first-iteration lower bound and pinned trip count per node
+        let loop_vars: Vec<&str> = info.nodes.iter().map(|n| n.var.as_str()).collect();
+        let mut depth = vec![0usize; info.nodes.len()];
+        let mut pinned_lo: Vec<SymExpr> = Vec::with_capacity(info.nodes.len());
+        let mut extents: Vec<SymExpr> = Vec::with_capacity(info.nodes.len());
+        for (i, nb) in info.nodes.iter().enumerate() {
+            depth[i] = nb.parent.map(|p| depth[p] + 1).unwrap_or(0);
+            let lo = pin_ancestors(&info.nodes, &pinned_lo, nb.parent, nb.lo.clone())?;
+            pinned_lo.push(lo);
+            // a triangular loop's trip count varies with its ancestors —
+            // pinning it at the first iteration would be arbitrary (often
+            // zero), so such nests are refused rather than mis-modeled.
+            // Tiled bounds (`i = ii .. ii+T`) cancel to a constant extent
+            // and pass.
+            let extent = nb.extent();
+            if extent
+                .params()
+                .iter()
+                .any(|p| loop_vars.contains(&p.as_str()))
+            {
+                return None;
+            }
+            extents.push(pin_ancestors(&info.nodes, &pinned_lo, nb.parent, extent)?);
+        }
+        // per-node one-iteration working sets
+        let mut nodes = Vec::with_capacity(info.nodes.len());
+        for i in 0..info.nodes.len() {
+            let d = depth[i];
+            let mut per_array: BTreeMap<&str, (SymExpr, SymExpr)> = BTreeMap::new();
+            for r in &info.nest_refs {
+                if r.path.get(d) != Some(&i) {
+                    continue;
+                }
+                let (mn, mx) = &r.ranges[d + 1];
+                match per_array.entry(r.array.as_str()) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert((mn.clone(), mx.clone()));
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        let (cmn, cmx) = e.get().clone();
+                        *e.get_mut() = sym_min_max(&cmn, mn, &cmx, mx)?;
+                    }
+                }
+            }
+            let mut ws = SymExpr::zero();
+            for (mn, mx) in per_array.values() {
+                ws = ws.add_expr(&range_lines_expr(mn, mx, line_bytes));
+            }
+            nodes.push(NestNode {
+                parent: info.nodes[i].parent,
+                extent: extents[i].clone(),
+                ws_lines: ws,
+            });
+        }
+        // array × nest groups
+        let mut by_group: BTreeMap<(String, Vec<usize>), Vec<&NestRef>> = BTreeMap::new();
+        for r in &info.nest_refs {
+            by_group
+                .entry((r.array.clone(), r.path.clone()))
+                .or_default()
+                .push(r);
+        }
+        let mut groups = Vec::with_capacity(by_group.len());
+        for ((array, path), refs) in by_group {
+            groups.push(self.build_group(info, array, path, &refs, line_bytes)?);
+        }
+        Some(NestModel {
+            nodes,
+            groups,
+            line_bytes,
+        })
+    }
+
+    fn build_group(
+        &self,
+        info: &FuncInfo,
+        array: String,
+        path: Vec<usize>,
+        refs: &[&NestRef],
+        line_bytes: u32,
+    ) -> Option<NestGroup> {
+        // distinct access functions, each with its own united range
+        struct Access {
+            idx: SymExpr,
+            min: SymExpr,
+            max: SymExpr,
+            stored: bool,
+        }
+        let mut accesses: Vec<Access> = Vec::new();
+        for r in refs {
+            let (mn, mx) = &r.ranges[0];
+            match accesses
+                .iter_mut()
+                .find(|a| a.idx.sub_expr(&r.idx).is_zero())
+            {
+                Some(a) => {
+                    let (nmn, nmx) = sym_min_max(&a.min, mn, &a.max, mx)?;
+                    a.min = nmn;
+                    a.max = nmx;
+                    a.stored |= r.stored;
+                }
+                None => accesses.push(Access {
+                    idx: r.idx.clone(),
+                    min: mn.clone(),
+                    max: mx.clone(),
+                    stored: r.stored,
+                }),
+            }
+        }
+        // full-sweep union (and the stored subset), tracking gap-freedom;
+        // an incomparable union falls back to the per-access sum — a
+        // valid (if overlapping) upper bound on the distinct lines
+        let mut connected = true;
+        let mut comparable = true;
+        let mut union: Option<(SymExpr, SymExpr)> = None;
+        let mut stored_union: Option<(SymExpr, SymExpr)> = None;
+        for r in refs {
+            let (mn, mx) = &r.ranges[0];
+            union = Some(match union {
+                None => (mn.clone(), mx.clone()),
+                Some((umn, umx)) => {
+                    if !ranges_connected(&umn, &umx, mn, mx) {
+                        connected = false;
+                    }
+                    match sym_min_max(&umn, mn, &umx, mx) {
+                        Some(u) => u,
+                        None => {
+                            comparable = false;
+                            (umn, umx)
+                        }
+                    }
+                }
+            });
+            if r.stored {
+                stored_union = Some(match stored_union {
+                    None => (mn.clone(), mx.clone()),
+                    Some((smn, smx)) => match sym_min_max(&smn, mn, &smx, mx) {
+                        Some(u) => u,
+                        None => {
+                            comparable = false;
+                            (smn, smx)
+                        }
+                    },
+                });
+            }
+        }
+        let (umn, umx) = union?;
+        let mut sum_lines = SymExpr::zero();
+        let mut sum_stored_lines = SymExpr::zero();
+        for a in &accesses {
+            let l = range_lines_expr(&a.min, &a.max, line_bytes);
+            sum_lines = sum_lines.add_expr(&l);
+            if a.stored {
+                sum_stored_lines = sum_stored_lines.add_expr(&l);
+            }
+        }
+        let (lines, stored_lines) = if comparable {
+            (
+                range_lines_expr(&umn, &umx, line_bytes),
+                stored_union
+                    .as_ref()
+                    .map(|(a, b)| range_lines_expr(a, b, line_bytes))
+                    .unwrap_or_else(SymExpr::zero),
+            )
+        } else {
+            (sum_lines.clone(), sum_stored_lines.clone())
+        };
+        // does pinning one more level move any reference's range?
+        let mut depends = vec![false; path.len()];
+        for r in refs {
+            for (l, dep) in depends.iter_mut().enumerate() {
+                let (a0, b0) = &r.ranges[l];
+                let (a1, b1) = &r.ranges[l + 1];
+                if !a0.sub_expr(a1).is_zero() || !b0.sub_expr(b1).is_zero() {
+                    *dep = true;
+                }
+            }
+        }
+        // stencil analysis: a constant offset δ between two access
+        // functions is reuse carried by the outermost loop whose
+        // per-iteration index movement (its coefficient) covers δ —
+        // union counting needs capture at that loop
+        let mut union_capture_level = usize::MAX;
+        let mut deltas_clean = true;
+        for i in 0..accesses.len() {
+            for j in i + 1..accesses.len() {
+                let delta = accesses[i].idx.sub_expr(&accesses[j].idx);
+                let Some(nonneg) = sign_of(&delta) else {
+                    deltas_clean = false;
+                    union_capture_level = 0;
+                    continue;
+                };
+                let dabs = if nonneg { delta } else { delta.neg_expr() };
+                let mut carried = None;
+                for (l, node) in path.iter().enumerate() {
+                    let var = &info.nodes[*node].var;
+                    if accesses[i].idx.degree_in(var) == 0 {
+                        continue;
+                    }
+                    let coeff = accesses[i].idx.coefficients_of(var)[1].clone();
+                    let mag = match sign_of(&coeff) {
+                        Some(true) => coeff,
+                        Some(false) => coeff.neg_expr(),
+                        None => {
+                            deltas_clean = false;
+                            union_capture_level = 0;
+                            carried = None;
+                            break;
+                        }
+                    };
+                    // |coeff| ≤ |δ|: one iteration here spans the offset
+                    if sign_of(&dabs.sub_expr(&mag)) == Some(true) {
+                        carried = Some(l);
+                        break;
+                    }
+                }
+                if let Some(l) = carried {
+                    union_capture_level = union_capture_level.min(l + 1);
+                }
+                // no qualifying level: the offset is smaller than every
+                // per-iteration movement — reuse within one innermost
+                // iteration, captured by any cache
+            }
+        }
+        let dense = refs
+            .iter()
+            .all(|r| matches!(r.stride_bytes, Some(s) if s <= line_bytes as i128));
+        Some(NestGroup {
+            array,
+            path,
+            stored: refs.iter().any(|r| r.stored),
+            lines,
+            stored_lines,
+            sum_lines,
+            sum_stored_lines,
+            depends,
+            union_capture_level,
+            exact: line_bytes <= 64 && dense && connected && deltas_clean && comparable,
+        })
+    }
+}
+
 /// Fold one reference into the per-array footprint map, uniting index
 /// ranges; incomparable ranges keep the first and flag the array.
 fn union_ref(
@@ -346,8 +847,10 @@ fn ranges_connected(min_a: &SymExpr, max_a: &SymExpr, min_b: &SymExpr, max_b: &S
     min_b.sub_expr(min_a).as_constant().is_some() && max_b.sub_expr(max_a).as_constant().is_some()
 }
 
-/// `min`/`max` of two affine expressions when their difference is a known
-/// constant; `None` when incomparable.
+/// `min`/`max` of two affine expressions when their difference has a
+/// decidable sign — constant, or uniformly signed in the (nonnegative)
+/// parameters, so `i·n` and `(i+1)·n` row offsets compare; `None` when
+/// incomparable (mixed-sign differences).
 fn sym_min_max(
     min_a: &SymExpr,
     min_b: &SymExpr,
@@ -355,9 +858,11 @@ fn sym_min_max(
     max_b: &SymExpr,
 ) -> Option<(SymExpr, SymExpr)> {
     let pick = |a: &SymExpr, b: &SymExpr, smaller: bool| -> Option<SymExpr> {
-        let d = a.sub_expr(b).as_constant()?;
-        let a_first = (d <= Rat::ZERO) == smaller;
-        Some(if a_first { a.clone() } else { b.clone() })
+        let a_le_b = match sign_of(&a.sub_expr(b)) {
+            Some(nonneg) => !nonneg || a.sub_expr(b).is_zero(),
+            None => return None,
+        };
+        Some(if a_le_b == smaller { a.clone() } else { b.clone() })
     };
     Some((pick(min_a, min_b, true)?, pick(max_a, max_b, false)?))
 }
@@ -410,6 +915,11 @@ struct Walker {
     unknown: Vec<String>,
     calls: Vec<CallSite>,
     var_counter: usize,
+    /// Loop forest and per-reference nest bookkeeping (see [`FuncInfo`]).
+    nodes: Vec<NodeBuild>,
+    node_path: Vec<usize>,
+    nest_refs: Vec<NestRef>,
+    nest_tainted: bool,
 }
 
 /// Pre-pass: every scalar the function ever declares, assigns or
@@ -535,6 +1045,10 @@ fn analyze_func(f: &Func) -> FuncInfo {
         unknown: Vec::new(),
         calls: Vec::new(),
         var_counter: 0,
+        nodes: Vec::new(),
+        node_path: Vec::new(),
+        nest_refs: Vec::new(),
+        nest_tainted: false,
     };
     for s in &f.body.stmts {
         w.walk_stmt(s);
@@ -548,6 +1062,9 @@ fn analyze_func(f: &Func) -> FuncInfo {
         refs: w.refs,
         unknown,
         calls: w.calls,
+        nodes: w.nodes,
+        nest_refs: w.nest_refs,
+        nest_tainted: w.nest_tainted,
     }
 }
 
@@ -644,9 +1161,11 @@ impl Walker {
                     hi: scop.hi.clone(),
                     step,
                 });
+                self.push_node(&dom, &scop.lo, &scop.hi, step);
                 let saved = self.scope.insert(scop.var.clone(), dom);
                 self.walk_stmt(body);
                 self.loops.pop();
+                self.node_path.pop();
                 match saved {
                     Some(v) => {
                         self.scope.insert(scop.var.clone(), v);
@@ -663,10 +1182,12 @@ impl Walker {
                     // the enclosing nest, so it acts as one synthetic affine
                     // dimension of extent (enclosing trip count) · t
                     let dom = dim.var.clone();
+                    self.push_node(&dom, &dim.lo, &dim.hi, dim.step);
                     self.loops.push(dim);
                     let saved = self.scope.insert(var.clone(), dom);
                     self.walk_stmt(body);
                     self.loops.pop();
+                    self.node_path.pop();
                     match saved {
                         Some(v) => {
                             self.scope.insert(var.clone(), v);
@@ -679,7 +1200,10 @@ impl Walker {
                 None => {
                     // unanalyzable bounds: the induction variable is already
                     // poisoned by the mutation pre-pass (its step assigns
-                    // it), so references indexed by it are reported unknown
+                    // it), so references indexed by it are reported unknown —
+                    // and the loop's repetition count is invisible to the
+                    // per-nest model, so that model must not be built
+                    self.nest_tainted = true;
                     self.walk_stmt(body);
                 }
             },
@@ -876,6 +1400,19 @@ impl Walker {
         }
     }
 
+    /// Record the current loop as a node of the persistent loop forest.
+    fn push_node(&mut self, var: &str, lo: &SymExpr, hi: &SymExpr, step: i64) {
+        let id = self.nodes.len();
+        self.nodes.push(NodeBuild {
+            parent: self.node_path.last().copied(),
+            var: var.to_string(),
+            lo: lo.clone(),
+            hi: hi.clone(),
+            step,
+        });
+        self.node_path.push(id);
+    }
+
     fn record_ref(&mut self, base: &Expr, index: &Expr, store: bool) {
         let ExprKind::Var(array) = &base.kind else {
             return;
@@ -896,22 +1433,89 @@ impl Walker {
             Some((min, max, _)) if self.is_poisoned(&min) || self.is_poisoned(&max) => {
                 self.bounded_or_unknown(array, store);
             }
-            Some((min, max, stride)) => self.refs.push(RawRef {
-                array: array.clone(),
-                min,
-                max,
-                loaded: !store,
-                stored: store,
-                stride_bytes: if self.branch_depth == 0 { stride } else { None },
-            }),
+            Some((min, max, stride)) => {
+                self.record_nest_ref(array, &idx, store, stride);
+                self.refs.push(RawRef {
+                    array: array.clone(),
+                    min,
+                    max,
+                    loaded: !store,
+                    stored: store,
+                    stride_bytes: if self.branch_depth == 0 { stride } else { None },
+                });
+            }
             None => self.bounded_or_unknown(array, store),
         }
+    }
+
+    /// Nest-model bookkeeping for one analyzable reference: the pinned
+    /// range ladder over the current loop path. Guarded references taint
+    /// the model — their traffic cannot be attributed to a nest level.
+    fn record_nest_ref(&mut self, array: &str, idx: &SymExpr, store: bool, stride: Option<i128>) {
+        if self.branch_depth > 0 {
+            self.nest_tainted = true;
+            return;
+        }
+        let Some(ranges) = self.pinned_ranges(idx) else {
+            self.nest_tainted = true;
+            return;
+        };
+        if ranges
+            .iter()
+            .any(|(mn, mx)| self.is_poisoned(mn) || self.is_poisoned(mx))
+        {
+            self.nest_tainted = true;
+            return;
+        }
+        self.nest_refs.push(NestRef {
+            array: array.to_string(),
+            path: self.node_path.clone(),
+            ranges,
+            idx: idx.clone(),
+            stored: store,
+            stride_bytes: stride,
+        });
+    }
+
+    /// The index range with the outermost `l` enclosing loops pinned at
+    /// their first iteration and the rest swept, for every `l` in
+    /// `0..=depth` — the per-nest working-set ladder. The swept dims are
+    /// substituted innermost-first (the same [`sweep_dims`] step
+    /// [`Walker::range_of`] uses); pinned dims then collapse to their
+    /// lower bound, innermost-pinned first so tiled bounds resolve
+    /// toward the outermost loop.
+    fn pinned_ranges(&self, idx: &SymExpr) -> Option<Vec<(SymExpr, SymExpr)>> {
+        let depth = self.loops.len();
+        let mut out = Vec::with_capacity(depth + 1);
+        for pin in 0..=depth {
+            let mut min = idx.clone();
+            let mut max = idx.clone();
+            let mut unknown_sign = false;
+            if !sweep_dims(&self.loops[pin..], &mut min, &mut max, &mut unknown_sign) {
+                return None;
+            }
+            for dim in self.loops[..pin].iter().rev() {
+                for range in [&mut min, &mut max] {
+                    if range.degree_in(&dim.var) == 0 {
+                        continue;
+                    }
+                    if range.degree_in(&dim.var) > 1 || range.param_in_composite_atom(&dim.var) {
+                        return None;
+                    }
+                    *range = range.substitute(&dim.var, &dim.lo);
+                }
+            }
+            out.push((min, max));
+        }
+        Some(out)
     }
 
     /// An unanalyzable reference: inside an `idx_extent`-annotated loop it
     /// is bounded to `[0, extent - 1]` — a coverage-unproven upper bound,
     /// like a guarded reference — otherwise the array is unknown.
     fn bounded_or_unknown(&mut self, array: &str, store: bool) {
+        // either way the traffic escapes the per-nest bookkeeping
+        self.nest_tainted = true;
         if let Some(extent) = self.extent_stack.last() {
             if !self.is_poisoned(extent) {
                 self.refs.push(RawRef {
@@ -933,50 +1537,21 @@ impl Walker {
     }
 
     /// Index range over the enclosing iteration domain by interval
-    /// substitution (innermost loop first, so inner bounds that reference
-    /// outer variables resolve as we go), plus the dense-coverage check
+    /// substitution ([`sweep_dims`]), plus the dense-coverage check
     /// (`Some(stride_bytes)` when the range is gap-free up to that
     /// stride).
     fn range_of(&self, idx: &SymExpr) -> Option<(SymExpr, SymExpr, Option<i128>)> {
         let mut min = idx.clone();
         let mut max = idx.clone();
-        let mut stride = self.dense_coverage(idx);
-        for dim in self.loops.iter().rev() {
-            for (range, subst_lo_when_pos) in [(&mut min, true), (&mut max, false)] {
-                if range.degree_in(&dim.var) == 0 {
-                    continue;
-                }
-                if range.degree_in(&dim.var) > 1 || range.param_in_composite_atom(&dim.var) {
-                    return None;
-                }
-                let coeff = &range.coefficients_of(&dim.var)[1];
-                let bound = match sign_of(coeff) {
-                    Some(true) => {
-                        if subst_lo_when_pos {
-                            &dim.lo
-                        } else {
-                            &dim.hi
-                        }
-                    }
-                    Some(false) => {
-                        if subst_lo_when_pos {
-                            &dim.hi
-                        } else {
-                            &dim.lo
-                        }
-                    }
-                    None => {
-                        stride = None;
-                        if subst_lo_when_pos {
-                            &dim.lo
-                        } else {
-                            &dim.hi
-                        }
-                    }
-                };
-                *range = range.substitute(&dim.var, bound);
-            }
+        let mut unknown_sign = false;
+        if !sweep_dims(&self.loops, &mut min, &mut max, &mut unknown_sign) {
+            return None;
         }
+        let stride = if unknown_sign {
+            None
+        } else {
+            self.dense_coverage(idx)
+        };
         Some((min, max, stride))
     }
 
@@ -1042,6 +1617,46 @@ impl Walker {
         });
         best
     }
+}
+
+/// Substitute each of `dims`' bounds into `min`/`max` (innermost loop
+/// first, so inner bounds that reference outer variables resolve as we
+/// go): a positive-coefficient variable takes its lower bound in `min`
+/// and upper bound in `max`, a negative one the reverse. Returns `false`
+/// when a dimension occurs non-affinely; sets `unknown_sign` when a
+/// coefficient's sign was undecidable (the range stays a valid hull but
+/// dense coverage must not be claimed).
+fn sweep_dims(
+    dims: &[LoopDim],
+    min: &mut SymExpr,
+    max: &mut SymExpr,
+    unknown_sign: &mut bool,
+) -> bool {
+    for dim in dims.iter().rev() {
+        for (range, subst_lo_when_pos) in [(&mut *min, true), (&mut *max, false)] {
+            if range.degree_in(&dim.var) == 0 {
+                continue;
+            }
+            if range.degree_in(&dim.var) > 1 || range.param_in_composite_atom(&dim.var) {
+                return false;
+            }
+            let coeff = &range.coefficients_of(&dim.var)[1];
+            let bound = match (sign_of(coeff), subst_lo_when_pos) {
+                (Some(true), true) | (Some(false), false) => &dim.lo,
+                (Some(true), false) | (Some(false), true) => &dim.hi,
+                (None, lo) => {
+                    *unknown_sign = true;
+                    if lo {
+                        &dim.lo
+                    } else {
+                        &dim.hi
+                    }
+                }
+            };
+            *range = range.substitute(&dim.var, bound);
+        }
+    }
+    true
 }
 
 /// `Some(true)` for provably nonnegative, `Some(false)` for provably
@@ -1410,6 +2025,174 @@ mod tests {
         for arr in ["vals", "cols", "x"] {
             assert!(fp.unknown.contains(&arr.to_string()), "{arr}: {fp:?}");
         }
+    }
+
+    // ---- per-nest working-set model ----
+
+    fn nest(src: &str, func: &str) -> NestModel {
+        let p = frontend(src).expect("parses");
+        analyze_program(&p)
+            .nest_model(func, 64)
+            .expect("nest model builds")
+    }
+
+    const MM_SRC: &str = "void mm(int n, int reps, double* a, double* b, double* c) {\n\
+         for (int r = 0; r < reps; r++) {\n\
+           for (int i = 0; i < n; i++) {\n\
+             for (int k = 0; k < n; k++) {\n\
+               for (int j = 0; j < n; j++) {\n\
+                 c[i * n + j] += a[i * n + k] * b[k * n + j];\n\
+               } } } } }";
+
+    #[test]
+    fn dgemm_per_nest_working_sets() {
+        let nm = nest(MM_SRC, "mm");
+        assert!(nm.exact(), "{nm:?}");
+        assert_eq!(nm.nodes.len(), 4, "r, i, k, j");
+        let b = bindings(&[("n", 40), ("reps", 1)]);
+        // one r iteration touches everything: 3 × 200 lines
+        assert_eq!(nm.nodes[0].ws_lines.eval_count(&b).unwrap(), 600);
+        // one i iteration: a row (5) + c row (5) + all of b (200)
+        assert_eq!(nm.nodes[1].ws_lines.eval_count(&b).unwrap(), 210);
+        // one k iteration: c row + b row + one a element's line
+        assert_eq!(nm.nodes[2].ws_lines.eval_count(&b).unwrap(), 11);
+        // one j iteration: three lines
+        assert_eq!(nm.nodes[3].ws_lines.eval_count(&b).unwrap(), 3);
+        assert_eq!(nm.nodes[1].extent.eval_count(&b).unwrap(), 40);
+    }
+
+    #[test]
+    fn dgemm_n40_boundary_traffic_is_compulsory_at_l1_capacity() {
+        // the ROADMAP case: the whole 38400-byte footprint exceeds a
+        // 32 KiB L1, but the per-i working set (two rows + all of b)
+        // fits — every array moves compulsory lines only
+        let nm = nest(MM_SRC, "mm");
+        let b = bindings(&[("n", 40), ("reps", 1)]);
+        let t = nm.boundary_traffic(32 * 1024, &b).unwrap();
+        assert_eq!(t.fill_lines, 600, "compulsory fills only");
+        assert_eq!(t.writeback_lines, 200, "c written back once");
+        // a 1 KiB cache captures only the k-level working set: b is
+        // re-swept once per i iteration (n × 200 lines), a and c stay
+        // compulsory (their rows stream monotonically)
+        let t = nm.boundary_traffic(1024, &b).unwrap();
+        assert_eq!(t.fill_lines, 200 + 200 + 40 * 200);
+        assert_eq!(t.writeback_lines, 200);
+    }
+
+    #[test]
+    fn repetition_loop_multiplies_uncaptured_traffic() {
+        let nm = nest(
+            "void triad(int n, int reps, double* a, double* b, double* c, double s) {\n\
+               for (int r = 0; r < reps; r++) {\n\
+                 for (int i = 0; i < n; i++) {\n\
+                   a[i] = b[i] + s * c[i];\n\
+                 } } }",
+            "triad",
+        );
+        assert!(nm.exact());
+        let b = bindings(&[("n", 20000), ("reps", 2)]);
+        // 3 × 2500 lines per sweep; the per-rep working set exceeds the
+        // cap, so each rep re-fills every array and re-evicts a dirty
+        let t = nm.boundary_traffic(256 * 1024, &b).unwrap();
+        assert_eq!(t.fill_lines, 3 * 2500 * 2);
+        assert_eq!(t.writeback_lines, 2500 * 2);
+        // a cache that holds the whole 480000-byte footprint captures
+        // the rep-carried reuse: compulsory only
+        let t = nm.boundary_traffic(1 << 20, &b).unwrap();
+        assert_eq!(t.fill_lines, 3 * 2500);
+        assert_eq!(t.writeback_lines, 2500);
+    }
+
+    #[test]
+    fn stencil_offsets_sum_when_uncaptured() {
+        // a 5-point-style row stencil: the three row-offset reads of u
+        // are reuse carried by the i loop (offset n = i's coefficient);
+        // once three rows no longer fit, each offset re-fills its range
+        let src = "void relax(int n, double* u, double* out) {\n\
+             for (int i = 1; i < n - 1; i++) {\n\
+               for (int j = 0; j < n; j++) {\n\
+                 out[i * n + j] = u[(i - 1) * n + j] + u[i * n + j] + u[(i + 1) * n + j];\n\
+               } } }";
+        let nm = nest(src, "relax");
+        let gu = nm.groups.iter().find(|g| g.array == "u").expect("u grouped");
+        let go = nm.groups.iter().find(|g| g.array == "out").expect("out grouped");
+        assert_eq!(gu.union_capture_level, 1, "carried by the i loop");
+        assert_eq!(go.union_capture_level, usize::MAX, "single access");
+        let b = bindings(&[("n", 64)]);
+        let union_lines = gu.lines.eval_count(&b).unwrap();
+        let sum_lines = gu.sum_lines.eval_count(&b).unwrap();
+        let out_lines = go.lines.eval_count(&b).unwrap();
+        assert!(sum_lines > union_lines, "{sum_lines} vs {union_lines}");
+        // captured (one i iteration = 4 rows = 32 lines fit): union
+        let t = nm.boundary_traffic(8 * 1024, &b).unwrap();
+        assert_eq!(t.fill_lines, union_lines + out_lines);
+        assert_eq!(t.writeback_lines, out_lines);
+        // uncaptured (rows no longer fit): the three offsets re-fill
+        let t = nm.boundary_traffic(1024, &b).unwrap();
+        assert_eq!(t.fill_lines, sum_lines + out_lines);
+    }
+
+    #[test]
+    fn nest_model_refuses_unattributable_traffic() {
+        // guarded reference
+        let p = frontend(
+            "void f(int n, double* a) {\n\
+               for (int i = 0; i < n; i++) { if (i % 2 == 0) { a[i] = 0.0; } } }",
+        )
+        .unwrap();
+        assert!(analyze_program(&p).nest_model("f", 64).is_none());
+        // composed callee
+        let p = frontend(
+            "void kern(int m, double* p) { for (int i = 0; i < m; i++) { p[i] = 0.0; } }\n\
+             void f(int n, double* x) { kern(n, x); }",
+        )
+        .unwrap();
+        let am = analyze_program(&p);
+        assert!(am.nest_model("f", 64).is_none());
+        assert!(am.nest_model("kern", 64).is_some(), "the leaf still models");
+        // data-dependent index
+        let p = frontend(
+            "void g(int n, int* cols, double* x, double* y) {\n\
+               for (int i = 0; i < n; i++) { y[i] = x[cols[i]]; } }",
+        )
+        .unwrap();
+        assert!(analyze_program(&p).nest_model("g", 64).is_none());
+    }
+
+    #[test]
+    fn triangular_extents_refuse_nest_model() {
+        // the inner trip count varies with i: pinned at the first
+        // iteration it would be zero, zeroing the uncaptured-traffic
+        // multipliers of a kernel that actually sweeps ~n²/2 times — so
+        // the nest model refuses and placement falls back to the sweep
+        let p = frontend(
+            "void f(int n, double* a) {\n\
+               for (int i = 0; i < n; i++) {\n\
+                 for (int r = 0; r < i; r++) {\n\
+                   for (int j = 0; j < n; j++) { a[j] = a[j] + 1.0; } } } }",
+        )
+        .unwrap();
+        assert!(analyze_program(&p).nest_model("f", 64).is_none());
+        // tiled bounds cancel to a constant extent and stay modelable
+        let p = frontend(
+            "void g(int n, double* a) {\n\
+               for (int ii = 0; ii < n; ii += 8) {\n\
+                 for (int i = ii; i < ii + 8; i++) { a[i] = 0.0; } } }",
+        )
+        .unwrap();
+        assert!(analyze_program(&p).nest_model("g", 64).is_some());
+    }
+
+    #[test]
+    fn straight_line_references_count_once() {
+        let nm = nest(
+            "void edge(int n, double* a) { a[0] = 1.0; a[n - 1] = 2.0; }",
+            "edge",
+        );
+        let b = bindings(&[("n", 1024)]);
+        let t = nm.boundary_traffic(64, &b).unwrap();
+        assert_eq!(t.fill_lines, 2);
+        assert_eq!(t.writeback_lines, 2);
     }
 
     #[test]

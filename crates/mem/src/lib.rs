@@ -15,7 +15,14 @@
 //!   function over its SCoP and predicts the **distinct cache lines**
 //!   touched per array — stride- and vector-width-aware, composed across
 //!   calls, exact for dense affine coverage
-//!   ([`access::FuncFootprints`]).
+//!   ([`access::FuncFootprints`]) — and refines the per-function total
+//!   into a **per-nest working-set model** ([`access::NestModel`]): the
+//!   distinct-line working set of one iteration of every enclosing loop
+//!   level (the affine ranges with outer loop variables pinned at their
+//!   first iteration), from which the traffic crossing any cache
+//!   boundary follows — reuse captured above the boundary is compulsory,
+//!   uncaptured re-sweeps multiply, stencil offsets fall back to
+//!   per-access counts when their carried reuse escapes.
 //! * **Dynamic half.** [`cachesim::CacheSim`] is a two-level
 //!   set-associative LRU simulator the VM hangs off its load/store path
 //!   when `VmOptions::mem_profile` is set (mirrored in `ReferenceVm`, so
@@ -34,7 +41,10 @@
 pub mod access;
 pub mod cachesim;
 
-pub use access::{analyze_program, AccessModel, ArrayFootprint, FuncFootprints};
+pub use access::{
+    analyze_program, AccessModel, ArrayFootprint, BoundaryTraffic, FuncFootprints, NestGroup,
+    NestModel, NestNode,
+};
 pub use cachesim::{CacheSim, LevelStats, MemStats};
 
 use mira_core::Analysis;
@@ -71,7 +81,10 @@ pub fn traffic_table(
 }
 
 /// Distinct-line footprints for `func`, derived from the analysis'
-/// source program.
+/// source program. (For the per-nest working-set model, build one
+/// [`AccessModel`] with [`analyze_program`] and call
+/// [`AccessModel::nest_model`] on it — footprints and nest model then
+/// share the analysis.)
 pub fn footprints(analysis: &Analysis, func: &str) -> FuncFootprints {
     analyze_program(&analysis.program).footprint(func)
 }

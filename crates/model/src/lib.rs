@@ -338,6 +338,44 @@ impl Model {
         self.bytes_expr(func, true, true)
     }
 
+    /// Per-line closed forms of the *data* (frame-excluded) bytes moved
+    /// by the function's own statements: `line → (load bytes, store
+    /// bytes)`. Call lines are not included — a callee's traffic
+    /// belongs to the callee's own nests. This is the byte side of the
+    /// per-loop-nest roofline bounds (`mira_roofline::nest_bounds`) and
+    /// of the `<name>_line_bytes` helpers in the emitted Python.
+    pub fn line_data_bytes_exprs(
+        &self,
+        func: &str,
+    ) -> Result<BTreeMap<u32, (SymExpr, SymExpr)>, ModelError> {
+        let fm = self
+            .functions
+            .get(func)
+            .ok_or_else(|| ModelError::UnknownFunction(func.to_string()))?;
+        let mut by_line: BTreeMap<u32, (SymExpr, SymExpr)> = BTreeMap::new();
+        for op in &fm.ops {
+            if let ModelOp::MemAcc {
+                line,
+                store,
+                bytes_per_exec,
+                frame: false,
+                count,
+            } = op
+            {
+                let e = by_line
+                    .entry(*line)
+                    .or_insert_with(|| (SymExpr::zero(), SymExpr::zero()));
+                let bytes = count.scale(Rat::int(*bytes_per_exec as i128));
+                if *store {
+                    e.1 = e.1.add_expr(&bytes);
+                } else {
+                    e.0 = e.0.add_expr(&bytes);
+                }
+            }
+        }
+        Ok(by_line)
+    }
+
     /// Closed-form expression for the FLOPs of one call of `func`.
     pub fn flops_expr(&self, func: &str) -> Result<SymExpr, ModelError> {
         self.fold_expr(func, 0, &|op| match op {
@@ -605,6 +643,23 @@ mod tests {
         assert_eq!(m.flops_expr("solve").unwrap().eval_count(&b).unwrap(), 60);
         assert!(matches!(
             m.load_bytes_expr("nope"),
+            Err(ModelError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn line_data_bytes_closed_forms() {
+        let m = simple_model();
+        let lines = m.line_data_bytes_exprs("waxpby").unwrap();
+        let b = bindings(&[("n", 10)]);
+        // line 2 moves the data traffic; the line-3 frame spill is
+        // excluded entirely (no entry, not a zero)
+        let (load, store) = lines.get(&2).expect("kernel line present");
+        assert_eq!(load.eval_count(&b).unwrap(), 160);
+        assert_eq!(store.eval_count(&b).unwrap(), 80);
+        assert!(!lines.contains_key(&3), "frame-only lines are omitted");
+        assert!(matches!(
+            m.line_data_bytes_exprs("nope"),
             Err(ModelError::UnknownFunction(_))
         ));
     }

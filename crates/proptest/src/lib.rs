@@ -10,13 +10,17 @@
 //! * [`collection::vec`] and [`option::of`];
 //! * the `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`
 //!   and `prop_assume!` macros;
-//! * [`test_runner::ProptestConfig`] (only `cases` is honoured).
+//! * [`test_runner::ProptestConfig`] (`cases` and `max_shrink_iters`
+//!   are honoured; `max_shrink_iters = 0` means the 512-probe default,
+//!   not "no shrinking").
 //!
 //! Values are drawn from a deterministic xorshift generator seeded from
-//! the test name, so failures reproduce across runs. There is no
-//! shrinking: a failing case panics with the generated inputs visible in
-//! the assertion message. Swap this path dependency for crates.io
-//! `proptest` and the same test sources still build.
+//! the test name, so failures reproduce across runs. Failing cases
+//! **shrink**: the runner re-runs the body on smaller candidate inputs
+//! (integers bisect toward their range start, vectors shorten, tuples
+//! shrink component-wise) and panics with the minimal still-failing
+//! input. Swap this path dependency for crates.io `proptest` and the
+//! same test sources still build.
 
 pub mod test_runner {
     /// Deterministic split-mix / xorshift generator.
@@ -49,12 +53,14 @@ pub mod test_runner {
         }
     }
 
-    /// Runner configuration; only `cases` has an effect in the shim.
+    /// Runner configuration; `cases` and `max_shrink_iters` have an
+    /// effect in the shim.
     #[derive(Clone, Debug)]
     pub struct ProptestConfig {
         /// Number of random cases each `proptest!` test executes.
         pub cases: u32,
-        /// Accepted for source compatibility; unused.
+        /// Shrink-probe budget after a failure; `0` selects the default
+        /// budget of 512 probes (the shim never disables shrinking).
         pub max_shrink_iters: u32,
     }
 
@@ -81,11 +87,20 @@ pub mod strategy {
     use crate::test_runner::TestRng;
 
     /// A generator of random values. Unlike the real crate there is no
-    /// value tree and no shrinking — `generate` simply draws a value.
+    /// value tree — `generate` simply draws a value, and `shrink`
+    /// proposes strictly-simpler candidates for a failing one.
     pub trait Strategy {
         type Value;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Simpler candidate replacements for a failing value, most
+        /// aggressive first; empty when the strategy cannot shrink (the
+        /// default — e.g. mapped strategies, whose projection cannot be
+        /// inverted).
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
 
         fn prop_map<O, F>(self, f: F) -> Map<Self, F>
         where
@@ -156,6 +171,21 @@ pub mod strategy {
         }
     }
 
+    /// Bisect an integer toward the range start: `[lo, midpoint, v-1]`,
+    /// deduplicated and strictly below `v`.
+    fn shrink_toward(lo: i128, v: i128) -> Vec<i128> {
+        let mut out = Vec::new();
+        if v <= lo {
+            return out;
+        }
+        for c in [lo, lo + (v - lo) / 2, v - 1] {
+            if c < v && !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
     macro_rules! int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for ::std::ops::Range<$t> {
@@ -166,6 +196,12 @@ pub mod strategy {
                     let off = rng.next_u128() % span;
                     ((self.start as i128) + off as i128) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_toward(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
+                }
             }
             impl Strategy for ::std::ops::RangeInclusive<$t> {
                 type Value = $t;
@@ -175,6 +211,12 @@ pub mod strategy {
                     let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
                     let off = rng.next_u128() % span;
                     ((lo as i128) + off as i128) as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_toward(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
                 }
             }
         )*};
@@ -191,14 +233,32 @@ pub mod strategy {
             let span = self.end.wrapping_sub(self.start) as u128;
             self.start + (rng.next_u128() % span) as i128
         }
+        fn shrink(&self, value: &i128) -> Vec<i128> {
+            shrink_toward(self.start, *value)
+        }
     }
 
     macro_rules! tuple_strategy {
         ($(($($n:ident $idx:tt),+))*) => {$(
-            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            impl<$($n: Strategy),+> Strategy for ($($n,)+)
+            where
+                $($n::Value: Clone),+
+            {
                 type Value = ($($n::Value,)+);
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.generate(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    // one component at a time, the rest held fixed
+                    let mut out = Vec::new();
+                    $(
+                        for c in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = c;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         )*};
@@ -325,12 +385,32 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.hi - self.size.lo + 1) as u64;
             let len = self.size.lo + (rng.next_u64() % span) as usize;
             (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // shorter first (respecting the lower length bound) …
+            if value.len() > self.size.lo {
+                out.push(value[..self.size.lo].to_vec());
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            // … then element-wise, on a bounded prefix
+            for (i, v) in value.iter().enumerate().take(4) {
+                for c in self.elem.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = c;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -355,6 +435,14 @@ pub mod option {
                 None
             } else {
                 Some(self.inner.generate(rng))
+            }
+        }
+        fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+            match value {
+                None => Vec::new(),
+                Some(v) => std::iter::once(None)
+                    .chain(self.inner.shrink(v).into_iter().map(Some))
+                    .collect(),
             }
         }
     }
@@ -382,11 +470,58 @@ macro_rules! prop_assert_ne {
     ($($t:tt)*) => { assert_ne!($($t)*) };
 }
 
+/// Drive one property test: draw `cases` inputs, run the body on each,
+/// and on a failure shrink toward a minimal failing input before
+/// re-panicking with it. Used by the `proptest!` macro — not called
+/// directly by test code.
+pub fn run_cases<S, F>(name: &str, cfg: &test_runner::ProptestConfig, strategy: S, body: F)
+where
+    S: strategy::Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value),
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let mut rng = test_runner::TestRng::deterministic(name);
+    for _ in 0..cfg.cases {
+        let value = strategy.generate(&mut rng);
+        if catch_unwind(AssertUnwindSafe(|| body(value.clone()))).is_ok() {
+            continue;
+        }
+        // greedy shrink: adopt the first simpler candidate that still
+        // fails, restart from it, stop when none fails (local minimum).
+        // The original failure already printed its message; the shrink
+        // probes run under a silenced panic hook so hundreds of
+        // intermediate backtraces do not bury the minimal reproducer.
+        let mut minimal = value;
+        let mut budget: u32 = match cfg.max_shrink_iters {
+            0 => 512,
+            n => n,
+        };
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        'shrinking: while budget > 0 {
+            for candidate in strategy.shrink(&minimal) {
+                budget -= 1;
+                if catch_unwind(AssertUnwindSafe(|| body(candidate.clone()))).is_err() {
+                    minimal = candidate;
+                    continue 'shrinking;
+                }
+                if budget == 0 {
+                    break;
+                }
+            }
+            break;
+        }
+        std::panic::set_hook(prev_hook);
+        panic!("proptest {name}: minimal failing input after shrinking: {minimal:?}");
+    }
+}
+
 #[macro_export]
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            continue;
+            return;
         }
     };
 }
@@ -400,7 +535,8 @@ macro_rules! prop_oneof {
 
 /// The test-defining macro. Each `fn name(arg in strategy, ...) { body }`
 /// becomes a `#[test]` (the attribute is written at the call site) that
-/// draws `cases` random inputs and runs the body for each.
+/// draws `cases` random inputs, runs the body for each, and shrinks any
+/// failing input to a minimal reproducer via [`run_cases`].
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -422,14 +558,12 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let __cfg: $crate::test_runner::ProptestConfig = $cfg;
-                let mut __rng =
-                    $crate::test_runner::TestRng::deterministic(stringify!($name));
-                #[allow(clippy::redundant_closure_call)]
-                for __case in 0..__cfg.cases {
-                    let _ = __case;
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
-                    $body
-                }
+                $crate::run_cases(
+                    stringify!($name),
+                    &__cfg,
+                    ($($strat,)+),
+                    |($($arg,)+)| $body,
+                );
             }
         )*
     };
@@ -488,5 +622,40 @@ mod tests {
             prop_assert!(a >= 0);
             prop_assert_eq!(b as u8 | (!b) as u8, 1);
         }
+    }
+
+    #[test]
+    fn integer_shrink_bisects_toward_start() {
+        let s = 3i64..100;
+        let c = s.shrink(&50);
+        assert!(c.contains(&3), "{c:?}");
+        assert!(c.iter().all(|v| (3..50).contains(v)), "{c:?}");
+        assert!(s.shrink(&3).is_empty(), "range start cannot shrink");
+        let t = (3i64..100, 0u8..4).shrink(&(50, 2));
+        assert!(t.iter().all(|(a, b)| (*a, *b) != (50, 2)));
+        assert!(t.contains(&(3, 2)) && t.contains(&(50, 0)), "{t:?}");
+    }
+
+    #[test]
+    fn failing_case_shrinks_to_minimal_input() {
+        // the property "v < 10" fails for every v ≥ 10; greedy shrinking
+        // must land exactly on the boundary case
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases(
+                "failing_case_shrinks_to_minimal_input",
+                &ProptestConfig::with_cases(64),
+                (0i64..1000,),
+                |(v,)| assert!(v < 10),
+            );
+        });
+        let payload = result.expect_err("the property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("minimal failing input after shrinking: (10,)"),
+            "{msg}"
+        );
     }
 }

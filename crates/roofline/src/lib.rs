@@ -18,14 +18,23 @@
 //! ceiling is at least the compute ceiling, and the level that binds
 //! names the roof it sits under.
 //!
-//! Per-level traffic is modeled piecewise, the classic cache-aware
-//! refinement: when the kernel's distinct-line footprint fits in the
-//! level above, only compulsory traffic crosses the boundary (cold fills
-//! of every touched line, plus the eventual write-back of every stored
-//! line); when it does not fit, the access stream is assumed to sweep —
-//! every loaded byte crosses once and every stored byte twice
-//! (write-allocate fill plus write-back), which for unit-stride
-//! streaming kernels is exactly what the cache simulator observes.
+//! Per-level traffic is modeled piecewise with a reuse-distance
+//! refinement. When the kernel's whole distinct-line footprint fits in
+//! the level above, only compulsory traffic crosses the boundary (cold
+//! fills of every touched line, plus the eventual write-back of every
+//! stored line). When it does not, the per-nest working-set model
+//! ([`mira_mem::NestModel`]) places each array's traffic at the
+//! shallowest level whose capacity holds the relevant working set:
+//! inner-loop reuse hits L1, loop-carried reuse hits the level that
+//! holds the carried set, and only genuinely uncaptured re-sweeps
+//! multiply the compulsory lines — so a blocked kernel whose footprint
+//! slightly exceeds a level (DGEMM at n=40) still counts
+//! compulsory-only traffic, exactly what the cache simulator observes.
+//! Kernels whose traffic cannot be attributed to their own affine nests
+//! (composed callees, guarded or data-dependent references) fall back
+//! to the old binary sweep — every loaded byte crosses once and every
+//! stored byte twice (write-allocate fill plus write-back), which for
+//! unit-stride streaming kernels coincides with the working-set count.
 //!
 //! Because the bounds are [`SymExpr`] closed forms, regime questions are
 //! *solvable*: [`KernelRoofline::crossover`] finds the exact parameter
@@ -253,6 +262,11 @@ pub struct KernelRoofline {
     /// The kernel retires packed FP arithmetic, so the vector peak is its
     /// compute ceiling.
     pub vectorized: bool,
+    /// The per-nest working-set traffic model (reuse-distance
+    /// refinement): present when every reference lives in an affine nest
+    /// of the function's own body. `None` falls back to the
+    /// whole-footprint fits-or-streams regime choice.
+    pub nest_model: Option<mira_mem::NestModel>,
 }
 
 /// Where one parameter value sits relative to a regime change.
@@ -274,7 +288,8 @@ impl KernelRoofline {
         // scalar code the two closed forms coincide
         let fpi = model.fpi_expr(func, &analysis.arch)?;
         let vectorized = !flops.sub_expr(&fpi).is_zero();
-        let fp = mira_mem::footprints(analysis, func);
+        let access = mira_mem::analyze_program(&analysis.program);
+        let fp = access.footprint(func);
         let line = analysis.arch.machine.cache_line_bytes;
         let mut stored = SymExpr::zero();
         for a in &fp.arrays {
@@ -291,6 +306,7 @@ impl KernelRoofline {
             stored_lines: stored,
             footprint_known: fp.unknown.is_empty(),
             vectorized,
+            nest_model: access.nest_model(func, line),
         })
     }
 
@@ -335,15 +351,25 @@ impl KernelRoofline {
     }
 
     /// Place the kernel at concrete parameter values: evaluate the four
-    /// ceilings (choosing each deeper boundary's regime by comparing the
-    /// footprint against the capacity above it) and classify.
+    /// ceilings and classify.
     ///
-    /// When the footprint is *not* fully known (unanalyzed, unannotated
-    /// arrays), the analyzed lines are only a lower bound, so the
-    /// fits-above test cannot be trusted — the deeper boundaries fall
-    /// back to the streaming model unconditionally: a kernel with
-    /// data-dependent accesses the analysis could not bound is assumed
-    /// to sweep, never to sit compulsory-only in cache.
+    /// Each deeper boundary's traffic is chosen piecewise. When the
+    /// whole footprint fits in the level above, only compulsory traffic
+    /// crosses ([`KernelRoofline::resident_cycles_expr`]). Otherwise the
+    /// per-nest working-set model refines the old binary sweep: each
+    /// array's traffic is placed at the shallowest level whose capacity
+    /// holds the relevant per-iteration working set, so inner-loop reuse
+    /// hits L1, loop-carried reuse hits the level that holds the carried
+    /// set, and only genuinely uncaptured re-sweeps multiply
+    /// ([`mira_mem::NestModel::boundary_traffic`]).
+    ///
+    /// When the per-nest model is unavailable (composed callees, guarded
+    /// references) the boundary falls back to the streaming bound, and
+    /// when the footprint is *not* fully known (unanalyzed, unannotated
+    /// arrays) the analyzed lines are only a lower bound, so the
+    /// fits-above test cannot be trusted — a kernel with data-dependent
+    /// accesses the analysis could not bound is assumed to sweep, never
+    /// to sit compulsory-only in cache.
     pub fn place(&self, c: &Ceilings, b: &Bindings) -> Result<Placement, EvalError> {
         let compute = self.compute_cycles_expr(c).eval(b)?.to_f64();
         // only consulted in the known-footprint case — an unanalyzable
@@ -358,12 +384,15 @@ impl KernelRoofline {
         mem[0] = self.l1_cycles_expr(c).eval(b)?.to_f64();
         for level in [MemLevel::L2, MemLevel::Dram] {
             let cap = c.capacity_above[level.index()].unwrap_or(0) as i128;
-            let expr = if self.footprint_known && footprint_bytes <= cap {
-                self.resident_cycles_expr(c, level)
+            mem[level.index()] = if self.footprint_known && footprint_bytes <= cap {
+                self.resident_cycles_expr(c, level).eval(b)?.to_f64()
+            } else if let Some(nest) = &self.nest_model {
+                let t = nest.boundary_traffic(cap.max(0) as u64, b)?;
+                t.total_lines() as f64 * c.line_bytes as f64
+                    / c.bandwidth[level.index()] as f64
             } else {
-                self.streaming_cycles_expr(c, level)
+                self.streaming_cycles_expr(c, level).eval(b)?.to_f64()
             };
-            mem[level.index()] = expr.eval(b)?.to_f64();
         }
         Ok(Placement::classify(compute, mem))
     }
@@ -503,8 +532,14 @@ pub fn nest_bounds(model: &Model, func: &str) -> Result<Vec<NestBound>, ModelErr
         .functions
         .get(func)
         .ok_or_else(|| ModelError::UnknownFunction(func.to_string()))?;
+    // the byte side comes from the model's per-line closed forms (the
+    // same expressions the emitted Python exposes as `<fn>_line_bytes`)
+    let line_bytes = model.line_data_bytes_exprs(func)?;
     let mut by_line: std::collections::BTreeMap<u32, (SymExpr, SymExpr, bool)> =
         std::collections::BTreeMap::new();
+    for (line, (load, store)) in line_bytes {
+        by_line.insert(line, (SymExpr::zero(), load.add_expr(&store), false));
+    }
     for op in &fm.ops {
         match op {
             ModelOp::FlopAcc { line, count } => {
@@ -517,15 +552,11 @@ pub fn nest_bounds(model: &Model, func: &str) -> Result<Vec<NestBound>, ModelErr
                 line,
                 bytes_per_exec,
                 frame: false,
-                count,
                 ..
-            } => {
-                let e = by_line.entry(*line).or_insert_with(|| {
-                    (SymExpr::zero(), SymExpr::zero(), false)
-                });
-                e.1 = e.1.add_expr(&count.scale(Rat::int(*bytes_per_exec as i128)));
-                if *bytes_per_exec > 8 {
-                    e.2 = true; // packed accesses mark a vectorized nest
+            } if *bytes_per_exec > 8 => {
+                // packed accesses mark a vectorized nest
+                if let Some(e) = by_line.get_mut(line) {
+                    e.2 = true;
                 }
             }
             _ => {}
@@ -711,6 +742,41 @@ mod tests {
         let base = bindings(&[("n", 10_000_000)]);
         assert_eq!(k.crossover(&c, "reps", &base, 1, 50).unwrap(), None);
         assert_eq!(k.crossover_sweep(&c, "reps", &base, 1, 50).unwrap(), None);
+    }
+
+    #[test]
+    fn working_set_refinement_keeps_blocked_dgemm_compulsory() {
+        // n=40: the 38400-byte footprint exceeds the 32 KiB L1, so the
+        // old fits-or-streams model predicted a full sweep at the L2
+        // boundary; the per-i working set (two rows + all of b) fits, so
+        // the working-set model keeps the compulsory-only count — the
+        // ROADMAP's reuse-distance case
+        let src = "void mm(int n, int reps, double* a, double* b, double* c) {\n\
+             for (int r = 0; r < reps; r++) {\n\
+               for (int i = 0; i < n; i++) {\n\
+                 for (int k = 0; k < n; k++) {\n\
+                   for (int j = 0; j < n; j++) {\n\
+                     c[i * n + j] += a[i * n + k] * b[k * n + j];\n\
+                   } } } } }";
+        let analysis = analyze_source(src, &MiraOptions::default()).unwrap();
+        let c = Ceilings::from_arch(&analysis.arch);
+        let k = KernelRoofline::analyze(&analysis, "mm").unwrap();
+        assert!(k.nest_model.is_some(), "own affine nests only");
+        let b = bindings(&[("n", 40), ("reps", 1)]);
+        let footprint = k.footprint_lines.eval_count(&b).unwrap();
+        assert_eq!(footprint, 600);
+        assert!(footprint * 64 > 32768, "exceeds L1 but …");
+        let p = k.place(&c, &b).unwrap();
+        // … the L2 boundary still carries compulsory lines only:
+        // 600 fills + 200 write-backs of c
+        assert_eq!(p.mem_cycles[1], 800.0 * 64.0 / 16.0, "{p}");
+        // footprint fits L2, so the DRAM boundary is resident
+        assert_eq!(p.mem_cycles[2], 800.0 * 64.0 / 4.0);
+        // the sweep model would have said 2.5·n³ cycles and bound the
+        // kernel at L2; the refinement leaves it on the L1 knee
+        let sweep = k.streaming_cycles_expr(&c, MemLevel::L2).eval(&b).unwrap().to_f64();
+        assert!(sweep > p.mem_cycles[0], "old model misclassified");
+        assert_eq!(p.binding, Ceiling::Mem(MemLevel::L1), "{p}");
     }
 
     #[test]

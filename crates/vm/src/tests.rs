@@ -720,6 +720,127 @@ fn mem_profile_mirrored_in_reference_vm() {
     assert!(s.l1.writebacks >= 25, "{s:?}");
 }
 
+/// A deliberately tiny hierarchy (256 B L1, 1 KiB L2) so small kernels
+/// force dirty-eviction cascades: L1 write-backs landing in dirty L2
+/// lines, pass-throughs when L2 already evicted the line, and re-dirtied
+/// lines crossing to memory twice.
+fn tiny_mem_opts() -> VmOptions {
+    VmOptions {
+        mem_profile: Some(mira_arch::CacheHierarchy {
+            line_bytes: 64,
+            l1: mira_arch::CacheLevel {
+                size_bytes: 256,
+                assoc: 2,
+            },
+            l2: mira_arch::CacheLevel {
+                size_bytes: 1024,
+                assoc: 4,
+            },
+        }),
+        ..VmOptions::default()
+    }
+}
+
+/// Run `src` in both engines under the tiny hierarchy, asserting the
+/// cache counters bit-identical before and after the flush; returns the
+/// post-flush stats for case-specific checks.
+fn diff_both_engines(src: &str, func: &str, ints: &[i64], arrays: usize, elems: usize) -> mira_mem::MemStats {
+    let obj = compile_source(src, &Options::default()).unwrap();
+    let mut vm = Vm::load(&obj, tiny_mem_opts()).unwrap();
+    let mut rvm = reference::ReferenceVm::load(&obj, tiny_mem_opts()).unwrap();
+    let mut args: Vec<HostVal> = ints.iter().map(|v| HostVal::Int(*v)).collect();
+    for _ in 0..arrays {
+        let a = vm.alloc_f64(&vec![1.0; elems]);
+        let b = rvm.alloc_f64(&vec![1.0; elems]);
+        assert_eq!(a, b, "identical layouts");
+        args.push(HostVal::Int(a as i64));
+    }
+    vm.call(func, &args).unwrap();
+    rvm.call(func, &args).unwrap();
+    assert_eq!(vm.mem_stats().unwrap(), rvm.mem_stats().unwrap(), "pre-flush");
+    vm.flush_mem();
+    rvm.flush_mem();
+    let (s, r) = (vm.mem_stats().unwrap(), rvm.mem_stats().unwrap());
+    assert_eq!(s, r, "post-flush");
+    // flushing again must change nothing, in either engine
+    vm.flush_mem();
+    rvm.flush_mem();
+    assert_eq!(vm.mem_stats().unwrap(), s);
+    assert_eq!(rvm.mem_stats().unwrap(), s);
+    s
+}
+
+#[test]
+fn wb_dirty_eviction_cascades_bitidentical() {
+    // a 2 KiB array (≫ both levels) updated in place, twice: sweep 1
+    // leaves every line dirty at some level; sweep 2 re-dirties lines
+    // whose L2 copies were evicted in between, so L1 write-backs both
+    // absorb into dirty L2 lines and pass straight through to memory
+    let src = r#"
+void churn(int n, int reps, double* a) {
+    for (int r = 0; r < reps; r++) {
+        for (int i = 0; i < n; i++) {
+            a[i] = a[i] + 1.0;
+        }
+    }
+}
+"#;
+    let s = diff_both_engines(src, "churn", &[256, 2], 1, 256);
+    let lines = 256 * 8 / 64; // 32 data lines per sweep
+    // every line was written each sweep and could not stay resident:
+    // each sweep's dirty lines crossed both boundaries
+    assert_eq!(s.data_l1_writebacks, 2 * lines, "{s:?}");
+    assert_eq!(s.data_l2_writebacks, 2 * lines, "{s:?}");
+    assert_eq!(s.data_l1_fills, 2 * lines, "{s:?}");
+}
+
+#[test]
+fn wb_flush_ordering_l1_drains_into_l2() {
+    // three stored lines, everything resident: nothing is written back
+    // during the run; the flush must drain L1 *into* L2 (marking its
+    // copies dirty) before draining L2 to memory — one write-back per
+    // line at each level, not two
+    let src = r#"
+void fill(int n, double* a) {
+    for (int i = 0; i < n; i++) {
+        a[i] = 3.0;
+    }
+}
+"#;
+    let s = diff_both_engines(src, "fill", &[24], 1, 24);
+    let lines = 24 * 8 / 64; // 3 data lines
+    assert_eq!(s.data_l1_writebacks, lines, "{s:?}");
+    assert_eq!(s.data_l2_writebacks, lines, "{s:?}");
+    assert_eq!(s.data_l1_fills, lines, "{s:?}");
+    assert_eq!(s.data_l2_fills, lines, "{s:?}");
+}
+
+#[test]
+fn wb_same_line_load_store_interleave_bitidentical() {
+    // loads and stores alternate on the same lines of two arrays under
+    // eviction pressure: a line must be fetched once per residency,
+    // dirtied by the store half, and written back exactly once per
+    // eviction — the same-line interleave must not double-count either
+    // fills or write-backs
+    let src = r#"
+void pingpong(int n, int reps, double* a, double* b) {
+    for (int r = 0; r < reps; r++) {
+        for (int i = 0; i < n; i++) {
+            double t = a[i];
+            b[i] = t * 0.5;
+            a[i] = b[i] + t;
+        }
+    }
+}
+"#;
+    let s = diff_both_engines(src, "pingpong", &[128, 3], 2, 128);
+    let lines = 128 * 8 / 64; // 16 lines per array per sweep
+    // both arrays stream and are stored every sweep: write-allocate
+    // fills plus one write-back per line per sweep per array
+    assert_eq!(s.data_l1_fills, 3 * 2 * lines, "{s:?}");
+    assert_eq!(s.data_l1_writebacks, 3 * 2 * lines, "{s:?}");
+}
+
 #[test]
 fn reset_counters_resets_to_cold_cache() {
     let obj = compile_source(COPY_SRC, &Options::default()).unwrap();

@@ -169,6 +169,77 @@ pub fn minife_roof(d: i64, max_iter: i64, tol: f64) -> RoofRow {
     )
 }
 
+/// Tiled (blocked) ikj DGEMM with fixed 8×8 i/k tiles — `n` must be a
+/// multiple of 8. The tile turns b's whole-matrix reuse into per-tile
+/// reuse: the working-set model places its traffic by the tile working
+/// set, where the old fits-or-streams model saw only the too-big
+/// whole-function footprint.
+pub const DGEMM_TILED_SRC: &str = r#"void dgemm_tiled(int n, int reps, double* a, double* b, double* c) {
+    for (int r = 0; r < reps; r++) {
+        for (int ii = 0; ii < n; ii += 8) {
+            for (int kk = 0; kk < n; kk += 8) {
+                for (int i = ii; i < ii + 8; i++) {
+                    for (int k = kk; k < kk + 8; k++) {
+                        for (int j = 0; j < n; j++) {
+                            c[i * n + j] += a[i * n + k] * b[k * n + j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+"#;
+
+/// STREAM triad processed in 1024-element blocks with the repetition
+/// loop *inside* the block — `n` must be a multiple of 1024. Each block
+/// is cache-resident while it is hot, so traffic is compulsory-only even
+/// when the whole footprint dwarfs every cache: the blocked shape whose
+/// L2/DRAM ceilings the binary footprint test overestimated by `reps`.
+pub const TRIAD_BLOCKED_SRC: &str = r#"void triad_blocked(int n, int reps, double* a, double* b, double* c, double s) {
+    for (int ii = 0; ii < n; ii += 1024) {
+        for (int r = 0; r < reps; r++) {
+            for (int i = ii; i < ii + 1024; i++) {
+                a[i] = b[i] + s * c[i];
+            }
+        }
+    }
+}
+"#;
+
+/// Tiled DGEMM (8×8 i/k tiles).
+pub fn dgemm_tiled_roof(n: i64, reps: i64) -> RoofRow {
+    assert_eq!(n % 8, 0, "tile size divides n");
+    let analysis =
+        analyze_source(DGEMM_TILED_SRC, &MiraOptions::default()).expect("tiled DGEMM analyzes");
+    let binds = bindings(&[("n", n as i128), ("reps", reps as i128)]);
+    let mut vm = mem_vm(&analysis, stream_mem_size(n * n));
+    let args = dgemm_args(&mut vm, n, reps);
+    row("dgemm_tiled", &analysis, "dgemm_tiled", &binds, vm, |vm| {
+        vm.call("dgemm_tiled", &args).expect("tiled dgemm runs");
+    })
+}
+
+/// Blocked STREAM triad (1024-element blocks, reps inside the block).
+pub fn triad_blocked_roof(n: i64, reps: i64) -> RoofRow {
+    assert_eq!(n % 1024, 0, "block size divides n");
+    let analysis =
+        analyze_source(TRIAD_BLOCKED_SRC, &MiraOptions::default()).expect("blocked triad analyzes");
+    let binds = bindings(&[("n", n as i128), ("reps", reps as i128)]);
+    let mut vm = mem_vm(&analysis, stream_mem_size(n));
+    let args = stream_shape_args(&mut vm, n, reps);
+    row(
+        "triad_blocked",
+        &analysis,
+        "triad_blocked",
+        &binds,
+        vm,
+        |vm| {
+            vm.call("triad_blocked", &args).expect("blocked triad runs");
+        },
+    )
+}
+
 /// The DGEMM regime crossover in `n` at one repetition: the size where
 /// the kernel leaves the roof it starts under (cold DRAM traffic
 /// dominates tiny matrices), solved by bisection over the closed forms

@@ -1,0 +1,112 @@
+//! Regression pins for the per-nest working-set traffic model — the
+//! cases the ROADMAP named broken under the old whole-function
+//! fits-or-streams decision.
+//!
+//! DGEMM at n=40 is the canonical shape: the 38 400-byte footprint
+//! slightly exceeds the 32 KiB L1, so the binary model predicted a full
+//! sweep at the L1↔L2 boundary and misclassified the kernel as
+//! L2-bound, while the simulator observes compulsory-only misses (the
+//! per-i working set — two rows plus all of b — fits L1). These tests
+//! fail on the old model and pin the refinement: static placement ==
+//! simulated placement, with the deeper cycle bounds agreeing *exactly*.
+
+use mira_roofline::{Ceiling, Ceilings, KernelRoofline, MemLevel};
+use mira_sym::bindings;
+use mira_workloads::roofval;
+
+/// The ROADMAP case: DGEMM n=40, footprint ≈ 1.17 × L1.
+#[test]
+fn dgemm_n40_static_placement_equals_simulated() {
+    let row = roofval::dgemm_roof(40, 1);
+    assert!(row.data_bytes_exact(), "{row:?}");
+    // the regime under test: the whole footprint exceeds L1 …
+    assert!(
+        row.footprint_lines * 64 > 32 * 1024,
+        "footprint {} lines no longer exceeds L1 — the regression case moved",
+        row.footprint_lines
+    );
+    // … yet the simulator sees compulsory-only traffic, and now the
+    // static model does too: the deeper bounds agree to the cycle
+    assert_eq!(
+        row.static_p.mem_cycles[1], row.dynamic_p.mem_cycles[1],
+        "L2-boundary bound must be compulsory-only: static {} vs dynamic {}",
+        row.static_p, row.dynamic_p
+    );
+    assert_eq!(
+        row.static_p.mem_cycles[2], row.dynamic_p.mem_cycles[2],
+        "DRAM-boundary bound must match: static {} vs dynamic {}",
+        row.static_p, row.dynamic_p
+    );
+    // 600 compulsory fills + 200 write-backs of c, at 64 B per line
+    assert_eq!(row.static_p.mem_cycles[1], 800.0 * 64.0 / 16.0);
+    // the binding roof is the L1 knee, not a phantom L2 wall
+    assert_eq!(row.static_p.binding, Ceiling::Mem(MemLevel::L1), "{}", row.static_p);
+    assert!(row.agrees(), "static {} vs dynamic {}", row.static_p, row.dynamic_p);
+}
+
+/// The crossover knee, re-derived: DGEMM still leaves the DRAM roof at
+/// n=9 onto the L1 knee (solver == brute-force sweep), and — new with
+/// the working-set model — *stays* on the L1 roof through the whole
+/// footprint-exceeds-L1 band. The old model flipped to a phantom L2
+/// regime at n=37.
+#[test]
+fn dgemm_crossover_knee_re_pinned() {
+    let (solved, swept) = roofval::dgemm_crossover(2, 64);
+    assert_eq!(solved, swept, "solver must match the sweep");
+    let x = solved.expect("DGEMM changes regime in [2, 64]");
+    assert_eq!(x.value, 9, "the knee moved: {x:?}");
+    assert_eq!(x.from, Ceiling::Mem(MemLevel::Dram));
+    assert_eq!(x.to, Ceiling::Mem(MemLevel::L1));
+    // beyond the knee the binding never changes again: the brute-force
+    // sweep over the band where the footprint crosses L1 (n=37…) and
+    // approaches L2 finds no second crossover
+    let (solved, swept) = roofval::dgemm_crossover(9, 100);
+    assert_eq!(swept, None, "phantom L2 crossover is back: {swept:?}");
+    assert_eq!(solved, None);
+}
+
+/// Tiled DGEMM: b's reuse is per 8×8 tile, so even when the whole
+/// footprint exceeds L1 the static side must keep the kernel on the L1
+/// knee — and agree with the simulator.
+#[test]
+fn dgemm_tiled_agrees_beyond_l1_capacity() {
+    let row = roofval::dgemm_tiled_roof(64, 1);
+    assert!(row.data_bytes_exact(), "{row:?}");
+    assert!(row.footprint_lines * 64 > 32 * 1024, "beyond L1: {row:?}");
+    assert_eq!(row.static_p.binding, Ceiling::Mem(MemLevel::L1), "{}", row.static_p);
+    assert!(row.agrees(), "static {} vs dynamic {}", row.static_p, row.dynamic_p);
+}
+
+/// Blocked triad with the repetition loop inside each block: every
+/// block is cache-resident while hot, so the boundary traffic is
+/// compulsory-only and must *not* scale with reps. The old model's
+/// sweep bound overestimated the DRAM ceiling by the full rep count.
+#[test]
+fn triad_blocked_reps_amortize_boundary_traffic() {
+    let (n, reps) = (8192i64, 4i64);
+    let row = roofval::triad_blocked_roof(n, reps);
+    assert!(row.data_bytes_exact(), "{row:?}");
+    assert!(row.agrees(), "static {} vs dynamic {}", row.static_p, row.dynamic_p);
+    // the sweep model would charge every rep at the deepest boundary
+    let analysis = mira_core::analyze_source(
+        roofval::TRIAD_BLOCKED_SRC,
+        &mira_core::MiraOptions::default(),
+    )
+    .unwrap();
+    let kernel = KernelRoofline::analyze(&analysis, "triad_blocked").unwrap();
+    let c = Ceilings::from_arch(&analysis.arch);
+    let b = bindings(&[("n", n as i128), ("reps", reps as i128)]);
+    let sweep = kernel
+        .streaming_cycles_expr(&c, MemLevel::Dram)
+        .eval(&b)
+        .unwrap()
+        .to_f64();
+    assert!(
+        row.static_p.mem_cycles[2] * 2.0 < sweep,
+        "reps no longer amortized: working-set bound {} vs sweep {}",
+        row.static_p.mem_cycles[2],
+        sweep
+    );
+    // and the bound stays honest: never below what the simulator saw
+    assert!(row.static_p.mem_cycles[2] >= row.dynamic_p.mem_cycles[2]);
+}
