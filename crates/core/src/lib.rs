@@ -60,13 +60,84 @@ pub struct MiraOptions {
     pub arch: ArchDescription,
 }
 
-/// Errors from the analysis pipeline.
+/// The pipeline phase an error is attributed to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Lexing, parsing, or semantic analysis (`mira-minic`).
+    Frontend,
+    /// Code generation (`mira-vcc`).
+    Compile,
+    /// Object decoding / disassembly (`mira-vobj`).
+    Object,
+    /// Metric and model generation (`mira-core::metrics`).
+    Metrics,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Frontend => write!(f, "front-end"),
+            Phase::Compile => write!(f, "compiler"),
+            Phase::Object => write!(f, "object"),
+            Phase::Metrics => write!(f, "metric generator"),
+        }
+    }
+}
+
+/// Errors from the analysis pipeline — the unified taxonomy.
+///
+/// Every variant keeps the *typed* error of the phase that refused, so
+/// callers can walk the whole chain through
+/// [`std::error::Error::source`] (`anyhow`-style `{:#}` reports work
+/// without custom glue) and ask for the phase ([`MiraError::phase`]),
+/// source span ([`MiraError::span`]) and function
+/// ([`MiraError::function`]) uniformly.
 #[derive(Clone, Debug)]
 pub enum MiraError {
-    Frontend(String),
-    Compile(String),
-    Object(String),
-    Metrics(String),
+    /// The front-end rejected the source.
+    Frontend(mira_minic::FrontendError),
+    /// The compiler refused the (type-checked) program.
+    Compile(mira_vcc::CompileError),
+    /// The object could not be decoded or disassembled.
+    Object(mira_vobj::ObjError),
+    /// Metric/model generation refused.
+    Metrics(metrics::MetricsError),
+    /// An analysis budget tripped (fuel, depth, overflow — see
+    /// [`mira_sym::budget`]) during the given phase.
+    Budget {
+        phase: Phase,
+        error: mira_sym::budget::BudgetError,
+    },
+}
+
+impl MiraError {
+    /// Which pipeline phase refused.
+    pub fn phase(&self) -> Phase {
+        match self {
+            MiraError::Frontend(_) => Phase::Frontend,
+            MiraError::Compile(_) => Phase::Compile,
+            MiraError::Object(_) => Phase::Object,
+            MiraError::Metrics(_) => Phase::Metrics,
+            MiraError::Budget { phase, .. } => *phase,
+        }
+    }
+
+    /// The source position the error points at, when the phase knows one.
+    pub fn span(&self) -> Option<mira_minic::Span> {
+        match self {
+            MiraError::Frontend(e) => Some(e.span()),
+            MiraError::Compile(e) => e.span(),
+            _ => None,
+        }
+    }
+
+    /// The function being processed when the error occurred, when known.
+    pub fn function(&self) -> Option<&str> {
+        match self {
+            MiraError::Compile(e) => e.function(),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for MiraError {
@@ -76,11 +147,51 @@ impl fmt::Display for MiraError {
             MiraError::Compile(e) => write!(f, "compiler: {e}"),
             MiraError::Object(e) => write!(f, "object: {e}"),
             MiraError::Metrics(e) => write!(f, "metric generator: {e}"),
+            MiraError::Budget { phase, error } => write!(f, "{phase}: {error}"),
         }
     }
 }
 
-impl std::error::Error for MiraError {}
+impl std::error::Error for MiraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MiraError::Frontend(e) => Some(e),
+            MiraError::Compile(e) => Some(e),
+            MiraError::Object(e) => Some(e),
+            MiraError::Metrics(e) => Some(e),
+            MiraError::Budget { error, .. } => Some(error),
+        }
+    }
+}
+
+impl From<mira_minic::FrontendError> for MiraError {
+    fn from(e: mira_minic::FrontendError) -> MiraError {
+        MiraError::Frontend(e)
+    }
+}
+
+impl From<mira_vcc::CompileError> for MiraError {
+    fn from(e: mira_vcc::CompileError) -> MiraError {
+        // compile_source folds front-end failures into CompileError;
+        // re-attribute them to the front-end phase here
+        match e {
+            mira_vcc::CompileError::Frontend(fe) => MiraError::Frontend(fe),
+            other => MiraError::Compile(other),
+        }
+    }
+}
+
+impl From<mira_vobj::ObjError> for MiraError {
+    fn from(e: mira_vobj::ObjError) -> MiraError {
+        MiraError::Object(e)
+    }
+}
+
+impl From<metrics::MetricsError> for MiraError {
+    fn from(e: metrics::MetricsError) -> MiraError {
+        MiraError::Metrics(e)
+    }
+}
 
 /// The result of a full Mira analysis: both program representations, the
 /// line bridge between them, and the generated parametric model.
@@ -117,9 +228,8 @@ impl Analysis {
 /// Analyze a MiniC source string: parse → compile → disassemble → bridge →
 /// metric generation → model generation.
 pub fn analyze_source(src: &str, options: &MiraOptions) -> Result<Analysis, MiraError> {
-    let program = mira_minic::frontend(src).map_err(|e| MiraError::Frontend(e.to_string()))?;
-    let object = mira_vcc::compile(&program, &options.compiler)
-        .map_err(|e| MiraError::Compile(e.to_string()))?;
+    let program = mira_minic::frontend(src)?;
+    let object = mira_vcc::compile(&program, &options.compiler)?;
     analyze_object(program, object, options)
 }
 
@@ -130,9 +240,18 @@ pub fn analyze_object(
     object: Object,
     options: &MiraOptions,
 ) -> Result<Analysis, MiraError> {
-    let binary = disassemble(&object).map_err(|e| MiraError::Object(e.to_string()))?;
-    let (model, warnings) = metrics::generate_model(&program, &object, &binary)
-        .map_err(|e| MiraError::Metrics(e.to_string()))?;
+    let binary = disassemble(&object)?;
+    // Metric/model generation is the symbolically expensive phase: run it
+    // under an analysis budget so adversarial nests refuse (typed, phase-
+    // attributed) instead of hanging or blowing the host stack.
+    let generated = mira_sym::budget::with_default_budget(|| {
+        metrics::generate_model(&program, &object, &binary)
+    })
+    .map_err(|error| MiraError::Budget {
+        phase: Phase::Metrics,
+        error,
+    })?;
+    let (model, warnings) = generated?;
     Ok(Analysis {
         program,
         object,

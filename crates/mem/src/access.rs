@@ -224,12 +224,42 @@ enum Arg {
 }
 
 /// Analyze every function of a program.
+///
+/// Each function is analyzed under a [`mira_sym::budget`] scope: a
+/// function whose symbolic analysis trips the budget (adversarial nest
+/// depth, huge constants, term explosion) is recorded as a conservative
+/// refusal — every pointer parameter unknown, the nest model tainted —
+/// so downstream consumers degrade to the streaming sweep model instead
+/// of hanging or panicking.
 pub fn analyze_program(program: &Program) -> AccessModel {
     let mut functions = BTreeMap::new();
     for f in program.functions() {
-        functions.insert(f.name.clone(), analyze_func(f));
+        let info = mira_sym::budget::with_default_budget(|| analyze_func(f))
+            .unwrap_or_else(|_| refused_func_info(f));
+        functions.insert(f.name.clone(), info);
     }
     AccessModel { functions }
+}
+
+/// The conservative stand-in for a function whose analysis tripped the
+/// budget: nothing analyzed, every pointer parameter unknown.
+fn refused_func_info(f: &Func) -> FuncInfo {
+    let ptr_params: Vec<Option<String>> = f
+        .params
+        .iter()
+        .map(|p| p.ty.is_pointer().then(|| p.name.clone()))
+        .collect();
+    let unknown: Vec<String> = ptr_params.iter().flatten().cloned().collect();
+    FuncInfo {
+        ptr_params,
+        value_params: Vec::new(),
+        refs: Vec::new(),
+        unknown,
+        calls: Vec::new(),
+        nodes: Vec::new(),
+        nest_refs: Vec::new(),
+        nest_tainted: true,
+    }
 }
 
 impl AccessModel {
@@ -237,7 +267,20 @@ impl AccessModel {
     /// substituted by the actual arguments, ranges united per caller-side
     /// array).
     pub fn footprint(&self, func: &str) -> FuncFootprints {
-        self.resolve(func, 0)
+        // Interprocedural resolution (substitution + range unions) can
+        // blow up on adversarial call graphs; a budget trip degrades to
+        // "everything unknown", the conservative refusal.
+        mira_sym::budget::with_default_budget(|| self.resolve(func, 0)).unwrap_or_else(|_| {
+            let unknown = self
+                .functions
+                .get(func)
+                .map(|info| info.ptr_params.iter().flatten().cloned().collect())
+                .unwrap_or_default();
+            FuncFootprints {
+                arrays: Vec::new(),
+                unknown,
+            }
+        })
     }
 
     fn resolve(&self, func: &str, depth: u32) -> FuncFootprints {
@@ -528,6 +571,15 @@ impl AccessModel {
     /// whole-footprint fits-or-streams model in that case, which is
     /// exactly as conservative as before this model existed.
     pub fn nest_model(&self, func: &str, line_bytes: u32) -> Option<NestModel> {
+        // A budget trip during working-set construction refuses the nest
+        // model (None), which callers already treat as "fall back to the
+        // fits-or-streams sweep" — the PR 5 refusal pattern.
+        mira_sym::budget::with_default_budget(|| self.nest_model_inner(func, line_bytes))
+            .ok()
+            .flatten()
+    }
+
+    fn nest_model_inner(&self, func: &str, line_bytes: u32) -> Option<NestModel> {
         let info = self.functions.get(func)?;
         if info.nest_tainted || !info.unknown.is_empty() {
             return None;

@@ -37,6 +37,21 @@
 //! L1 *data* fills for streaming kernels (`crates/workloads` pins both on
 //! STREAM, DGEMM and miniFE cg_solve; `bench_mem` records the trajectory
 //! in `BENCH_mem.json`).
+//!
+//! ## Budgets and degradation
+//!
+//! Every symbolically expensive entry point of the static half —
+//! per-function access analysis, footprint resolution, working-set
+//! model construction — runs under an analysis budget
+//! ([`mira_sym::budget`]): a fuel limit on symbolic term construction
+//! and a depth limit on recursion. A tripped budget never aborts the
+//! analysis; it *degrades along the refusal chain the models already
+//! have*. A refused function is summarized with every pointer parameter
+//! unknown (so its footprint is not exact), footprint resolution falls
+//! back to the unknown-set summary, and a refused nest model returns
+//! `None` — which downstream roofline placement already treats as "use
+//! the conservative streaming sweep". Adversarial nests therefore cost
+//! precision, never correctness, and never a hang or a blown stack.
 
 pub mod access;
 pub mod cachesim;

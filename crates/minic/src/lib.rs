@@ -42,10 +42,25 @@ pub fn frontend(src: &str) -> Result<Program, FrontendError> {
 }
 
 /// Either phase of front-end failure.
+///
+/// Both variants carry a [`Span`]; [`FrontendError::span`] exposes it
+/// uniformly, and [`std::error::Error::source`] returns the underlying
+/// [`ParseError`] / [`SemaError`] so the chain is reportable with
+/// `anyhow`-style `{:#}` formatting without custom glue.
 #[derive(Clone, PartialEq, Debug)]
 pub enum FrontendError {
     Parse(ParseError),
     Sema(SemaError),
+}
+
+impl FrontendError {
+    /// The source position the error points at (1-based line/column).
+    pub fn span(&self) -> Span {
+        match self {
+            FrontendError::Parse(e) => e.span,
+            FrontendError::Sema(e) => e.span,
+        }
+    }
 }
 
 impl std::fmt::Display for FrontendError {
@@ -57,7 +72,14 @@ impl std::fmt::Display for FrontendError {
     }
 }
 
-impl std::error::Error for FrontendError {}
+impl std::error::Error for FrontendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrontendError::Parse(e) => Some(e),
+            FrontendError::Sema(e) => Some(e),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,138 @@
+//! Malformed-source corpus: every entry must produce a *structured*
+//! [`FrontendError`] — right variant, right line number, a `source()`
+//! chain — and must never panic. This pins the error half of the
+//! front-end contract the same way the execution tests pin the happy
+//! path.
+
+use mira_minic::{frontend, FrontendError};
+use std::error::Error;
+
+/// (name, source, expected 1-based line, substring of the Display text)
+const PARSE_CORPUS: &[(&str, &str, u32, &str)] = &[
+    (
+        "truncated_function",
+        "double f(int n) {\n    return 1.0;\n",
+        3,
+        "parse error",
+    ),
+    (
+        "unbalanced_open_brace",
+        "int f() {\n    if (1) {\n    return 0;\n}\n",
+        5,
+        "parse error",
+    ),
+    (
+        "stray_close_brace",
+        "int f() {\n    return 0;\n}\n}\n",
+        4,
+        "parse error",
+    ),
+    (
+        "bad_type_keyword",
+        "int f() {\n    flaot x = 1.0;\n    return 0;\n}\n",
+        2,
+        "parse error",
+    ),
+    (
+        "missing_semicolon",
+        "int f() {\n    int x = 1\n    return x;\n}\n",
+        3,
+        "parse error",
+    ),
+    (
+        "unterminated_condition",
+        "int f(int n) {\n    while (n > 0 {\n        n--;\n    }\n    return n;\n}\n",
+        2,
+        "parse error",
+    ),
+    (
+        "huge_integer_literal",
+        "int f() {\n    return 99999999999999999999999999;\n}\n",
+        2,
+        "parse error",
+    ),
+    (
+        "garbage_at_top_level",
+        "int f() { return 0; }\n$$$\n",
+        2,
+        "parse error",
+    ),
+];
+
+const SEMA_CORPUS: &[(&str, &str, u32, &str)] = &[
+    (
+        "undefined_variable",
+        "int f() {\n    return q;\n}\n",
+        2,
+        "semantic error",
+    ),
+    (
+        "redefined_variable",
+        "int f() {\n    int x = 1;\n    int x = 2;\n    return x;\n}\n",
+        3,
+        "semantic error",
+    ),
+    (
+        "call_undefined_function",
+        "int f() {\n    return g(1);\n}\n",
+        2,
+        "semantic error",
+    ),
+    (
+        "index_non_pointer",
+        "int f(int n) {\n    return n[0];\n}\n",
+        2,
+        "semantic error",
+    ),
+];
+
+#[test]
+fn parse_corpus_yields_structured_errors_on_right_lines() {
+    for (name, src, line, needle) in PARSE_CORPUS {
+        let err = frontend(src).expect_err(name);
+        assert!(
+            matches!(err, FrontendError::Parse(_)),
+            "{name}: expected a parse error, got {err:?}"
+        );
+        assert_eq!(err.span().line, *line, "{name}: wrong line in {err}");
+        let msg = format!("{err}");
+        assert!(msg.contains(needle), "{name}: `{msg}`");
+        // the chain is walkable (anyhow-style `{:#}` reports work)
+        assert!(err.source().is_some(), "{name}: no source() in chain");
+    }
+}
+
+#[test]
+fn sema_corpus_yields_structured_errors_on_right_lines() {
+    for (name, src, line, needle) in SEMA_CORPUS {
+        let err = frontend(src).expect_err(name);
+        assert!(
+            matches!(err, FrontendError::Sema(_)),
+            "{name}: expected a sema error, got {err:?}"
+        );
+        assert_eq!(err.span().line, *line, "{name}: wrong line in {err}");
+        let msg = format!("{err}");
+        assert!(msg.contains(needle), "{name}: `{msg}`");
+        assert!(err.source().is_some(), "{name}: no source() in chain");
+    }
+}
+
+/// Spans render as `line:col` so error text is clickable/greppable.
+#[test]
+fn display_includes_position() {
+    let err = frontend("int f() {\n    return q;\n}\n").unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("2:"), "no line:col in `{msg}`");
+}
+
+/// Every corpus entry stays panic-free even under `catch_unwind` — the
+/// corpus doubles as a regression net for front-end robustness.
+#[test]
+fn corpus_never_panics() {
+    for (name, src, _, _) in PARSE_CORPUS.iter().chain(SEMA_CORPUS) {
+        let r = std::panic::catch_unwind(|| {
+            let _ = frontend(src);
+        });
+        assert!(r.is_ok(), "{name} panicked the front-end");
+    }
+}

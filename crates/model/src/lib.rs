@@ -104,6 +104,25 @@ impl From<EvalError> for ModelError {
     }
 }
 
+/// Refuse values outside signed 64-bit range — the checked domain model
+/// evaluation shares with the emitted Python's `_chk_i64`.
+fn in_i64(v: i128) -> Result<i128, ModelError> {
+    if i64::try_from(v).is_ok() {
+        Ok(v)
+    } else {
+        Err(ModelError::Eval(EvalError::Overflow))
+    }
+}
+
+fn checked(v: Option<i128>) -> Result<i128, ModelError> {
+    v.ok_or(ModelError::Eval(EvalError::Overflow))
+}
+
+/// `acc + sub * k` with every step checked.
+fn acc_scaled(acc: i128, sub: i128, k: i128) -> Result<i128, ModelError> {
+    checked(acc.checked_add(checked(sub.checked_mul(k))?))
+}
+
 /// The result of evaluating a function model: concrete per-category counts,
 /// with per-line attribution retained.
 #[derive(Clone, Debug, Default)]
@@ -229,6 +248,13 @@ impl Model {
 
     /// Evaluate the model of `func` under parameter bindings, composing
     /// callee models (inclusive counts, like a TAU profile).
+    ///
+    /// Evaluation is *checked*: every evaluated count and every
+    /// accumulated metric must stay within signed 64-bit range, at every
+    /// composition level. Bindings large enough to push a count past
+    /// `i64::MAX` refuse with [`EvalError::Overflow`] instead of
+    /// silently wrapping — the same contract the emitted Python enforces
+    /// through its `_chk_i64` helper.
     pub fn eval(&self, func: &str, bindings: &Bindings) -> Result<Report, ModelError> {
         self.eval_depth(func, bindings, 0)
     }
@@ -254,7 +280,7 @@ impl Model {
                     category,
                     count,
                 } => {
-                    let v = count.eval_count(bindings)?;
+                    let v = in_i64(count.eval_count(bindings)?)?;
                     report.counts.add(*category, v);
                     report
                         .lines
@@ -267,17 +293,24 @@ impl Model {
                     line: _,
                     multiplier,
                 } => {
-                    let k = multiplier.eval_count(bindings)?;
+                    let k = in_i64(multiplier.eval_count(bindings)?)?;
                     if k == 0 {
                         continue;
                     }
                     let sub = self.eval_depth(callee, bindings, depth + 1)?;
-                    report.counts.merge_scaled(&sub.counts, k);
-                    report.load_bytes += sub.load_bytes * k;
-                    report.store_bytes += sub.store_bytes * k;
-                    report.data_load_bytes += sub.data_load_bytes * k;
-                    report.data_store_bytes += sub.data_store_bytes * k;
-                    report.flops += sub.flops * k;
+                    for (c, n) in sub.counts.nonzero() {
+                        let scaled = checked(n.checked_mul(k))?;
+                        report
+                            .counts
+                            .set(c, checked(report.counts.get(c).checked_add(scaled))?);
+                    }
+                    report.load_bytes = acc_scaled(report.load_bytes, sub.load_bytes, k)?;
+                    report.store_bytes = acc_scaled(report.store_bytes, sub.store_bytes, k)?;
+                    report.data_load_bytes =
+                        acc_scaled(report.data_load_bytes, sub.data_load_bytes, k)?;
+                    report.data_store_bytes =
+                        acc_scaled(report.data_store_bytes, sub.data_store_bytes, k)?;
+                    report.flops = acc_scaled(report.flops, sub.flops, k)?;
                 }
                 ModelOp::MemAcc {
                     line,
@@ -286,27 +319,43 @@ impl Model {
                     frame,
                     count,
                 } => {
-                    let b = count.eval_count(bindings)? * *bytes_per_exec as i128;
+                    let b = checked(
+                        in_i64(count.eval_count(bindings)?)?.checked_mul(*bytes_per_exec as i128),
+                    )?;
                     let entry = report.line_bytes.entry(*line).or_default();
                     if *store {
-                        report.store_bytes += b;
+                        report.store_bytes = checked(report.store_bytes.checked_add(b))?;
                         if !frame {
-                            report.data_store_bytes += b;
+                            report.data_store_bytes =
+                                checked(report.data_store_bytes.checked_add(b))?;
                         }
                         entry.1 += b;
                     } else {
-                        report.load_bytes += b;
+                        report.load_bytes = checked(report.load_bytes.checked_add(b))?;
                         if !frame {
-                            report.data_load_bytes += b;
+                            report.data_load_bytes =
+                                checked(report.data_load_bytes.checked_add(b))?;
                         }
                         entry.0 += b;
                     }
                 }
                 ModelOp::FlopAcc { line: _, count } => {
-                    report.flops += count.eval_count(bindings)?;
+                    report.flops = checked(
+                        report
+                            .flops
+                            .checked_add(in_i64(count.eval_count(bindings)?)?),
+                    )?;
                 }
             }
         }
+        // Every accumulated metric must still be representable in i64 —
+        // the checked domain the emitted Python (`_chk_i64`) shares.
+        for (_, n) in report.counts.nonzero() {
+            in_i64(n)?;
+        }
+        in_i64(report.load_bytes)?;
+        in_i64(report.store_bytes)?;
+        in_i64(report.flops)?;
         Ok(report)
     }
 
@@ -711,6 +760,21 @@ mod tests {
             m.eval("f", &bindings(&[])),
             Err(ModelError::TooDeep)
         ));
+    }
+
+    #[test]
+    fn huge_bindings_refuse_instead_of_wrapping() {
+        let m = simple_model();
+        // n alone stays in range; the leaf is fine …
+        let big = (i64::MAX / 64) as i128;
+        assert!(m.eval("waxpby", &bindings(&[("n", big)])).is_ok());
+        // … but composing it under a large iteration count pushes the
+        // accumulated counts past i64: typed refusal, not a wrapped count
+        let r = m.eval("solve", &bindings(&[("n", big), ("iters", big)]));
+        assert!(
+            matches!(r, Err(ModelError::Eval(EvalError::Overflow))),
+            "{r:?}"
+        );
     }
 
     #[test]

@@ -44,6 +44,20 @@
 //! [`KernelRoofline::crossover_sweep`] is the brute-force oracle the
 //! tests pin it against.
 //!
+//! ## Budgets and refusal
+//!
+//! [`KernelRoofline::analyze`] and [`KernelRoofline::place`] run their
+//! symbolic work under an analysis budget ([`mira_sym::budget`]). A
+//! tripped budget (fuel exhausted, recursion too deep, coefficient
+//! overflow) surfaces as a typed refusal —
+//! [`mira_sym::EvalError::Budget`] wrapped in the normal error path —
+//! rather than a panic or a hang, and concrete evaluation of the
+//! closed forms is checked against signed 64-bit range, so
+//! adversarially huge parameters refuse instead of wrapping. Missing
+//! nest models (including budget-refused ones from `mira-mem`) degrade
+//! to the conservative streaming sweep, keeping every answer a sound
+//! upper bound on traffic.
+//!
 //! The dynamic counterpart, [`dynamic_placement`], feeds the cache
 //! simulator's per-level fill *and write-back* counters
 //! ([`MemStats::beyond_l1_bytes`]/[`MemStats::beyond_l2_bytes`]) through
@@ -281,7 +295,20 @@ pub struct Crossover {
 
 impl KernelRoofline {
     /// Build the static roofline model of `func` from an analysis.
+    ///
+    /// Runs under a [`mira_sym::budget`] scope: if combining the model's
+    /// closed forms trips the analysis budget, the kernel is refused with
+    /// a typed error instead of hanging. (The access analysis and nest
+    /// model inside are separately budgeted and degrade on their own —
+    /// see [`mira_mem::analyze_program`].)
     pub fn analyze(analysis: &Analysis, func: &str) -> Result<KernelRoofline, ModelError> {
+        match mira_sym::budget::with_default_budget(|| Self::analyze_inner(analysis, func)) {
+            Ok(r) => r,
+            Err(e) => Err(ModelError::Eval(EvalError::Budget(e))),
+        }
+    }
+
+    fn analyze_inner(analysis: &Analysis, func: &str) -> Result<KernelRoofline, ModelError> {
         let model = &analysis.model;
         let flops = model.flops_expr(func)?;
         // packed arithmetic retires more FLOPs than FP instructions; for
@@ -371,6 +398,16 @@ impl KernelRoofline {
     /// accesses the analysis could not bound is assumed to sweep, never
     /// to sit compulsory-only in cache.
     pub fn place(&self, c: &Ceilings, b: &Bindings) -> Result<Placement, EvalError> {
+        // placement evaluates closed forms over untrusted bindings; the
+        // budget scope bounds evaluation depth and work, refusing with a
+        // typed error instead of overflowing the host stack
+        match mira_sym::budget::with_default_budget(|| self.place_inner(c, b)) {
+            Ok(r) => r,
+            Err(e) => Err(EvalError::Budget(e)),
+        }
+    }
+
+    fn place_inner(&self, c: &Ceilings, b: &Bindings) -> Result<Placement, EvalError> {
         let compute = self.compute_cycles_expr(c).eval(b)?.to_f64();
         // only consulted in the known-footprint case — an unanalyzable
         // kernel's placement must not require the partial footprint to

@@ -8,6 +8,7 @@
 //! sorted form so that structural equality is semantic equality for the
 //! polynomial part.
 
+use crate::budget;
 use crate::rat::Rat;
 use crate::Bindings;
 use std::collections::BTreeMap;
@@ -38,6 +39,9 @@ impl Atom {
                 .copied()
                 .ok_or_else(|| EvalError::MissingParam(name.clone())),
             Atom::FloorDiv(e, d) => {
+                let _g = budget::descend().ok_or(EvalError::Budget(
+                    budget::BudgetError::DepthExceeded,
+                ))?;
                 let v = e.eval(b)?;
                 let den = Rat::int(*d as i128);
                 v.checked_div(den)
@@ -45,6 +49,9 @@ impl Atom {
                     .map(|r| r.floor())
             }
             Atom::Clamp(e) => {
+                let _g = budget::descend().ok_or(EvalError::Budget(
+                    budget::BudgetError::DepthExceeded,
+                ))?;
                 let v = e.eval(b)?;
                 if v < Rat::ZERO {
                     Ok(0)
@@ -70,8 +77,13 @@ pub struct Term {
 pub enum EvalError {
     /// A parameter used by the expression was not bound.
     MissingParam(String),
-    /// Intermediate arithmetic exceeded `i128`.
+    /// Intermediate arithmetic exceeded `i128`, or an exact count fell
+    /// outside the range requested by the caller (see
+    /// [`SymExpr::eval_count_i64`]).
     Overflow,
+    /// Evaluation ran inside a [`budget`] scope that tripped (expression
+    /// too deep for the recursion guard).
+    Budget(budget::BudgetError),
 }
 
 impl fmt::Display for EvalError {
@@ -79,6 +91,7 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::MissingParam(p) => write!(f, "unbound model parameter `{p}`"),
             EvalError::Overflow => write!(f, "arithmetic overflow during model evaluation"),
+            EvalError::Budget(e) => write!(f, "model evaluation refused: {e}"),
         }
     }
 }
@@ -167,12 +180,19 @@ impl SymExpr {
     }
 
     pub fn add_expr(&self, o: &SymExpr) -> SymExpr {
+        if !budget::charge(self.terms.len() as u64 + o.terms.len() as u64 + 1) {
+            return SymExpr::zero();
+        }
         let mut map = self.to_map();
         for t in &o.terms {
             let e = map.entry(t.monomial.clone()).or_insert(Rat::ZERO);
-            *e = e
-                .checked_add(t.coeff)
-                .expect("SymExpr coefficient overflow in add");
+            match e.checked_add(t.coeff) {
+                Some(v) => *e = v,
+                None => {
+                    budget::overflow("SymExpr coefficient overflow in add");
+                    return SymExpr::zero();
+                }
+            }
         }
         SymExpr::from_map(map)
     }
@@ -198,34 +218,46 @@ impl SymExpr {
         if r.is_zero() {
             return SymExpr::zero();
         }
-        SymExpr {
-            terms: self
-                .terms
-                .iter()
-                .map(|t| Term {
-                    coeff: t
-                        .coeff
-                        .checked_mul(r)
-                        .expect("SymExpr coefficient overflow in scale"),
-                    monomial: t.monomial.clone(),
-                })
-                .collect(),
+        if !budget::charge(self.terms.len() as u64 + 1) {
+            return SymExpr::zero();
         }
+        let mut terms = Vec::with_capacity(self.terms.len());
+        for t in &self.terms {
+            match t.coeff.checked_mul(r) {
+                Some(coeff) => terms.push(Term {
+                    coeff,
+                    monomial: t.monomial.clone(),
+                }),
+                None => {
+                    budget::overflow("SymExpr coefficient overflow in scale");
+                    return SymExpr::zero();
+                }
+            }
+        }
+        SymExpr { terms }
     }
 
     pub fn mul_expr(&self, o: &SymExpr) -> SymExpr {
+        let work = (self.terms.len() as u64).saturating_mul(o.terms.len() as u64);
+        if !budget::charge(work + 1) {
+            return SymExpr::zero();
+        }
         let mut map: BTreeMap<Vec<(Atom, u32)>, Rat> = BTreeMap::new();
         for a in &self.terms {
             for b in &o.terms {
-                let coeff = a
-                    .coeff
-                    .checked_mul(b.coeff)
-                    .expect("SymExpr coefficient overflow in mul");
+                let Some(coeff) = a.coeff.checked_mul(b.coeff) else {
+                    budget::overflow("SymExpr coefficient overflow in mul");
+                    return SymExpr::zero();
+                };
                 let mono = merge_monomials(&a.monomial, &b.monomial);
                 let e = map.entry(mono).or_insert(Rat::ZERO);
-                *e = e
-                    .checked_add(coeff)
-                    .expect("SymExpr coefficient overflow in mul-add");
+                match e.checked_add(coeff) {
+                    Some(v) => *e = v,
+                    None => {
+                        budget::overflow("SymExpr coefficient overflow in mul-add");
+                        return SymExpr::zero();
+                    }
+                }
             }
         }
         SymExpr::from_map(map)
@@ -246,7 +278,16 @@ impl SymExpr {
     /// result is exactly `q` (plus `floor(r/d) = 0`). Otherwise the
     /// division is kept as an opaque [`Atom::FloorDiv`].
     pub fn floor_div(&self, d: i64) -> SymExpr {
-        assert!(d > 0, "floor_div by non-positive divisor");
+        if d <= 0 {
+            // Inside a budget scope (untrusted input: e.g. a zero-stride
+            // loop reached symbolic trip counting) this is a typed
+            // refusal; outside one it is a caller bug, as before.
+            if budget::active() {
+                budget::trip(budget::BudgetError::BadDivisor);
+                return SymExpr::zero();
+            }
+            panic!("floor_div by non-positive divisor");
+        }
         if d == 1 {
             return self.clone();
         }
@@ -265,7 +306,10 @@ impl SymExpr {
                 remainder = t.coeff;
                 continue;
             }
-            let q = t.coeff.checked_div(dd).expect("floor_div overflow");
+            let Some(q) = t.coeff.checked_div(dd) else {
+                budget::overflow("floor_div overflow");
+                return SymExpr::zero();
+            };
             if q.is_integer() {
                 quotient_terms.push(Term {
                     coeff: q,
@@ -311,6 +355,12 @@ impl SymExpr {
     /// Replace every occurrence of parameter `name` (including inside
     /// floor-div and clamp atoms) with `repl`.
     pub fn substitute(&self, name: &str, repl: &SymExpr) -> SymExpr {
+        let Some(_g) = budget::descend() else {
+            return SymExpr::zero();
+        };
+        if !budget::charge(self.terms.len() as u64 + 1) {
+            return SymExpr::zero();
+        }
         let mut out = SymExpr::zero();
         for t in &self.terms {
             let mut factor = SymExpr::from_rat(t.coeff);
@@ -336,6 +386,9 @@ impl SymExpr {
     }
 
     fn collect_params(&self, out: &mut std::collections::BTreeSet<String>) {
+        let Some(_g) = budget::descend() else {
+            return;
+        };
         for t in &self.terms {
             for (atom, _) in &t.monomial {
                 match atom {
@@ -438,6 +491,16 @@ impl SymExpr {
             .ok_or(EvalError::Overflow)?;
         let f = twice.floor();
         Ok(if f >= 0 { (f + 1) / 2 } else { f / 2 })
+    }
+
+    /// Evaluate to an `i64` count, refusing with [`EvalError::Overflow`]
+    /// when the exact value falls outside `i64` — never wrapping or
+    /// saturating. This is the checked arithmetic the emitted Python
+    /// mirrors with its `_chk_i64` helper, so huge parameter values refuse
+    /// identically on both sides.
+    pub fn eval_count_i64(&self, b: &Bindings) -> Result<i64, EvalError> {
+        let v = self.eval_count(b)?;
+        i64::try_from(v).map_err(|_| EvalError::Overflow)
     }
 }
 

@@ -17,7 +17,14 @@
 //!
 //! All arithmetic is exact; evaluation returns integers (counts) and fails
 //! loudly on overflow rather than silently saturating.
+//!
+//! Analysis over untrusted input runs inside a [`budget`] scope: fuel
+//! limits and recursion-depth guards turn worst-case symbolic blowups
+//! (term explosion, deep atom nesting, coefficient overflow) into typed
+//! [`budget::BudgetError`] refusals instead of hangs, host-stack
+//! overflows, or panics.
 
+pub mod budget;
 pub mod expr;
 pub mod python;
 pub mod rat;

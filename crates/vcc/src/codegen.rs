@@ -153,7 +153,9 @@ pub fn compile_program(program: &Program, options: &Options) -> Result<mira_vobj
 
     let mut funcs = Vec::new();
     for f in program.functions() {
-        funcs.push(compile_function(f, options, &sym_ids, &sigs)?);
+        funcs.push(
+            compile_function(f, options, &sym_ids, &sigs).map_err(|e| e.with_func(&f.name))?,
+        );
     }
     for name in libm_names {
         funcs.push(libm::build(name).expect("libm body"));
@@ -317,12 +319,10 @@ impl<'a> Codegen<'a> {
     fn alloc_int(&mut self) -> Result<Reg, CompileError> {
         let Some(r) = self.int_free.pop() else {
             self.exhausted = Some(Pool::Int);
-            return Err(CompileError {
-                msg: format!(
+            return Err(CompileError::msg(format!(
                     "{}: expression too complex (out of integer registers)",
                     self.asm.name
-                ),
-            });
+                )));
         };
         self.int_used.push(r);
         if !self.touched_int.contains(&r) {
@@ -334,12 +334,10 @@ impl<'a> Codegen<'a> {
     fn alloc_fp(&mut self) -> Result<XReg, CompileError> {
         let Some(r) = self.fp_free.pop() else {
             self.exhausted = Some(Pool::Fp);
-            return Err(CompileError {
-                msg: format!(
+            return Err(CompileError::msg(format!(
                     "{}: expression too complex (out of FP registers)",
                     self.asm.name
-                ),
-            });
+                )));
         };
         self.fp_used.push(r);
         if !self.touched_fp.contains(&r) {
@@ -481,9 +479,7 @@ impl<'a> Codegen<'a> {
             match p.ty {
                 Type::Double => {
                     if fp_idx >= XARG.len() {
-                        return Err(CompileError {
-                            msg: format!("{}: too many FP parameters", f.name),
-                        });
+                        return Err(CompileError::msg(format!("{}: too many FP parameters", f.name)));
                     }
                     let src = XARG[fp_idx];
                     fp_idx += 1;
@@ -556,6 +552,12 @@ impl<'a> Codegen<'a> {
     // ---- statements ----
 
     pub(crate) fn gen_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        // attach the nearest enclosing statement's span to any
+        // code-generation refusal bubbling out of this subtree
+        self.gen_stmt_inner(s).map_err(|e| e.with_span(s.span))
+    }
+
+    fn gen_stmt_inner(&mut self, s: &Stmt) -> Result<(), CompileError> {
         self.asm.cur_line = s.span.line;
         match &s.kind {
             StmtKind::Decl {
@@ -843,9 +845,7 @@ impl<'a> Codegen<'a> {
                             .jcc(if jump_if_true { Cc::Ne } else { Cc::E }, target);
                     }
                     _ => {
-                        return Err(CompileError {
-                            msg: "void value used as condition".to_string(),
-                        })
+                        return Err(CompileError::msg("void value used as condition".to_string()))
                     }
                 }
             }
@@ -935,9 +935,7 @@ impl<'a> Codegen<'a> {
                         self.asm.emit(Inst::Setcc(Cc::E, r));
                         Ok(v)
                     }
-                    _ => Err(CompileError {
-                        msg: "bad unary operand".to_string(),
-                    }),
+                    _ => Err(CompileError::msg("bad unary operand".to_string())),
                 }
             }
             ExprKind::Cast { ty, operand } | ExprKind::ImplicitCast { ty, operand } => {
@@ -997,9 +995,7 @@ impl<'a> Codegen<'a> {
                                     Ok(Value::I(old))
                                 }
                             }
-                            Loc::FpReg(_) => Err(CompileError {
-                                msg: "++/-- on non-int".to_string(),
-                            }),
+                            Loc::FpReg(_) => Err(CompileError::msg("++/-- on non-int".to_string())),
                         }
                     }
                     ExprKind::Index { base, index } => {
@@ -1023,9 +1019,7 @@ impl<'a> Codegen<'a> {
                         }
                         Ok(result)
                     }
-                    _ => Err(CompileError {
-                        msg: "++/-- on non-lvalue".to_string(),
-                    }),
+                    _ => Err(CompileError::msg("++/-- on non-lvalue".to_string())),
                 }
             }
             ExprKind::Call { name, args } => self.gen_call(name, args, &e.ty),
@@ -1059,9 +1053,7 @@ impl<'a> Codegen<'a> {
             b = self.pin_value(b)?;
         }
         if !b.is_int() {
-            return Err(CompileError {
-                msg: "indexing a non-pointer".to_string(),
-            });
+            return Err(CompileError::msg("indexing a non-pointer".to_string()));
         }
         let rb = self.value_ireg(b);
         // constant index folds into the displacement (strength reduction)
@@ -1075,9 +1067,7 @@ impl<'a> Codegen<'a> {
             i = self.pin_value(i)?;
         }
         if !i.is_int() {
-            return Err(CompileError {
-                msg: "non-integer index".to_string(),
-            });
+            return Err(CompileError::msg("non-integer index".to_string()));
         }
         let rb = self.value_ireg(b); // b may have been pinned to a new reg
         let ri = self.value_ireg(i);
@@ -1134,9 +1124,7 @@ impl<'a> Codegen<'a> {
                                 self.free(v);
                                 Ok(Value::F(cur))
                             }
-                            _ => Err(CompileError {
-                                msg: "void value assigned".to_string(),
-                            }),
+                            _ => Err(CompileError::msg("void value assigned".to_string())),
                         }
                     }
                 }
@@ -1156,9 +1144,7 @@ impl<'a> Codegen<'a> {
                             self.asm.emit(Inst::MovsdStore(mem, x));
                         }
                         _ => {
-                            return Err(CompileError {
-                                msg: "void value assigned".to_string(),
-                            })
+                            return Err(CompileError::msg("void value assigned".to_string()))
                         }
                     }
                     v
@@ -1183,9 +1169,7 @@ impl<'a> Codegen<'a> {
                             Value::F(cur)
                         }
                         _ => {
-                            return Err(CompileError {
-                                msg: "void value assigned".to_string(),
-                            })
+                            return Err(CompileError::msg("void value assigned".to_string()))
                         }
                     }
                 };
@@ -1194,9 +1178,7 @@ impl<'a> Codegen<'a> {
                 }
                 Ok(result)
             }
-            _ => Err(CompileError {
-                msg: "assignment to non-lvalue".to_string(),
-            }),
+            _ => Err(CompileError::msg("assignment to non-lvalue".to_string())),
         }
     }
 
@@ -1227,9 +1209,7 @@ impl<'a> Codegen<'a> {
             // normalized in place, so both must be owned temporaries)
             let l = self.gen_expr(lhs)?;
             if !l.is_int() {
-                return Err(CompileError {
-                    msg: "logical op on non-int".to_string(),
-                });
+                return Err(CompileError::msg("logical op on non-int".to_string()));
             }
             let l = self.pin_value(l)?;
             let a = self.value_ireg(l);
@@ -1237,9 +1217,7 @@ impl<'a> Codegen<'a> {
             self.asm.emit(Inst::Setcc(Cc::Ne, a));
             let r = self.gen_expr(rhs)?;
             if !r.is_int() {
-                return Err(CompileError {
-                    msg: "logical op on non-int".to_string(),
-                });
+                return Err(CompileError::msg("logical op on non-int".to_string()));
             }
             let r = self.pin_value(r)?;
             let b = self.value_ireg(r);
@@ -1298,9 +1276,7 @@ impl<'a> Codegen<'a> {
                 self.asm.emit(Inst::MovRR(a, src));
             }
             other => {
-                return Err(CompileError {
-                    msg: format!("unsupported int op {other:?}"),
-                })
+                return Err(CompileError::msg(format!("unsupported int op {other:?}")))
             }
         }
         Ok(())
@@ -1317,9 +1293,7 @@ impl<'a> Codegen<'a> {
     }
 
     fn gen_call(&mut self, name: &str, args: &[Expr], ret_ty: &Type) -> Result<Value, CompileError> {
-        let sym = *self.sym_ids.get(name).ok_or_else(|| CompileError {
-            msg: format!("unresolved call target `{name}`"),
-        })?;
+        let sym = *self.sym_ids.get(name).ok_or_else(|| CompileError::msg(format!("unresolved call target `{name}`")))?;
 
         // evaluate arguments into scratch temps; a borrowed home is
         // pinned if a later argument could write the variable
@@ -1378,18 +1352,14 @@ impl<'a> Codegen<'a> {
                 }
                 v if v.is_fp() => {
                     if fp_idx >= XARG.len() {
-                        return Err(CompileError {
-                            msg: format!("too many FP arguments in call to {name}"),
-                        });
+                        return Err(CompileError::msg(format!("too many FP arguments in call to {name}")));
                     }
                     let x = self.value_xreg(*v);
                     self.asm.emit(Inst::MovsdXX(XARG[fp_idx], x));
                     fp_idx += 1;
                 }
                 _ => {
-                    return Err(CompileError {
-                        msg: "void argument".to_string(),
-                    })
+                    return Err(CompileError::msg("void argument".to_string()))
                 }
             }
         }

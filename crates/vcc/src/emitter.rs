@@ -152,18 +152,14 @@ impl FuncAsm {
                     Inst::Jmp(l) => {
                         let off = offsets[l as usize];
                         if off == u32::MAX {
-                            return Err(CompileError {
-                                msg: format!("unbound label in {}", self.name),
-                            });
+                            return Err(CompileError::msg(format!("unbound label in {}", self.name)));
                         }
                         Inst::Jmp(base + off)
                     }
                     Inst::Jcc(cc, l) => {
                         let off = offsets[l as usize];
                         if off == u32::MAX {
-                            return Err(CompileError {
-                                msg: format!("unbound label in {}", self.name),
-                            });
+                            return Err(CompileError::msg(format!("unbound label in {}", self.name)));
                         }
                         Inst::Jcc(cc, base + off)
                     }

@@ -94,18 +94,111 @@ impl Options {
 }
 
 /// Compilation errors (beyond what sema already rejects).
+///
+/// Code-generation failures carry the function being compiled and the
+/// nearest statement [`Span`](mira_minic::Span) when known; front-end
+/// failures (from [`compile_source`]) keep the full
+/// [`FrontendError`](mira_minic::FrontendError) as their
+/// [`std::error::Error::source`], so the whole chain is reportable with
+/// `anyhow`-style `{:#}` formatting.
 #[derive(Clone, PartialEq, Debug)]
-pub struct CompileError {
-    pub msg: String,
+pub enum CompileError {
+    /// The front-end rejected the source before code generation started.
+    Frontend(mira_minic::FrontendError),
+    /// Code generation itself failed.
+    Codegen {
+        msg: String,
+        /// The function being compiled, when known.
+        func: Option<String>,
+        /// The nearest enclosing statement's source position, when known.
+        span: Option<mira_minic::Span>,
+    },
+}
+
+impl CompileError {
+    /// A bare code-generation error; function/span context is attached
+    /// higher up the call chain (see [`CompileError::with_func`]).
+    pub fn msg(msg: impl Into<String>) -> CompileError {
+        CompileError::Codegen {
+            msg: msg.into(),
+            func: None,
+            span: None,
+        }
+    }
+
+    /// Attach the enclosing function's name, unless one is already set.
+    pub fn with_func(self, name: &str) -> CompileError {
+        match self {
+            CompileError::Codegen { msg, func: None, span } => CompileError::Codegen {
+                msg,
+                func: Some(name.to_string()),
+                span,
+            },
+            other => other,
+        }
+    }
+
+    /// Attach a source span, unless one is already set.
+    pub fn with_span(self, at: mira_minic::Span) -> CompileError {
+        match self {
+            CompileError::Codegen { msg, func, span: None } => CompileError::Codegen {
+                msg,
+                func,
+                span: Some(at),
+            },
+            other => other,
+        }
+    }
+
+    /// The source position the error points at, when known.
+    pub fn span(&self) -> Option<mira_minic::Span> {
+        match self {
+            CompileError::Frontend(e) => Some(e.span()),
+            CompileError::Codegen { span, .. } => *span,
+        }
+    }
+
+    /// The function being compiled when the error occurred, when known.
+    pub fn function(&self) -> Option<&str> {
+        match self {
+            CompileError::Frontend(_) => None,
+            CompileError::Codegen { func, .. } => func.as_deref(),
+        }
+    }
 }
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "compile error: {}", self.msg)
+        match self {
+            CompileError::Frontend(e) => write!(f, "front-end: {e}"),
+            CompileError::Codegen { msg, func, span } => {
+                write!(f, "compile error")?;
+                if let Some(name) = func {
+                    write!(f, " in `{name}`")?;
+                }
+                if let Some(at) = span {
+                    write!(f, " at {at}")?;
+                }
+                write!(f, ": {msg}")
+            }
+        }
     }
 }
 
-impl std::error::Error for CompileError {}
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Frontend(e) => Some(e),
+            CompileError::Codegen { .. } => None,
+        }
+    }
+}
+
+impl From<mira_minic::FrontendError> for CompileError {
+    fn from(e: mira_minic::FrontendError) -> CompileError {
+        CompileError::Frontend(e)
+    }
+}
 
 /// Compile a type-checked MiniC program into a VOBJ object.
 pub fn compile(program: &Program, options: &Options) -> Result<Object, CompileError> {
@@ -114,9 +207,7 @@ pub fn compile(program: &Program, options: &Options) -> Result<Object, CompileEr
 
 /// Convenience: front-end + compile in one call.
 pub fn compile_source(src: &str, options: &Options) -> Result<Object, CompileError> {
-    let program = mira_minic::frontend(src).map_err(|e| CompileError {
-        msg: format!("front-end: {e}"),
-    })?;
+    let program = mira_minic::frontend(src)?;
     compile(&program, options)
 }
 

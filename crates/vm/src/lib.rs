@@ -114,6 +114,10 @@ pub enum VmError {
     StepLimit,
     /// Jump to an address that is not an instruction boundary.
     WildJump(u32),
+    /// A `ret` consumed the host entry frame but the popped return
+    /// address was not the host sentinel — a handcrafted or corrupted
+    /// object returning past the frame the host pushed.
+    FrameUnderflow,
     /// Too many / unsupported argument kinds in a host call.
     BadCall(String),
 }
@@ -129,6 +133,7 @@ impl fmt::Display for VmError {
             VmError::StackOverflow => write!(f, "stack overflow"),
             VmError::StepLimit => write!(f, "instruction budget exhausted"),
             VmError::WildJump(a) => write!(f, "jump to non-instruction address {a:#x}"),
+            VmError::FrameUnderflow => write!(f, "return past the host entry frame"),
             VmError::BadCall(m) => write!(f, "bad host call: {m}"),
         }
     }
@@ -728,10 +733,18 @@ impl Vm {
     /// return to the host.
     fn leave_call(&mut self, frames: &mut Vec<Frame>) -> Result<Option<Cursor>, VmError> {
         let ret = self.m.pop()? as u64;
-        let fr = frames.pop().expect("frame stack underflow");
+        let Some(fr) = frames.pop() else {
+            return Err(VmError::FrameUnderflow);
+        };
         self.fold_frame(&fr);
         if ret == SENTINEL {
             return Ok(None);
+        }
+        if frames.is_empty() {
+            // the entry frame was consumed but the return address is not
+            // the host sentinel: refuse (typed) instead of running on
+            // with no live frame, identically to the reference engine
+            return Err(VmError::FrameUnderflow);
         }
         if ret == fr.ret_addr && fr.ret_block != u32::MAX {
             return Ok(Some(Cursor::Block(fr.ret_block)));

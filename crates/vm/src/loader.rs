@@ -57,6 +57,14 @@ impl Image {
         for sym in &obj.symbols {
             match sym {
                 Symbol::Func { name, addr, .. } => {
+                    if func_names.len() > u16::MAX as usize {
+                        // function indices are u16 throughout the image;
+                        // more would silently alias frame attribution
+                        return Err(VmError::Object(format!(
+                            "too many functions (limit {})",
+                            u16::MAX as usize + 1
+                        )));
+                    }
                     let idx = func_names.len() as u16;
                     // first definition wins, matching the seed's
                     // `iter().position()` semantics on duplicate names

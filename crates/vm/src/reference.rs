@@ -215,6 +215,11 @@ impl ReferenceVm {
                     if ret == SENTINEL {
                         break;
                     }
+                    if stack.is_empty() {
+                        // entry frame consumed with a non-sentinel return
+                        // address: typed refusal, mirroring `Vm::leave_call`
+                        return Err(VmError::FrameUnderflow);
+                    }
                     ip = self.img.addr_to_idx(ret as u32)?;
                 }
                 Ctl::Halt => break,

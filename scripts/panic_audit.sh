@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Panic audit: count panic-capable calls (.unwrap(), .expect(, panic!,
+# unreachable!, todo!, unimplemented!) in the NON-TEST code of the
+# analysis crates and fail if any crate regresses above its committed
+# baseline. The baselines are the post-"crash-free pipeline" counts —
+# every remaining call is an internal invariant (sema-guaranteed match
+# arms, scope-stack discipline), not a path reachable from user input.
+#
+# Counting rules:
+#   * everything from the first `#[cfg(test)]` line of a file onward is
+#     ignored (test modules sit at file tails in this repo);
+#   * `self.expect(` is the parser's Result-returning token helper, not
+#     std's panicking Option/Result::expect — excluded.
+#
+# Lowering a baseline after removing panic paths is encouraged; raising
+# one requires justifying a brand-new invariant in review.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+declare -A BASELINE=(
+    [mem]=0
+    [roofline]=0
+    [vcc]=24
+    [minic]=1
+)
+
+fail=0
+for crate in mem roofline vcc minic; do
+    total=0
+    while IFS= read -r f; do
+        # grep exits 1 on zero matches: that's a clean count, not an error
+        n=$(awk '/#\[cfg\(test\)\]/{exit} {print}' "$f" \
+            | { grep -v 'self\.expect(' || true; } \
+            | { grep -o '\.unwrap()\|\.expect(\|panic!(\|unreachable!(\|todo!(\|unimplemented!(' || true; } \
+            | wc -l)
+        total=$((total + n))
+    done < <(find "crates/$crate/src" -name '*.rs')
+    base=${BASELINE[$crate]}
+    if [ "$total" -gt "$base" ]; then
+        echo "FAIL: crates/$crate has $total panic-capable calls in non-test code (baseline $base)"
+        fail=1
+    else
+        echo "ok:   crates/$crate $total/$base panic-capable calls"
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "Panic-capable calls regressed. Convert new panics into typed errors"
+    echo "(CompileError / FrontendError / budget refusal) or, for a genuine"
+    echo "new invariant, update the baseline in scripts/panic_audit.sh with"
+    echo "a justification in the PR."
+    exit 1
+fi

@@ -1,0 +1,268 @@
+//! Adversarial fuzzing of the whole analysis pipeline: random token
+//! soup, mutated valid programs, and adversarial loop nests (zero trip
+//! counts, deep nesting, huge constants and extents) are pushed through
+//! front-end → compile → model generation → roofline under
+//! `catch_unwind`. The single property: **every input yields `Ok` or a
+//! typed error — never a panic**, and refusals come back through the
+//! [`mira_core::MiraError`] taxonomy with a phase attached.
+//!
+//! Inputs are drawn from the in-tree proptest shim's deterministic RNG,
+//! so any failure reproduces by rerunning the same test. The case count
+//! per generator honours `MIRA_FUZZ_CASES` (CI smoke runs a bounded
+//! subset in release; the full adversarial run uses ≥700 per generator,
+//! i.e. ≥2,100 inputs total).
+
+use mira_core::{analyze_source, MiraOptions};
+use mira_roofline::{Ceilings, KernelRoofline};
+use mira_sym::Bindings;
+use proptest::test_runner::TestRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn cases(default: usize) -> usize {
+    std::env::var("MIRA_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Drive one source through the full pipeline. Panics (and thereby fails
+/// the test) only if some phase panics instead of refusing.
+fn drive(src: &str, huge_bindings: bool) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let analysis = match analyze_source(src, &MiraOptions::default()) {
+            Ok(a) => a,
+            Err(e) => {
+                // typed refusal: phase attribution and Display must work
+                let _ = e.phase();
+                let _ = format!("{e}");
+                let _ = std::error::Error::source(&e);
+                return;
+            }
+        };
+        let value: i128 = if huge_bindings { i64::MAX as i128 / 2 } else { 17 };
+        let b: Bindings = analysis
+            .parameters()
+            .into_iter()
+            .map(|p| (p, value))
+            .collect();
+        let ceilings = Ceilings::from_arch(&analysis.arch);
+        let funcs: Vec<String> = analysis.model.functions.keys().cloned().collect();
+        for f in funcs {
+            // native evaluation: Ok or typed ModelError (overflow refusal)
+            if let Err(e) = analysis.report(&f, &b) {
+                let _ = format!("{e}");
+            }
+            // roofline: analysis may refuse (budget), placement may refuse
+            // (overflow / missing param) — both typed
+            match KernelRoofline::analyze(&analysis, &f) {
+                Ok(k) => {
+                    if let Err(e) = k.place(&ceilings, &b) {
+                        let _ = format!("{e}");
+                    }
+                }
+                Err(e) => {
+                    let _ = format!("{e}");
+                }
+            }
+        }
+        // the emitted Python must always materialize
+        let _ = analysis.python_model();
+    }));
+    assert!(
+        outcome.is_ok(),
+        "pipeline panicked instead of refusing on:\n{src}"
+    );
+}
+
+// ---------------------------------------------------------------- soup
+
+/// Random token soup: mostly-valid tokens in a random order, so lexing
+/// usually succeeds and the parser/sema layers absorb the chaos.
+fn token_soup(rng: &mut TestRng) -> String {
+    const TOKENS: &[&str] = &[
+        "int", "double", "for", "while", "if", "else", "return", "extern",
+        "(", ")", "{", "}", "[", "]", ";", ",", "+", "-", "*", "/", "%",
+        "=", "==", "!=", "<", ">", "<=", ">=", "++", "--", "+=", "-=",
+        "&&", "||", "!", "x", "y", "n", "i", "a", "f", "main", "0", "1",
+        "2", "42", "0.5", "1e9", "9999999999999999999999", "#pragma",
+        "@Annotation", "\"str", "'", "\\", "$", "\u{0}",
+    ];
+    let len = 4 + (rng.next_u64() as usize % 120);
+    let mut s = String::new();
+    for _ in 0..len {
+        s.push_str(TOKENS[rng.next_u64() as usize % TOKENS.len()]);
+        if !rng.next_u64().is_multiple_of(3) {
+            s.push(' ');
+        }
+        if rng.next_u64().is_multiple_of(11) {
+            s.push('\n');
+        }
+    }
+    s
+}
+
+#[test]
+fn fuzz_token_soup_never_panics() {
+    let mut rng = TestRng::deterministic("fuzz_token_soup_never_panics");
+    for _ in 0..cases(150) {
+        let src = token_soup(&mut rng);
+        drive(&src, false);
+    }
+}
+
+// ------------------------------------------------------------- mutation
+
+const SEEDS: &[&str] = &[
+    r#"
+double dot(int n, double* x, double* y) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += x[i] * y[i];
+    }
+    return s;
+}
+"#,
+    r#"
+double axpy(int n, double alpha, double* x, double* y) {
+    for (int i = 0; i < n; i++) {
+        y[i] = alpha * x[i] + y[i];
+    }
+    return y[0];
+}
+"#,
+    r#"
+extern double sqrt(double);
+double norm(int n, double* x) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s += x[i] * x[i]; }
+    return sqrt(s);
+}
+double scaled(int n, double* x) {
+    return norm(n, x) * 0.5;
+}
+"#,
+    r#"
+double stencil(int n, double* a, double* b) {
+    for (int i = 1; i < n - 1; i++) {
+        for (int j = 1; j < n - 1; j++) {
+            b[i * n + j] = 0.25 * (a[(i - 1) * n + j] + a[(i + 1) * n + j]
+                + a[i * n + j - 1] + a[i * n + j + 1]);
+        }
+    }
+    return b[n + 1];
+}
+"#,
+];
+
+/// Mutate a valid program: delete, duplicate, or scramble a random span,
+/// or splice two seeds together.
+fn mutate(rng: &mut TestRng) -> String {
+    let seed = SEEDS[rng.next_u64() as usize % SEEDS.len()];
+    let mut bytes: Vec<u8> = seed.bytes().collect();
+    let muts = 1 + rng.next_u64() % 4;
+    for _ in 0..muts {
+        if bytes.is_empty() {
+            break;
+        }
+        let a = rng.next_u64() as usize % bytes.len();
+        let b = (a + 1 + rng.next_u64() as usize % 24).min(bytes.len());
+        match rng.next_u64() % 5 {
+            0 => {
+                bytes.drain(a..b);
+            }
+            1 => {
+                let dup: Vec<u8> = bytes[a..b].to_vec();
+                let at = rng.next_u64() as usize % (bytes.len() + 1);
+                bytes.splice(at..at, dup);
+            }
+            2 => {
+                bytes[a] = b"(){};=+*<>[]"[rng.next_u64() as usize % 12];
+            }
+            3 => {
+                bytes.truncate(a);
+            }
+            _ => {
+                let other = SEEDS[rng.next_u64() as usize % SEEDS.len()];
+                let cut = rng.next_u64() as usize % (other.len() + 1);
+                bytes.extend_from_slice(&other.as_bytes()[..cut]);
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn fuzz_mutated_programs_never_panic() {
+    let mut rng = TestRng::deterministic("fuzz_mutated_programs_never_panic");
+    for _ in 0..cases(150) {
+        let src = mutate(&mut rng);
+        drive(&src, false);
+    }
+}
+
+// ------------------------------------------------------ adversarial nests
+
+/// Valid-but-hostile loop nests: zero trip counts, deep nesting, huge
+/// constant bounds and extents, dependent bounds. These compile, so the
+/// symbolic layers (poly, metrics, mem, roofline) take the hit — budgets
+/// and checked evaluation must degrade or refuse, never hang or panic.
+fn adversarial_nest(rng: &mut TestRng) -> String {
+    let depth = match rng.next_u64() % 4 {
+        0 => 1 + rng.next_u64() as usize % 3,
+        1 => 4 + rng.next_u64() as usize % 6,
+        2 => 16 + rng.next_u64() as usize % 16,
+        _ => 40 + rng.next_u64() as usize % 25, // up to 64 deep
+    };
+    let mut src = String::from("double f(int n, double* a) {\n    double s = 0.0;\n");
+    let mut indent = String::from("    ");
+    for lvl in 0..depth {
+        let v = format!("i{lvl}");
+        let bound = match rng.next_u64() % 6 {
+            0 => "0".to_string(),                      // zero trip count
+            1 => "n".to_string(),
+            2 => format!("n + {}", rng.next_u64() % 8),
+            3 => format!("{}", 1 + rng.next_u64() % 4),
+            4 => format!("{}", 1_000_000_000u64 + rng.next_u64() % 4_000_000_000), // huge
+            _ => {
+                if lvl > 0 {
+                    format!("i{} + 2", lvl - 1) // dependent bound
+                } else {
+                    "n".to_string()
+                }
+            }
+        };
+        src.push_str(&format!(
+            "{indent}for (int {v} = 0; {v} < {bound}; {v}++) {{\n"
+        ));
+        indent.push_str("    ");
+    }
+    let inner = format!("i{}", depth - 1);
+    // huge extents / strides in the body indexing
+    let stmt = match rng.next_u64() % 4 {
+        0 => format!("s += a[{inner}];"),
+        1 => format!("s += a[{inner} * {}];", 1 + rng.next_u64() % 1_000_000_007),
+        2 => format!("a[{inner}] = s * 2.0;"),
+        _ => format!(
+            "s += a[{inner} + {}];",
+            rng.next_u64() % 4_000_000_000_000u64
+        ),
+    };
+    src.push_str(&format!("{indent}{stmt}\n"));
+    for _ in 0..depth {
+        indent.truncate(indent.len() - 4);
+        src.push_str(&format!("{indent}}}\n"));
+    }
+    src.push_str("    return s;\n}\n");
+    src
+}
+
+#[test]
+fn fuzz_adversarial_nests_never_panic() {
+    let mut rng = TestRng::deterministic("fuzz_adversarial_nests_never_panic");
+    for i in 0..cases(150) {
+        let src = adversarial_nest(&mut rng);
+        // alternate huge and small parameter bindings so both the
+        // symbolic layers and the checked closed-form evaluation are hit
+        drive(&src, i % 2 == 0);
+    }
+}
