@@ -51,6 +51,14 @@ fn rows(quick: bool) -> Vec<(String, RoofRow)> {
         // it is already tiny
         ("dgemm_ws40".into(), roofval::dgemm_roof(40, 1)),
     ];
+    // the lifted refusals: a triangular nest (average-extent model) and
+    // a composed two-kernel sweep (callee splice), each at a resident
+    // and a capacity size
+    let (tri_n, sweep_n) = if quick { (160i64, 20_000i64) } else { (512, 200_000) };
+    out.push(("trisolve_resident".into(), roofval::trisolve_roof(32)));
+    out.push(("trisolve_capacity".into(), roofval::trisolve_roof(tri_n)));
+    out.push(("stencil_resident".into(), roofval::stencil_sweep_roof(1024, 8)));
+    out.push(("stencil_capacity".into(), roofval::stencil_sweep_roof(sweep_n, 4)));
     let dgemm = roofval::dgemm_roof(dgemm_n, 1);
     let minife = roofval::minife_roof(grid, 2000, 1e-8);
     out.push((dgemm.workload.clone(), dgemm));

@@ -161,6 +161,7 @@ struct FuncInfo {
 /// One loop of the function's loop forest as recorded by the walker; it
 /// outlives the walk (unlike the [`LoopDim`] stack) so working sets can
 /// be derived per nest level afterwards.
+#[derive(Clone)]
 struct NodeBuild {
     parent: Option<usize>,
     /// Renamed (unique) induction variable.
@@ -184,19 +185,30 @@ impl NodeBuild {
 
 /// One own array reference with its nest context: the enclosing loop
 /// path and the index range at every pin depth.
+#[derive(Clone)]
 struct NestRef {
     array: String,
     /// Node ids of the enclosing loops, outermost first.
     path: Vec<usize>,
     /// `ranges[l]` is the index range with the outermost `l` loops of
     /// `path` pinned at their first iteration and the rest swept — the
-    /// working-set ladder (`ranges[0]` is the full-sweep range).
+    /// working-set ladder (`ranges[0]` is the full-sweep range). For
+    /// affine references this ladder is recomputed from `idx` when the
+    /// model is built (so composition and triangular pinning see one
+    /// code path); for `gather` references it is the recorded flat
+    /// bound, the only range the analysis has.
     ranges: Vec<(SymExpr, SymExpr)>,
-    /// The affine access function itself (domain variables renamed).
+    /// The affine access function itself (domain variables renamed);
+    /// for `gather` references an opaque placeholder.
     idx: SymExpr,
     stored: bool,
     /// See [`ArrayFootprint::stride_bytes`] (full-sweep dense coverage).
     stride_bytes: Option<i128>,
+    /// A data-dependent subscript bounded by `idx_extent`: the range is
+    /// a coverage-unproven upper bound that moves with no loop, and the
+    /// traffic model must cap its fills at the access count instead of
+    /// multiplying by every enclosing extent.
+    gather: bool,
 }
 
 #[derive(Clone)]
@@ -216,6 +228,12 @@ struct CallSite {
     /// params map to the caller's array name, value params to an affine
     /// expression. `Err(())` marks an unanalyzable argument.
     args: Vec<Result<Arg, ()>>,
+    /// Node ids of the loops enclosing the call site, outermost first —
+    /// the splice point for nest-group composition.
+    path: Vec<usize>,
+    /// The call sits under an `if`/unannotated-`while` guard: its traffic
+    /// cannot be attributed to a nest level, so composition refuses.
+    guarded: bool,
 }
 
 enum Arg {
@@ -387,6 +405,11 @@ impl AccessModel {
 pub struct NestNode {
     pub parent: Option<usize>,
     /// Trip count, with every ancestor pinned at its first iteration.
+    /// For a triangular loop (trip count affine in one rectangular
+    /// ancestor's variable) this is the *average* extent over the
+    /// ancestor's range — the midpoint substitution of
+    /// [`mira_sym::sum::avg_over`] — so products of extents along a path
+    /// stay exact total iteration counts.
     pub extent: SymExpr,
     /// One-iteration working set of this loop, in distinct cache lines:
     /// the loop's variable and every ancestor pinned at their first
@@ -434,6 +457,16 @@ pub struct NestGroup {
     /// for a fully-associative LRU cache with clear capacity margins,
     /// not upper bounds.
     pub exact: bool,
+    /// Data-dependent (gather) group: the references' target lines are
+    /// unknown, only their `idx_extent` bound is. The flat recorded
+    /// range looks loop-independent at every level, but one deeper
+    /// iteration does *not* re-touch the whole range, so the
+    /// leading-prefix capture shortcut is off and fills are additionally
+    /// capped at the access count (each access misses at most once).
+    pub gather: bool,
+    /// Reference count per innermost iteration (all, stored) — the fill
+    /// and write-back caps for gather groups; `(0, 0)` otherwise.
+    pub gather_refs: (i64, i64),
 }
 
 /// Evaluated traffic crossing one hierarchy boundary.
@@ -496,8 +529,21 @@ impl NestModel {
         let mut ext = Vec::with_capacity(self.nodes.len());
         for n in &self.nodes {
             ws.push(n.ws_lines.eval_count(b)?);
-            ext.push(n.extent.eval_count(b)?.max(0));
+            // extents stay rational: a triangular loop's average extent
+            // is a half-integer, and only the final per-group product is
+            // rounded (the product over a full path is always integral)
+            let e = n.extent.eval(b)?;
+            ext.push(if e < Rat::ZERO { Rat::ZERO } else { e });
         }
+        // round half away from zero, matching `SymExpr::eval_count`
+        let round = |r: Rat| -> Result<i128, EvalError> {
+            if let Some(i) = r.as_integer() {
+                return Ok(i);
+            }
+            let twice = r.checked_mul(Rat::int(2)).ok_or(EvalError::Overflow)?;
+            let f = twice.floor();
+            Ok(if f >= 0 { (f + 1) / 2 } else { f / 2 })
+        };
         let mut t = BoundaryTraffic::default();
         for g in &self.groups {
             let depth = g.path.len();
@@ -516,16 +562,26 @@ impl NestModel {
             // group's whole range — the leading-independent prefix `d`:
             // as long as capture reaches that depth (`fit ≤ needed`),
             // the lines are re-touched before anything can evict them
-            // and no outer level multiplies.
+            // and no outer level multiplies. Gather ranges are bounds,
+            // not sweeps — one deeper iteration touches a single line of
+            // the range — so the prefix shortcut does not apply to them.
             let d = g.depends.iter().take_while(|dep| !**dep).count();
-            let mut mult: i128 = 1;
+            let mut mult = Rat::ONE;
             for j in 0..depth {
                 if g.depends[j] {
                     continue;
                 }
-                let needed = if j < d { d } else { j + 1 };
+                let needed = if g.gather {
+                    j + 1
+                } else if j < d {
+                    d
+                } else {
+                    j + 1
+                };
                 if fit > needed {
-                    mult = mult.saturating_mul(ext[g.path[j]]);
+                    mult = mult
+                        .checked_mul(ext[g.path[j]])
+                        .ok_or(EvalError::Overflow)?;
                 }
             }
             let (lines, stored) = if fit <= g.union_capture_level {
@@ -533,8 +589,34 @@ impl NestModel {
             } else {
                 (&g.sum_lines, &g.sum_stored_lines)
             };
-            t.fill_lines += lines.eval_count(b)?.max(0) * mult;
-            t.writeback_lines += stored.eval_count(b)?.max(0) * mult;
+            let scaled = |e: &SymExpr| -> Result<i128, EvalError> {
+                round(
+                    Rat::int(e.eval_count(b)?.max(0))
+                        .checked_mul(mult)
+                        .ok_or(EvalError::Overflow)?,
+                )
+            };
+            let mut fills = scaled(lines)?;
+            let mut wbs = scaled(stored)?;
+            if g.gather {
+                // each access fills at most one line and dirties at most
+                // one line, however small the bounded range
+                let mut iters = Rat::ONE;
+                for &p in &g.path {
+                    iters = iters.checked_mul(ext[p]).ok_or(EvalError::Overflow)?;
+                }
+                let cap_at = |count: i64| -> Result<i128, EvalError> {
+                    round(
+                        Rat::int(count as i128)
+                            .checked_mul(iters)
+                            .ok_or(EvalError::Overflow)?,
+                    )
+                };
+                fills = fills.min(cap_at(g.gather_refs.0)?);
+                wbs = wbs.min(cap_at(g.gather_refs.1)?);
+            }
+            t.fill_lines += fills;
+            t.writeback_lines += wbs;
         }
         Ok(t)
     }
@@ -563,12 +645,82 @@ fn pin_ancestors(
     Some(e)
 }
 
+/// Is node `a` a strict ancestor of node `i` in the loop forest?
+fn is_ancestor(nodes: &[NodeBuild], a: usize, mut i: usize) -> bool {
+    while let Some(p) = nodes[i].parent {
+        if p == a {
+            return true;
+        }
+        i = p;
+    }
+    false
+}
+
+/// Recompute an affine reference's pinned-range ladder over the
+/// (possibly spliced) loop forest: entry `l` is the index range with the
+/// outermost `l` loops of `path` pinned and the rest swept
+/// ([`sweep_dims`], innermost-first) — the same construction as the
+/// walker's recording pass, now over composed nests. A pinned loop
+/// collapses to its lower bound, except ancestors consumed by a
+/// triangular child (`hi_pin`), which pin at their *upper* bound: that
+/// is where the child sweeps its widest range, so the ladder stays a
+/// maximal per-iteration working set.
+fn ref_ladder(
+    nodes: &[NodeBuild],
+    path: &[usize],
+    idx: &SymExpr,
+    hi_pin: &std::collections::BTreeSet<String>,
+) -> Option<Vec<(SymExpr, SymExpr)>> {
+    let dims: Vec<LoopDim> = path
+        .iter()
+        .map(|&n| LoopDim {
+            var: nodes[n].var.clone(),
+            lo: nodes[n].lo.clone(),
+            hi: nodes[n].hi.clone(),
+            step: nodes[n].step,
+        })
+        .collect();
+    let depth = dims.len();
+    let mut out = Vec::with_capacity(depth + 1);
+    for pin in 0..=depth {
+        let mut min = idx.clone();
+        let mut max = idx.clone();
+        let mut unknown_sign = false;
+        if !sweep_dims(&dims[pin..], &mut min, &mut max, &mut unknown_sign) {
+            return None;
+        }
+        for dim in dims[..pin].iter().rev() {
+            let at = if hi_pin.contains(&dim.var) {
+                &dim.hi
+            } else {
+                &dim.lo
+            };
+            for range in [&mut min, &mut max] {
+                if range.degree_in(&dim.var) == 0 {
+                    continue;
+                }
+                if range.degree_in(&dim.var) > 1 || range.param_in_composite_atom(&dim.var) {
+                    return None;
+                }
+                *range = range.substitute(&dim.var, at);
+            }
+        }
+        out.push((min, max));
+    }
+    Some(out)
+}
+
 impl AccessModel {
     /// Build the per-nest working-set model of `func`, or `None` when
-    /// its traffic cannot be fully attributed to the affine loop nests
-    /// of its own body — composed callees, guarded or data-dependent
-    /// references, unanalyzable loops. Callers fall back to the
-    /// whole-footprint fits-or-streams model in that case, which is
+    /// its traffic cannot be fully attributed to affine loop nests.
+    /// Known callees are inlined (`flatten_nest`): their loop forests
+    /// splice under the call site with formal→actual substitution, so a
+    /// composed solver like `cg_solve` places per-nest like inlined
+    /// code. Triangular trip counts collapse to exact average extents;
+    /// `idx_extent`-bounded gathers become capped conservative groups.
+    /// What still refuses — guarded references and calls, unanalyzable
+    /// loops, unmappable call arguments that reach an index or bound —
+    /// sends callers back to the whole-footprint fits-or-streams model,
     /// exactly as conservative as before this model existed.
     pub fn nest_model(&self, func: &str, line_bytes: u32) -> Option<NestModel> {
         // A budget trip during working-set construction refuses the nest
@@ -579,85 +731,280 @@ impl AccessModel {
             .flatten()
     }
 
-    fn nest_model_inner(&self, func: &str, line_bytes: u32) -> Option<NestModel> {
+    /// Inline every known callee's loop forest and references into the
+    /// caller's, recursively: the nest-group analogue of the footprint
+    /// composition in [`AccessModel::resolve`]. Callee domain variables
+    /// are renamed (`$k` splice tags, so actuals can never capture
+    /// them), value formals are substituted by the caller-side actual
+    /// expressions, pointer formals map to caller arrays, and the
+    /// callee's loops are re-parented under the call site's loop path.
+    /// `None` when any callee traffic cannot be attributed (tainted or
+    /// partially-unknown callee, guarded call, unmappable argument that
+    /// reaches an index or bound) — the caller then falls back to the
+    /// fits-or-streams sweep, the PR 6 refusal backstop.
+    fn flatten_nest(
+        &self,
+        func: &str,
+        depth: u32,
+        splice: &mut usize,
+    ) -> Option<(Vec<NodeBuild>, Vec<NestRef>)> {
         let info = self.functions.get(func)?;
-        if info.nest_tainted || !info.unknown.is_empty() {
+        if info.nest_tainted || !info.unknown.is_empty() || depth > 16 {
             return None;
         }
-        // callee traffic has no nest context here; calls to functions
-        // outside the program (libm externs) move no modeled bytes
-        if info
-            .calls
+        let mut nodes = info.nodes.clone();
+        let mut refs = info.nest_refs.clone();
+        for call in &info.calls {
+            let Some(callee) = self.functions.get(&call.callee) else {
+                // calls to functions outside the program (libm externs)
+                // move no modeled bytes
+                continue;
+            };
+            if call.guarded {
+                return None;
+            }
+            let (cnodes, crefs) = self.flatten_nest(&call.callee, depth + 1, splice)?;
+            *splice += 1;
+            let tag = *splice;
+            // formal → actual maps, exactly as the footprint composition
+            // builds them
+            let mut ptr_map: BTreeMap<&str, Result<&str, ()>> = BTreeMap::new();
+            let mut val_map: BTreeMap<&str, Result<&SymExpr, ()>> = BTreeMap::new();
+            for (i, formal) in callee.ptr_params.iter().enumerate() {
+                if let Some(name) = formal {
+                    let v = match call.args.get(i) {
+                        Some(Ok(Arg::Ptr(p))) => Ok(p.as_str()),
+                        _ => Err(()),
+                    };
+                    ptr_map.insert(name, v);
+                }
+            }
+            {
+                let mut vi = 0;
+                for (i, formal) in callee.ptr_params.iter().enumerate() {
+                    if formal.is_none() {
+                        let name = &callee.value_params[vi];
+                        vi += 1;
+                        let v = match call.args.get(i) {
+                            Some(Ok(Arg::Value(e))) => Ok(e),
+                            _ => Err(()),
+                        };
+                        val_map.insert(name, v);
+                    }
+                }
+            }
+            // rename callee domain variables first (splice-unique `$tag`
+            // suffix), then substitute actuals — an actual that mentions a
+            // caller loop variable can no longer capture a callee one. An
+            // `Err` argument only refuses if its formal reaches an index
+            // or bound; annotation parameters pass through unchanged.
+            let renames: Vec<(String, String)> = cnodes
+                .iter()
+                .map(|n| (n.var.clone(), format!("{}${tag}", n.var)))
+                .collect();
+            let map_expr = |e: &SymExpr| -> Option<SymExpr> {
+                let mut out = e.clone();
+                for (old, new) in &renames {
+                    if out.params().iter().any(|p| p == old) {
+                        out = out.substitute(old, &SymExpr::param(new));
+                    }
+                }
+                for p in out.params() {
+                    if let Some(v) = val_map.get(p.as_str()) {
+                        out = out.substitute(&p, (*v).ok()?);
+                    }
+                }
+                Some(out)
+            };
+            let offset = nodes.len();
+            for n in &cnodes {
+                nodes.push(NodeBuild {
+                    parent: n
+                        .parent
+                        .map(|p| p + offset)
+                        .or_else(|| call.path.last().copied()),
+                    var: format!("{}${tag}", n.var),
+                    lo: map_expr(&n.lo)?,
+                    hi: map_expr(&n.hi)?,
+                    step: n.step,
+                });
+            }
+            for r in &crefs {
+                let array = match ptr_map.get(r.array.as_str()) {
+                    Some(Ok(caller_name)) => caller_name.to_string(),
+                    // traffic to an array we cannot name in the caller —
+                    // the model would under-count, so it refuses
+                    _ => return None,
+                };
+                let mut path = call.path.clone();
+                path.extend(r.path.iter().map(|p| p + offset));
+                // affine ladders are recomputed from `idx` by the model
+                // builder; a gather's flat bound is simply re-tiled to
+                // the spliced depth
+                let ranges = if r.gather {
+                    let (mn, mx) = &r.ranges[0];
+                    vec![(map_expr(mn)?, map_expr(mx)?); path.len() + 1]
+                } else {
+                    Vec::new()
+                };
+                refs.push(NestRef {
+                    array,
+                    path,
+                    ranges,
+                    idx: map_expr(&r.idx)?,
+                    stored: r.stored,
+                    stride_bytes: r.stride_bytes,
+                    gather: r.gather,
+                });
+            }
+        }
+        Some((nodes, refs))
+    }
+
+    fn nest_model_inner(&self, func: &str, line_bytes: u32) -> Option<NestModel> {
+        let mut splice = 0usize;
+        let (nodes_b, mut refs) = self.flatten_nest(func, 0, &mut splice)?;
+        // depth, first-iteration lower bound and trip count per node
+        let var_node: BTreeMap<&str, usize> = nodes_b
             .iter()
-            .any(|c| self.functions.contains_key(&c.callee))
-        {
-            return None;
-        }
-        // depth, first-iteration lower bound and pinned trip count per node
-        let loop_vars: Vec<&str> = info.nodes.iter().map(|n| n.var.as_str()).collect();
-        let mut depth = vec![0usize; info.nodes.len()];
-        let mut pinned_lo: Vec<SymExpr> = Vec::with_capacity(info.nodes.len());
-        let mut extents: Vec<SymExpr> = Vec::with_capacity(info.nodes.len());
-        for (i, nb) in info.nodes.iter().enumerate() {
+            .enumerate()
+            .map(|(i, n)| (n.var.as_str(), i))
+            .collect();
+        let mut depth = vec![0usize; nodes_b.len()];
+        let mut pinned_lo: Vec<SymExpr> = Vec::with_capacity(nodes_b.len());
+        let mut extents: Vec<SymExpr> = Vec::with_capacity(nodes_b.len());
+        // ancestors consumed by a triangular child — their variables pin
+        // at the *last* iteration in the working-set ladders (the largest
+        // per-iteration working set), and no second triangular loop may
+        // consume them (products of averages would stop being exact)
+        let mut consumed: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        let mut triangular: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        for (i, nb) in nodes_b.iter().enumerate() {
             depth[i] = nb.parent.map(|p| depth[p] + 1).unwrap_or(0);
-            let lo = pin_ancestors(&info.nodes, &pinned_lo, nb.parent, nb.lo.clone())?;
+            let lo = pin_ancestors(&nodes_b, &pinned_lo, nb.parent, nb.lo.clone())?;
             pinned_lo.push(lo);
-            // a triangular loop's trip count varies with its ancestors —
-            // pinning it at the first iteration would be arbitrary (often
-            // zero), so such nests are refused rather than mis-modeled.
-            // Tiled bounds (`i = ii .. ii+T`) cancel to a constant extent
-            // and pass.
             let extent = nb.extent();
-            if extent
+            let deps: Vec<usize> = extent
                 .params()
                 .iter()
-                .any(|p| loop_vars.contains(&p.as_str()))
+                .filter_map(|p| var_node.get(p.as_str()).copied())
+                .collect();
+            if deps.is_empty() {
+                // rectangular (tiled bounds cancel to a constant extent)
+                extents.push(pin_ancestors(&nodes_b, &pinned_lo, nb.parent, extent)?);
+                continue;
+            }
+            // a triangular loop: its trip count is affine in exactly one
+            // rectangular ancestor's variable, and nonnegative across the
+            // ancestor's whole range. Substituting the ancestor's range
+            // midpoint gives the closed-form *average* extent
+            // (`mira_sym::sum::avg_over`): the product of per-level
+            // extents is then the exact total iteration count.
+            let [a] = deps[..] else {
+                return None;
+            };
+            let v = nodes_b[a].var.clone();
+            if !is_ancestor(&nodes_b, a, i)
+                || consumed.contains(&a)
+                || triangular.contains(&a)
+                || extent.degree_in(&v) != 1
+                || extent.param_in_composite_atom(&v)
             {
                 return None;
             }
-            extents.push(pin_ancestors(&info.nodes, &pinned_lo, nb.parent, extent)?);
+            let (alo, ahi) = (&nodes_b[a].lo, &nodes_b[a].hi);
+            let rectangular = |e: &SymExpr| {
+                e.params().iter().all(|p| !var_node.contains_key(p.as_str()))
+            };
+            if !rectangular(alo) || !rectangular(ahi) {
+                return None;
+            }
+            // the trip count must be nonnegative over the ancestor's
+            // whole range — a shape that bottoms out negative would need
+            // clamping, which the midpoint sum cannot represent exactly.
+            // Affine in `v`, it is smallest at the end its slope points
+            // away from, so one endpoint check covers the range.
+            let slope = extent.coefficients_of(&v)[1].clone();
+            let low_end = match sign_of(&slope) {
+                Some(true) => alo,
+                Some(false) => ahi,
+                None => return None,
+            };
+            if sign_of(&extent.substitute(&v, low_end)) != Some(true) {
+                return None;
+            }
+            let mid = alo.add_expr(ahi).scale(Rat::new(1, 2));
+            let avg = extent.substitute(&v, &mid);
+            if !rectangular(&avg) {
+                return None;
+            }
+            consumed.insert(a);
+            triangular.insert(i);
+            extents.push(avg);
         }
-        // per-node one-iteration working sets
-        let mut nodes = Vec::with_capacity(info.nodes.len());
-        for i in 0..info.nodes.len() {
+        // recompute every affine reference's pinned-range ladder over the
+        // (possibly spliced) forest, pinning consumed ancestors at their
+        // last iteration
+        let hi_pin: std::collections::BTreeSet<String> = consumed
+            .iter()
+            .map(|&a| nodes_b[a].var.clone())
+            .collect();
+        for r in refs.iter_mut() {
+            if !r.gather {
+                r.ranges = ref_ladder(&nodes_b, &r.path, &r.idx, &hi_pin)?;
+            }
+        }
+        // per-node one-iteration working sets. Per-array ranges unite
+        // when comparable; an incomparable pair (a hi-pinned consumed
+        // ancestor against a swept triangular child, say `x[n-1]` vs
+        // `x[0..n-2]` in a forward solve) keeps both ranges and sums
+        // their line counts — at most one shared boundary line of
+        // overcount per reference, and the ladder stays an upper bound
+        // instead of refusing the whole model.
+        let mut nodes = Vec::with_capacity(nodes_b.len());
+        for i in 0..nodes_b.len() {
             let d = depth[i];
-            let mut per_array: BTreeMap<&str, (SymExpr, SymExpr)> = BTreeMap::new();
-            for r in &info.nest_refs {
+            let mut per_array: BTreeMap<&str, Vec<(SymExpr, SymExpr)>> = BTreeMap::new();
+            for r in &refs {
                 if r.path.get(d) != Some(&i) {
                     continue;
                 }
                 let (mn, mx) = &r.ranges[d + 1];
-                match per_array.entry(r.array.as_str()) {
-                    std::collections::btree_map::Entry::Vacant(e) => {
-                        e.insert((mn.clone(), mx.clone()));
+                let ranges = per_array.entry(r.array.as_str()).or_default();
+                let mut united = false;
+                for slot in ranges.iter_mut() {
+                    if let Some(u) = sym_min_max(&slot.0, mn, &slot.1, mx) {
+                        *slot = u;
+                        united = true;
+                        break;
                     }
-                    std::collections::btree_map::Entry::Occupied(mut e) => {
-                        let (cmn, cmx) = e.get().clone();
-                        *e.get_mut() = sym_min_max(&cmn, mn, &cmx, mx)?;
-                    }
+                }
+                if !united {
+                    ranges.push((mn.clone(), mx.clone()));
                 }
             }
             let mut ws = SymExpr::zero();
-            for (mn, mx) in per_array.values() {
+            for (mn, mx) in per_array.values().flatten() {
                 ws = ws.add_expr(&range_lines_expr(mn, mx, line_bytes));
             }
             nodes.push(NestNode {
-                parent: info.nodes[i].parent,
+                parent: nodes_b[i].parent,
                 extent: extents[i].clone(),
                 ws_lines: ws,
             });
         }
-        // array × nest groups
-        let mut by_group: BTreeMap<(String, Vec<usize>), Vec<&NestRef>> = BTreeMap::new();
-        for r in &info.nest_refs {
+        // array × nest groups (gathers grouped apart: their counting
+        // regime differs)
+        let mut by_group: BTreeMap<(String, Vec<usize>, bool), Vec<&NestRef>> = BTreeMap::new();
+        for r in &refs {
             by_group
-                .entry((r.array.clone(), r.path.clone()))
+                .entry((r.array.clone(), r.path.clone(), r.gather))
                 .or_default()
                 .push(r);
         }
         let mut groups = Vec::with_capacity(by_group.len());
-        for ((array, path), refs) in by_group {
-            groups.push(self.build_group(info, array, path, &refs, line_bytes)?);
+        for ((array, path, _), grefs) in by_group {
+            groups.push(Self::build_group(&nodes_b, array, path, &grefs, line_bytes)?);
         }
         Some(NestModel {
             nodes,
@@ -666,14 +1013,60 @@ impl AccessModel {
         })
     }
 
+    /// Build the traffic group for one array × path × kind cluster of
+    /// references. Gather (data-dependent) references get their own
+    /// counting regime: the union of their `idx_extent` bounds as the
+    /// compulsory line count, capped at the access count in
+    /// [`NestModel::boundary_traffic`], never exact.
     fn build_group(
-        &self,
-        info: &FuncInfo,
+        nodes: &[NodeBuild],
         array: String,
         path: Vec<usize>,
         refs: &[&NestRef],
         line_bytes: u32,
     ) -> Option<NestGroup> {
+        if refs.iter().any(|r| r.gather) {
+            let mut union: Option<(SymExpr, SymExpr)> = None;
+            let mut stored_union: Option<(SymExpr, SymExpr)> = None;
+            let mut sum_lines = SymExpr::zero();
+            let mut sum_stored_lines = SymExpr::zero();
+            for r in refs {
+                let (mn, mx) = &r.ranges[0];
+                let l = range_lines_expr(mn, mx, line_bytes);
+                sum_lines = sum_lines.add_expr(&l);
+                union = Some(match union {
+                    None => (mn.clone(), mx.clone()),
+                    Some((umn, umx)) => sym_min_max(&umn, mn, &umx, mx)?,
+                });
+                if r.stored {
+                    sum_stored_lines = sum_stored_lines.add_expr(&l);
+                    stored_union = Some(match stored_union {
+                        None => (mn.clone(), mx.clone()),
+                        Some((smn, smx)) => sym_min_max(&smn, mn, &smx, mx)?,
+                    });
+                }
+            }
+            let (umn, umx) = union?;
+            return Some(NestGroup {
+                array,
+                stored: refs.iter().any(|r| r.stored),
+                lines: range_lines_expr(&umn, &umx, line_bytes),
+                stored_lines: stored_union
+                    .map(|(a, b)| range_lines_expr(&a, &b, line_bytes))
+                    .unwrap_or_else(SymExpr::zero),
+                sum_lines,
+                sum_stored_lines,
+                depends: vec![false; path.len()],
+                union_capture_level: usize::MAX,
+                exact: false,
+                gather: true,
+                gather_refs: (
+                    refs.len() as i64,
+                    refs.iter().filter(|r| r.stored).count() as i64,
+                ),
+                path,
+            });
+        }
         // distinct access functions, each with its own united range
         struct Access {
             idx: SymExpr,
@@ -788,7 +1181,7 @@ impl AccessModel {
                 let dabs = if nonneg { delta } else { delta.neg_expr() };
                 let mut carried = None;
                 for (l, node) in path.iter().enumerate() {
-                    let var = &info.nodes[*node].var;
+                    let var = &nodes[*node].var;
                     if accesses[i].idx.degree_in(var) == 0 {
                         continue;
                     }
@@ -831,6 +1224,8 @@ impl AccessModel {
             depends,
             union_capture_level,
             exact: line_bytes <= 64 && dense && connected && deltas_clean && comparable,
+            gather: false,
+            gather_refs: (0, 0),
         })
     }
 }
@@ -1155,10 +1550,27 @@ impl Walker {
             }
             StmtKind::While { cond, body } => {
                 self.walk_expr(cond, false);
-                // a while loop is a data-dependent guard around its body
-                self.branch_depth += 1;
-                self.walk_stmt(body);
-                self.branch_depth -= 1;
+                match s.annotation.as_ref().and_then(|a| self.annotated_while_dim(a)) {
+                    Some(dim) => {
+                        // `{lp_iters: t}` asserts the trip count: the loop
+                        // becomes a synthetic repetition dimension, so the
+                        // nest model sees how often the body re-sweeps —
+                        // the cg_solve outer-iteration shape
+                        let dom = dim.var.clone();
+                        self.push_node(&dom, &dim.lo, &dim.hi, dim.step);
+                        self.loops.push(dim);
+                        self.walk_stmt(body);
+                        self.loops.pop();
+                        self.node_path.pop();
+                    }
+                    None => {
+                        // a bare while loop is a data-dependent guard
+                        // around its body
+                        self.branch_depth += 1;
+                        self.walk_stmt(body);
+                        self.branch_depth -= 1;
+                    }
+                }
             }
             StmtKind::For {
                 init,
@@ -1277,10 +1689,36 @@ impl Walker {
         Some(e)
     }
 
+    /// The synthetic repetition dimension for an `lp_iters`-annotated
+    /// `while` loop: `[0, t - 1]` with `t = lp_iters · lp_scale`. The
+    /// annotation asserts the trip count the same way it does for the
+    /// FLOP model, so body references and calls repeat `t` times rather
+    /// than hiding behind a guard — this is what lets `cg_solve`'s
+    /// outer iteration loop carry its callees' nests.
+    fn annotated_while_dim(&mut self, ann: &Annotation) -> Option<LoopDim> {
+        let mut iters = self.annot_expr(ann, "lp_iters")?;
+        if let Some(AnnotValue::Num(f)) = ann.get("lp_scale") {
+            iters = iters.scale(Rat::new((f * 1_000_000_000.0).round() as i128, 1_000_000_000));
+        }
+        let dom = format!("while@{}", self.var_counter);
+        self.var_counter += 1;
+        Some(LoopDim {
+            var: dom,
+            lo: SymExpr::zero(),
+            hi: iters.sub_expr(&SymExpr::constant(1)),
+            step: 1,
+        })
+    }
+
     /// The synthetic dimension for a `lp_cumulative` annotated loop:
-    /// `[0, N·t - 1]` where `N` is the trip count of the *immediately
-    /// enclosing* loop and `t = lp_iters · lp_scale` the annotated
-    /// per-entry trip estimate. Only the direct parent extends the
+    /// `[p·t, p·t + t - 1]` where `p` is the *ordinal* of the immediately
+    /// enclosing loop's current iteration and `t = lp_iters · lp_scale`
+    /// the annotated per-entry trip estimate — the average row slice of
+    /// the cumulative prefix. Swept over the parent this covers exactly
+    /// `[0, N·t)` (the whole prefix, as before), while pinning the
+    /// parent restricts the range to one row's slice, so the working-set
+    /// ladder sees that one parent iteration touches `t` entries rather
+    /// than the whole prefix. Only the direct parent extends the
     /// prefix: the CSR pattern restarts at `row_ptr[0]` whenever an
     /// outer loop (a benchmark-style repetition loop, a higher nest
     /// level) re-enters the row loop, so outer dimensions are revisits
@@ -1311,18 +1749,29 @@ impl Walker {
             },
             _ => return None,
         };
-        let mut total = iters;
-        if let Some(parent) = self.loops.last() {
-            total = total.mul_expr(&parent.extent());
-        }
+        // the parent iteration's ordinal `(v - lo)/step`, zero when the
+        // annotated loop is outermost (a single prefix entry)
+        let ordinal = match self.loops.last() {
+            Some(parent) => {
+                let pos = SymExpr::param(&parent.var).sub_expr(&parent.lo);
+                if parent.step > 1 {
+                    pos.scale(Rat::new(1, parent.step as i128))
+                } else {
+                    pos
+                }
+            }
+            None => SymExpr::zero(),
+        };
+        let lo = ordinal.mul_expr(&iters);
+        let hi = lo.add_expr(&iters).sub_expr(&SymExpr::constant(1));
         let dom = format!("{var}@{}", self.var_counter);
         self.var_counter += 1;
         Some((
             var,
             LoopDim {
                 var: dom,
-                lo: SymExpr::zero(),
-                hi: total.sub_expr(&SymExpr::constant(1)),
+                lo,
+                hi,
                 step: 1,
             },
         ))
@@ -1388,6 +1837,8 @@ impl Walker {
         self.calls.push(CallSite {
             callee: name.to_string(),
             args: mapped,
+            path: self.node_path.clone(),
+            guarded: self.branch_depth > 0,
         });
     }
 
@@ -1526,6 +1977,7 @@ impl Walker {
             idx: idx.clone(),
             stored: store,
             stride_bytes: stride,
+            gather: false,
         });
     }
 
@@ -1565,22 +2017,43 @@ impl Walker {
     /// An unanalyzable reference: inside an `idx_extent`-annotated loop it
     /// is bounded to `[0, extent - 1]` — a coverage-unproven upper bound,
     /// like a guarded reference — otherwise the array is unknown.
+    ///
+    /// A bounded reference also joins the nest bookkeeping as a *gather*:
+    /// its flat range ladder never moves with any loop, and the traffic
+    /// model caps its fills at the access count
+    /// ([`NestGroup::gather`]). Guarded bounded references still taint —
+    /// their execution count is unknown.
     fn bounded_or_unknown(&mut self, array: &str, store: bool) {
-        // either way the traffic escapes the per-nest bookkeeping
-        self.nest_tainted = true;
         if let Some(extent) = self.extent_stack.last() {
             if !self.is_poisoned(extent) {
+                let max = extent.sub_expr(&SymExpr::constant(1));
                 self.refs.push(RawRef {
                     array: array.to_string(),
                     min: SymExpr::zero(),
-                    max: extent.sub_expr(&SymExpr::constant(1)),
+                    max: max.clone(),
                     loaded: !store,
                     stored: store,
                     stride_bytes: None,
                 });
+                if self.branch_depth == 0 {
+                    let range = (SymExpr::zero(), max);
+                    self.nest_refs.push(NestRef {
+                        array: array.to_string(),
+                        path: self.node_path.clone(),
+                        ranges: vec![range; self.node_path.len() + 1],
+                        idx: SymExpr::param(&format!("gather@{}", self.var_counter)),
+                        stored: store,
+                        stride_bytes: None,
+                        gather: true,
+                    });
+                    self.var_counter += 1;
+                } else {
+                    self.nest_tainted = true;
+                }
                 return;
             }
         }
+        self.nest_tainted = true;
         self.unknown.push(array.to_string());
     }
 
@@ -2193,30 +2666,68 @@ mod tests {
         )
         .unwrap();
         assert!(analyze_program(&p).nest_model("f", 64).is_none());
-        // composed callee
-        let p = frontend(
-            "void kern(int m, double* p) { for (int i = 0; i < m; i++) { p[i] = 0.0; } }\n\
-             void f(int n, double* x) { kern(n, x); }",
-        )
-        .unwrap();
-        let am = analyze_program(&p);
-        assert!(am.nest_model("f", 64).is_none());
-        assert!(am.nest_model("kern", 64).is_some(), "the leaf still models");
-        // data-dependent index
+        // unbounded data-dependent index
         let p = frontend(
             "void g(int n, int* cols, double* x, double* y) {\n\
                for (int i = 0; i < n; i++) { y[i] = x[cols[i]]; } }",
         )
         .unwrap();
         assert!(analyze_program(&p).nest_model("g", 64).is_none());
+        // guarded call: the callee's repetition count is unknown
+        let p = frontend(
+            "void kern(int m, double* p) { for (int i = 0; i < m; i++) { p[i] = 0.0; } }\n\
+             void f(int n, double* x) { if (n > 1) { kern(n, x); } }",
+        )
+        .unwrap();
+        let am = analyze_program(&p);
+        assert!(am.nest_model("f", 64).is_none());
+        assert!(am.nest_model("kern", 64).is_some(), "the leaf still models");
     }
 
     #[test]
-    fn triangular_extents_refuse_nest_model() {
-        // the inner trip count varies with i: pinned at the first
-        // iteration it would be zero, zeroing the uncaptured-traffic
-        // multipliers of a kernel that actually sweeps ~n²/2 times — so
-        // the nest model refuses and placement falls back to the sweep
+    fn composed_callee_nests_splice_into_caller() {
+        // the callee's loop forest inlines under the call site with
+        // formal→actual substitution: f places per-nest like inlined code
+        let p = frontend(
+            "void kern(int m, double* p) { for (int i = 0; i < m; i++) { p[i] = 0.0; } }\n\
+             void f(int n, double* x) { kern(n, x); }",
+        )
+        .unwrap();
+        let am = analyze_program(&p);
+        let nm = am.nest_model("f", 64).expect("composed callee splices");
+        assert_eq!(nm.nodes.len(), 1);
+        let b = bindings(&[("n", 64)]);
+        assert_eq!(nm.nodes[0].extent.eval_count(&b).unwrap(), 64);
+        let g = &nm.groups[0];
+        assert_eq!(g.array, "x", "formal p maps to actual x");
+        let t = nm.boundary_traffic(64, &b).unwrap();
+        assert_eq!(t.fill_lines, 8);
+        assert_eq!(t.writeback_lines, 8);
+        // a repetition loop around the call multiplies uncaptured traffic
+        let p = frontend(
+            "void kern(int m, double* p) { for (int i = 0; i < m; i++) { p[i] = p[i] + 1.0; } }\n\
+             void f(int n, int reps, double* x) {\n\
+               for (int r = 0; r < reps; r++) { kern(n, x); } }",
+        )
+        .unwrap();
+        let am = analyze_program(&p);
+        let nm = am.nest_model("f", 64).expect("call under a loop splices");
+        let b = bindings(&[("n", 512), ("reps", 10)]);
+        // 512 doubles = 64 lines; captured: compulsory once
+        let t = nm.boundary_traffic(8 * 1024, &b).unwrap();
+        assert_eq!(t.fill_lines, 64);
+        assert_eq!(t.writeback_lines, 64);
+        // uncaptured: every rep re-fills and re-dirties the sweep
+        let t = nm.boundary_traffic(1024, &b).unwrap();
+        assert_eq!(t.fill_lines, 640);
+        assert_eq!(t.writeback_lines, 640);
+    }
+
+    #[test]
+    fn triangular_extents_average_exactly() {
+        // the inner trip count varies with i: the model admits it with
+        // the closed-form average extent (n-1)/2, so the uncaptured
+        // multipliers recover the exact total n·(n-1)/2 sweep count
         let p = frontend(
             "void f(int n, double* a) {\n\
                for (int i = 0; i < n; i++) {\n\
@@ -2224,7 +2735,20 @@ mod tests {
                    for (int j = 0; j < n; j++) { a[j] = a[j] + 1.0; } } } }",
         )
         .unwrap();
-        assert!(analyze_program(&p).nest_model("f", 64).is_none());
+        let nm = analyze_program(&p)
+            .nest_model("f", 64)
+            .expect("triangular repetition admits");
+        let b = bindings(&[("n", 64)]);
+        let avg = nm.nodes[1].extent.eval(&b).unwrap();
+        assert_eq!(avg, Rat::new(63, 2), "average of 0..=63");
+        // captured at 8 KiB (a = 8 lines fits): compulsory only
+        let t = nm.boundary_traffic(8 * 1024, &b).unwrap();
+        assert_eq!(t.fill_lines, 8);
+        assert_eq!(t.writeback_lines, 8);
+        // nothing fits: each of the n·(n-1)/2 = 2016 sweeps re-fills
+        let t = nm.boundary_traffic(64, &b).unwrap();
+        assert_eq!(t.fill_lines, 2016 * 8);
+        assert_eq!(t.writeback_lines, 2016 * 8);
         // tiled bounds cancel to a constant extent and stay modelable
         let p = frontend(
             "void g(int n, double* a) {\n\
@@ -2233,6 +2757,16 @@ mod tests {
         )
         .unwrap();
         assert!(analyze_program(&p).nest_model("g", 64).is_some());
+        // a second triangular loop over the *same* ancestor still
+        // refuses: products of two averages stop being exact
+        let p = frontend(
+            "void h(int n, double* a) {\n\
+               for (int i = 0; i < n; i++) {\n\
+                 for (int r = 0; r < i; r++) { a[0] = 1.0; }\n\
+                 for (int s = 0; s < i; s++) { a[1] = 1.0; } } }",
+        )
+        .unwrap();
+        assert!(analyze_program(&p).nest_model("h", 64).is_none());
     }
 
     #[test]

@@ -30,11 +30,16 @@
 //! multiply the compulsory lines — so a blocked kernel whose footprint
 //! slightly exceeds a level (DGEMM at n=40) still counts
 //! compulsory-only traffic, exactly what the cache simulator observes.
-//! Kernels whose traffic cannot be attributed to their own affine nests
-//! (composed callees, guarded or data-dependent references) fall back
-//! to the old binary sweep — every loaded byte crosses once and every
-//! stored byte twice (write-allocate fill plus write-back), which for
-//! unit-stride streaming kernels coincides with the working-set count.
+//! The nest model composes across calls (callee nests splice under the
+//! call site with formal→actual substitution), admits triangular trip
+//! counts via exact average extents, and bounds `idx_extent`-annotated
+//! gathers — so a composed solver like miniFE's `cg_solve` places
+//! per-nest like inlined code. Kernels whose traffic still cannot be
+//! attributed (guarded references or calls, unanalyzable loops) fall
+//! back to the old binary sweep — every loaded byte crosses once and
+//! every stored byte twice (write-allocate fill plus write-back), which
+//! for unit-stride streaming kernels coincides with the working-set
+//! count.
 //!
 //! Because the bounds are [`SymExpr`] closed forms, regime questions are
 //! *solvable*: [`KernelRoofline::crossover`] finds the exact parameter
@@ -390,8 +395,9 @@ impl KernelRoofline {
     /// set, and only genuinely uncaptured re-sweeps multiply
     /// ([`mira_mem::NestModel::boundary_traffic`]).
     ///
-    /// When the per-nest model is unavailable (composed callees, guarded
-    /// references) the boundary falls back to the streaming bound, and
+    /// When the per-nest model is unavailable (guarded references or
+    /// calls, unanalyzable loops — composed callees and triangular
+    /// nests now model) the boundary falls back to the streaming bound, and
     /// when the footprint is *not* fully known (unanalyzed, unannotated
     /// arrays) the analyzed lines are only a lower bound, so the
     /// fits-above test cannot be trusted — a kernel with data-dependent

@@ -123,6 +123,36 @@ pub fn sum_over(
     Ok(out)
 }
 
+/// Exact average of `expr` over `var ∈ [lb, ub]` (assumed nonempty):
+/// the closed form of `sum_over(expr, var, lb, ub) / (ub − lb + 1)`.
+///
+/// The average of a polynomial over a symbolic range is a quotient by the
+/// symbolic extent and leaves the polynomial ring in general, so this is
+/// restricted to summands **affine** in `var`, where Faulhaber's `S_1`
+/// telescopes to the endpoint mean: `avg = (expr(lb) + expr(ub)) / 2`.
+/// This is the per-iteration *average extent* of a triangular loop
+/// (`for j in 0..i`) over its ancestor's range — multiplied back by the
+/// ancestor's trip count it recovers `sum_over` exactly, which is what
+/// makes products of average extents exact iteration counts. Higher
+/// degrees and `var` inside floor/clamp atoms refuse with the same
+/// [`SumError`] taxonomy as [`sum_over`].
+pub fn avg_over(
+    expr: &SymExpr,
+    var: &str,
+    lb: &SymExpr,
+    ub: &SymExpr,
+) -> Result<SymExpr, SumError> {
+    if expr.param_in_composite_atom(var) || expr.degree_in(var) > 1 {
+        return Err(SumError::NonPolynomial(var.to_string()));
+    }
+    if lb.params().iter().any(|p| p == var) || ub.params().iter().any(|p| p == var) {
+        return Err(SumError::BoundDependsOnVar(var.to_string()));
+    }
+    let at_lb = expr.substitute(var, lb);
+    let at_ub = expr.substitute(var, ub);
+    Ok(at_lb.add_expr(&at_ub).scale(Rat::new(1, 2)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +223,40 @@ mod tests {
         assert_eq!(s.as_int(), Some(0));
         let s2 = sum_over(&e, "v", &SymExpr::constant(-5), &SymExpr::constant(-2)).unwrap();
         assert_eq!(s2.as_int(), Some(-14));
+    }
+
+    #[test]
+    fn avg_over_is_endpoint_mean() {
+        // avg_{v=0}^{i} v = i/2, and extent · avg = Σ exactly
+        let v = SymExpr::param("v");
+        let lb = SymExpr::constant(0);
+        let ub = SymExpr::param("i");
+        let avg = avg_over(&v, "v", &lb, &ub).unwrap();
+        let extent = ub.clone().sub_expr(&lb).add_expr(&SymExpr::constant(1));
+        let product = avg.mul_expr(&extent);
+        let total = sum_over(&v, "v", &lb, &ub).unwrap();
+        assert!(product.sub_expr(&total).is_zero());
+        for i in [0i128, 1, 2, 9] {
+            let b = bindings(&[("i", i)]);
+            assert_eq!(product.eval_count(&b).unwrap(), i * (i + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn avg_over_rejects_quadratic_and_floor() {
+        let v = SymExpr::param("v");
+        assert!(matches!(
+            avg_over(&v.clone().pow(2), "v", &SymExpr::constant(0), &SymExpr::param("n")),
+            Err(SumError::NonPolynomial(_))
+        ));
+        assert!(matches!(
+            avg_over(&v.clone().floor_div(2), "v", &SymExpr::constant(0), &SymExpr::param("n")),
+            Err(SumError::NonPolynomial(_))
+        ));
+        assert!(matches!(
+            avg_over(&v, "v", &SymExpr::param("v"), &SymExpr::param("n")),
+            Err(SumError::BoundDependsOnVar(_))
+        ));
     }
 
     #[test]

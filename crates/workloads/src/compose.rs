@@ -1,0 +1,41 @@
+//! The workloads behind the lifted refusals: a dense forward
+//! triangular solve and a two-kernel ping-pong stencil sweep — the two
+//! shapes the per-nest working-set model used to refuse wholesale
+//! (dependent loop bounds, callee composition) and now places.
+//! [`crate::roofval`] carries their static-vs-simulated harnesses;
+//! `bench_roofline` records their trajectory rows under the `--check`
+//! regression gate.
+
+/// Dense forward substitution `L x = b` on a row-major lower-triangular
+/// matrix: the canonical triangular nest. The inner trip count grows
+/// with `i`, so the model's average-extent lift prices the `L` row
+/// sweep at half a row — where the old rectangular ladder refused and
+/// fell back to the whole-footprint sweep.
+pub const TRISOLVE_SRC: &str = r#"void trisolve(int n, double* l, double* b, double* x) {
+    for (int i = 0; i < n; i++) {
+        double s = b[i];
+        for (int j = 0; j < i; j++) {
+            s = s - l[i * n + j] * x[j];
+        }
+        x[i] = s / l[i * n + i];
+    }
+}
+"#;
+
+/// Two-kernel composed stencil sweep: every step blurs `u` into `v` and
+/// `v` back into `u` through the *same* callee with swapped actuals.
+/// The callee-splice lift must map `src`/`dst` to opposite caller
+/// arrays per call site — the formal→actual substitution the composed
+/// corpus pins — so the sweep places per-nest like inlined code.
+pub const STENCIL_SWEEP_SRC: &str = r#"void blur(int n, double* src, double* dst) {
+    for (int i = 1; i < n - 1; i++) {
+        dst[i] = 0.25 * src[i - 1] + 0.5 * src[i] + 0.25 * src[i + 1];
+    }
+}
+void stencil_sweep(int n, int steps, double* u, double* v) {
+    for (int t = 0; t < steps; t++) {
+        blur(n, u, v);
+        blur(n, v, u);
+    }
+}
+"#;

@@ -13,6 +13,7 @@
 //! [`corpus`] of ten small applications standing in for the Table-I loop
 //! coverage survey.
 
+pub mod compose;
 pub mod corpus;
 pub mod dgemm;
 pub mod memval;

@@ -26,6 +26,7 @@ use mira_sym::{bindings, Bindings};
 use mira_vm::Vm;
 
 use crate::memval::{dgemm_args, mem_vm, stream_mem_size, stream_shape_args, TRIAD_SRC};
+use mira_vm::HostVal;
 
 /// One static-vs-dynamic roofline validation row.
 #[derive(Clone, Debug)]
@@ -240,6 +241,58 @@ pub fn triad_blocked_roof(n: i64, reps: i64) -> RoofRow {
     )
 }
 
+/// Dense forward triangular solve ([`crate::compose::TRISOLVE_SRC`]):
+/// the triangular nest the average-extent lift admits into the per-nest
+/// model. `L` is touched once (compulsory), `x` is reused across the
+/// growing inner sweeps.
+pub fn trisolve_roof(n: i64) -> RoofRow {
+    let analysis = analyze_source(crate::compose::TRISOLVE_SRC, &MiraOptions::default())
+        .expect("trisolve analyzes");
+    let binds = bindings(&[("n", n as i128)]);
+    let mut vm = mem_vm(&analysis, stream_mem_size(n * n));
+    let l = vm.alloc_f64(&vec![1.0; (n * n) as usize]);
+    let b = vm.alloc_f64(&vec![1.0; n as usize]);
+    let x = vm.alloc_f64(&vec![0.0; n as usize]);
+    let args = [
+        HostVal::Int(n),
+        HostVal::Int(l as i64),
+        HostVal::Int(b as i64),
+        HostVal::Int(x as i64),
+    ];
+    row("trisolve", &analysis, "trisolve", &binds, vm, |vm| {
+        vm.call("trisolve", &args).expect("trisolve runs");
+    })
+}
+
+/// Composed ping-pong stencil sweep
+/// ([`crate::compose::STENCIL_SWEEP_SRC`]): `steps` alternating `blur`
+/// calls spliced into the caller's step loop by the composed-callee
+/// lift, with `src`/`dst` swapped between the two call sites.
+pub fn stencil_sweep_roof(n: i64, steps: i64) -> RoofRow {
+    let analysis = analyze_source(crate::compose::STENCIL_SWEEP_SRC, &MiraOptions::default())
+        .expect("stencil sweep analyzes");
+    let binds = bindings(&[("n", n as i128), ("steps", steps as i128)]);
+    let mut vm = mem_vm(&analysis, stream_mem_size(n));
+    let u = vm.alloc_f64(&vec![1.0; n as usize]);
+    let v = vm.alloc_f64(&vec![0.0; n as usize]);
+    let args = [
+        HostVal::Int(n),
+        HostVal::Int(steps),
+        HostVal::Int(u as i64),
+        HostVal::Int(v as i64),
+    ];
+    row(
+        "stencil_sweep",
+        &analysis,
+        "stencil_sweep",
+        &binds,
+        vm,
+        |vm| {
+            vm.call("stencil_sweep", &args).expect("stencil sweep runs");
+        },
+    )
+}
+
 /// The DGEMM regime crossover in `n` at one repetition: the size where
 /// the kernel leaves the roof it starts under (cold DRAM traffic
 /// dominates tiny matrices), solved by bisection over the closed forms
@@ -362,6 +415,53 @@ mod tests {
         let row = minife_roof(5, 500, 1e-8);
         assert!(row.data_bytes_exact(), "{row:?}");
         assert!(row.agrees(), "static {} vs dynamic {}", row.static_p, row.dynamic_p);
+    }
+
+    /// The triangular lift, end to end: trisolve gets a per-nest model
+    /// (the old ladder refused dependent bounds outright), places in
+    /// agreement with the simulator from resident through capacity
+    /// sizes, and its deep bounds stay honest upper bounds.
+    #[test]
+    fn trisolve_triangular_nest_places() {
+        let analysis = analyze_source(crate::compose::TRISOLVE_SRC, &MiraOptions::default())
+            .expect("analyzes");
+        let kernel = KernelRoofline::analyze(&analysis, "trisolve").expect("kernel analyzes");
+        assert!(kernel.nest_model.is_some(), "the triangular refusal is back");
+        for n in [32, 160, 512] {
+            let row = trisolve_roof(n);
+            assert!(row.data_bytes_exact(), "{row:?}");
+            assert!(row.agrees(), "n={n}: static {} vs dynamic {}", row.static_p, row.dynamic_p);
+            assert!(
+                row.static_p.mem_cycles[1] >= row.dynamic_p.mem_cycles[1]
+                    && row.static_p.mem_cycles[2] >= row.dynamic_p.mem_cycles[2],
+                "n={n}: a deep bound dipped below the measurement: {row:?}"
+            );
+        }
+    }
+
+    /// The composition lift, end to end: the ping-pong sweep's spliced
+    /// model prices both call sites correctly — the static L2 and DRAM
+    /// bounds are *bit-equal* with the simulator at a resident and a
+    /// far-beyond-cache size.
+    #[test]
+    fn stencil_sweep_composed_places_bit_equal() {
+        let analysis = analyze_source(crate::compose::STENCIL_SWEEP_SRC, &MiraOptions::default())
+            .expect("analyzes");
+        let kernel = KernelRoofline::analyze(&analysis, "stencil_sweep").expect("kernel analyzes");
+        assert!(kernel.nest_model.is_some(), "the composed-callee refusal is back");
+        for (n, steps) in [(1024i64, 8i64), (200_000, 4)] {
+            let row = stencil_sweep_roof(n, steps);
+            assert!(row.data_bytes_exact(), "{row:?}");
+            assert_eq!(
+                row.static_p.mem_cycles[1], row.dynamic_p.mem_cycles[1],
+                "n={n}: {row:?}"
+            );
+            assert_eq!(
+                row.static_p.mem_cycles[2], row.dynamic_p.mem_cycles[2],
+                "n={n}: {row:?}"
+            );
+            assert!(row.agrees(), "n={n}: static {} vs dynamic {}", row.static_p, row.dynamic_p);
+        }
     }
 
     /// The acceptance contract: DGEMM's crossover out of the DRAM roof

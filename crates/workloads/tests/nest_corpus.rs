@@ -241,3 +241,108 @@ fn generated_nests_match_simulated_fill_counts() {
         "only {n} of 384 generated nests were assertable — the corpus lost coverage"
     );
 }
+
+/// One generated triangular or call-composed nest — the two shapes the
+/// model refused before the average-extent and splice lifts.
+fn build_lifted_case(template: usize, sa: usize, sb: usize, reps: i64) -> Case {
+    match template {
+        // triangular repetition: the body re-sweeps both arrays once per
+        // (i, r) pair, i·(i+1)/2 sweeps in total — the average-extent
+        // product must recover that count exactly
+        0 => {
+            let n = [64i64, 1024, 8192][sa];
+            let m = [3i64, 5, 8][sb];
+            Case {
+                src: "void kernel(int m, int n, double* a, double* b) {\n\
+                      for (int i = 0; i < m; i++) {\n\
+                        for (int r = 0; r < i + 1; r++) {\n\
+                          for (int j = 0; j < n; j++) {\n\
+                            a[j] = a[j] + b[j] * 0.5;\n\
+                          } } } }"
+                    .to_string(),
+                ints: vec![("m", m), ("n", n)],
+                arrays: vec![n as usize; 2],
+            }
+        }
+        // triangular prefix access: the inner bound rides the outer
+        // induction variable and the reference moves with it; sizes keep
+        // the prefix resident, where the hi-pinned ladder is exact
+        1 => {
+            let m = [16i64, 48, 96][sa];
+            Case {
+                src: "void kernel(int m, int reps, double* x, double* y) {\n\
+                      for (int r = 0; r < reps; r++) {\n\
+                        for (int i = 0; i < m; i++) {\n\
+                          for (int j = 0; j < i + 1; j++) {\n\
+                            y[i] = y[i] + x[j];\n\
+                          } } } }"
+                    .to_string(),
+                ints: vec![("m", m), ("reps", reps)],
+                arrays: vec![m as usize; 2],
+            }
+        }
+        // one level of composition: the repetition loop multiplies the
+        // callee's spliced sweep when uncaptured
+        2 => {
+            let n = [64i64, 1024, 8192][sa];
+            Case {
+                src: "void scale_add(int n, double* dst, double* src) {\n\
+                      for (int i = 0; i < n; i++) { dst[i] = dst[i] + src[i] * 2.0; }\n\
+                      }\n\
+                      void kernel(int n, int reps, double* a, double* b) {\n\
+                        for (int r = 0; r < reps; r++) { scale_add(n, a, b); } }"
+                    .to_string(),
+                ints: vec![("n", n), ("reps", reps)],
+                arrays: vec![n as usize; 2],
+            }
+        }
+        // two levels of composition, formals crossing at each hop: the
+        // sequential-nest re-touch shape (corpus template 4), spliced
+        3 => {
+            let n = [64i64, 1024, 8192][sa];
+            Case {
+                src: "void leaf(int n, double* p, double* q) {\n\
+                      for (int i = 0; i < n; i++) { p[i] = q[i] * 0.5; }\n\
+                      }\n\
+                      void mid(int n, double* u, double* v) { leaf(n, u, v); leaf(n, v, u); }\n\
+                      void kernel(int n, int reps, double* a, double* b) {\n\
+                        for (int r = 0; r < reps; r++) { mid(n, a, b); } }"
+                    .to_string(),
+                ints: vec![("n", n), ("reps", reps)],
+                arrays: vec![n as usize; 2],
+            }
+        }
+        // triangular × composed: a callee sweep under a dependent bound
+        _ => {
+            let n = [64i64, 1024, 8192][sa];
+            let m = [3i64, 5, 8][sb];
+            Case {
+                src: "void axpy1(int n, double* p, double* q) {\n\
+                      for (int k = 0; k < n; k++) { p[k] = p[k] + q[k]; }\n\
+                      }\n\
+                      void kernel(int m, int n, double* a, double* b) {\n\
+                        for (int i = 0; i < m; i++) {\n\
+                          for (int r = 0; r < i + 1; r++) { axpy1(n, a, b); } } }"
+                    .to_string(),
+                ints: vec![("m", m), ("n", n)],
+                arrays: vec![n as usize; 2],
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_triangular_and_composed_nests_match_simulated_fill_counts() {
+    let asserted = AtomicUsize::new(0);
+    proptest::run_cases(
+        "generated_triangular_and_composed_nests_match_simulated_fill_counts",
+        &ProptestConfig::with_cases(384),
+        (0usize..5, 0usize..3, 0usize..3, 1i64..4),
+        |(template, sa, sb, reps)| check_case(&build_lifted_case(template, sa, sb, reps), &asserted),
+    );
+    let n = asserted.load(Ordering::Relaxed);
+    assert!(
+        n >= 256,
+        "only {n} of 384 triangular/composed nests were assertable — the corpus lost coverage"
+    );
+}

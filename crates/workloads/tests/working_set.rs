@@ -110,3 +110,64 @@ fn triad_blocked_reps_amortize_boundary_traffic() {
     // and the bound stays honest: never below what the simulator saw
     assert!(row.static_p.mem_cycles[2] >= row.dynamic_p.mem_cycles[2]);
 }
+
+/// miniFE `cg_solve` no longer takes the fits-or-streams fallback: the
+/// composed-callee splice plus the gather bound give it a per-nest
+/// model, its placement bounds match the simulator bit-for-bit in the
+/// sharp regimes, and the L2-boundary bound is strictly tighter than
+/// the old streaming sweep. Written to fail against the old fallback
+/// twice over: `nest_model` was `None` for composed callees, and the
+/// L2 bound *equaled* the streaming sweep.
+#[test]
+fn minife_cg_solve_places_per_nest() {
+    let minife = mira_workloads::minife::MiniFe::new();
+    let kernel = KernelRoofline::analyze(&minife.analysis, "cg_solve").expect("analyzes");
+    assert!(
+        kernel.nest_model.is_some(),
+        "cg_solve fell back to the fits-or-streams sweep"
+    );
+
+    // d=5: the whole solve is L1-resident — compulsory traffic at every
+    // level, and the static footprint is exact, so the static and
+    // simulated L2/DRAM bounds are bit-equal
+    let row = roofval::minife_roof(5, 500, 1e-8);
+    assert!(row.data_bytes_exact(), "{row:?}");
+    assert_eq!(row.static_p.mem_cycles[1], row.dynamic_p.mem_cycles[1], "{row:?}");
+    assert_eq!(row.static_p.mem_cycles[2], row.dynamic_p.mem_cycles[2], "{row:?}");
+    assert!(row.agrees(), "static {} vs dynamic {}", row.static_p, row.dynamic_p);
+
+    // d=8: the footprint sits between L1 and L2. The DRAM-boundary
+    // bound is the exact resident count — bit-equal with the simulator —
+    // while the L2-boundary bound comes from the per-nest model: an
+    // honest upper bound on the measured traffic, strictly below the
+    // old streaming sweep (which charged every byte of all 19
+    // iterations across the boundary)
+    let row = roofval::minife_roof(8, 500, 1e-8);
+    assert!(row.data_bytes_exact(), "{row:?}");
+    assert!(
+        row.footprint_lines * 64 > 32 * 1024,
+        "footprint no longer exceeds L1 — the regime moved: {row:?}"
+    );
+    assert_eq!(row.static_p.mem_cycles[2], row.dynamic_p.mem_cycles[2], "{row:?}");
+    assert!(
+        row.static_p.mem_cycles[1] >= row.dynamic_p.mem_cycles[1],
+        "L2 bound dipped below the measurement: {row:?}"
+    );
+    let binds = bindings(&[
+        ("n", 512),
+        ("nnz_row_milli", mira_workloads::minife::MiniFe::nnz_row_milli(8, 8, 8) as i128),
+        ("cg_iters", 19),
+    ]);
+    let c = Ceilings::from_arch(&minife.analysis.arch);
+    let sweep = kernel
+        .streaming_cycles_expr(&c, MemLevel::L2)
+        .eval(&binds)
+        .unwrap()
+        .to_f64();
+    assert!(
+        row.static_p.mem_cycles[1] * 1.5 < sweep,
+        "per-nest L2 bound {} is no tighter than the old sweep {}",
+        row.static_p.mem_cycles[1],
+        sweep
+    );
+}

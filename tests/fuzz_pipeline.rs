@@ -266,3 +266,95 @@ fn fuzz_adversarial_nests_never_panic() {
         drive(&src, i % 2 == 0);
     }
 }
+
+// ------------------------------------- triangular × composed programs
+
+/// Programs crossing dependent (triangular) bounds with 1–2 levels of
+/// callee composition — the shapes the per-nest model now admits. The
+/// callee's nests splice into the caller with formal→actual
+/// substitution, dependent bounds go through the average-extent path,
+/// and hostile argument lists (swapped pointers/values, arity
+/// mismatches) must come back as typed refusals, never panics.
+fn triangular_composed(rng: &mut TestRng) -> String {
+    let mut src = String::new();
+    // leaf: 1-3 loops, each bound possibly dependent on an ancestor
+    let leaf_depth = 1 + rng.next_u64() as usize % 3;
+    src.push_str("double leaf(int n, double* p, double* q) {\n    double s = 0.0;\n");
+    let mut indent = String::from("    ");
+    for lvl in 0..leaf_depth {
+        let v = format!("i{lvl}");
+        let bound = match rng.next_u64() % 5 {
+            0 => "n".to_string(),
+            1 => format!("{}", 1 + rng.next_u64() % 8),
+            2 if lvl > 0 => format!("i{} + {}", lvl - 1, rng.next_u64() % 3),
+            3 if lvl > 0 => format!("n - i{}", lvl - 1), // decreasing extent
+            _ => "n + 1".to_string(),
+        };
+        src.push_str(&format!(
+            "{indent}for (int {v} = 0; {v} < {bound}; {v}++) {{\n"
+        ));
+        indent.push_str("    ");
+    }
+    let inner = format!("i{}", leaf_depth - 1);
+    match rng.next_u64() % 3 {
+        0 => src.push_str(&format!("{indent}s += p[{inner}] * q[{inner}];\n")),
+        1 => src.push_str(&format!("{indent}p[{inner}] = q[{inner}] + s;\n")),
+        _ => src.push_str(&format!("{indent}p[i0] = p[i0] + 1.0;\n")),
+    }
+    for _ in 0..leaf_depth {
+        indent.truncate(indent.len() - 4);
+        src.push_str(&format!("{indent}}}\n"));
+    }
+    src.push_str("    return s;\n}\n");
+    // optional middle hop: a second composition level
+    let two_level = rng.next_u64().is_multiple_of(2);
+    if two_level {
+        src.push_str(
+            "double mid(int n, double* u, double* v) {\n    return leaf(n, u, v) + leaf(n, v, u);\n}\n",
+        );
+    }
+    // caller: 0-2 enclosing loops (possibly triangular) around 1-2 calls
+    // with adversarial argument lists
+    src.push_str("double f(int n, double* a, double* b) {\n    double s = 0.0;\n");
+    let call_depth = rng.next_u64() as usize % 3;
+    let mut indent = String::from("    ");
+    for lvl in 0..call_depth {
+        let v = format!("k{lvl}");
+        let bound = if lvl > 0 && rng.next_u64().is_multiple_of(2) {
+            format!("k{} + 1", lvl - 1)
+        } else {
+            "n".to_string()
+        };
+        src.push_str(&format!(
+            "{indent}for (int {v} = 0; {v} < {bound}; {v}++) {{\n"
+        ));
+        indent.push_str("    ");
+    }
+    let callee = if two_level { "mid" } else { "leaf" };
+    for _ in 0..(1 + rng.next_u64() % 2) {
+        let args = match rng.next_u64() % 6 {
+            0 => "n, a, b".to_string(),
+            1 => "n, b, a".to_string(),
+            2 => "n + 2, a, a".to_string(),
+            3 if call_depth > 0 => "k0, a, b".to_string(), // loop-var extent
+            4 => "n, a".to_string(),                       // arity mismatch
+            _ => "n, b, b".to_string(),
+        };
+        src.push_str(&format!("{indent}s += {callee}({args});\n"));
+    }
+    for _ in 0..call_depth {
+        indent.truncate(indent.len() - 4);
+        src.push_str(&format!("{indent}}}\n"));
+    }
+    src.push_str("    return s;\n}\n");
+    src
+}
+
+#[test]
+fn fuzz_triangular_composed_never_panics() {
+    let mut rng = TestRng::deterministic("fuzz_triangular_composed_never_panics");
+    for i in 0..cases(150) {
+        let src = triangular_composed(&mut rng);
+        drive(&src, i % 2 == 0);
+    }
+}

@@ -87,6 +87,68 @@ void stencil(int n, double* u, double* v) {
     }
 }
 
+/// The lifted shapes reach the emitted model end to end: the triangular
+/// solve's per-line closed forms carry the exact `n(n-1)/2` trip count,
+/// the composed sweep's call composition scales the callee by the step
+/// loop, and the generated Python reproduces the Rust evaluation of
+/// both — bit for bit — when executed under the system interpreter.
+#[test]
+fn triangular_and_composed_closed_forms_reach_python() {
+    let n = 64i128;
+    let tri = mira_core::analyze_source(
+        mira_workloads::compose::TRISOLVE_SRC,
+        &mira_core::MiraOptions::default(),
+    )
+    .unwrap();
+    let binds = bindings(&[("n", n)]);
+    // line 5 (`s = s - l[i*n+j] * x[j]`) loads 16 bytes per triangular
+    // trip: 16 · n(n-1)/2
+    let lines = tri.model.line_data_bytes_exprs("trisolve").unwrap();
+    let (tri_load, tri_store) = &lines[&5];
+    assert_eq!(tri_load.eval_count(&binds).unwrap(), 16 * n * (n - 1) / 2);
+    assert_eq!(tri_store.eval_count(&binds).unwrap(), 0);
+
+    let sweep = mira_core::analyze_source(
+        mira_workloads::compose::STENCIL_SWEEP_SRC,
+        &mira_core::MiraOptions::default(),
+    )
+    .unwrap();
+    let sw_binds = bindings(&[("n", 100), ("steps", 7)]);
+
+    // Rust-side reference values for both kernels …
+    let expect = [
+        tri.model.data_load_bytes_expr("trisolve").unwrap().eval_count(&binds).unwrap(),
+        tri.model.data_store_bytes_expr("trisolve").unwrap().eval_count(&binds).unwrap(),
+        tri.model.flops_expr("trisolve").unwrap().eval_count(&binds).unwrap(),
+        sweep.model.data_load_bytes_expr("stencil_sweep").unwrap().eval_count(&sw_binds).unwrap(),
+        sweep.model.data_store_bytes_expr("stencil_sweep").unwrap().eval_count(&sw_binds).unwrap(),
+        sweep.model.flops_expr("stencil_sweep").unwrap().eval_count(&sw_binds).unwrap(),
+    ];
+    // … against the same six numbers from the generated Python
+    let dir = std::env::temp_dir().join(format!("mira_pymodel_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("tri_model.py"), tri.python_model()).unwrap();
+    std::fs::write(dir.join("sweep_model.py"), sweep.python_model()).unwrap();
+    let script = "import sys; sys.path.insert(0, sys.argv[1]); \
+                  import tri_model, sweep_model; \
+                  t = tri_model.trisolve_4(64); \
+                  s = sweep_model.stencil_sweep_4(100, 7); \
+                  data = lambda m, k: m.get(k + '_bytes', 0) - m.get('frame_' + k + '_bytes', 0); \
+                  print(data(t, 'load'), data(t, 'store'), t.get('flops', 0), \
+                        data(s, 'load'), data(s, 'store'), s.get('flops', 0))";
+    let out = std::process::Command::new("python3")
+        .args(["-c", script, dir.to_str().unwrap()])
+        .output()
+        .expect("python3 runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let got: Vec<i128> = String::from_utf8_lossy(&out.stdout)
+        .split_whitespace()
+        .map(|v| v.parse().unwrap())
+        .collect();
+    assert_eq!(got, expect, "Python model diverged from the Rust closed forms");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn pbound_vs_mira_on_vectorized_code() {
     const TRIAD: &str = r#"
