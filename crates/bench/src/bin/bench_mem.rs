@@ -11,8 +11,12 @@
 //! price of `VmOptions::mem_profile`, which stays off the hot path by
 //! default.
 //!
-//! Usage: `cargo run --release -p mira-bench --bin bench_mem [--quick]`
-//! (`--quick` shrinks sizes for the CI smoke run).
+//! Usage: `cargo run --release -p mira-bench --bin bench_mem
+//! [--quick] [--trace <out.json>]`
+//! (`--quick` shrinks sizes for the CI smoke run; `--trace` captures the
+//! whole run with `mira-probe` and writes a Chrome trace-event JSON).
+//! The file also carries a `phase_wall_ms` breakdown of the static
+//! pipeline's per-phase wall time, taken from the probe spans.
 
 use mira_workloads::memval::{self, MemRow};
 
@@ -22,6 +26,34 @@ struct Entry {
 }
 
 fn main() {
+    match mira_bench::trace::trace_arg() {
+        Some(path) => {
+            let (json, trace) = mira_probe::capture(run);
+            finish_json(json, &trace);
+            mira_bench::trace::write(&path, &trace);
+        }
+        None => {
+            // capture construction + analysis anyway: this bench's timed
+            // section (sim_overhead) runs inside run() with probes on,
+            // but the overhead ratio divides two equally-probed runs, so
+            // the comparison stays fair
+            let (json, trace) = mira_probe::capture(run);
+            finish_json(json, &trace);
+        }
+    }
+}
+
+fn finish_json(json: String, trace: &mira_probe::Trace) {
+    let mut json = json;
+    json.push_str(&format!(
+        "  \"phase_wall_ms\": {}\n}}\n",
+        mira_bench::trace::phase_wall_ms_json(trace)
+    ));
+    std::fs::write("BENCH_mem.json", &json).expect("write BENCH_mem.json");
+    println!("\nwrote BENCH_mem.json");
+}
+
+fn run() -> String {
     let quick = std::env::args().any(|a| a == "--quick");
     let (stream_n, reps, dgemm_n, grid) = if quick {
         (1024i64, 2i64, 12i64, 5i64)
@@ -82,8 +114,7 @@ fn main() {
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_mem.json", &json).expect("write BENCH_mem.json");
+    json.push_str("  ],\n");
 
     println!(
         "{:<18} {:>14} {:>14} {:>6} {:>10} {:>10} {:>10} {:>8} {:>9}",
@@ -108,8 +139,6 @@ fn main() {
             },
         );
     }
-    println!("\nwrote BENCH_mem.json");
-
     // the validation contract the tests pin, enforced here too so a CI
     // smoke run fails loudly if the halves ever drift
     for e in &entries {
@@ -119,5 +148,6 @@ fn main() {
             e.row.workload
         );
     }
+    json
 }
 

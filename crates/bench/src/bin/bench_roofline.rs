@@ -10,11 +10,16 @@
 //! (bisection-solved and brute-force-swept).
 //!
 //! Usage: `cargo run --release -p mira-bench --bin bench_roofline
-//! [--quick|--check]` — `--quick` shrinks sizes for the CI smoke run;
-//! `--check` re-derives the placements at the committed sizes and exits
-//! non-zero when any bound classification (or the crossover) changed
-//! versus the committed `BENCH_roofline.json`, the regression gate that
-//! turns silent regime changes into failures.
+//! [--quick|--check] [--trace <out.json>]` — `--quick` shrinks sizes for
+//! the CI smoke run; `--check` re-derives the placements at the
+//! committed sizes and exits non-zero when any bound classification (or
+//! the crossover) changed versus the committed `BENCH_roofline.json`,
+//! the regression gate that turns silent regime changes into failures;
+//! `--trace` captures the whole run with `mira-probe` and writes a
+//! Chrome trace-event JSON (every pipeline `Phase` span, the
+//! fuel-annotated `sym.budget` spans, and the roofline placement /
+//! crossover spans). The file also carries a `phase_wall_ms` breakdown
+//! of the static pipeline's per-phase wall time.
 
 use mira_workloads::roofval::{self, RoofRow};
 
@@ -67,6 +72,24 @@ fn rows(quick: bool) -> Vec<(String, RoofRow)> {
 }
 
 fn main() {
+    // always capture: the placements are deterministic cycle bounds, so
+    // probes never skew a measurement here, and the capture both feeds
+    // the phase_wall_ms breakdown and (with --trace) the Chrome trace
+    let (json, trace) = mira_probe::capture(run);
+    if let Some(mut json) = json {
+        json.push_str(&format!(
+            "  \"phase_wall_ms\": {}\n}}\n",
+            mira_bench::trace::phase_wall_ms_json(&trace)
+        ));
+        std::fs::write("BENCH_roofline.json", &json).expect("write BENCH_roofline.json");
+        println!("wrote BENCH_roofline.json");
+    }
+    if let Some(path) = mira_bench::trace::trace_arg() {
+        mira_bench::trace::write(&path, &trace);
+    }
+}
+
+fn run() -> Option<String> {
     let quick = std::env::args().any(|a| a == "--quick");
     let check = std::env::args().any(|a| a == "--check");
     // --check always measures at the committed sizes
@@ -75,7 +98,7 @@ fn main() {
 
     if check {
         check_placements(&rows, &solved, &swept);
-        return;
+        return None;
     }
 
     let mut json = String::from("{\n  \"bench\": \"roofline\",\n  \"workloads\": [\n");
@@ -105,15 +128,13 @@ fn main() {
     json.push_str("  ],\n");
     let x = solved.expect("DGEMM crosses regimes in [2, 64]");
     json.push_str(&format!(
-        "  \"dgemm_crossover\": {{\"param\": \"n\", \"solved\": {}, \"swept\": {}, \"from\": \"{}\", \"to\": \"{}\", \"match\": {}}}\n",
+        "  \"dgemm_crossover\": {{\"param\": \"n\", \"solved\": {}, \"swept\": {}, \"from\": \"{}\", \"to\": \"{}\", \"match\": {}}},\n",
         x.value,
         swept.map(|s| s.value.to_string()).unwrap_or_else(|| "null".to_string()),
         x.from,
         x.to,
         solved == swept,
     ));
-    json.push_str("}\n");
-    std::fs::write("BENCH_roofline.json", &json).expect("write BENCH_roofline.json");
 
     println!(
         "{:<22} {:>12} {:>14} {:>6} {:>9} {:>9}  agree",
@@ -138,7 +159,6 @@ fn main() {
         swept.map(|s| s.value.to_string()).unwrap_or_else(|| "-".to_string()),
         x.to
     );
-    println!("wrote BENCH_roofline.json");
 
     // the validation contract the tests pin, enforced here too so a CI
     // smoke run fails loudly if the placements ever drift apart
@@ -152,6 +172,7 @@ fn main() {
         assert!(r.data_bytes_exact(), "{k}: data bytes diverged");
     }
     assert_eq!(solved, swept, "crossover solver disagrees with the sweep");
+    Some(json)
 }
 
 /// `--check`: re-derive every placement at the committed sizes and fail

@@ -12,14 +12,26 @@
 //! regalloc build (`steps`), and their ratio (`step_reduction`) — so
 //! step-count regressions are caught, not just wall-clock ones.
 //!
-//! Usage: `cargo run --release -p mira-bench --bin bench_vm [--quick|--pairs|--check]`
+//! Usage: `cargo run --release -p mira-bench --bin bench_vm
+//! [--quick|--pairs|--check|--hot] [--trace <out.json>]`
 //! (`--quick` shrinks sizes and rounds for CI smoke runs; `--pairs`
 //! prints the execution-weighted adjacent-instruction pairs the µop
 //! fusion table in `mira_vm::uop` is tuned against, instead of timing;
 //! `--check` re-measures the dynamic step counts at the committed sizes
 //! and exits non-zero when any workload regressed more than 2% versus
 //! the committed `BENCH_vm.json` — the CI gate that turns step-count
-//! regressions into failures instead of printed numbers).
+//! regressions into failures instead of printed numbers; `--hot` runs
+//! each workload with `VmOptions::block_profile` and prints the
+//! hottest basic blocks plus µop fusion rates; `--trace` captures the
+//! whole run with `mira-probe` and writes a Chrome trace-event JSON).
+//!
+//! Each JSON row also records `analysis_ms` — the wall time of that
+//! workload's full static pipeline (parse → compile → disassemble →
+//! model) — and the file carries a `phase_wall_ms` breakdown from the
+//! probe spans, so the perf trajectory includes model-generation time,
+//! not just retired steps. Outside `--trace`, probes are captured only
+//! around construction: the timed interpreter loops run with probes
+//! disabled.
 
 use mira_vm::reference::ReferenceVm;
 use mira_vm::{HostVal, Vm, VmOptions};
@@ -28,6 +40,7 @@ use std::time::Instant;
 
 struct Row {
     workload: &'static str,
+    analysis_ms: f64,
     steps: u64,
     baseline_steps: u64,
     engine_ns: f64,
@@ -72,9 +85,45 @@ macro_rules! timed_call {
 }
 
 fn main() {
+    match mira_bench::trace::trace_arg() {
+        Some(path) => {
+            // one capture covers the whole run — pipeline phase spans,
+            // budget spans, VM calls — and lands in a Chrome trace
+            let ((json, _), trace) = mira_probe::capture(run);
+            finish_json(json, &trace);
+            mira_bench::trace::write(&path, &trace);
+        }
+        None => {
+            // probes stay disabled through the timed interpreter loops;
+            // run() captures the construction phase internally and
+            // returns that trace for the phase_wall_ms breakdown
+            let (json, ctrace) = run();
+            finish_json(json, &ctrace.unwrap_or_default());
+        }
+    }
+}
+
+/// Close the pending BENCH_vm.json body with the per-phase wall-time
+/// breakdown and write it. `None` in `--pairs`/`--check`/`--hot` modes.
+fn finish_json(json: Option<String>, trace: &mira_probe::Trace) {
+    if let Some(mut json) = json {
+        json.push_str(&format!(
+            "  \"phase_wall_ms\": {}\n}}\n",
+            mira_bench::trace::phase_wall_ms_json(trace)
+        ));
+        std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
+        println!("\nwrote BENCH_vm.json");
+    }
+}
+
+/// The whole benchmark; returns the pending JSON body (through the
+/// workloads array) when this run writes one, plus the construction-
+/// phase trace when one was captured locally (no enclosing `--trace`).
+fn run() -> (Option<String>, Option<mira_probe::Trace>) {
     let quick = std::env::args().any(|a| a == "--quick");
     let pairs = std::env::args().any(|a| a == "--pairs");
     let check = std::env::args().any(|a| a == "--check");
+    let hot = std::env::args().any(|a| a == "--hot");
     let rounds = if quick { 2 } else { 5 };
     let (stream_n, dgemm_n, grid) = if quick && !check {
         (500i64, 12i64, 6i64)
@@ -84,17 +133,39 @@ fn main() {
         (20_000, 40, 10)
     };
 
-    let stream = Stream::new();
-    let dgemm = Dgemm::new();
-    let minife = MiniFe::new();
+    // static-pipeline construction, individually timed per workload and
+    // captured so the phase breakdown lands in the JSON
+    let build = || {
+        let t0 = Instant::now();
+        let stream = Stream::new();
+        let stream_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let dgemm = Dgemm::new();
+        let dgemm_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let minife = MiniFe::new();
+        let minife_ms = t0.elapsed().as_secs_f64() * 1e3;
+        (stream, stream_ms, dgemm, dgemm_ms, minife, minife_ms)
+    };
+    let (built, ctrace) = if mira_probe::enabled() {
+        (build(), None)
+    } else {
+        let (b, t) = mira_probe::capture(build);
+        (b, Some(t))
+    };
+    let (stream, stream_ms, dgemm, dgemm_ms, minife, minife_ms) = built;
 
     if pairs {
         print_pairs(&stream, &dgemm, &minife, stream_n, dgemm_n, grid);
-        return;
+        return (None, ctrace);
+    }
+    if hot {
+        print_hot(&stream, &dgemm, &minife, stream_n, dgemm_n, grid);
+        return (None, ctrace);
     }
     if check {
         check_steps(&stream, &dgemm, &minife, stream_n, dgemm_n, grid);
-        return;
+        return (None, ctrace);
     }
 
     let spill = mira_vcc::Options::spill_everything();
@@ -134,7 +205,14 @@ fn main() {
             |vm: &mut Vm| stream_args(vm, stream_n),
             "stream_kernels"
         );
-        rows.push(Row { workload: "stream_triad", steps, baseline_steps, engine_ns, reference_ns });
+        rows.push(Row {
+            workload: "stream_triad",
+            analysis_ms: stream_ms,
+            steps,
+            baseline_steps,
+            engine_ns,
+            reference_ns,
+        });
     }
 
     // DGEMM (Table IV path)
@@ -157,7 +235,14 @@ fn main() {
             |vm: &mut Vm| dgemm_args(vm, dgemm_n),
             "dgemm_bench"
         );
-        rows.push(Row { workload: "dgemm", steps, baseline_steps, engine_ns, reference_ns });
+        rows.push(Row {
+            workload: "dgemm",
+            analysis_ms: dgemm_ms,
+            steps,
+            baseline_steps,
+            engine_ns,
+            reference_ns,
+        });
     }
 
     // miniFE CG solve (Table V deep-call path): assembly excluded, like the
@@ -168,14 +253,22 @@ fn main() {
             best_of(rounds, || minife_solve_steps::<ReferenceVm>(&minife, grid));
         assert_eq!(steps, rsteps);
         let baseline_steps = minife_solve_steps::<Vm>(&minife_spill, grid);
-        rows.push(Row { workload: "minife_cg", steps, baseline_steps, engine_ns, reference_ns });
+        rows.push(Row {
+            workload: "minife_cg",
+            analysis_ms: minife_ms,
+            steps,
+            baseline_steps,
+            engine_ns,
+            reference_ns,
+        });
     }
 
     let mut json = String::from("{\n  \"bench\": \"vm_throughput\",\n  \"unit\": \"Minst/s\",\n  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"steps\": {}, \"baseline_steps\": {}, \"step_reduction\": {:.2}, \"engine_minst_per_s\": {:.1}, \"reference_minst_per_s\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"workload\": \"{}\", \"analysis_ms\": {:.1}, \"steps\": {}, \"baseline_steps\": {}, \"step_reduction\": {:.2}, \"engine_minst_per_s\": {:.1}, \"reference_minst_per_s\": {:.1}, \"speedup\": {:.2}}}{}\n",
             r.workload,
+            r.analysis_ms,
             r.steps,
             r.baseline_steps,
             r.step_reduction(),
@@ -185,8 +278,7 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
+    json.push_str("  ],\n");
 
     println!(
         "{:<14} {:>12} {:>14} {:>10} {:>16} {:>16} {:>9}",
@@ -204,7 +296,77 @@ fn main() {
             r.speedup()
         );
     }
-    println!("\nwrote BENCH_vm.json");
+    (Some(json), ctrace)
+}
+
+/// `--hot`: run each workload with `VmOptions::block_profile` and print
+/// the hottest basic blocks (by retired steps), the µop fusion rates,
+/// and the slow-tier step count.
+fn print_hot(
+    stream: &Stream,
+    dgemm: &Dgemm,
+    minife: &MiniFe,
+    stream_n: i64,
+    dgemm_n: i64,
+    grid: i64,
+) {
+    let opts = VmOptions { block_profile: true, ..VmOptions::default() };
+    let report = |name: &str, vm: &Vm| {
+        let total = vm.steps().max(1);
+        println!("== {name}: hottest blocks ({} retired steps) ==", vm.steps());
+        println!(
+            "{:<22} {:>6} {:>6} {:>12} {:>12} {:>7} {:>7}",
+            "func", "line", "addr", "execs", "steps", "%steps", "fused%"
+        );
+        for b in vm.block_stats().expect("block_profile is on").iter().take(10) {
+            let line = b.line.map(|l| l.to_string()).unwrap_or_else(|| "-".into());
+            let fused_pct = if b.uops > 0 {
+                100.0 * b.fused_uops as f64 / b.uops as f64
+            } else {
+                0.0
+            };
+            println!(
+                "{:<22} {:>6} {:>6} {:>12} {:>12} {:>6.1}% {:>6.1}%",
+                b.func,
+                line,
+                b.addr,
+                b.execs,
+                b.steps,
+                100.0 * b.steps as f64 / total as f64,
+                fused_pct
+            );
+        }
+        if let Some(f) = vm.fusion_stats() {
+            println!(
+                "fusion: {} dispatches, {} fused pairs, {:.1}% of fast-tier instructions fused",
+                f.dispatches,
+                f.fused,
+                100.0 * f.fused_inst_rate()
+            );
+        }
+        println!("slow-tier steps: {} ({:.3}% of total)\n", vm.slow_steps(), 100.0 * vm.slow_steps() as f64 / total as f64);
+    };
+    {
+        let mut vm = Vm::load(&stream.analysis.object, opts).unwrap();
+        let args = stream_args(&mut vm, stream_n);
+        vm.call("stream_kernels", &args).unwrap();
+        report("stream", &vm);
+    }
+    {
+        let mut vm = Vm::load(&dgemm.analysis.object, opts).unwrap();
+        let args = dgemm_args(&mut vm, dgemm_n);
+        vm.call("dgemm_bench", &args).unwrap();
+        report("dgemm", &vm);
+    }
+    {
+        let n = (grid * grid * grid) as usize;
+        let mut vm = Vm::load(&minife.analysis.object, opts).unwrap();
+        let bufs = mira_workloads::minife::SolveBuffers::alloc(&mut vm, n);
+        vm.call("assemble", &bufs.assemble_args(grid, grid, grid)).unwrap();
+        vm.reset_counters();
+        vm.call("cg_solve", &bufs.solve_args(n as i64, 500, 1e-8)).unwrap();
+        report("minife", &vm);
+    }
 }
 
 /// `--check`: re-measure dynamic step counts (deterministic — no timing)

@@ -47,6 +47,46 @@ pub fn full_mode() -> bool {
     std::env::args().any(|a| a == "--full")
 }
 
+/// Shared `--trace` plumbing for the bench binaries: argument parsing,
+/// Chrome trace emission, and the `phase_wall_ms` JSON fragment recorded
+/// into the `BENCH_*.json` files.
+pub mod trace {
+    use mira_probe::Trace;
+
+    /// Parse `--trace <out.json>` from argv.
+    pub fn trace_arg() -> Option<String> {
+        let mut args = std::env::args();
+        while let Some(a) = args.next() {
+            if a == "--trace" {
+                return args.next();
+            }
+        }
+        None
+    }
+
+    /// Write the Chrome trace-event JSON to `path` and print the flat
+    /// text report to stdout.
+    pub fn write(path: &str, trace: &Trace) {
+        std::fs::write(path, trace.chrome_json()).expect("write trace file");
+        println!("\n{}", trace.report());
+        println!("wrote Chrome trace to {path} (load in chrome://tracing or Perfetto)");
+    }
+
+    /// The four pipeline phases' wall time as a JSON object fragment,
+    /// e.g. `{"frontend": 1.2, "compile": 3.4, "object": 0.1, "metrics": 8.9}`
+    /// (milliseconds). Phases that never ran under the capture report 0.
+    pub fn phase_wall_ms_json(trace: &Trace) -> String {
+        let ms = |name: &str| trace.span_total_ns(name) as f64 / 1e6;
+        format!(
+            "{{\"frontend\": {:.3}, \"compile\": {:.3}, \"object\": {:.3}, \"metrics\": {:.3}}}",
+            ms("phase.frontend"),
+            ms("phase.compile"),
+            ms("phase.object"),
+            ms("phase.metrics"),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

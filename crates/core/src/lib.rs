@@ -228,8 +228,15 @@ impl Analysis {
 /// Analyze a MiniC source string: parse → compile → disassemble → bridge →
 /// metric generation → model generation.
 pub fn analyze_source(src: &str, options: &MiraOptions) -> Result<Analysis, MiraError> {
-    let program = mira_minic::frontend(src)?;
-    let object = mira_vcc::compile(&program, &options.compiler)?;
+    let program = {
+        let _sp = mira_probe::span("phase.frontend", "phase");
+        mira_minic::frontend(src)?
+    };
+    let object = {
+        let mut sp = mira_probe::span("phase.compile", "phase");
+        sp.arg("functions", program.functions().count());
+        mira_vcc::compile(&program, &options.compiler)?
+    };
     analyze_object(program, object, options)
 }
 
@@ -240,10 +247,14 @@ pub fn analyze_object(
     object: Object,
     options: &MiraOptions,
 ) -> Result<Analysis, MiraError> {
-    let binary = disassemble(&object)?;
+    let binary = {
+        let _sp = mira_probe::span("phase.object", "phase");
+        disassemble(&object)?
+    };
     // Metric/model generation is the symbolically expensive phase: run it
     // under an analysis budget so adversarial nests refuse (typed, phase-
     // attributed) instead of hanging or blowing the host stack.
+    let _sp = mira_probe::span("phase.metrics", "phase");
     let generated = mira_sym::budget::with_default_budget(|| {
         metrics::generate_model(&program, &object, &binary)
     })

@@ -250,10 +250,17 @@ enum Arg {
 /// so downstream consumers degrade to the streaming sweep model instead
 /// of hanging or panicking.
 pub fn analyze_program(program: &Program) -> AccessModel {
+    let _sp = mira_probe::span("mem.analyze_program", "mem");
     let mut functions = BTreeMap::new();
     for f in program.functions() {
-        let info = mira_sym::budget::with_default_budget(|| analyze_func(f))
-            .unwrap_or_else(|_| refused_func_info(f));
+        let mut sp = mira_probe::span("mem.analyze_func", "mem");
+        sp.arg("func", &f.name);
+        let analyzed = mira_sym::budget::with_default_budget(|| analyze_func(f));
+        if analyzed.is_err() {
+            sp.arg("refused", "budget");
+            mira_probe::add("mem.func_refusals", 1);
+        }
+        let info = analyzed.unwrap_or_else(|_| refused_func_info(f));
         functions.insert(f.name.clone(), info);
     }
     AccessModel { functions }
@@ -285,6 +292,8 @@ impl AccessModel {
     /// substituted by the actual arguments, ranges united per caller-side
     /// array).
     pub fn footprint(&self, func: &str) -> FuncFootprints {
+        let mut sp = mira_probe::span("mem.footprint", "mem");
+        sp.arg("func", func);
         // Interprocedural resolution (substitution + range unions) can
         // blow up on adversarial call graphs; a budget trip degrades to
         // "everything unknown", the conservative refusal.
@@ -723,12 +732,17 @@ impl AccessModel {
     /// sends callers back to the whole-footprint fits-or-streams model,
     /// exactly as conservative as before this model existed.
     pub fn nest_model(&self, func: &str, line_bytes: u32) -> Option<NestModel> {
+        let mut sp = mira_probe::span("mem.nest_model", "mem");
+        sp.arg("func", func);
         // A budget trip during working-set construction refuses the nest
         // model (None), which callers already treat as "fall back to the
         // fits-or-streams sweep" — the PR 5 refusal pattern.
-        mira_sym::budget::with_default_budget(|| self.nest_model_inner(func, line_bytes))
-            .ok()
-            .flatten()
+        let built = mira_sym::budget::with_default_budget(|| self.nest_model_inner(func, line_bytes));
+        if built.is_err() {
+            sp.arg("refused", "budget");
+            mira_probe::add("mem.nest_refusals", 1);
+        }
+        built.ok().flatten()
     }
 
     /// Inline every known callee's loop forest and references into the

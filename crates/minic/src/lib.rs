@@ -36,8 +36,15 @@ pub use sema::{analyze, SemaError};
 /// This is the front-end entry point: the returned [`Program`] is fully
 /// typed (every expression has a [`Type`]) and all annotations are parsed.
 pub fn frontend(src: &str) -> Result<Program, FrontendError> {
-    let mut program = parse_program(src).map_err(FrontendError::Parse)?;
-    analyze(&mut program).map_err(FrontendError::Sema)?;
+    let mut program = {
+        let mut sp = mira_probe::span("minic.parse", "minic");
+        sp.arg("bytes", src.len());
+        parse_program(src).map_err(FrontendError::Parse)?
+    };
+    {
+        let _sp = mira_probe::span("minic.sema", "minic");
+        analyze(&mut program).map_err(FrontendError::Sema)?;
+    }
     Ok(program)
 }
 

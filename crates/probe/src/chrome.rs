@@ -1,0 +1,212 @@
+//! Chrome trace-event JSON export.
+//!
+//! Emits the `{"traceEvents": [...]}` object format understood by
+//! `chrome://tracing` and Perfetto: one `"ph": "X"` complete event per
+//! recorded span (timestamps and durations in microseconds), `"ph": "i"`
+//! instants, and a final `"ph": "C"` counter event per named counter and
+//! accumulator so the totals are visible on the timeline.
+
+use crate::{EventKind, Trace};
+
+pub(crate) fn chrome_json(t: &Trace) -> String {
+    let mut out = String::with_capacity(256 + t.events.len() * 128);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for e in &t.events {
+        sep(&mut out, &mut first);
+        out.push_str("{\"name\":\"");
+        escape_into(&mut out, e.name);
+        out.push_str("\",\"cat\":\"");
+        escape_into(&mut out, e.cat);
+        out.push_str("\",\"ph\":\"");
+        match e.kind {
+            EventKind::Complete => out.push('X'),
+            EventKind::Instant => out.push('i'),
+        }
+        out.push_str("\",\"pid\":1,\"tid\":1,\"ts\":");
+        push_us(&mut out, e.start_ns);
+        if e.kind == EventKind::Complete {
+            out.push_str(",\"dur\":");
+            push_us(&mut out, e.dur_ns);
+        } else {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (k, v)) in e.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_into(&mut out, k);
+                out.push_str("\":\"");
+                escape_into(&mut out, v);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    // counters and accumulator totals as counter events at end-of-capture
+    for (name, value) in &t.counters {
+        sep(&mut out, &mut first);
+        counter_event(&mut out, name, t.wall_ns, *value);
+    }
+    for a in &t.accums {
+        sep(&mut out, &mut first);
+        counter_event(&mut out, a.name, t.wall_ns, a.calls as i64);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+fn counter_event(out: &mut String, name: &str, ts_ns: u64, value: i64) {
+    out.push_str("{\"name\":\"");
+    escape_into(out, name);
+    out.push_str("\",\"cat\":\"counter\",\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":");
+    push_us(out, ts_ns);
+    out.push_str(",\"args\":{\"value\":");
+    push_i64(out, value);
+    out.push_str("}}");
+}
+
+/// Render nanoseconds as a microsecond decimal (`1234.567`) without
+/// going through floating point.
+fn push_us(out: &mut String, ns: u64) {
+    push_u64(out, ns / 1_000);
+    let frac = ns % 1_000;
+    if frac != 0 {
+        out.push('.');
+        let digits = [frac / 100, (frac / 10) % 10, frac % 10];
+        let keep = if digits[2] != 0 {
+            3
+        } else if digits[1] != 0 {
+            2
+        } else {
+            1
+        };
+        for d in digits.iter().take(keep) {
+            out.push((b'0' + *d as u8) as char);
+        }
+    }
+}
+
+fn push_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    for b in &buf[i..] {
+        out.push(*b as char);
+    }
+}
+
+fn push_i64(out: &mut String, v: i64) {
+    if v < 0 {
+        out.push('-');
+        push_u64(out, v.unsigned_abs());
+    } else {
+        push_u64(out, v as u64);
+    }
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let v = c as u32;
+                for shift in [4, 0] {
+                    let d = (v >> shift) & 0xf;
+                    out.push(char::from_digit(d, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccumRow, Event};
+
+    #[test]
+    fn microsecond_rendering() {
+        let mut s = String::new();
+        push_us(&mut s, 1_234_567);
+        assert_eq!(s, "1234.567");
+        s.clear();
+        push_us(&mut s, 5_000);
+        assert_eq!(s, "5");
+        s.clear();
+        push_us(&mut s, 5_100);
+        assert_eq!(s, "5.1");
+        s.clear();
+        push_us(&mut s, 0);
+        assert_eq!(s, "0");
+    }
+
+    #[test]
+    fn escaping() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn whole_trace_shape() {
+        let t = Trace {
+            events: vec![
+                Event {
+                    name: "phase.compile",
+                    cat: "phase",
+                    kind: EventKind::Complete,
+                    start_ns: 1_000,
+                    dur_ns: 2_500,
+                    args: vec![("func", "main".to_string())],
+                },
+                Event {
+                    name: "mark",
+                    cat: "test",
+                    kind: EventKind::Instant,
+                    start_ns: 3_000,
+                    dur_ns: 0,
+                    args: vec![],
+                },
+            ],
+            counters: vec![("hits", 7)],
+            accums: vec![AccumRow { name: "hot", calls: 3, total_ns: 99 }],
+            wall_ns: 10_000,
+        };
+        let json = t.chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"phase.compile\",\"cat\":\"phase\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":1,\"dur\":2.5"));
+        assert!(json.contains("\"args\":{\"func\":\"main\"}"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"name\":\"hits\",\"cat\":\"counter\",\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":7}"));
+        assert!(json.contains("\"args\":{\"value\":3}"));
+    }
+}

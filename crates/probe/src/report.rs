@@ -1,0 +1,118 @@
+//! Flat per-phase text report: aggregated span totals, counters and
+//! hot-path accumulator rows, each section sorted by time (or value)
+//! descending — the "where did the wall time go" view for terminals.
+
+use crate::Trace;
+
+pub(crate) fn report(t: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== probe report ({:.3} ms wall) ==\n",
+        t.wall_ns as f64 / 1e6
+    ));
+
+    // aggregate events by name: (count, total ns), insertion-ordered
+    let mut rows: Vec<(&'static str, u64, u64)> = Vec::new();
+    for e in &t.events {
+        match rows.iter_mut().find(|(n, _, _)| *n == e.name) {
+            Some((_, calls, ns)) => {
+                *calls += 1;
+                *ns += e.dur_ns;
+            }
+            None => rows.push((e.name, 1, e.dur_ns)),
+        }
+    }
+    rows.sort_by_key(|r| std::cmp::Reverse(r.2));
+    if !rows.is_empty() {
+        out.push_str("spans:\n");
+        for (name, calls, ns) in &rows {
+            out.push_str(&format!(
+                "  {:<32} {:>8} call{} {:>12.3} ms\n",
+                name,
+                calls,
+                if *calls == 1 { " " } else { "s" },
+                *ns as f64 / 1e6
+            ));
+        }
+    }
+
+    if !t.counters.is_empty() {
+        let mut counters = t.counters.clone();
+        counters.sort_by_key(|c| std::cmp::Reverse(c.1));
+        out.push_str("counters:\n");
+        for (name, value) in &counters {
+            out.push_str(&format!("  {:<32} {:>12}\n", name, value));
+        }
+    }
+
+    if !t.accums.is_empty() {
+        let mut accums = t.accums.clone();
+        accums.sort_by_key(|a| std::cmp::Reverse(a.total_ns));
+        out.push_str("hot paths (aggregated):\n");
+        for a in &accums {
+            out.push_str(&format!(
+                "  {:<32} {:>8} calls {:>12.3} ms\n",
+                a.name,
+                a.calls,
+                a.total_ns as f64 / 1e6
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AccumRow, Event, EventKind, Trace};
+
+    #[test]
+    fn report_sections_and_sorting() {
+        let t = Trace {
+            events: vec![
+                Event {
+                    name: "fast",
+                    cat: "t",
+                    kind: EventKind::Complete,
+                    start_ns: 0,
+                    dur_ns: 1_000,
+                    args: vec![],
+                },
+                Event {
+                    name: "slow",
+                    cat: "t",
+                    kind: EventKind::Complete,
+                    start_ns: 0,
+                    dur_ns: 9_000_000,
+                    args: vec![],
+                },
+                Event {
+                    name: "fast",
+                    cat: "t",
+                    kind: EventKind::Complete,
+                    start_ns: 0,
+                    dur_ns: 2_000,
+                    args: vec![],
+                },
+            ],
+            counters: vec![("c1", 5), ("c2", 50)],
+            accums: vec![AccumRow { name: "hot", calls: 42, total_ns: 1_000_000 }],
+            wall_ns: 10_000_000,
+        };
+        let r = t.report();
+        assert!(r.contains("spans:"));
+        assert!(r.contains("counters:"));
+        assert!(r.contains("hot paths"));
+        // sorted descending by time: slow before fast
+        assert!(r.find("slow").unwrap() < r.find("fast").unwrap());
+        // counters descending by value
+        assert!(r.find("c2").unwrap() < r.find("c1").unwrap());
+        assert!(r.contains("2 calls"));
+    }
+
+    #[test]
+    fn empty_trace_reports_header_only() {
+        let r = Trace::default().report();
+        assert!(r.contains("probe report"));
+        assert!(!r.contains("spans:"));
+    }
+}

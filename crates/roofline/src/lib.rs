@@ -307,9 +307,14 @@ impl KernelRoofline {
     /// model inside are separately budgeted and degrade on their own —
     /// see [`mira_mem::analyze_program`].)
     pub fn analyze(analysis: &Analysis, func: &str) -> Result<KernelRoofline, ModelError> {
+        let mut sp = mira_probe::span("roofline.analyze", "roofline");
+        sp.arg("func", func);
         match mira_sym::budget::with_default_budget(|| Self::analyze_inner(analysis, func)) {
             Ok(r) => r,
-            Err(e) => Err(ModelError::Eval(EvalError::Budget(e))),
+            Err(e) => {
+                sp.arg("refused", "budget");
+                Err(ModelError::Eval(EvalError::Budget(e)))
+            }
         }
     }
 
@@ -404,6 +409,7 @@ impl KernelRoofline {
     /// accesses the analysis could not bound is assumed to sweep, never
     /// to sit compulsory-only in cache.
     pub fn place(&self, c: &Ceilings, b: &Bindings) -> Result<Placement, EvalError> {
+        let _a = mira_probe::accum("roofline.place");
         // placement evaluates closed forms over untrusted bindings; the
         // budget scope bounds evaluation depth and work, refusing with a
         // typed error instead of overflowing the host stack
@@ -457,6 +463,9 @@ impl KernelRoofline {
         lo: i128,
         hi: i128,
     ) -> Result<Option<Crossover>, EvalError> {
+        let mut sp = mira_probe::span("roofline.crossover", "roofline");
+        sp.arg("func", &self.func);
+        sp.arg("param", param);
         let place_at = |v: i128| -> Result<Ceiling, EvalError> {
             let mut b = base.clone();
             b.insert(param.to_string(), v);
@@ -523,6 +532,7 @@ pub fn dynamic_placement(
     c: &Ceilings,
     vectorized: bool,
 ) -> Placement {
+    let _a = mira_probe::accum("roofline.dynamic_placement");
     let compute = flops as f64 / c.peak(vectorized) as f64;
     let mem = [
         stats.data_bytes() as f64 / c.bandwidth[0] as f64,

@@ -85,6 +85,7 @@ thread_local! {
 /// computed by `f` is discarded — placeholder values produced after a trip
 /// never escape.
 pub fn with_budget<T>(fuel: u64, f: impl FnOnce() -> T) -> Result<T, BudgetError> {
+    let mut sp = mira_probe::span("sym.budget", "sym");
     let prev_active = ACTIVE.with(|a| a.replace(true));
     let prev_fuel = FUEL.with(|c| c.replace(fuel));
     let prev_tripped = TRIPPED.with(|t| t.replace(None));
@@ -94,6 +95,11 @@ pub fn with_budget<T>(fuel: u64, f: impl FnOnce() -> T) -> Result<T, BudgetError
 
     let tripped = TRIPPED.with(|t| t.get());
     let spent = fuel.saturating_sub(FUEL.with(|c| c.get()));
+    sp.arg("fuel", fuel);
+    sp.arg("fuel_spent", spent);
+    if let Some(e) = tripped {
+        sp.arg("tripped", e);
+    }
     ACTIVE.with(|a| a.set(prev_active));
     // an enclosing scope pays for the work its inner scopes did
     FUEL.with(|c| c.set(prev_fuel.saturating_sub(spent)));
@@ -125,12 +131,25 @@ pub fn tripped() -> Option<BudgetError> {
     }
 }
 
+/// Fuel left in the current scope, or `None` outside any scope. Probe
+/// spans in downstream crates use this to record per-operation fuel
+/// deltas without reaching into the thread-local state.
+pub fn fuel_remaining() -> Option<u64> {
+    if active() {
+        Some(FUEL.with(|c| c.get()))
+    } else {
+        None
+    }
+}
+
 /// Record a trip (first cause wins). No-op outside a scope.
 pub(crate) fn trip(e: BudgetError) {
     if active() {
         TRIPPED.with(|t| {
             if t.get().is_none() {
                 t.set(Some(e));
+                mira_probe::instant_kv("sym.budget.trip", "sym", "cause", e);
+                mira_probe::add("sym.budget.trips", 1);
             }
         });
     }

@@ -355,6 +355,13 @@ impl SymExpr {
     /// Replace every occurrence of parameter `name` (including inside
     /// floor-div and clamp atoms) with `repl`.
     pub fn substitute(&self, name: &str, repl: &SymExpr) -> SymExpr {
+        // recursive calls go through `substitute_rec` directly, so the
+        // aggregated hot-path row counts top-level substitutions once
+        let _a = mira_probe::accum("sym.substitute");
+        self.substitute_rec(name, repl)
+    }
+
+    fn substitute_rec(&self, name: &str, repl: &SymExpr) -> SymExpr {
         let Some(_g) = budget::descend() else {
             return SymExpr::zero();
         };
@@ -368,8 +375,8 @@ impl SymExpr {
                 let atom_expr = match atom {
                     Atom::Param(n) if n == name => repl.clone(),
                     Atom::Param(_) => SymExpr::from_atom(atom.clone()),
-                    Atom::FloorDiv(inner, d) => inner.substitute(name, repl).floor_div(*d),
-                    Atom::Clamp(inner) => inner.substitute(name, repl).clamp0(),
+                    Atom::FloorDiv(inner, d) => inner.substitute_rec(name, repl).floor_div(*d),
+                    Atom::Clamp(inner) => inner.substitute_rec(name, repl).clamp0(),
                 };
                 factor = factor.mul_expr(&atom_expr.pow(*p));
             }

@@ -103,6 +103,7 @@ pub fn sum_over(
     lb: &SymExpr,
     ub: &SymExpr,
 ) -> Result<SymExpr, SumError> {
+    let _a = mira_probe::accum("sym.sum_over");
     if expr.param_in_composite_atom(var) {
         return Err(SumError::NonPolynomial(var.to_string()));
     }

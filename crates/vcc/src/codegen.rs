@@ -104,8 +104,10 @@ struct FnSig {
 
 /// Compile a checked program to an object.
 pub fn compile_program(program: &Program, options: &Options) -> Result<mira_vobj::Object, CompileError> {
+    let _sp = mira_probe::span("vcc.compile_program", "vcc");
     let mut program = program.clone();
     if options.opt_level >= 1 {
+        let _sp = mira_probe::span("vcc.fold", "vcc");
         fold::fold_program(&mut program);
     }
 
@@ -174,13 +176,17 @@ fn compile_function(
     sym_ids: &HashMap<String, u32>,
     sigs: &HashMap<String, FnSig>,
 ) -> Result<FuncAsm, CompileError> {
+    let mut sp = mira_probe::span("vcc.compile_function", "vcc");
+    sp.arg("func", &f.name);
     let (mut cap_int, mut cap_fp) = if options.regalloc {
         (CALLEE_SAVED_INT.len(), CALLEE_SAVED_FP.len())
     } else {
         (0, 0)
     };
     loop {
+        let _a = mira_probe::accum("vcc.regalloc");
         let alloc = regalloc::allocate(f, cap_int, cap_fp);
+        drop(_a);
         let mut cg = Codegen::new(f, options, &alloc, Vec::new(), sym_ids, sigs);
         match cg.gen_function(f) {
             Ok(()) => {
@@ -194,8 +200,14 @@ fn compile_function(
             }
             // expression too complex for the reduced pool: demote the
             // weakest variables back to frame slots and retry
-            Err(_) if cg.exhausted == Some(Pool::Int) && cap_int > 0 => cap_int -= 1,
-            Err(_) if cg.exhausted == Some(Pool::Fp) && cap_fp > 0 => cap_fp -= 1,
+            Err(_) if cg.exhausted == Some(Pool::Int) && cap_int > 0 => {
+                mira_probe::add("vcc.regalloc_retries", 1);
+                cap_int -= 1;
+            }
+            Err(_) if cg.exhausted == Some(Pool::Fp) && cap_fp > 0 => {
+                mira_probe::add("vcc.regalloc_retries", 1);
+                cap_fp -= 1;
+            }
             Err(e) => return Err(e),
         }
     }
@@ -1479,6 +1491,23 @@ impl<'a> Codegen<'a> {
 
     pub(crate) fn alloc_fp_pub(&mut self) -> Result<XReg, CompileError> {
         self.alloc_fp()
+    }
+
+    /// Whether `name` lives in a frame slot (no register home) — a read
+    /// costs a load, so the vectorizer hoists slot-resident loop
+    /// invariants out of its packed body when the pool has headroom.
+    pub(crate) fn var_in_slot(&self, name: &str) -> bool {
+        matches!(self.lookup(name).loc, Loc::Slot(_))
+    }
+
+    /// Free temporaries left in the integer pool.
+    pub(crate) fn int_free_len(&self) -> usize {
+        self.int_free.len()
+    }
+
+    /// Free temporaries left in the FP pool.
+    pub(crate) fn fp_free_len(&self) -> usize {
+        self.fp_free.len()
     }
 }
 

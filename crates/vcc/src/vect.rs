@@ -25,7 +25,7 @@
 use crate::codegen::{Codegen, Value};
 use crate::emitter::LoopLabels;
 use crate::CompileError;
-use mira_isa::{Cc, Inst, Mem, XReg, RBP};
+use mira_isa::{Cc, Inst, Mem, Reg, XReg, RBP};
 use mira_minic::{AssignOp, BinOp, Expr, ExprKind, Stmt, StmtKind, Type};
 
 /// Attempt to vectorize `s` (a `for` statement). Returns `Ok(Some(()))` if
@@ -103,10 +103,11 @@ pub fn try_vectorize(cg: &mut Codegen, s: &Stmt) -> Result<Option<()>, CompileEr
         if !packable(value, ivar) {
             return Ok(None);
         }
-        plans.push((st.span.line, *op, arr.clone(), value));
+        plans.push((st.span.line, *op, arr.clone(), value.as_ref()));
     }
 
     // ---- emit ----
+    mira_probe::add("vcc.vectorized_loops", 1);
     let header_line = s.span.line;
     cg.asm.cur_line = header_line;
 
@@ -126,6 +127,14 @@ pub fn try_vectorize(cg: &mut Codegen, s: &Stmt) -> Result<Option<()>, CompileEr
     let slot_lim = cg.scratch_slot();
     cg.asm.emit(Inst::Store(Mem::base_disp(RBP, slot_lim), rb));
     cg.free(bv);
+
+    // Hoist loop-invariant components of the packed body into registers
+    // held across the main loop — literal/scalar broadcasts (3 and 2
+    // instructions per iteration, respectively) and slot-resident array
+    // bases (1 load per access) — exactly as the scalar paths keep their
+    // invariants in register homes. Emitted here, in the loopmeta init
+    // range, so the model sees them outside the iteration space.
+    let hoisted = Hoisted::emit(cg, &plans)?;
 
     let l_main = cg.asm.new_label();
     let l_rem = cg.asm.new_label();
@@ -148,23 +157,23 @@ pub fn try_vectorize(cg: &mut Codegen, s: &Stmt) -> Result<Option<()>, CompileEr
     let body_start = cg.asm.here();
     for (line, op, arr, value) in &plans {
         cg.asm.cur_line = *line;
-        let x = gen_packed(cg, value, ivar)?;
+        let x = gen_packed(cg, value, ivar, &hoisted)?;
         // address of arr[i]
-        let av = cg.load_int_var(arr)?;
+        let av = hoisted.base_value(cg, arr)?;
         let iv = cg.load_int_var(ivar)?;
         let mem = Mem::base_index(cg.value_ireg(av), cg.value_ireg(iv), 8, 0);
         if *op == AssignOp::Set {
-            cg.asm.emit(Inst::MovupdStore(mem, x));
+            cg.asm.emit(Inst::MovupdStore(mem, x.reg));
         } else {
             let cur = cg.alloc_fp_pub()?;
             cg.asm.emit(Inst::MovupdLoad(cur, mem));
-            emit_packed_op(cg, assign_bin(*op), cur, x);
+            emit_packed_op(cg, assign_bin(*op), cur, x.reg);
             cg.asm.emit(Inst::MovupdStore(mem, cur));
             cg.free(Value::F(cur));
         }
         cg.free(av);
         cg.free(iv);
-        cg.free(Value::F(x));
+        x.release(cg);
     }
     let step_start = cg.asm.here();
     cg.asm.cur_line = header_line;
@@ -172,6 +181,9 @@ pub fn try_vectorize(cg: &mut Codegen, s: &Stmt) -> Result<Option<()>, CompileEr
     cg.asm.jmp(l_main);
     cg.asm.bind(l_rem);
     let main_end = cg.asm.here();
+    // the remainder loop goes through scalar codegen — hand the held
+    // registers back to the pool first
+    hoisted.release(cg);
 
     cg.asm.loop_labels.push(LoopLabels {
         header_line,
@@ -229,40 +241,209 @@ pub fn try_vectorize(cg: &mut Codegen, s: &Stmt) -> Result<Option<()>, CompileEr
     Ok(Some(()))
 }
 
+/// Pool registers charged once in the loop preheader with invariant
+/// values the packed body would otherwise rematerialize every iteration.
+/// Held for the whole main loop, released before the scalar remainder.
+struct Hoisted {
+    /// Broadcast `FloatLit`s, keyed by bit pattern.
+    lits: Vec<(u64, XReg)>,
+    /// Broadcast loop-invariant scalar doubles, keyed by name.
+    vars: Vec<(String, XReg)>,
+    /// Slot-resident array base pointers, keyed by name. Register-homed
+    /// bases never land here — borrowing the home is already free.
+    bases: Vec<(String, Reg)>,
+}
+
+/// Free registers each pool must retain after hoisting: enough for the
+/// packed body's own temporaries (expression tree + address + compound
+/// load) so hoisting never turns a compilable loop into a pool-dry
+/// `CompileError` — especially in spill mode, where the retry driver
+/// has no homes left to demote.
+const HOIST_RESERVE: usize = 4;
+
+impl Hoisted {
+    fn emit(
+        cg: &mut Codegen,
+        plans: &[(u32, AssignOp, String, &Expr)],
+    ) -> Result<Hoisted, CompileError> {
+        // candidates, deduplicated in first-appearance order; literal and
+        // scalar broadcasts first (biggest per-iteration saving)
+        let mut lits: Vec<u64> = Vec::new();
+        let mut vars: Vec<String> = Vec::new();
+        let mut bases: Vec<String> = Vec::new();
+        for (_, _, arr, value) in plans {
+            collect_invariants(value, &mut lits, &mut vars, &mut bases);
+            if cg.var_in_slot(arr) && !bases.contains(arr) {
+                bases.push(arr.clone());
+            }
+        }
+        let mut h = Hoisted { lits: Vec::new(), vars: Vec::new(), bases: Vec::new() };
+        for bits in lits {
+            if cg.fp_free_len() <= HOIST_RESERVE {
+                break;
+            }
+            let rt = cg.alloc_int_pub()?;
+            cg.asm.emit(Inst::MovRI(rt, bits as i64));
+            let x = cg.alloc_fp_pub()?;
+            cg.asm.emit(Inst::MovqXR(x, rt));
+            cg.asm.emit(Inst::Unpcklpd(x, x)); // broadcast
+            cg.free(Value::I(rt));
+            h.lits.push((bits, x));
+        }
+        for name in vars {
+            if cg.fp_free_len() <= HOIST_RESERVE {
+                break;
+            }
+            let x = cg.load_fp_var_broadcast(&name)?;
+            h.vars.push((name, x));
+        }
+        for name in bases {
+            if !cg.var_in_slot(&name) {
+                // register-homed base: borrowing the home is already free
+                continue;
+            }
+            if cg.int_free_len() <= HOIST_RESERVE {
+                break;
+            }
+            let v = cg.load_int_var(&name)?;
+            // slot-resident, so this is always an owned pool temporary
+            h.bases.push((name, cg.value_ireg(v)));
+        }
+        Ok(h)
+    }
+
+    fn lit(&self, bits: u64) -> Option<XReg> {
+        self.lits.iter().find(|(b, _)| *b == bits).map(|(_, x)| *x)
+    }
+
+    fn var(&self, name: &str) -> Option<XReg> {
+        self.vars.iter().find(|(n, _)| n == name).map(|(_, x)| *x)
+    }
+
+    /// The base pointer of `name` for address formation: the held
+    /// register (as a non-pool borrow, so the body's `free` is a no-op),
+    /// or a plain `load_int_var` when it was not hoisted.
+    fn base_value(&self, cg: &mut Codegen, name: &str) -> Result<Value, CompileError> {
+        match self.bases.iter().find(|(n, _)| n == name) {
+            Some((_, r)) => Ok(Value::IHome(*r)),
+            None => cg.load_int_var(name),
+        }
+    }
+
+    fn release(self, cg: &mut Codegen) {
+        for (_, x) in self.lits {
+            cg.free(Value::F(x));
+        }
+        for (_, x) in self.vars {
+            cg.free(Value::F(x));
+        }
+        for (_, r) in self.bases {
+            cg.free(Value::I(r));
+        }
+    }
+}
+
+/// Collect the invariant leaves of a packable expression, deduplicated,
+/// in first-appearance order.
+fn collect_invariants(
+    e: &Expr,
+    lits: &mut Vec<u64>,
+    vars: &mut Vec<String>,
+    bases: &mut Vec<String>,
+) {
+    match &e.kind {
+        ExprKind::FloatLit(v) if !lits.contains(&v.to_bits()) => {
+            lits.push(v.to_bits());
+        }
+        ExprKind::Var(name) if !vars.contains(name) => {
+            vars.push(name.clone());
+        }
+        ExprKind::Index { base, .. } => {
+            if let ExprKind::Var(arr) = &base.kind {
+                if !bases.contains(arr) {
+                    bases.push(arr.clone());
+                }
+            }
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            collect_invariants(lhs, lits, vars, bases);
+            collect_invariants(rhs, lits, vars, bases);
+        }
+        _ => {}
+    }
+}
+
+/// A packed value: the register plus whether this evaluation owns it.
+/// Hoisted broadcasts are borrowed — they must survive the iteration, so
+/// they are never freed here and never mutated in place.
+struct PackedVal {
+    reg: XReg,
+    owned: bool,
+}
+
+impl PackedVal {
+    fn release(self, cg: &mut Codegen) {
+        if self.owned {
+            cg.free(Value::F(self.reg));
+        }
+    }
+}
+
 /// Generate a packed (2-lane) evaluation of a packable expression.
-fn gen_packed(cg: &mut Codegen, e: &Expr, ivar: &str) -> Result<XReg, CompileError> {
+fn gen_packed(
+    cg: &mut Codegen,
+    e: &Expr,
+    ivar: &str,
+    hoisted: &Hoisted,
+) -> Result<PackedVal, CompileError> {
     match &e.kind {
         ExprKind::FloatLit(v) => {
+            if let Some(x) = hoisted.lit(v.to_bits()) {
+                return Ok(PackedVal { reg: x, owned: false });
+            }
             let rt = cg.alloc_int_pub()?;
             cg.asm.emit(Inst::MovRI(rt, v.to_bits() as i64));
             let x = cg.alloc_fp_pub()?;
             cg.asm.emit(Inst::MovqXR(x, rt));
             cg.asm.emit(Inst::Unpcklpd(x, x)); // broadcast
             cg.free(Value::I(rt));
-            Ok(x)
+            Ok(PackedVal { reg: x, owned: true })
         }
         ExprKind::Var(name) => {
+            if let Some(x) = hoisted.var(name) {
+                return Ok(PackedVal { reg: x, owned: false });
+            }
             // loop-invariant scalar double: read + broadcast
-            cg.load_fp_var_broadcast(name)
+            let x = cg.load_fp_var_broadcast(name)?;
+            Ok(PackedVal { reg: x, owned: true })
         }
         ExprKind::Index { base, .. } => {
             let ExprKind::Var(arr) = &base.kind else {
                 unreachable!("packable checked")
             };
-            let av = cg.load_int_var(arr)?;
+            let av = hoisted.base_value(cg, arr)?;
             let iv = cg.load_int_var(ivar)?;
             let x = cg.alloc_fp_pub()?;
             let mem = Mem::base_index(cg.value_ireg(av), cg.value_ireg(iv), 8, 0);
             cg.asm.emit(Inst::MovupdLoad(x, mem));
             cg.free(av);
             cg.free(iv);
-            Ok(x)
+            Ok(PackedVal { reg: x, owned: true })
         }
         ExprKind::Binary { op, lhs, rhs } => {
-            let a = gen_packed(cg, lhs, ivar)?;
-            let b = gen_packed(cg, rhs, ivar)?;
-            emit_packed_op(cg, *op, a, b);
-            cg.free(Value::F(b));
+            let a = gen_packed(cg, lhs, ivar, hoisted)?;
+            // the op mutates its first register in place — a borrowed
+            // (hoisted) value must be copied, both lanes
+            let a = if a.owned {
+                a
+            } else {
+                let t = cg.alloc_fp_pub()?;
+                cg.asm.emit(Inst::MovapdXX(t, a.reg));
+                PackedVal { reg: t, owned: true }
+            };
+            let b = gen_packed(cg, rhs, ivar, hoisted)?;
+            emit_packed_op(cg, *op, a.reg, b.reg);
+            b.release(cg);
             Ok(a)
         }
         _ => unreachable!("packable checked"),
@@ -380,6 +561,61 @@ void triad(int n, double* a, double* b, double* c, double s) {
         let rem = loops.iter().find(|m| m.is_remainder).unwrap();
         assert!(!main.is_remainder);
         assert_eq!(rem.vector_factor, 1);
+    }
+
+    #[test]
+    fn packed_body_has_no_invariant_rematerialization() {
+        // `s` (scalar double) and the three array bases are invariant:
+        // after hoisting, the packed main-loop body must hold no
+        // broadcast sequence (movq/unpcklpd) and no re-broadcast of s —
+        // those belong to the init range, executed once
+        let obj = compile_source(TRIAD, &Options::vectorized()).unwrap();
+        let f = obj.find_func("triad").unwrap();
+        let main = obj
+            .loops_of(f)
+            .into_iter()
+            .find(|m| m.vector_factor == 2)
+            .unwrap();
+        let ast = disassemble(&obj).unwrap();
+        let insts = &ast.function("triad").unwrap().instructions;
+        let body: Vec<&str> = insts
+            .iter()
+            .filter(|i| (main.body.0..main.body.1).contains(&i.addr))
+            .map(|i| i.inst.mnemonic())
+            .collect();
+        assert!(!body.contains(&"unpcklpd"), "broadcast left in body: {body:?}");
+        assert!(!body.contains(&"movq"), "literal remat left in body: {body:?}");
+        let init: Vec<&str> = insts
+            .iter()
+            .filter(|i| (main.init.0..main.init.1).contains(&i.addr))
+            .map(|i| i.inst.mnemonic())
+            .collect();
+        assert!(init.contains(&"unpcklpd"), "hoisted broadcast missing from init: {init:?}");
+    }
+
+    #[test]
+    fn hoisted_literal_survives_compound_ops() {
+        // a[i] *= 2.5 reads the broadcast literal through a copy — the
+        // held register must not be clobbered across iterations, so the
+        // results must match the scalar build exactly
+        let src = r#"
+void scale3(int n, double* a) {
+    for (int i = 0; i < n; i++) { a[i] = 3.0 * (a[i] * 2.5) * 2.5; }
+}
+"#;
+        let run = |opts: &Options| {
+            let obj = compile_source(src, opts).unwrap();
+            let mut vm = mira_vm::Vm::load(&obj, mira_vm::VmOptions::default()).unwrap();
+            let n = 7i64;
+            let a = vm.alloc_f64(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+            vm.call(
+                "scale3",
+                &[mira_vm::HostVal::Int(n), mira_vm::HostVal::Int(a as i64)],
+            )
+            .unwrap();
+            vm.read_f64(a, n as usize)
+        };
+        assert_eq!(run(&Options::vectorized()), run(&Options::default()));
     }
 
     #[test]

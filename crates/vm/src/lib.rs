@@ -88,6 +88,13 @@ pub struct VmOptions {
     /// simulator entirely off the hot path. Profiles are bit-identical
     /// either way; [`Vm::mem_stats`] exposes the counts.
     pub mem_profile: Option<mira_arch::CacheHierarchy>,
+    /// Block-level execution profiling: expose per-block retired-step
+    /// histograms ([`Vm::block_stats`]) and µop fusion hit/miss rates
+    /// ([`Vm::fusion_stats`]). Costs nothing on the hot path — both
+    /// reports are materialized on demand from the per-block execution
+    /// counters the engine maintains anyway — so this flag only gates
+    /// the reporting surface. Profiles are bit-identical either way.
+    pub block_profile: bool,
 }
 
 impl Default for VmOptions {
@@ -96,6 +103,7 @@ impl Default for VmOptions {
             mem_size: 256 << 20,
             max_steps: u64::MAX,
             mem_profile: None,
+            block_profile: false,
         }
     }
 }
@@ -248,6 +256,52 @@ pub struct Vm {
     /// pays one increment instead of a sparse scatter.
     n_exec: Vec<u64>,
     steps: u64,
+    /// Instructions retired through the per-instruction slow tier
+    /// (mid-block resumption, step-limit endgames, wild edges) — the
+    /// fallback volume [`Vm::slow_steps`] reports.
+    slow_steps: u64,
+}
+
+/// One row of the per-block execution histogram ([`Vm::block_stats`]).
+#[derive(Clone, Debug)]
+pub struct BlockStat {
+    /// Owning function's name.
+    pub func: String,
+    /// Byte address of the block's first instruction.
+    pub addr: u32,
+    /// Lowest source line attributed inside the block, when any.
+    pub line: Option<u32>,
+    /// Fast-path executions of the whole block.
+    pub execs: u64,
+    /// Instructions retired by those executions.
+    pub steps: u64,
+    /// µop dispatches per execution × executions.
+    pub uops: u64,
+    /// Of those dispatches, how many were fused pairs (one dispatch
+    /// retiring two instructions).
+    pub fused_uops: u64,
+}
+
+/// Aggregate µop fusion rates ([`Vm::fusion_stats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FusionStats {
+    /// Total µop dispatches on the fast path.
+    pub dispatches: u64,
+    /// Dispatches that retired a fused pair (two instructions).
+    pub fused: u64,
+    /// Instructions retired via the fast path µop stream.
+    pub fast_insts: u64,
+}
+
+impl FusionStats {
+    /// Fraction of fast-path instructions retired through fused pairs.
+    pub fn fused_inst_rate(&self) -> f64 {
+        if self.fast_insts == 0 {
+            0.0
+        } else {
+            (2 * self.fused) as f64 / self.fast_insts as f64
+        }
+    }
 }
 
 impl Vm {
@@ -255,6 +309,7 @@ impl Vm {
     /// blocks, pre-resolve all control-flow edges and aggregate per-block
     /// attribution vectors.
     pub fn load(obj: &Object, options: VmOptions) -> Result<Vm, VmError> {
+        let _sp = mira_probe::span("vm.load", "vm");
         let mut img = Image::decode(obj)?;
 
         let stream: Vec<(u32, Inst)> = img
@@ -388,6 +443,7 @@ impl Vm {
             cum: [0; Category::COUNT],
             n_exec: vec![0; nblocks],
             steps: 0,
+            slow_steps: 0,
             img,
         })
     }
@@ -459,6 +515,80 @@ impl Vm {
         self.steps
     }
 
+    /// Instructions retired through the per-instruction slow tier since
+    /// the last counter reset. High values mean the fast path is being
+    /// bypassed (tight step limits, wild control flow).
+    pub fn slow_steps(&self) -> u64 {
+        self.slow_steps
+    }
+
+    /// Per-block execution histogram, hottest (most retired steps) first.
+    /// `None` unless [`VmOptions::block_profile`] is set. Counts cover
+    /// fast-path block executions (the slow tier and cross-function
+    /// fall-throughs attribute per instruction and are reported in
+    /// aggregate by [`Vm::slow_steps`]).
+    pub fn block_stats(&self) -> Option<Vec<BlockStat>> {
+        if !self.options.block_profile {
+            return None;
+        }
+        let mut out: Vec<BlockStat> = Vec::new();
+        for (b, &n) in self.n_exec.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let blk = &self.blocks[b];
+            let (us, ue) = (blk.uops.0 as usize, blk.uops.1 as usize);
+            let uop_count = (ue - us) as u64;
+            let fused = self.uops[us..ue].iter().filter(|u| u.width() == 2).count() as u64;
+            let line = blk
+                .lines
+                .iter()
+                .map(|&(slot, _, _)| self.img.line_keys[slot as usize].1)
+                .min();
+            out.push(BlockStat {
+                func: self.img.func_names[blk.func as usize].clone(),
+                addr: self.img.addrs[blk.start as usize],
+                line,
+                execs: n,
+                steps: n * blk.nsteps as u64,
+                uops: n * uop_count,
+                fused_uops: n * fused,
+            });
+        }
+        out.sort_by(|a, b| b.steps.cmp(&a.steps).then(a.addr.cmp(&b.addr)));
+        Some(out)
+    }
+
+    /// Aggregate µop fusion hit/miss rates over everything retired on the
+    /// fast path. `None` unless [`VmOptions::block_profile`] is set.
+    pub fn fusion_stats(&self) -> Option<FusionStats> {
+        if !self.options.block_profile {
+            return None;
+        }
+        let mut s = FusionStats::default();
+        for (b, &n) in self.n_exec.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let blk = &self.blocks[b];
+            let (us, ue) = (blk.uops.0 as usize, blk.uops.1 as usize);
+            let mut fused = 0u64;
+            let mut insts = 0u64;
+            for u in &self.uops[us..ue] {
+                let w = u.width() as u64;
+                insts += w;
+                if w == 2 {
+                    fused += 1;
+                }
+            }
+            s.dispatches += n * (ue - us) as u64;
+            s.fused += n * fused;
+            // terminator retires outside the µop stream
+            s.fast_insts += n * insts;
+        }
+        Some(s)
+    }
+
     /// Memory-profiling counters, when `VmOptions::mem_profile` is on.
     pub fn mem_stats(&self) -> Option<mira_mem::MemStats> {
         self.m.sim.as_ref().map(|s| s.stats())
@@ -489,6 +619,7 @@ impl Vm {
         self.n_exec.iter_mut().for_each(|c| *c = 0);
         self.cum = [0; Category::COUNT];
         self.steps = 0;
+        self.slow_steps = 0;
         if let Some(sim) = self.m.sim.as_deref_mut() {
             sim.reset();
         }
@@ -500,6 +631,8 @@ impl Vm {
     /// (the caller picks the interpretation via the function's return
     /// type).
     pub fn call(&mut self, name: &str, args: &[HostVal]) -> Result<HostVal, VmError> {
+        let mut sp = mira_probe::span("vm.call", "vm");
+        let steps_before = self.steps;
         let fidx = *self
             .img
             .func_index
@@ -535,6 +668,8 @@ impl Vm {
         while let Some(fr) = frames.pop() {
             self.fold_frame(&fr);
         }
+        sp.arg("func", name);
+        sp.arg("steps", self.steps - steps_before);
         result?;
 
         // integer return in r0; fp return in x0 — expose both via HostVal
@@ -644,6 +779,7 @@ impl Vm {
                 return Err(VmError::StepLimit);
             }
             self.steps += 1;
+            self.slow_steps += 1;
             let inst = code[ip];
             let md = meta[ip];
             let cat = md.category as usize;

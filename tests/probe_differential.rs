@@ -1,0 +1,108 @@
+//! Probes-on vs probes-off differentials: `mira-probe` must observe the
+//! pipeline without perturbing it. A captured run has to produce
+//! bit-identical VM profiles and identical model closed forms — the
+//! observability layer's core contract, pinned here so instrumentation
+//! can never silently change what it measures.
+
+use mira_vm::{HostVal, Vm, VmOptions};
+
+const TRIAD: &str = r#"
+void triad(int n, double* a, double* b, double* c, double s) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[i] + s * c[i];
+    }
+}
+"#;
+
+fn run_triad(opts: VmOptions) -> (mira_vm::Profile, u64, Vec<f64>) {
+    let analysis = mira_core::analyze_source(TRIAD, &mira_core::MiraOptions::default()).unwrap();
+    let n = 257i64; // odd, so a vectorized build would also cover a remainder
+    let mut vm = Vm::load(&analysis.object, opts).unwrap();
+    let a = vm.alloc_zeroed_f64(n as usize);
+    let b = vm.alloc_f64(&vec![2.0; n as usize]);
+    let c = vm.alloc_f64(&vec![0.5; n as usize]);
+    vm.call(
+        "triad",
+        &[
+            HostVal::Int(n),
+            HostVal::Int(a as i64),
+            HostVal::Int(b as i64),
+            HostVal::Int(c as i64),
+            HostVal::Fp(3.0),
+        ],
+    )
+    .unwrap();
+    (vm.profile(), vm.steps(), vm.read_f64(a, n as usize))
+}
+
+#[test]
+fn captured_vm_run_is_bit_identical() {
+    // probes off (the default in test binaries)
+    let (plain_prof, plain_steps, plain_out) = run_triad(VmOptions::default());
+
+    // probes on, plus the block-profile reporting surface
+    let opts = VmOptions {
+        block_profile: true,
+        ..VmOptions::default()
+    };
+    let ((probed_prof, probed_steps, probed_out), trace) =
+        mira_probe::capture(|| run_triad(opts));
+
+    assert_eq!(plain_prof, probed_prof, "probes changed the instruction profile");
+    assert_eq!(plain_steps, probed_steps, "probes changed the retired-step count");
+    assert_eq!(plain_out, probed_out, "probes changed computed results");
+
+    // and the capture actually observed the run
+    assert!(trace.has_span("vm.call"), "{}", trace.report());
+    assert!(trace.has_span("phase.frontend"), "{}", trace.report());
+    assert!(trace.has_span("phase.metrics"), "{}", trace.report());
+}
+
+#[test]
+fn captured_analysis_yields_identical_closed_forms() {
+    let src = mira_workloads::compose::TRISOLVE_SRC;
+    let opts = mira_core::MiraOptions::default();
+
+    let plain = mira_core::analyze_source(src, &opts).unwrap();
+    let (probed, trace) = mira_probe::capture(|| mira_core::analyze_source(src, &opts).unwrap());
+
+    // the whole generated model, not just one expression: the Python
+    // emission linearizes every closed form, so string equality means
+    // the symbolic pipeline took the same simplification path
+    assert_eq!(
+        plain.python_model(),
+        probed.python_model(),
+        "probes changed the generated model"
+    );
+
+    let binds = mira_sym::bindings(&[("n", 64)]);
+    let a = plain.model.flops_expr("trisolve").unwrap().eval_count(&binds).unwrap();
+    let b = probed.model.flops_expr("trisolve").unwrap().eval_count(&binds).unwrap();
+    assert_eq!(a, b);
+
+    // the capture recorded the symbolic work it did not perturb
+    assert!(trace.has_span("sym.budget"), "{}", trace.report());
+    assert!(trace.has_span("phase.metrics"), "{}", trace.report());
+}
+
+#[test]
+fn captured_footprint_analysis_is_identical() {
+    // the mem layer (affine derivation → per-nest working sets) under
+    // capture vs plain: same closed forms, and the capture holds the
+    // mem spans
+    let src = mira_workloads::compose::TRISOLVE_SRC;
+    let opts = mira_core::MiraOptions::default();
+    let analysis = mira_core::analyze_source(src, &opts).unwrap();
+
+    let plain = mira_mem::analyze_program(&analysis.program).footprint("trisolve");
+    let (probed, trace) = mira_probe::capture(|| {
+        mira_mem::analyze_program(&analysis.program).footprint("trisolve")
+    });
+    assert_eq!(
+        format!("{plain:?}"),
+        format!("{probed:?}"),
+        "probes changed the affine access analysis"
+    );
+    assert!(trace.has_span("mem.analyze_program"), "{}", trace.report());
+    assert!(trace.has_span("mem.analyze_func"), "{}", trace.report());
+}
