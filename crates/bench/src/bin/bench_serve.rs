@@ -1,0 +1,482 @@
+//! `bench_serve` — throughput and latency of the compiled roofline
+//! query service.
+//!
+//! Builds a [`mira_serve::ServeIndex`] over every workload kernel on
+//! both machine descriptions (the default generic-x86_64 and the
+//! AVX2+FMA variant), then answers a full parameter sweep per
+//! kernel × machine row: queries/second over repeated batches, p99
+//! per-query latency from an individually-timed pass, and an FNV-1a
+//! hash of every answer (binding roof + cycle-bound bits), all recorded
+//! in `BENCH_serve.json`. An aggregate row covers the entire
+//! kernel × machine × size cross-product, single-threaded and sharded
+//! (whose answers must be bit-identical). A subsample of every row is
+//! re-derived with the tree-walk evaluator
+//! ([`mira_roofline::KernelRoofline::place`]) and must match bit for
+//! bit — the serving tier can be faster, never different.
+//!
+//! Usage: `cargo run --release -p mira-bench --bin bench_serve
+//! [--quick|--check] [--trace <out.json>]` — `--quick` shrinks the
+//! sweep for the CI smoke run; `--check` re-runs at the committed sizes
+//! and exits non-zero when any row's answer hash changed or its
+//! throughput regressed more than 2% versus the committed
+//! `BENCH_serve.json` — throughput is compared host-normalized (queries
+//! per unit of a fixed calibration loop, see
+//! [`calibration_ops_per_sec`]) so the gate tracks the code, not the
+//! runner; `--trace` writes a Chrome trace-event JSON carrying the
+//! `serve.compile` and `serve.query_batch` spans.
+
+use std::time::{Duration, Instant};
+
+use mira_core::{analyze_source, Analysis, MiraOptions};
+use mira_roofline::{Ceiling, Ceilings, KernelRoofline, MemLevel, Placement};
+use mira_serve::{machines, Query, Scratch, ServeError, ServeIndex};
+use mira_sym::{bindings, Bindings};
+
+/// Fixed non-swept parameter values (shared with the tree-walk
+/// comparison bindings).
+const FIXED: &[(&str, i128)] = &[("reps", 2), ("nnz_row_milli", 26_144), ("cg_iters", 20)];
+
+fn sources() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("triad", mira_workloads::memval::TRIAD_SRC),
+        ("dgemm", mira_workloads::dgemm::DGEMM_SRC),
+        ("dgemm_tiled", mira_workloads::roofval::DGEMM_TILED_SRC),
+        ("triad_blocked", mira_workloads::roofval::TRIAD_BLOCKED_SRC),
+        ("trisolve", mira_workloads::compose::TRISOLVE_SRC),
+        ("blur", mira_workloads::compose::STENCIL_SWEEP_SRC),
+        ("cg_solve", mira_workloads::minife::MINIFE_SRC),
+    ]
+}
+
+struct Row {
+    key: String,
+    kernel: String,
+    machine: String,
+    queries: Vec<Query>,
+    analysis: Analysis,
+}
+
+/// One row per kernel × machine, sweeping `n` over the full size range.
+fn build_rows(index: &mut ServeIndex, n_hi: i128) -> Vec<Row> {
+    let arches = [
+        mira_arch::ArchDescription::default(),
+        machines::avx2_fma().expect("second machine description parses"),
+    ];
+    let mut rows = Vec::new();
+    for arch in &arches {
+        for (func, src) in sources() {
+            let opts = MiraOptions {
+                arch: arch.clone(),
+                ..Default::default()
+            };
+            let analysis = analyze_source(src, &opts).expect("workload analyzes");
+            let id = index.add(&analysis, func).expect("kernel admits");
+            let k = index.kernel(id).expect("kernel exists");
+            let machine = k.machine().to_string();
+            let base: Vec<i128> = k
+                .params()
+                .iter()
+                .map(|p| {
+                    FIXED
+                        .iter()
+                        .find(|(name, _)| name == p)
+                        .map(|(_, v)| *v)
+                        .unwrap_or(1)
+                })
+                .collect();
+            let slot = k
+                .params()
+                .iter()
+                .position(|p| p == "n")
+                .expect("every workload kernel sweeps n");
+            let mut queries = Vec::with_capacity(n_hi as usize);
+            for n in 1..=n_hi {
+                let mut vals = base.clone();
+                vals[slot] = n;
+                queries.push(index.query(id, &vals).expect("query builds"));
+            }
+            rows.push(Row {
+                key: format!("{func}@{machine}"),
+                kernel: func.to_string(),
+                machine,
+                queries,
+                analysis,
+            });
+        }
+    }
+    rows
+}
+
+/// FNV-1a over every answer: binding roof index plus the bit patterns
+/// of all four cycle bounds; errors hash a marker byte. Deterministic
+/// across runs and thread counts — the `--check` answer gate.
+fn answers_hash(answers: &[Result<Placement, ServeError>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for a in answers {
+        match a {
+            Ok(p) => {
+                eat(match p.binding {
+                    Ceiling::Compute => 0,
+                    Ceiling::Mem(MemLevel::L1) => 1,
+                    Ceiling::Mem(MemLevel::L2) => 2,
+                    Ceiling::Mem(MemLevel::Dram) => 3,
+                });
+                for bits in [
+                    p.compute_cycles.to_bits(),
+                    p.mem_cycles[0].to_bits(),
+                    p.mem_cycles[1].to_bits(),
+                    p.mem_cycles[2].to_bits(),
+                ] {
+                    for b in bits.to_le_bytes() {
+                        eat(b);
+                    }
+                }
+            }
+            Err(_) => eat(0xff),
+        }
+    }
+    h
+}
+
+/// Best-of-N sustained throughput over repeated whole-row batches.
+fn measure_qps(
+    index: &ServeIndex,
+    queries: &[Query],
+    s: &mut Scratch,
+    out: &mut Vec<Result<Placement, ServeError>>,
+    windows: u32,
+    window_ms: u64,
+) -> f64 {
+    index.run_batch(queries, s, out); // warm-up
+    let mut best = 0.0f64;
+    for _ in 0..windows {
+        let start = Instant::now();
+        let mut runs = 0u64;
+        while start.elapsed() < Duration::from_millis(window_ms) {
+            index.run_batch(queries, s, out);
+            runs += 1;
+        }
+        let qps = (runs * queries.len() as u64) as f64 / start.elapsed().as_secs_f64();
+        best = best.max(qps);
+    }
+    best
+}
+
+/// Fixed integer-arithmetic loop timed like the query windows. Absolute
+/// queries/sec depends on the host (and on how loud its neighbors are),
+/// so the regression gate compares queries per *calibration unit*:
+/// dividing by this rate cancels host speed to first order, leaving a
+/// number that only moves when the serving code itself gets slower.
+fn calibration_ops_per_sec() -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut n = 0u64;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        while start.elapsed() < Duration::from_millis(100) {
+            for _ in 0..10_000 {
+                h ^= n;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                n += 1;
+            }
+            std::hint::black_box(h);
+        }
+        best = best.max(n as f64 / start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// p99 single-query latency from an individually-timed pass.
+fn measure_p99_ns(index: &ServeIndex, queries: &[Query], s: &mut Scratch) -> u64 {
+    let mut ns: Vec<u64> = Vec::with_capacity(queries.len());
+    for q in queries {
+        let start = Instant::now();
+        let r = index.place(q, s);
+        ns.push(start.elapsed().as_nanos() as u64);
+        assert!(r.is_ok(), "sweep query refused: {r:?}");
+    }
+    ns.sort_unstable();
+    ns[(ns.len() * 99 / 100).min(ns.len() - 1)]
+}
+
+/// Tree-walk subsample: every 8th size of the row re-derived with
+/// `KernelRoofline::place` and compared bit for bit. Returns
+/// (checked, mismatches).
+fn verify_row(index: &ServeIndex, row: &Row, s: &mut Scratch) -> (u64, u64) {
+    let kr = KernelRoofline::analyze(&row.analysis, &row.kernel).expect("roofline analyzes");
+    let c = Ceilings::from_arch(&row.analysis.arch);
+    let mut checked = 0;
+    let mut mismatches = 0;
+    for (i, q) in row.queries.iter().enumerate() {
+        if i % 8 != 0 && i + 1 != row.queries.len() {
+            continue;
+        }
+        let n = (i + 1) as i128;
+        let mut pairs: Vec<(&str, i128)> = FIXED.to_vec();
+        pairs.push(("n", n));
+        let b: Bindings = bindings(&pairs);
+        let tree = kr.place(&c, &b).expect("tree placement evaluates");
+        let served = index.place(q, s).expect("served placement evaluates");
+        checked += 1;
+        let same = tree.binding == served.binding
+            && tree.compute_cycles.to_bits() == served.compute_cycles.to_bits()
+            && (0..3).all(|l| tree.mem_cycles[l].to_bits() == served.mem_cycles[l].to_bits());
+        if !same {
+            mismatches += 1;
+            eprintln!("{}: n={n} tree {tree} vs served {served}", row.key);
+        }
+    }
+    (checked, mismatches)
+}
+
+struct Measured {
+    key: String,
+    kernel: String,
+    machine: String,
+    sizes: usize,
+    qps: f64,
+    p99_ns: u64,
+    hash: u64,
+    checked: u64,
+    mismatches: u64,
+}
+
+fn main() {
+    let (json, trace) = mira_probe::capture(run);
+    if let Some(mut json) = json {
+        json.push_str(&format!(
+            "  \"phase_wall_ms\": {}\n}}\n",
+            mira_bench::trace::phase_wall_ms_json(&trace)
+        ));
+        std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+        println!("wrote BENCH_serve.json");
+    }
+    if let Some(path) = mira_bench::trace::trace_arg() {
+        mira_bench::trace::write(&path, &trace);
+    }
+}
+
+fn run() -> Option<String> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let check = std::env::args().any(|a| a == "--check");
+    // --check always measures at the committed sizes
+    let n_hi: i128 = if quick && !check { 64 } else { 512 };
+
+    let mut index = ServeIndex::new();
+    let rows = build_rows(&mut index, n_hi);
+    let mut s = Scratch::new();
+    let mut out: Vec<Result<Placement, ServeError>> = Vec::new();
+
+    let cal = calibration_ops_per_sec();
+    let mut measured = Vec::new();
+    for row in &rows {
+        let qps = measure_qps(&index, &row.queries, &mut s, &mut out, 3, 150);
+        let p99_ns = measure_p99_ns(&index, &row.queries, &mut s);
+        index.run_batch(&row.queries, &mut s, &mut out);
+        let hash = answers_hash(&out);
+        let (checked, mismatches) = verify_row(&index, row, &mut s);
+        measured.push(Measured {
+            key: row.key.clone(),
+            kernel: row.kernel.clone(),
+            machine: row.machine.clone(),
+            sizes: row.queries.len(),
+            qps,
+            p99_ns,
+            hash,
+            checked,
+            mismatches,
+        });
+    }
+
+    // the aggregate row: every kernel × machine × size in one batch,
+    // single-threaded and sharded — answers must be bit-identical
+    let all: Vec<Query> = rows.iter().flat_map(|r| r.queries.iter().copied()).collect();
+    let agg_qps = measure_qps(&index, &all, &mut s, &mut out, 3, 150);
+    let agg_p99 = measure_p99_ns(&index, &all, &mut s);
+    index.run_batch(&all, &mut s, &mut out);
+    let agg_hash = answers_hash(&out);
+    let workers = 2;
+    let mut sharded_out = Vec::new();
+    index.run_batch_sharded(&all, workers, &mut sharded_out);
+    assert_eq!(out, sharded_out, "sharded answers must be bit-identical");
+    let start = Instant::now();
+    let mut runs = 0u64;
+    while start.elapsed() < Duration::from_millis(150) {
+        index.run_batch_sharded(&all, workers, &mut sharded_out);
+        runs += 1;
+    }
+    let sharded_qps = (runs * all.len() as u64) as f64 / start.elapsed().as_secs_f64();
+
+    println!(
+        "{:<28} {:>6} {:>12} {:>9} {:>8}  verified",
+        "row", "sizes", "queries/s", "p99 ns", "hash"
+    );
+    for m in &measured {
+        println!(
+            "{:<28} {:>6} {:>12.0} {:>9} {:>8}  {}/{}",
+            m.key,
+            m.sizes,
+            m.qps,
+            m.p99_ns,
+            format!("{:08x}", m.hash as u32),
+            m.checked - m.mismatches,
+            m.checked
+        );
+    }
+    println!(
+        "{:<28} {:>6} {:>12.0} {:>9}  (sharded x{workers}: {:.0}/s)",
+        "all", all.len(), agg_qps, agg_p99, sharded_qps
+    );
+
+    let total_mismatches: u64 = measured.iter().map(|m| m.mismatches).sum();
+    assert_eq!(total_mismatches, 0, "served answers diverged from the tree walk");
+    let best = measured.iter().map(|m| m.qps).fold(0.0f64, f64::max);
+    if !quick && !check {
+        assert!(
+            best >= 1_000_000.0,
+            "acceptance: at least one full sweep row must exceed 1M queries/s (best {best:.0})"
+        );
+    }
+
+    if check {
+        check_rows(&index, &rows, &measured, agg_hash, cal, &mut s, &mut out);
+        return None;
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"serve\",\n  \"rows\": [\n");
+    for (i, m) in measured.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"row\": \"{}\", \"kernel\": \"{}\", \"machine\": \"{}\", \"sizes\": {}, \"qps\": {:.0}, \"p99_ns\": {}, \"answers_hash\": \"{:016x}\", \"verified\": {}, \"mismatches\": {}}}{}\n",
+            m.key,
+            m.kernel,
+            m.machine,
+            m.sizes,
+            m.qps,
+            m.p99_ns,
+            m.hash,
+            m.checked,
+            m.mismatches,
+            if i + 1 < measured.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"calibration\": {{\"row\": \"cal\", \"ops_per_sec\": {cal:.0}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"aggregate\": {{\"row\": \"all\", \"queries\": {}, \"qps\": {:.0}, \"sharded_qps\": {:.0}, \"workers\": {}, \"p99_ns\": {}, \"answers_hash\": \"{:016x}\"}},\n",
+        all.len(),
+        agg_qps,
+        sharded_qps,
+        workers,
+        agg_p99,
+        agg_hash
+    ));
+    Some(json)
+}
+
+/// `--check`: every row's answer hash must match the committed baseline
+/// exactly, and its host-normalized throughput (queries per calibration
+/// unit) must be within 2% of the committed figure. A row that comes up
+/// short is re-measured with longer windows and a fresh calibration
+/// before it counts as a regression — transient neighbor noise passes
+/// on retry, a genuinely slower evaluator does not.
+#[allow(clippy::too_many_arguments)]
+fn check_rows(
+    index: &ServeIndex,
+    rows: &[Row],
+    measured: &[Measured],
+    agg_hash: u64,
+    cal: f64,
+    s: &mut Scratch,
+    out: &mut Vec<Result<Placement, ServeError>>,
+) {
+    let committed = std::fs::read_to_string("BENCH_serve.json")
+        .expect("BENCH_serve.json not found — run bench_serve once to create the baseline");
+    let com_cal: Option<f64> =
+        committed_field(&committed, "cal", "ops_per_sec").and_then(|v| v.parse().ok());
+    let mut failed = false;
+    println!(
+        "\n{:<28} {:>16} {:>16} {:>10} {:>10}  verdict",
+        "row", "com.hash", "hash", "com.q/cal", "q/cal"
+    );
+    for (m, row) in measured.iter().zip(rows) {
+        let com_hash = committed_field(&committed, &m.key, "answers_hash");
+        let com_qps: Option<f64> =
+            committed_field(&committed, &m.key, "qps").and_then(|v| v.parse().ok());
+        let cur_hash = format!("{:016x}", m.hash);
+        let hash_ok = com_hash.as_deref() == Some(cur_hash.as_str());
+        // committed and current throughput, each normalized by its own
+        // run's calibration rate so host speed cancels
+        let com_ratio = match (com_qps, com_cal) {
+            (Some(q), Some(c)) if c > 0.0 => Some(q / c),
+            _ => None,
+        };
+        let mut cur_ratio = m.qps / cal;
+        if let Some(cr) = com_ratio {
+            let mut retries = 0;
+            while cur_ratio < cr * 0.98 && retries < 2 {
+                let q = measure_qps(index, &row.queries, s, out, 5, 300);
+                let c = calibration_ops_per_sec();
+                cur_ratio = cur_ratio.max(q / c);
+                retries += 1;
+            }
+        }
+        let qps_ok = com_ratio.map(|cr| cur_ratio >= cr * 0.98).unwrap_or(false);
+        if !hash_ok || !qps_ok {
+            failed = true;
+        }
+        println!(
+            "{:<28} {:>16} {:>16} {:>10.4} {:>10.4}  {}",
+            m.key,
+            com_hash.as_deref().unwrap_or("MISSING"),
+            cur_hash,
+            com_ratio.unwrap_or(0.0),
+            cur_ratio,
+            if hash_ok && qps_ok {
+                "ok"
+            } else if hash_ok {
+                "SLOWER"
+            } else {
+                "CHANGED"
+            }
+        );
+    }
+    let com_agg = committed_field(&committed, "all", "answers_hash");
+    let cur_agg = format!("{agg_hash:016x}");
+    if com_agg.as_deref() != Some(cur_agg.as_str()) {
+        failed = true;
+        println!(
+            "aggregate answers_hash = {cur_agg} (committed {}): CHANGED",
+            com_agg.as_deref().unwrap_or("MISSING")
+        );
+    } else {
+        println!("aggregate answers_hash = {cur_agg}: ok");
+    }
+    if failed {
+        eprintln!("\nbench_serve --check: answers changed or throughput regressed >2% — failing");
+        std::process::exit(1);
+    }
+    println!("\nbench_serve --check: all rows match the committed baseline");
+}
+
+/// Pull `"field": value` out of the entry whose line mentions
+/// `"row": "<key>"`. The file is written by this very binary, one JSON
+/// object per line, so line-scoped scanning is exact (no serde in this
+/// offline environment).
+fn committed_field(json: &str, row_key: &str, field: &str) -> Option<String> {
+    let needle = format!("\"row\": \"{row_key}\"");
+    let line = json.lines().find(|l| l.contains(&needle))?;
+    let at = line.find(&format!("\"{field}\": "))?;
+    let rest = &line[at + field.len() + 4..];
+    let value: String = rest
+        .chars()
+        .skip_while(|c| *c == ' ')
+        .take_while(|c| !",}".contains(*c))
+        .collect();
+    Some(value.trim().trim_matches('"').to_string())
+}

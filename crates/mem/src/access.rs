@@ -515,46 +515,71 @@ pub struct NestModel {
     pub line_bytes: u32,
 }
 
-impl NestModel {
-    /// Every group's traffic count is exact (dense affine coverage,
-    /// resolved stencil offsets) rather than an upper bound.
-    pub fn exact(&self) -> bool {
-        self.groups.iter().all(|g| g.exact)
-    }
+/// The evaluator-independent skeleton of one [`NestGroup`]: everything
+/// [`NestShape::traffic`] needs besides the closed-form line counts
+/// themselves.
+#[derive(Clone, Debug)]
+pub struct GroupShape {
+    /// Enclosing loop node ids, outermost first.
+    pub path: Vec<usize>,
+    /// Per path level: does the reference range move with that loop?
+    pub depends: Vec<bool>,
+    /// Deepest capture level at which union counting stays valid.
+    pub union_capture_level: usize,
+    /// Data-dependent (gather) group — see [`NestGroup::gather`].
+    pub gather: bool,
+    /// Reference count per innermost iteration (all, stored).
+    pub gather_refs: (i64, i64),
+}
 
-    /// Line traffic crossing a hierarchy boundary whose above-capacity
-    /// is `cap_bytes`, at concrete parameter values. The caller is
-    /// expected to have short-circuited the fully-resident case (whole
-    /// footprint ≤ capacity) to the compulsory-only count; this method
-    /// handles every partial-capture regime in between, down to full
-    /// streaming.
-    pub fn boundary_traffic(
+/// Which closed form of a group [`NestShape::traffic`] is asking its
+/// evaluator for. Requests arrive lazily, in evaluation order — an
+/// evaluator must not eagerly evaluate forms that were never requested,
+/// or its errors would diverge from the tree walk's.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GroupExpr {
+    /// Index into [`NestShape::groups`] / [`NestModel::groups`].
+    pub group: usize,
+    /// Union (capture) count vs per-reference sum (uncaptured stencil).
+    pub union: bool,
+    /// Stored-lines (write-back) side vs all-lines (fill) side.
+    pub stored: bool,
+}
+
+/// The `Send + Sync` skeleton of a [`NestModel`]: the regime-selection
+/// logic of [`NestModel::boundary_traffic`] with the expression
+/// evaluation abstracted out, so the tree-walk evaluator (here) and the
+/// compiled serving evaluator (`mira-serve`) share one copy of the
+/// selection rules and can never drift apart.
+#[derive(Clone, Debug)]
+pub struct NestShape {
+    /// Number of loop nodes (the length `ws`/`ext` slices must have).
+    pub n_nodes: usize,
+    pub groups: Vec<GroupShape>,
+    pub line_bytes: u32,
+}
+
+impl NestShape {
+    /// The regime-selection core of [`NestModel::boundary_traffic`],
+    /// over pre-evaluated per-node working sets (`ws`, line counts,
+    /// rounded like `eval_count`) and extents (`ext`, rational, clamped
+    /// at zero), with the per-group closed forms supplied lazily by
+    /// `lines` — called only for the forms the selected regime needs,
+    /// in evaluation order.
+    pub fn traffic(
         &self,
         cap_bytes: u64,
-        b: &Bindings,
+        ws: &[i128],
+        ext: &[Rat],
+        mut lines: impl FnMut(GroupExpr) -> Result<i128, EvalError>,
     ) -> Result<BoundaryTraffic, EvalError> {
         let cap_lines = (cap_bytes / self.line_bytes.max(1) as u64) as i128;
-        let mut ws = Vec::with_capacity(self.nodes.len());
-        let mut ext = Vec::with_capacity(self.nodes.len());
-        for n in &self.nodes {
-            ws.push(n.ws_lines.eval_count(b)?);
-            // extents stay rational: a triangular loop's average extent
-            // is a half-integer, and only the final per-group product is
-            // rounded (the product over a full path is always integral)
-            let e = n.extent.eval(b)?;
-            ext.push(if e < Rat::ZERO { Rat::ZERO } else { e });
-        }
         // round half away from zero, matching `SymExpr::eval_count`
         let round = |r: Rat| -> Result<i128, EvalError> {
-            if let Some(i) = r.as_integer() {
-                return Ok(i);
-            }
-            let twice = r.checked_mul(Rat::int(2)).ok_or(EvalError::Overflow)?;
-            let f = twice.floor();
-            Ok(if f >= 0 { (f + 1) / 2 } else { f / 2 })
+            r.round_count().ok_or(EvalError::Overflow)
         };
         let mut t = BoundaryTraffic::default();
-        for g in &self.groups {
+        for (gi, g) in self.groups.iter().enumerate() {
             let depth = g.path.len();
             // the capture level: the outermost nest level whose
             // one-iteration working set fits above the boundary
@@ -593,20 +618,21 @@ impl NestModel {
                         .ok_or(EvalError::Overflow)?;
                 }
             }
-            let (lines, stored) = if fit <= g.union_capture_level {
-                (&g.lines, &g.stored_lines)
-            } else {
-                (&g.sum_lines, &g.sum_stored_lines)
-            };
-            let scaled = |e: &SymExpr| -> Result<i128, EvalError> {
+            let union = fit <= g.union_capture_level;
+            let mut scaled = |stored: bool| -> Result<i128, EvalError> {
+                let q = GroupExpr {
+                    group: gi,
+                    union,
+                    stored,
+                };
                 round(
-                    Rat::int(e.eval_count(b)?.max(0))
+                    Rat::int(lines(q)?.max(0))
                         .checked_mul(mult)
                         .ok_or(EvalError::Overflow)?,
                 )
             };
-            let mut fills = scaled(lines)?;
-            let mut wbs = scaled(stored)?;
+            let mut fills = scaled(false)?;
+            let mut wbs = scaled(true)?;
             if g.gather {
                 // each access fills at most one line and dirties at most
                 // one line, however small the bounded range
@@ -628,6 +654,73 @@ impl NestModel {
             t.writeback_lines += wbs;
         }
         Ok(t)
+    }
+}
+
+impl NestModel {
+    /// Every group's traffic count is exact (dense affine coverage,
+    /// resolved stencil offsets) rather than an upper bound.
+    pub fn exact(&self) -> bool {
+        self.groups.iter().all(|g| g.exact)
+    }
+
+    /// The evaluator-independent skeleton: group structure without the
+    /// closed forms. `Send + Sync`, so a precompiled serving index can
+    /// carry it across worker threads while the `SymExpr`s stay behind.
+    pub fn shape(&self) -> NestShape {
+        NestShape {
+            n_nodes: self.nodes.len(),
+            groups: self
+                .groups
+                .iter()
+                .map(|g| GroupShape {
+                    path: g.path.clone(),
+                    depends: g.depends.clone(),
+                    union_capture_level: g.union_capture_level,
+                    gather: g.gather,
+                    gather_refs: g.gather_refs,
+                })
+                .collect(),
+            line_bytes: self.line_bytes,
+        }
+    }
+
+    /// The closed form a [`GroupExpr`] request names.
+    pub fn group_expr(&self, q: GroupExpr) -> &SymExpr {
+        let g = &self.groups[q.group];
+        match (q.union, q.stored) {
+            (true, false) => &g.lines,
+            (true, true) => &g.stored_lines,
+            (false, false) => &g.sum_lines,
+            (false, true) => &g.sum_stored_lines,
+        }
+    }
+
+    /// Line traffic crossing a hierarchy boundary whose above-capacity
+    /// is `cap_bytes`, at concrete parameter values. The caller is
+    /// expected to have short-circuited the fully-resident case (whole
+    /// footprint ≤ capacity) to the compulsory-only count; this method
+    /// handles every partial-capture regime in between, down to full
+    /// streaming. The regime selection itself lives in
+    /// [`NestShape::traffic`]; this wrapper supplies the tree-walk
+    /// evaluator.
+    pub fn boundary_traffic(
+        &self,
+        cap_bytes: u64,
+        b: &Bindings,
+    ) -> Result<BoundaryTraffic, EvalError> {
+        let mut ws = Vec::with_capacity(self.nodes.len());
+        let mut ext = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            ws.push(n.ws_lines.eval_count(b)?);
+            // extents stay rational: a triangular loop's average extent
+            // is a half-integer, and only the final per-group product is
+            // rounded (the product over a full path is always integral)
+            let e = n.extent.eval(b)?;
+            ext.push(if e < Rat::ZERO { Rat::ZERO } else { e });
+        }
+        self.shape()
+            .traffic(cap_bytes, &ws, &ext, |q| self.group_expr(q).eval_count(b))
     }
 }
 

@@ -57,8 +57,8 @@ pub mod access;
 pub mod cachesim;
 
 pub use access::{
-    analyze_program, AccessModel, ArrayFootprint, BoundaryTraffic, FuncFootprints, NestGroup,
-    NestModel, NestNode,
+    analyze_program, AccessModel, ArrayFootprint, BoundaryTraffic, FuncFootprints, GroupExpr,
+    GroupShape, NestGroup, NestModel, NestNode, NestShape,
 };
 pub use cachesim::{CacheSim, LevelStats, MemStats};
 

@@ -387,6 +387,25 @@ impl Model {
         self.bytes_expr(func, true, true)
     }
 
+    /// Every labeled closed form of `func` in one list: FLOPs, FPI, the
+    /// total and data-only byte expressions. This is the enumeration
+    /// the compiled-evaluator differential tests sweep — any new model
+    /// surface should be added here so it is automatically covered.
+    pub fn closed_forms(
+        &self,
+        func: &str,
+        arch: &ArchDescription,
+    ) -> Result<Vec<(String, SymExpr)>, ModelError> {
+        Ok(vec![
+            ("flops".to_string(), self.flops_expr(func)?),
+            ("fpi".to_string(), self.fpi_expr(func, arch)?),
+            ("load_bytes".to_string(), self.load_bytes_expr(func)?),
+            ("store_bytes".to_string(), self.store_bytes_expr(func)?),
+            ("data_load_bytes".to_string(), self.data_load_bytes_expr(func)?),
+            ("data_store_bytes".to_string(), self.data_store_bytes_expr(func)?),
+        ])
+    }
+
     /// Per-line closed forms of the *data* (frame-excluded) bytes moved
     /// by the function's own statements: `line → (load bytes, store
     /// bytes)`. Call lines are not included — a callee's traffic

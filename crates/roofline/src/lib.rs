@@ -466,29 +466,11 @@ impl KernelRoofline {
         let mut sp = mira_probe::span("roofline.crossover", "roofline");
         sp.arg("func", &self.func);
         sp.arg("param", param);
-        let place_at = |v: i128| -> Result<Ceiling, EvalError> {
-            let mut b = base.clone();
+        let mut b = base.clone();
+        crossover_bisect(lo, hi, |v| {
             b.insert(param.to_string(), v);
             Ok(self.place(c, &b)?.binding)
-        };
-        let from = place_at(lo)?;
-        if place_at(hi)? == from {
-            return Ok(None);
-        }
-        let (mut below, mut above) = (lo, hi);
-        while below + 1 < above {
-            let mid = below + (above - below) / 2;
-            if place_at(mid)? == from {
-                below = mid;
-            } else {
-                above = mid;
-            }
-        }
-        Ok(Some(Crossover {
-            value: above,
-            from,
-            to: place_at(above)?,
-        }))
+        })
     }
 
     /// Brute-force crossover: walk every value of `param` in `[lo, hi]`
@@ -517,6 +499,39 @@ impl KernelRoofline {
         }
         Ok(None)
     }
+}
+
+/// The bisection core of [`KernelRoofline::crossover`], generic over
+/// how a parameter value is placed: `place_at(v)` returns the binding
+/// ceiling at `v`. Shared by the tree-walk crossover above and the
+/// compiled-evaluator crossover in `mira-serve`, so both tiers solve
+/// regime changes with the identical search — any answer difference
+/// between them can only come from the placement evaluator itself,
+/// which the differential tests pin. Valid when the window contains a
+/// single regime change; `None` when the binding never changes.
+pub fn crossover_bisect(
+    lo: i128,
+    hi: i128,
+    mut place_at: impl FnMut(i128) -> Result<Ceiling, EvalError>,
+) -> Result<Option<Crossover>, EvalError> {
+    let from = place_at(lo)?;
+    if place_at(hi)? == from {
+        return Ok(None);
+    }
+    let (mut below, mut above) = (lo, hi);
+    while below + 1 < above {
+        let mid = below + (above - below) / 2;
+        if place_at(mid)? == from {
+            below = mid;
+        } else {
+            above = mid;
+        }
+    }
+    Ok(Some(Crossover {
+        value: above,
+        from,
+        to: place_at(above)?,
+    }))
 }
 
 /// Place a *measured* run against the same ceilings: the simulator's

@@ -1,0 +1,673 @@
+//! The serving index: precompiled roofline placement per kernel ×
+//! machine, answered by the flat evaluator at batch rates.
+//!
+//! [`CompiledKernel`] lowers every closed form a
+//! [`KernelRoofline::place`] call can touch — the compute ceiling, the
+//! L1 bound, the footprint count, both piecewise regime bounds of each
+//! deeper boundary, and the per-nest working-set model's headers and
+//! group counts — into one [`EvalProgram`] with lazily-run sections, so
+//! a query executes exactly the expressions the tree walk would have
+//! evaluated, in the same order, with the same refusals, at a fraction
+//! of the cost. The regime *selection* is not duplicated here: the
+//! placement loop mirrors `place_inner` line for line, and the nest
+//! regime rules are the shared [`mira_mem::NestShape::traffic`].
+//!
+//! [`ServeIndex`] holds many compiled kernels and answers
+//! [`Query`] batches — single-threaded into a caller scratch
+//! (allocation-free after warm-up), or sharded across worker threads
+//! with [`ServeIndex::run_batch_sharded`], whose results are
+//! bit-identical to the single-threaded path (pinned by this crate's
+//! tests).
+
+use mira_core::Analysis;
+use mira_mem::{BoundaryTraffic, GroupExpr, NestShape};
+use mira_model::ModelError;
+use mira_probe as probe;
+use mira_roofline::{
+    crossover_bisect, Ceilings, Crossover, KernelRoofline, MemLevel, Placement,
+};
+use mira_sym::budget::{self, BudgetError};
+use mira_sym::{Bindings, EvalError, Rat};
+
+use crate::program::{CompileError, EvalProgram, OutId, ProgramBuilder, Scratch, SecId};
+
+/// Maximum parameters a [`Query`] can bind. Every workload model in the
+/// repo has at most three (miniFE's `cg_solve`); the fixed slot array
+/// keeps queries `Copy` so batches are plain memcpy-able buffers.
+pub const MAX_QUERY_PARAMS: usize = 4;
+
+/// Refusals while admitting a kernel into the index.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The roofline analysis itself refused the function.
+    Model(ModelError),
+    /// The closed forms do not fit the bytecode (nesting or size), or
+    /// the kernel needs more than [`MAX_QUERY_PARAMS`] parameters, or
+    /// its evaluation depth exceeds [`budget::MAX_DEPTH`] — the tree
+    /// walk would refuse every placement, so serving it compiled would
+    /// change answers.
+    Compile(CompileError),
+    /// Building the placement expressions tripped the analysis budget.
+    Budget(BudgetError),
+}
+
+impl From<CompileError> for BuildError {
+    fn from(e: CompileError) -> BuildError {
+        BuildError::Compile(e)
+    }
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Model(e) => write!(f, "roofline analysis refused: {e}"),
+            BuildError::Compile(e) => write!(f, "placement forms not compilable: {e}"),
+            BuildError::Budget(e) => write!(f, "placement form construction refused: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Refusals while answering queries.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ServeError {
+    /// The query names a kernel the index does not hold.
+    UnknownKernel,
+    /// A sweep or crossover names a parameter the kernel does not have.
+    UnknownParam(String),
+    /// The value list does not match the kernel's parameter count.
+    BadArity { expected: usize, got: usize },
+    /// The placement itself refused (overflow, missing parameter,
+    /// tripped budget) — the same typed errors the tree walk raises.
+    Eval(EvalError),
+}
+
+impl From<EvalError> for ServeError {
+    fn from(e: EvalError) -> ServeError {
+        ServeError::Eval(e)
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownKernel => write!(f, "unknown kernel id"),
+            ServeError::UnknownParam(p) => write!(f, "kernel has no parameter `{p}`"),
+            ServeError::BadArity { expected, got } => {
+                write!(f, "query binds {got} values, kernel has {expected} parameters")
+            }
+            ServeError::Eval(e) => write!(f, "evaluation refused: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Handle to one kernel × machine entry of a [`ServeIndex`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct KernelId(u32);
+
+/// One roofline query: a kernel and its parameter values, in
+/// [`CompiledKernel::params`] order. `Copy`, so batches are plain
+/// buffers.
+#[derive(Clone, Copy, Debug)]
+pub struct Query {
+    pub kernel: KernelId,
+    /// The first `n` slots bind the kernel's `n` parameters; the rest
+    /// are ignored.
+    pub values: [i128; MAX_QUERY_PARAMS],
+}
+
+/// The regime sections of one deeper boundary (L2, DRAM).
+#[derive(Clone, Copy, Debug)]
+struct LevelPlan {
+    resident: (SecId, OutId),
+    streaming: (SecId, OutId),
+}
+
+/// The compiled per-nest working-set model: the `Send + Sync` regime
+/// skeleton plus the sections holding its evaluated closed forms.
+#[derive(Clone, Debug)]
+struct NestPlan {
+    shape: NestShape,
+    header_sec: SecId,
+    /// Per node: rounded one-iteration working set, raw extent.
+    ws_out: Vec<OutId>,
+    ext_out: Vec<OutId>,
+    /// Per group: `(union, stored)` in the fixed order
+    /// `(t,f) (t,t) (f,f) (f,t)` — one lazily-run section each.
+    group_secs: Vec<[(SecId, OutId); 4]>,
+}
+
+/// One kernel's placement model, compiled for one machine: pure data,
+/// `Send + Sync`, reusable from any worker thread.
+#[derive(Clone, Debug)]
+pub struct CompiledKernel {
+    func: String,
+    machine: String,
+    ceilings: Ceilings,
+    footprint_known: bool,
+    program: EvalProgram,
+    sec_compute: SecId,
+    o_compute: OutId,
+    /// Present iff the footprint is fully known (the only case the
+    /// fits-above test may trust it).
+    sec_fp: Option<(SecId, OutId)>,
+    sec_l1: SecId,
+    o_l1: OutId,
+    /// Indexed `[L2, Dram]`.
+    levels: [LevelPlan; 2],
+    nest: Option<NestPlan>,
+}
+
+impl CompiledKernel {
+    /// Compile the placement model of one analyzed roofline for the
+    /// given ceilings. Refuses (typed) rather than admitting a kernel
+    /// whose compiled answers could diverge from
+    /// [`KernelRoofline::place`].
+    pub fn build(
+        kr: &KernelRoofline,
+        c: &Ceilings,
+        machine: &str,
+    ) -> Result<CompiledKernel, BuildError> {
+        let mut sp = probe::span("serve.compile", "serve");
+        sp.arg("kernel", &kr.func);
+        sp.arg("machine", machine);
+        // expression construction (scale / add_expr) charges the
+        // analysis budget; build under a scope so adversarial models
+        // refuse instead of degrading silently
+        match budget::with_default_budget(|| Self::build_inner(kr, c, machine)) {
+            Ok(Ok(k)) => {
+                sp.arg("ops", k.program.ops_len());
+                sp.arg("cse_hits", k.program.cse_hits());
+                probe::add("serve.cse_hits", k.program.cse_hits() as i64);
+                Ok(k)
+            }
+            Ok(Err(e)) => Err(e),
+            Err(e) => Err(BuildError::Budget(e)),
+        }
+    }
+
+    fn build_inner(
+        kr: &KernelRoofline,
+        c: &Ceilings,
+        machine: &str,
+    ) -> Result<CompiledKernel, BuildError> {
+        let mut b = ProgramBuilder::new();
+        // mandatory prefix, in place_inner's evaluation order: compute,
+        // footprint count (known-footprint kernels only), L1 — sealed as
+        // separate sections so refusals interleave with the placement
+        // loop exactly where the tree walk raises them
+        let o_compute = b.add_output(&kr.compute_cycles_expr(c))?;
+        let sec_compute = b.seal_section(true);
+        let sec_fp = if kr.footprint_known {
+            let out = b.add_count_output(&kr.footprint_lines)?;
+            Some((b.seal_section(true), out))
+        } else {
+            None
+        };
+        let o_l1 = b.add_output(&kr.l1_cycles_expr(c))?;
+        let sec_l1 = b.seal_section(true);
+        let mut levels = Vec::with_capacity(2);
+        for level in [MemLevel::L2, MemLevel::Dram] {
+            let r_out = b.add_output(&kr.resident_cycles_expr(c, level))?;
+            let resident = (b.seal_section(false), r_out);
+            let s_out = b.add_output(&kr.streaming_cycles_expr(c, level))?;
+            let streaming = (b.seal_section(false), s_out);
+            levels.push(LevelPlan {
+                resident,
+                streaming,
+            });
+        }
+        let levels = [levels[0], levels[1]];
+        let nest = match &kr.nest_model {
+            Some(nm) => {
+                let mut ws_out = Vec::with_capacity(nm.nodes.len());
+                let mut ext_out = Vec::with_capacity(nm.nodes.len());
+                for n in &nm.nodes {
+                    // interleaved per node, like boundary_traffic's
+                    // header loop, so refusals surface in its order
+                    ws_out.push(b.add_count_output(&n.ws_lines)?);
+                    ext_out.push(b.add_output(&n.extent)?);
+                }
+                let header_sec = b.seal_section(false);
+                let mut group_secs = Vec::with_capacity(nm.groups.len());
+                for gi in 0..nm.groups.len() {
+                    let mk = |b: &mut ProgramBuilder,
+                                  union: bool,
+                                  stored: bool|
+                     -> Result<(SecId, OutId), CompileError> {
+                        let e = nm.group_expr(GroupExpr {
+                            group: gi,
+                            union,
+                            stored,
+                        });
+                        let out = b.add_count_output(e)?;
+                        Ok((b.seal_section(false), out))
+                    };
+                    group_secs.push([
+                        mk(&mut b, true, false)?,
+                        mk(&mut b, true, true)?,
+                        mk(&mut b, false, false)?,
+                        mk(&mut b, false, true)?,
+                    ]);
+                }
+                Some(NestPlan {
+                    shape: nm.shape(),
+                    header_sec,
+                    ws_out,
+                    ext_out,
+                    group_secs,
+                })
+            }
+            None => None,
+        };
+        let program = b.finish();
+        if program.max_height() > budget::MAX_DEPTH {
+            // the tree walk (always under a scope in place()) would
+            // refuse every placement on depth; unguarded compiled runs
+            // would not — refuse admission instead of diverging
+            return Err(BuildError::Compile(CompileError::TooDeep));
+        }
+        if program.params().len() > MAX_QUERY_PARAMS {
+            return Err(BuildError::Compile(CompileError::TooLarge));
+        }
+        Ok(CompiledKernel {
+            func: kr.func.clone(),
+            machine: machine.to_string(),
+            ceilings: *c,
+            footprint_known: kr.footprint_known,
+            program,
+            sec_compute,
+            o_compute,
+            sec_fp,
+            sec_l1,
+            o_l1,
+            levels,
+            nest,
+        })
+    }
+
+    pub fn func(&self) -> &str {
+        &self.func
+    }
+
+    pub fn machine(&self) -> &str {
+        &self.machine
+    }
+
+    pub fn ceilings(&self) -> &Ceilings {
+        &self.ceilings
+    }
+
+    /// Parameter names, in [`Query::values`] binding order.
+    pub fn params(&self) -> &[String] {
+        self.program.params()
+    }
+
+    pub fn n_params(&self) -> usize {
+        self.program.params().len()
+    }
+
+    pub fn program(&self) -> &EvalProgram {
+        &self.program
+    }
+
+    /// Compiled [`KernelRoofline::place`] with by-name bindings — the
+    /// differential-testing entry point, returning the tree walk's error
+    /// type.
+    pub fn place(&self, b: &Bindings, s: &mut Scratch) -> Result<Placement, EvalError> {
+        self.program.bind(b, s);
+        self.place_prepared(s)
+    }
+
+    /// Compiled placement with positional values (the serving hot path).
+    pub fn place_values(&self, values: &[i128], s: &mut Scratch) -> Result<Placement, ServeError> {
+        if !self.program.bind_positional(values, s) {
+            return Err(ServeError::BadArity {
+                expected: self.n_params(),
+                got: values.len(),
+            });
+        }
+        self.place_prepared(s).map_err(ServeError::Eval)
+    }
+
+    /// The placement loop — `place_inner`, with every `eval` replaced by
+    /// a section run.
+    fn place_prepared(&self, s: &mut Scratch) -> Result<Placement, EvalError> {
+        let p = &self.program;
+        p.run_section(self.sec_compute, s)?;
+        let compute = p.output(self.o_compute, s).to_f64();
+        let footprint_bytes = match self.sec_fp {
+            Some((sec, out)) => {
+                p.run_section(sec, s)?;
+                p.output(out, s).floor() * self.ceilings.line_bytes as i128
+            }
+            None => 0,
+        };
+        let mut mem = [0.0; 3];
+        p.run_section(self.sec_l1, s)?;
+        mem[0] = p.output(self.o_l1, s).to_f64();
+        for level in [MemLevel::L2, MemLevel::Dram] {
+            let idx = level.index();
+            let cap = self.ceilings.capacity_above[idx].unwrap_or(0) as i128;
+            let lvl = &self.levels[idx - 1];
+            mem[idx] = if self.footprint_known && footprint_bytes <= cap {
+                let (sec, out) = lvl.resident;
+                p.run_section(sec, s)?;
+                p.output(out, s).to_f64()
+            } else if let Some(nest) = &self.nest {
+                let t = self.nest_traffic(nest, cap.max(0) as u64, s)?;
+                t.total_lines() as f64 * self.ceilings.line_bytes as f64
+                    / self.ceilings.bandwidth[idx] as f64
+            } else {
+                let (sec, out) = lvl.streaming;
+                p.run_section(sec, s)?;
+                p.output(out, s).to_f64()
+            };
+        }
+        Ok(Placement::classify(compute, mem))
+    }
+
+    fn nest_traffic(
+        &self,
+        nest: &NestPlan,
+        cap_bytes: u64,
+        s: &mut Scratch,
+    ) -> Result<BoundaryTraffic, EvalError> {
+        // the ws/ext staging buffers live in the scratch (reused across
+        // queries), but the regime closure needs the scratch mutably —
+        // take them out for the duration
+        let mut ws = std::mem::take(&mut s.ws);
+        let mut ext = std::mem::take(&mut s.ext);
+        let r = self.nest_traffic_inner(nest, cap_bytes, s, &mut ws, &mut ext);
+        s.ws = ws;
+        s.ext = ext;
+        r
+    }
+
+    fn nest_traffic_inner(
+        &self,
+        nest: &NestPlan,
+        cap_bytes: u64,
+        s: &mut Scratch,
+        ws: &mut Vec<i128>,
+        ext: &mut Vec<Rat>,
+    ) -> Result<BoundaryTraffic, EvalError> {
+        let p = &self.program;
+        p.run_section(nest.header_sec, s)?;
+        ws.clear();
+        ext.clear();
+        for i in 0..nest.shape.n_nodes {
+            ws.push(p.output(nest.ws_out[i], s).floor());
+            let e = p.output(nest.ext_out[i], s);
+            // extents stay rational and clamp at zero, exactly like
+            // boundary_traffic's header
+            ext.push(if e < Rat::ZERO { Rat::ZERO } else { e });
+        }
+        nest.shape.traffic(cap_bytes, ws, ext, |q| {
+            let (sec, out) = nest.group_secs[q.group][match (q.union, q.stored) {
+                (true, false) => 0,
+                (true, true) => 1,
+                (false, false) => 2,
+                (false, true) => 3,
+            }];
+            p.run_section(sec, s)?;
+            Ok(p.output(out, s).floor())
+        })
+    }
+}
+
+/// A precompiled serving index over (kernel × machine) placement
+/// models.
+#[derive(Default)]
+pub struct ServeIndex {
+    kernels: Vec<CompiledKernel>,
+}
+
+impl ServeIndex {
+    pub fn new() -> ServeIndex {
+        ServeIndex::default()
+    }
+
+    /// Analyze `func` in `analysis` and admit its compiled placement
+    /// model. The machine name is the analysis' architecture description
+    /// name — serve one kernel on two machines by analyzing it under two
+    /// descriptions.
+    pub fn add(&mut self, analysis: &Analysis, func: &str) -> Result<KernelId, BuildError> {
+        let kr = KernelRoofline::analyze(analysis, func).map_err(BuildError::Model)?;
+        let c = Ceilings::from_arch(&analysis.arch);
+        let machine = analysis.arch.machine.name.clone();
+        let k = CompiledKernel::build(&kr, &c, &machine)?;
+        self.kernels.push(k);
+        Ok(KernelId(self.kernels.len() as u32 - 1))
+    }
+
+    /// Admit an already-analyzed roofline under explicit ceilings.
+    pub fn add_roofline(
+        &mut self,
+        kr: &KernelRoofline,
+        c: &Ceilings,
+        machine: &str,
+    ) -> Result<KernelId, BuildError> {
+        let k = CompiledKernel::build(kr, c, machine)?;
+        self.kernels.push(k);
+        Ok(KernelId(self.kernels.len() as u32 - 1))
+    }
+
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Look up an entry by kernel function and machine name.
+    pub fn find(&self, func: &str, machine: &str) -> Option<KernelId> {
+        self.kernels
+            .iter()
+            .position(|k| k.func == func && k.machine == machine)
+            .map(|i| KernelId(i as u32))
+    }
+
+    pub fn kernel(&self, id: KernelId) -> Result<&CompiledKernel, ServeError> {
+        self.kernels
+            .get(id.0 as usize)
+            .ok_or(ServeError::UnknownKernel)
+    }
+
+    pub fn kernels(&self) -> impl Iterator<Item = (KernelId, &CompiledKernel)> {
+        self.kernels
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (KernelId(i as u32), k))
+    }
+
+    /// Build a query, checking arity once up front.
+    pub fn query(&self, id: KernelId, values: &[i128]) -> Result<Query, ServeError> {
+        let k = self.kernel(id)?;
+        if values.len() != k.n_params() {
+            return Err(ServeError::BadArity {
+                expected: k.n_params(),
+                got: values.len(),
+            });
+        }
+        let mut v = [0i128; MAX_QUERY_PARAMS];
+        v[..values.len()].copy_from_slice(values);
+        Ok(Query { kernel: id, values: v })
+    }
+
+    /// Answer one query into a reusable scratch.
+    pub fn place(&self, q: &Query, s: &mut Scratch) -> Result<Placement, ServeError> {
+        let k = self.kernel(q.kernel)?;
+        let vals = q.values.get(..k.n_params()).unwrap_or(&q.values[..]);
+        k.place_values(vals, s)
+    }
+
+    /// Answer a batch single-threaded into `out` (cleared first). After
+    /// warm-up — scratch sized, `out` at capacity — this path allocates
+    /// nothing per query (pinned by the `no_alloc` test).
+    pub fn run_batch(
+        &self,
+        qs: &[Query],
+        s: &mut Scratch,
+        out: &mut Vec<Result<Placement, ServeError>>,
+    ) {
+        let mut sp = probe::span("serve.query_batch", "serve");
+        sp.arg("queries", qs.len());
+        probe::add("serve.queries", qs.len() as i64);
+        out.clear();
+        out.reserve(qs.len());
+        for q in qs {
+            out.push(self.place(q, s));
+        }
+    }
+
+    /// Answer a batch sharded over `workers` scoped threads, each with
+    /// its own scratch, writing disjoint chunks of `out` — results are
+    /// bit-identical to [`ServeIndex::run_batch`] in the same order.
+    pub fn run_batch_sharded(
+        &self,
+        qs: &[Query],
+        workers: usize,
+        out: &mut Vec<Result<Placement, ServeError>>,
+    ) {
+        let mut sp = probe::span("serve.query_batch", "serve");
+        sp.arg("queries", qs.len());
+        probe::add("serve.queries", qs.len() as i64);
+        out.clear();
+        if qs.is_empty() {
+            return;
+        }
+        let workers = workers.clamp(1, qs.len());
+        sp.arg("workers", workers);
+        if workers == 1 {
+            let mut s = Scratch::new();
+            for q in qs {
+                out.push(self.place(q, &mut s));
+            }
+            return;
+        }
+        // placeholder immediately overwritten: the chunk split below
+        // covers every slot exactly once
+        out.resize(qs.len(), Err(ServeError::UnknownKernel));
+        let chunk = qs.len().div_ceil(workers);
+        std::thread::scope(|sc| {
+            for (qc, oc) in qs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                sc.spawn(move || {
+                    let mut s = Scratch::new();
+                    for (q, slot) in qc.iter().zip(oc.iter_mut()) {
+                        *slot = self.place(q, &mut s);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Stream a parameter sweep: `(value, answer)` for every value of
+    /// `param` in `[lo, hi]`, other parameters fixed at `base`. Constant
+    /// memory — one scratch, answers yielded as computed.
+    pub fn sweep<'a>(
+        &'a self,
+        id: KernelId,
+        param: &str,
+        base: &[i128],
+        lo: i128,
+        hi: i128,
+    ) -> Result<Sweep<'a>, ServeError> {
+        let k = self.kernel(id)?;
+        if base.len() != k.n_params() {
+            return Err(ServeError::BadArity {
+                expected: k.n_params(),
+                got: base.len(),
+            });
+        }
+        let slot = k
+            .params()
+            .iter()
+            .position(|p| p == param)
+            .ok_or_else(|| ServeError::UnknownParam(param.to_string()))?;
+        let mut values = [0i128; MAX_QUERY_PARAMS];
+        values[..base.len()].copy_from_slice(base);
+        Ok(Sweep {
+            kernel: k,
+            slot,
+            values,
+            next: lo,
+            hi,
+            scratch: Scratch::new(),
+        })
+    }
+
+    /// Solve the regime crossover of `param` in `[lo, hi]` with the
+    /// compiled evaluator — the same bisection core
+    /// ([`mira_roofline::crossover_bisect`]) as the tree walk's
+    /// [`KernelRoofline::crossover`], so any answer difference can only
+    /// come from the evaluator, which the differential tests pin.
+    pub fn crossover(
+        &self,
+        id: KernelId,
+        param: &str,
+        base: &[i128],
+        lo: i128,
+        hi: i128,
+    ) -> Result<Option<Crossover>, ServeError> {
+        let k = self.kernel(id)?;
+        if base.len() != k.n_params() {
+            return Err(ServeError::BadArity {
+                expected: k.n_params(),
+                got: base.len(),
+            });
+        }
+        let slot = k
+            .params()
+            .iter()
+            .position(|p| p == param)
+            .ok_or_else(|| ServeError::UnknownParam(param.to_string()))?;
+        let mut values = [0i128; MAX_QUERY_PARAMS];
+        values[..base.len()].copy_from_slice(base);
+        let n = k.n_params();
+        let mut s = Scratch::new();
+        crossover_bisect(lo, hi, |v| {
+            values[slot] = v;
+            match k.place_values(&values[..n], &mut s) {
+                Ok(p) => Ok(p.binding),
+                Err(ServeError::Eval(e)) => Err(e),
+                // arity was validated above; other refusals cannot occur
+                Err(_) => Err(EvalError::Overflow),
+            }
+        })
+        .map_err(ServeError::Eval)
+    }
+}
+
+/// Streaming parameter sweep over one kernel (see
+/// [`ServeIndex::sweep`]).
+pub struct Sweep<'a> {
+    kernel: &'a CompiledKernel,
+    slot: usize,
+    values: [i128; MAX_QUERY_PARAMS],
+    next: i128,
+    hi: i128,
+    scratch: Scratch,
+}
+
+impl Iterator for Sweep<'_> {
+    type Item = (i128, Result<Placement, ServeError>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next > self.hi {
+            return None;
+        }
+        let v = self.next;
+        self.next += 1;
+        self.values[self.slot] = v;
+        let n = self.kernel.n_params();
+        Some((
+            v,
+            self.kernel.place_values(&self.values[..n], &mut self.scratch),
+        ))
+    }
+}

@@ -1,0 +1,270 @@
+//! Differential pinning of the compiled evaluator against the
+//! symbolic tree walk: values, rounding, `i64` refusals, missing
+//! parameters, overflow, and budget-depth refusals must all be
+//! bit-identical — over a generated expression corpus, and over every
+//! workload model's closed forms and placements on both machine
+//! descriptions.
+
+use std::rc::Rc;
+
+use mira_core::{analyze_source, MiraOptions};
+use mira_roofline::{Ceilings, KernelRoofline};
+use mira_serve::{machines, CompiledExpr, CompiledKernel, Scratch};
+use mira_sym::{bindings, budget, Atom, Bindings, Rat, SymExpr};
+use proptest::test_runner::TestRng;
+
+/// Compare every evaluation mode of `e`, unscoped and under a budget
+/// scope, between the tree walk and a fresh compilation.
+fn check_parity(e: &SymExpr, b: &Bindings) {
+    let ce = CompiledExpr::compile(e).expect("corpus expressions compile");
+    let mut s = Scratch::new();
+    assert_eq!(e.eval(b), ce.eval_with(b, &mut s), "eval: {e:?}");
+    assert_eq!(
+        e.eval_count(b),
+        ce.eval_count_with(b, &mut s),
+        "eval_count: {e:?}"
+    );
+    assert_eq!(
+        e.eval_count_i64(b),
+        ce.eval_count_i64_with(b, &mut s),
+        "eval_count_i64: {e:?}"
+    );
+    let tree = budget::with_default_budget(|| e.eval(b));
+    let compiled = budget::with_default_budget(|| ce.eval_with(b, &mut s));
+    assert_eq!(tree, compiled, "scoped eval: {e:?}");
+}
+
+fn gen_atom(rng: &mut TestRng, depth: u32) -> Atom {
+    let choices = if depth == 0 { 3 } else { 5 };
+    match rng.next_u64() % choices {
+        0 => Atom::Param("n".to_string()),
+        1 => Atom::Param("m".to_string()),
+        2 => Atom::Param("k".to_string()),
+        3 => Atom::FloorDiv(
+            Rc::new(gen_expr(rng, depth - 1)),
+            1 + (rng.next_u64() % 7) as i64,
+        ),
+        _ => Atom::Clamp(Rc::new(gen_expr(rng, depth - 1))),
+    }
+}
+
+fn gen_expr(rng: &mut TestRng, depth: u32) -> SymExpr {
+    let nterms = 1 + rng.next_u64() % 3;
+    let mut e = SymExpr::zero();
+    for _ in 0..nterms {
+        let num = (rng.next_u64() % 19) as i128 - 9;
+        let den = 1 + (rng.next_u64() % 3) as i128;
+        let mut t = SymExpr::from_rat(Rat::new(num, den));
+        for _ in 0..rng.next_u64() % 3 {
+            let pow = 1 + (rng.next_u64() % 2) as u32;
+            t = t.mul_expr(&SymExpr::from_atom(gen_atom(rng, depth)).pow(pow));
+        }
+        e = e.add_expr(&t);
+    }
+    e
+}
+
+fn has_composite(e: &SymExpr) -> bool {
+    e.terms().iter().any(|t| {
+        t.monomial
+            .iter()
+            .any(|(a, _)| !matches!(a, Atom::Param(_)))
+    })
+}
+
+#[test]
+fn generated_corpus_matches_tree_walk() {
+    let mut rng = TestRng::deterministic("serve-differential");
+    let grids = [
+        bindings(&[("n", 7), ("m", -3), ("k", 12)]),
+        bindings(&[("n", 0), ("m", 1), ("k", 1_000_000)]),
+        bindings(&[("n", -50), ("m", 999), ("k", 1)]),
+        // overflow parity: squared i64::MAX atoms exceed i128
+        bindings(&[
+            ("n", i64::MAX as i128),
+            ("m", i64::MAX as i128),
+            ("k", 2),
+        ]),
+        // missing-parameter parity (m, k unbound)
+        bindings(&[("n", 5)]),
+    ];
+    let mut composite = 0;
+    for _ in 0..300 {
+        let e = gen_expr(&mut rng, 3);
+        if has_composite(&e) {
+            composite += 1;
+        }
+        for b in &grids {
+            check_parity(&e, b);
+        }
+    }
+    assert!(
+        composite >= 100,
+        "corpus must exercise composite atoms: {composite}/300"
+    );
+}
+
+/// A floor-div chain deeper than the budget's depth limit: both
+/// evaluators succeed outside a scope and refuse identically inside
+/// one.
+#[test]
+fn budget_depth_refusals_match() {
+    let mut e = SymExpr::param("n");
+    for i in 0..budget::MAX_DEPTH + 2 {
+        e = SymExpr::from_atom(Atom::FloorDiv(Rc::new(e), 1 + i as i64 % 3));
+    }
+    let ce = CompiledExpr::compile(&e).expect("deep chain compiles");
+    let b = bindings(&[("n", 1_000_000)]);
+    let mut s = Scratch::new();
+    let unscoped = e.eval(&b);
+    assert!(unscoped.is_ok(), "no scope, no depth limit");
+    assert_eq!(unscoped, ce.eval_with(&b, &mut s));
+    let tree = budget::with_default_budget(|| e.eval(&b));
+    let compiled = budget::with_default_budget(|| ce.eval_with(&b, &mut s));
+    assert!(tree.is_err(), "scoped tree walk refuses on depth");
+    assert_eq!(tree, compiled);
+}
+
+/// A deep subtree shared by two composite atoms: the second occurrence
+/// compiles to a CSE reuse with a depth probe, which must refuse
+/// exactly when the tree walk's re-descent would — and not before.
+#[test]
+fn cse_reuse_probes_depth_like_a_rewalk() {
+    let mut chain = SymExpr::param("n");
+    for _ in 0..budget::MAX_DEPTH - 1 {
+        chain = SymExpr::from_atom(Atom::FloorDiv(Rc::new(chain), 2));
+    }
+    // both atoms sit exactly at the depth limit: scoped evaluation
+    // reaches MAX_DEPTH but never exceeds it
+    let at_limit = SymExpr::from_atom(Atom::FloorDiv(Rc::new(chain.clone()), 3))
+        .add_expr(&SymExpr::from_atom(Atom::FloorDiv(Rc::new(chain.clone()), 5)));
+    let ce = CompiledExpr::compile(&at_limit).expect("compiles");
+    assert!(ce.program().cse_hits() > 0, "the shared chain must be CSE'd");
+    let b = bindings(&[("n", i64::MAX as i128)]);
+    let mut s = Scratch::new();
+    let tree = budget::with_default_budget(|| at_limit.eval(&b));
+    let compiled = budget::with_default_budget(|| ce.eval_with(&b, &mut s));
+    assert!(matches!(&tree, Ok(Ok(_))), "at the limit both succeed: {tree:?}");
+    assert_eq!(tree, compiled);
+    // one layer deeper: both must refuse under a scope, agree without
+    let over = SymExpr::from_atom(Atom::Clamp(Rc::new(at_limit)));
+    let ce = CompiledExpr::compile(&over).expect("compiles");
+    assert_eq!(over.eval(&b), ce.eval_with(&b, &mut s));
+    let tree = budget::with_default_budget(|| over.eval(&b));
+    let compiled = budget::with_default_budget(|| ce.eval_with(&b, &mut s));
+    assert!(tree.is_err(), "over the limit the scope trips");
+    assert_eq!(tree, compiled);
+}
+
+/// Every workload kernel, on both machine descriptions.
+fn workload_cases() -> Vec<(String, mira_core::Analysis)> {
+    let sources: &[(&str, &str)] = &[
+        ("triad", mira_workloads::memval::TRIAD_SRC),
+        ("dgemm", mira_workloads::dgemm::DGEMM_SRC),
+        ("dgemm_tiled", mira_workloads::roofval::DGEMM_TILED_SRC),
+        ("triad_blocked", mira_workloads::roofval::TRIAD_BLOCKED_SRC),
+        ("trisolve", mira_workloads::compose::TRISOLVE_SRC),
+        ("blur", mira_workloads::compose::STENCIL_SWEEP_SRC),
+        ("cg_solve", mira_workloads::minife::MINIFE_SRC),
+    ];
+    let arches = [
+        mira_arch::ArchDescription::default(),
+        machines::avx2_fma().expect("second machine parses"),
+    ];
+    let mut cases = Vec::new();
+    for arch in &arches {
+        for (func, src) in sources {
+            let opts = MiraOptions {
+                arch: arch.clone(),
+                ..Default::default()
+            };
+            let analysis = analyze_source(src, &opts).expect("workload analyzes");
+            cases.push((func.to_string(), analysis));
+        }
+    }
+    cases
+}
+
+fn size_grid() -> Vec<Bindings> {
+    let mut grid = Vec::new();
+    for n in [1i128, 2, 7, 8, 9, 16, 63, 64, 100, 256, 512, 4096, 1 << 20] {
+        for reps in [1i128, 3] {
+            grid.push(bindings(&[
+                ("n", n),
+                ("reps", reps),
+                ("nnz_row_milli", 26_144),
+                ("cg_iters", 20),
+            ]));
+        }
+    }
+    // refusal parity at astronomically large sizes
+    grid.push(bindings(&[
+        ("n", i64::MAX as i128),
+        ("reps", i64::MAX as i128),
+        ("nnz_row_milli", 26_144),
+        ("cg_iters", i64::MAX as i128),
+    ]));
+    grid
+}
+
+#[test]
+fn workload_closed_forms_match_tree_walk() {
+    for (func, analysis) in workload_cases() {
+        let forms = analysis
+            .model
+            .closed_forms(&func, &analysis.arch)
+            .expect("closed forms");
+        assert!(!forms.is_empty());
+        let mut s = Scratch::new();
+        for (label, e) in &forms {
+            let ce = CompiledExpr::compile(e).expect("workload form compiles");
+            for b in size_grid() {
+                assert_eq!(
+                    e.eval(&b),
+                    ce.eval_with(&b, &mut s),
+                    "{func}/{label} on {}",
+                    analysis.arch.machine.name
+                );
+                assert_eq!(
+                    e.eval_count_i64(&b),
+                    ce.eval_count_i64_with(&b, &mut s),
+                    "{func}/{label} i64 on {}",
+                    analysis.arch.machine.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn workload_placements_match_tree_walk_bit_for_bit() {
+    for (func, analysis) in workload_cases() {
+        let kr = KernelRoofline::analyze(&analysis, &func).expect("roofline analyzes");
+        let c = Ceilings::from_arch(&analysis.arch);
+        let machine = &analysis.arch.machine.name;
+        let ck = CompiledKernel::build(&kr, &c, machine).expect("kernel compiles");
+        let mut s = Scratch::new();
+        for b in size_grid() {
+            let tree = kr.place(&c, &b);
+            let compiled = ck.place(&b, &mut s);
+            match (&tree, &compiled) {
+                (Ok(t), Ok(cp)) => {
+                    assert_eq!(t.binding, cp.binding, "{func}@{machine} {b:?}");
+                    assert_eq!(
+                        t.compute_cycles.to_bits(),
+                        cp.compute_cycles.to_bits(),
+                        "{func}@{machine} compute {b:?}"
+                    );
+                    for i in 0..3 {
+                        assert_eq!(
+                            t.mem_cycles[i].to_bits(),
+                            cp.mem_cycles[i].to_bits(),
+                            "{func}@{machine} mem[{i}] {b:?}"
+                        );
+                    }
+                }
+                _ => assert_eq!(tree, compiled, "{func}@{machine} {b:?}"),
+            }
+        }
+    }
+}

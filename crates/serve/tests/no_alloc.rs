@@ -1,0 +1,79 @@
+//! The hot-loop allocation contract: after warm-up (scratch sized,
+//! output vector at capacity), answering query batches through
+//! [`ServeIndex::run_batch`] allocates nothing — the serving path is
+//! pure register arithmetic over reused buffers.
+//!
+//! Pinned with a counting global allocator; the harness itself
+//! allocates, so the assertion brackets only the batch runs. The
+//! counter is global, so this file holds exactly one test to keep the
+//! bracket exclusive.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mira_core::{analyze_source, MiraOptions};
+use mira_serve::{Query, Scratch, ServeIndex};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+#[test]
+fn warm_query_batches_do_not_allocate() {
+    let mut index = ServeIndex::new();
+    for (func, src) in [
+        ("triad", mira_workloads::memval::TRIAD_SRC),
+        ("dgemm", mira_workloads::dgemm::DGEMM_SRC),
+    ] {
+        let analysis =
+            analyze_source(src, &MiraOptions::default()).expect("workload analyzes");
+        index.add(&analysis, func).expect("kernel admits");
+    }
+    let mut queries: Vec<Query> = Vec::new();
+    for (id, k) in index.kernels() {
+        for n in 1..=256i128 {
+            let vals: Vec<i128> = k
+                .params()
+                .iter()
+                .map(|p| if p == "n" { n } else { 2 })
+                .collect();
+            queries.push(index.query(id, &vals).expect("query builds"));
+        }
+    }
+    let mut s = Scratch::new();
+    let mut out = Vec::new();
+    // warm-up: sizes the scratch registers and the output vector
+    index.run_batch(&queries, &mut s, &mut out);
+    assert!(out.iter().all(|r| r.is_ok()));
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        index.run_batch(&queries, &mut s, &mut out);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "warm serving path allocated {} times over {} queries",
+        after - before,
+        10 * queries.len()
+    );
+    assert!(out.iter().all(|r| r.is_ok()));
+}

@@ -1,0 +1,153 @@
+//! Service-level contracts of [`ServeIndex`]: batch answers equal
+//! per-query answers, sharded execution is bit-identical to
+//! single-threaded, sweeps stream the same placements, typed refusals
+//! for bad queries, and the compiled crossover reproduces the tree
+//! walk's pinned DGEMM regime exit.
+
+use mira_core::{analyze_source, MiraOptions};
+use mira_roofline::{Ceiling, Ceilings, KernelRoofline, MemLevel};
+use mira_serve::{machines, Query, Scratch, ServeError, ServeIndex};
+use mira_sym::bindings;
+
+/// An index over triad + DGEMM on both machine descriptions.
+fn build_index() -> ServeIndex {
+    let mut index = ServeIndex::new();
+    let arches = [
+        mira_arch::ArchDescription::default(),
+        machines::avx2_fma().expect("second machine parses"),
+    ];
+    for arch in &arches {
+        for (func, src) in [
+            ("triad", mira_workloads::memval::TRIAD_SRC),
+            ("dgemm", mira_workloads::dgemm::DGEMM_SRC),
+        ] {
+            let opts = MiraOptions {
+                arch: arch.clone(),
+                ..Default::default()
+            };
+            let analysis = analyze_source(src, &opts).expect("workload analyzes");
+            index.add(&analysis, func).expect("kernel admits");
+        }
+    }
+    index
+}
+
+/// Positional base values for a kernel: `n` slots get `n0`, `reps`-like
+/// slots get 1.
+fn base_values(index: &ServeIndex, id: mira_serve::KernelId, n0: i128) -> Vec<i128> {
+    index
+        .kernel(id)
+        .expect("kernel exists")
+        .params()
+        .iter()
+        .map(|p| if p == "n" { n0 } else { 1 })
+        .collect()
+}
+
+#[test]
+fn batch_and_sharded_answers_are_identical() {
+    let index = build_index();
+    assert_eq!(index.len(), 4);
+    let mut queries: Vec<Query> = Vec::new();
+    for (id, k) in index.kernels() {
+        for n in 1..=200i128 {
+            let vals: Vec<i128> = k.params().iter().map(|p| if p == "n" { n } else { 2 }).collect();
+            queries.push(index.query(id, &vals).expect("query builds"));
+        }
+    }
+    let mut s = Scratch::new();
+    let mut single = Vec::new();
+    index.run_batch(&queries, &mut s, &mut single);
+    assert_eq!(single.len(), queries.len());
+    assert!(single.iter().all(|r| r.is_ok()), "all answers place");
+    // per-query answers agree with the batch
+    for (q, r) in queries.iter().zip(&single) {
+        assert_eq!(&index.place(q, &mut s), r);
+    }
+    // sharded runs, any worker count, are bit-identical in order
+    for workers in [1, 2, 3, 7, 64] {
+        let mut sharded = Vec::new();
+        index.run_batch_sharded(&queries, workers, &mut sharded);
+        assert_eq!(single, sharded, "workers={workers}");
+    }
+}
+
+#[test]
+fn sweep_streams_the_same_answers() {
+    let index = build_index();
+    let id = index
+        .find("dgemm", machines::GENERIC)
+        .expect("dgemm on the default machine");
+    let base = base_values(&index, id, 0);
+    let mut s = Scratch::new();
+    let mut count = 0;
+    for (n, r) in index.sweep(id, "n", &base, 1, 64).expect("sweep builds") {
+        let mut vals = base.clone();
+        let slot = index
+            .kernel(id)
+            .unwrap()
+            .params()
+            .iter()
+            .position(|p| p == "n")
+            .unwrap();
+        vals[slot] = n;
+        let q = index.query(id, &vals).unwrap();
+        assert_eq!(index.place(&q, &mut s), r, "n={n}");
+        count += 1;
+    }
+    assert_eq!(count, 64);
+}
+
+#[test]
+fn typed_refusals_for_bad_queries() {
+    let index = build_index();
+    let id = index.find("triad", machines::GENERIC).expect("triad");
+    // wrong arity
+    match index.query(id, &[1]) {
+        Err(ServeError::BadArity { expected, got }) => {
+            assert_eq!(got, 1);
+            assert!(expected >= 2);
+        }
+        other => panic!("expected BadArity, got {other:?}"),
+    }
+    // unknown sweep parameter
+    let base = base_values(&index, id, 8);
+    match index.sweep(id, "bogus", &base, 1, 4) {
+        Err(ServeError::UnknownParam(p)) => assert_eq!(p, "bogus"),
+        other => panic!("expected UnknownParam, got {:?}", other.err()),
+    }
+    // unknown machine
+    assert!(index.find("triad", "no-such-machine").is_none());
+}
+
+/// Satellite regression: the crossover solver now routes through the
+/// compiled evaluator ([`mira_roofline::crossover_bisect`] is shared),
+/// and the pinned DGEMM answer — leaving the DRAM roof onto the L1 knee
+/// at n = 9 — is unchanged on both paths.
+#[test]
+fn compiled_crossover_matches_tree_walk_pinned_dgemm() {
+    let analysis = analyze_source(
+        mira_workloads::dgemm::DGEMM_SRC,
+        &MiraOptions::default(),
+    )
+    .expect("dgemm analyzes");
+    let kr = KernelRoofline::analyze(&analysis, "dgemm").expect("roofline");
+    let c = Ceilings::from_arch(&analysis.arch);
+    let tree = kr
+        .crossover(&c, "n", &bindings(&[("reps", 1)]), 2, 64)
+        .expect("tree crossover evaluates")
+        .expect("DGEMM leaves the DRAM roof in [2, 64]");
+
+    let mut index = ServeIndex::new();
+    let id = index.add(&analysis, "dgemm").expect("dgemm admits");
+    let base = base_values(&index, id, 2);
+    let served = index
+        .crossover(id, "n", &base, 2, 64)
+        .expect("compiled crossover evaluates")
+        .expect("compiled solver finds the same exit");
+
+    assert_eq!(served, tree);
+    assert_eq!(served.value, 9, "DGEMM exits the DRAM roof at n = 9");
+    assert_eq!(served.from, Ceiling::Mem(MemLevel::Dram));
+    assert_eq!(served.to, Ceiling::Mem(MemLevel::L1));
+}

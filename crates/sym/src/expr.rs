@@ -488,16 +488,8 @@ impl SymExpr {
     /// taken "30% of the time") can produce non-integers, which are rounded
     /// to the nearest integer.
     pub fn eval_count(&self, b: &Bindings) -> Result<i128, EvalError> {
-        let r = self.eval(b)?;
-        if let Some(i) = r.as_integer() {
-            return Ok(i);
-        }
-        // round half away from zero
-        let twice = r
-            .checked_mul(Rat::int(2))
-            .ok_or(EvalError::Overflow)?;
-        let f = twice.floor();
-        Ok(if f >= 0 { (f + 1) / 2 } else { f / 2 })
+        // round half away from zero (shared with every other counter)
+        self.eval(b)?.round_count().ok_or(EvalError::Overflow)
     }
 
     /// Evaluate to an `i64` count, refusing with [`EvalError::Overflow`]

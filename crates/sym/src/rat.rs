@@ -17,6 +17,17 @@ pub struct Rat {
 
 fn gcd(a: i128, b: i128) -> i128 {
     let (mut a, mut b) = (a.abs(), b.abs());
+    // i128 division lowers to a library call; coefficient magnitudes
+    // almost always fit u64, where the loop runs on hardware division
+    if a <= u64::MAX as i128 && b <= u64::MAX as i128 {
+        let (mut a, mut b) = (a as u64, b as u64);
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        return a as i128;
+    }
     while b != 0 {
         let t = a % b;
         a = b;
@@ -76,6 +87,14 @@ impl Rat {
 
     /// Floor of the rational value.
     pub fn floor(&self) -> i128 {
+        if self.den == 1 {
+            return self.num;
+        }
+        // i128 division is a library call; operands almost always fit
+        // i64, where div_euclid is a single hardware division
+        if let (Ok(n), Ok(d)) = (i64::try_from(self.num), i64::try_from(self.den)) {
+            return n.div_euclid(d) as i128;
+        }
         self.num.div_euclid(self.den)
     }
 
@@ -85,6 +104,29 @@ impl Rat {
     }
 
     pub fn checked_add(self, o: Rat) -> Option<Rat> {
+        // integer + integer needs no reduction — the general path below
+        // computes the same value, just through three needless gcds
+        if self.den == 1 && o.den == 1 {
+            return self.num.checked_add(o.num).map(Rat::int);
+        }
+        // equal denominators (fraction accumulators): add numerators,
+        // reduce once — the general path reaches the identical
+        // `Rat::new(a + c, b)` through two extra gcds
+        if self.den == o.den {
+            let num = self.num.checked_add(o.num)?;
+            return Some(Rat::new(num, self.den));
+        }
+        // one side integer: a/b + c = (a + c·b)/b, already in lowest
+        // terms since gcd(a, b) = 1 — same value and overflow points as
+        // the general path (whose cross terms are a·1 and c·b), no gcds
+        if o.den == 1 {
+            let num = self.num.checked_add(o.num.checked_mul(self.den)?)?;
+            return Some(Rat { num, den: self.den });
+        }
+        if self.den == 1 {
+            let num = o.num.checked_add(self.num.checked_mul(o.den)?)?;
+            return Some(Rat { num, den: o.den });
+        }
         // a/b + c/d = (a*d + c*b) / (b*d), reduce via gcd of denominators
         let g = gcd(self.den, o.den).max(1);
         let lhs = self.num.checked_mul(o.den / g)?;
@@ -95,6 +137,28 @@ impl Rat {
     }
 
     pub fn checked_mul(self, o: Rat) -> Option<Rat> {
+        // integer × integer is already in lowest terms; when both fit
+        // i64 the widening product cannot overflow i128, skipping the
+        // checked multiply's software path entirely
+        if self.den == 1 && o.den == 1 {
+            if let (Ok(a), Ok(b)) = (i64::try_from(self.num), i64::try_from(o.num)) {
+                return Some(Rat::int(a as i128 * b as i128));
+            }
+            return self.num.checked_mul(o.num).map(Rat::int);
+        }
+        // one side integer: a/b · c = (a·(c/g)) / (b/g) with
+        // g = gcd(c, b); reduced because gcd(a, b/g) = 1 and
+        // gcd(c/g, b/g) = 1 — one gcd instead of three
+        if o.den == 1 {
+            let g = gcd(o.num, self.den).max(1);
+            let num = self.num.checked_mul(o.num / g)?;
+            return Some(Rat { num, den: self.den / g });
+        }
+        if self.den == 1 {
+            let g = gcd(self.num, o.den).max(1);
+            let num = o.num.checked_mul(self.num / g)?;
+            return Some(Rat { num, den: o.den / g });
+        }
         let g1 = gcd(self.num, o.den).max(1);
         let g2 = gcd(o.num, self.den).max(1);
         let num = (self.num / g1).checked_mul(o.num / g2)?;
@@ -116,10 +180,20 @@ impl Rat {
 
     /// Multiplicative inverse; `None` for zero.
     pub fn recip(self) -> Option<Rat> {
+        // a reduced rational's inverse is already reduced — only the
+        // sign needs to move to keep the denominator positive
         if self.num == 0 {
             None
+        } else if self.num < 0 {
+            Some(Rat {
+                num: -self.den,
+                den: self.num.checked_neg()?,
+            })
         } else {
-            Some(Rat::new(self.den, self.num))
+            Some(Rat {
+                num: self.den,
+                den: self.num,
+            })
         }
     }
 
@@ -139,6 +213,21 @@ impl Rat {
     pub fn to_f64(self) -> f64 {
         self.num as f64 / self.den as f64
     }
+
+    /// Round to the nearest integer, half away from zero — the rounding
+    /// count evaluation applies to annotation fractions (see
+    /// [`SymExpr::eval_count`](crate::SymExpr::eval_count)). `None` when
+    /// the doubling step overflows `i128`. Kept here so every consumer
+    /// (tree-walk evaluation, the nest traffic model, the compiled
+    /// serving evaluator) rounds identically.
+    pub fn round_count(self) -> Option<i128> {
+        if let Some(i) = self.as_integer() {
+            return Some(i);
+        }
+        let twice = self.checked_mul(Rat::int(2))?;
+        let f = twice.floor();
+        Some(if f >= 0 { (f + 1) / 2 } else { f / 2 })
+    }
 }
 
 impl PartialOrd for Rat {
@@ -149,6 +238,11 @@ impl PartialOrd for Rat {
 
 impl Ord for Rat {
     fn cmp(&self, other: &Self) -> Ordering {
+        // equal (positive) denominators compare by numerator — this
+        // covers the hot integer-vs-integer case without multiplies
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
         // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0). i128 is wide enough for
         // the coefficient magnitudes we produce; fall back to f64 ordering
         // on overflow would be wrong, so use saturating wide compare.

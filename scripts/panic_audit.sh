@@ -26,10 +26,13 @@ declare -A BASELINE=(
     # the observability layer must never crash the pipeline it watches:
     # probes run inside every phase, so the baseline is pinned at zero
     [probe]=0
+    # the serving tier answers untrusted queries at rate: every refusal
+    # is a typed error (BuildError / ServeError), never a panic
+    [serve]=0
 )
 
 fail=0
-for crate in mem roofline vcc minic probe; do
+for crate in mem roofline vcc minic probe serve; do
     total=0
     while IFS= read -r f; do
         # grep exits 1 on zero matches: that's a clean count, not an error
