@@ -17,10 +17,12 @@
 //! dependency decision is documented in DESIGN.md).
 
 pub mod desc;
+pub mod dir;
 
 pub use desc::{
     ArchDescription, Bandwidths, CacheHierarchy, CacheLevel, DescError, MachineParams, PeakParams,
 };
+pub use dir::{load_dir, load_file, LoadError, LoadedDescription};
 
 /// The 64 instruction categories, mirroring the Intel SDM's grouping of the
 /// x86 instruction set (general-purpose groups, x87, MMX, SSE–SSE4.2, AVX,

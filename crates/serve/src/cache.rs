@@ -1,0 +1,272 @@
+//! The answer cache: bounded, FNV-keyed memoization of served
+//! placements for sweep-heavy traffic.
+//!
+//! Parameter sweeps and what-if dashboards ask the same `(kernel,
+//! values)` points over and over; a [`ServeIndex::place_cached`] hit
+//! returns the stored answer — bit-identical [`Placement`]s *and*
+//! bit-identical refusals, both are cached — without running a single
+//! evaluator op. The table is direct-mapped over a power-of-two slot
+//! array (bounded memory, one FNV-1a probe per lookup, deterministic
+//! replacement), counts hits/misses/evictions for capacity tuning
+//! ([`AnswerCache::probe`]), and self-invalidates against the index's
+//! swap generation so a machine-description hot-reload can never serve
+//! a stale cached answer.
+//!
+//! [`ServeIndex::place_cached`]: crate::ServeIndex::place_cached
+
+use mira_roofline::Placement;
+
+use crate::index::{ServeError, MAX_QUERY_PARAMS};
+
+/// Hit/miss/occupancy counters of an [`AnswerCache`] — the capacity
+/// tuning signal (`hits / (hits + misses)` is the hit rate).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Stored answers displaced by a colliding key (direct-mapped
+    /// replacement) — high eviction counts at low occupancy mean the
+    /// traffic wants a bigger table.
+    pub evictions: u64,
+    /// Full-table invalidations from index swap-generation changes
+    /// (hot-reloads observed by this cache).
+    pub invalidations: u64,
+    /// Occupied slots.
+    pub len: usize,
+    /// Slot capacity (power of two).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits over probes, 0.0 when the cache was never probed.
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.hits + self.misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / probes as f64
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    kernel: u32,
+    n: u8,
+    values: [i128; MAX_QUERY_PARAMS],
+    answer: Result<Placement, ServeError>,
+}
+
+/// A bounded memo table in front of the compiled evaluator. See the
+/// [module docs](self) for the contract; wire it in with
+/// [`crate::ServeIndex::place_cached`] /
+/// [`crate::ServeIndex::run_batch_cached`].
+#[derive(Debug)]
+pub struct AnswerCache {
+    slots: Vec<Option<Entry>>,
+    mask: u64,
+    len: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+    /// The index generation this cache's contents were computed at.
+    generation: u64,
+}
+
+impl AnswerCache {
+    /// A cache with at least `capacity` slots (rounded up to a power of
+    /// two, minimum 16). Memory is bounded at construction: serving
+    /// never grows the table.
+    pub fn new(capacity: usize) -> AnswerCache {
+        let cap = capacity.clamp(16, 1 << 24).next_power_of_two();
+        AnswerCache {
+            slots: vec![None; cap],
+            mask: cap as u64 - 1,
+            len: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            invalidations: 0,
+            generation: 0,
+        }
+    }
+
+    /// Counters snapshot.
+    pub fn probe(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            invalidations: self.invalidations,
+            len: self.len,
+            capacity: self.slots.len(),
+        }
+    }
+
+    /// Drop every stored answer (counters survive).
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.len = 0;
+    }
+
+    /// Align the cache with the index's kernel-swap generation,
+    /// invalidating all stored answers when they were computed against
+    /// since-replaced kernels. Called by the index on every cached
+    /// probe, so staleness is structurally impossible, not a caller
+    /// discipline.
+    pub(crate) fn sync_generation(&mut self, generation: u64) {
+        if self.generation != generation {
+            self.clear();
+            self.generation = generation;
+            self.invalidations += 1;
+        }
+    }
+
+    /// FNV-1a over the kernel id and the effective parameter values.
+    fn slot_of(&self, kernel: u32, values: &[i128]) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for b in kernel.to_le_bytes() {
+            eat(b);
+        }
+        for v in values {
+            for b in v.to_le_bytes() {
+                eat(b);
+            }
+        }
+        (h & self.mask) as usize
+    }
+
+    pub(crate) fn lookup(
+        &mut self,
+        kernel: u32,
+        values: &[i128],
+    ) -> Option<Result<Placement, ServeError>> {
+        let slot = self.slot_of(kernel, values);
+        match &self.slots[slot] {
+            Some(e)
+                if e.kernel == kernel
+                    && e.n as usize == values.len()
+                    && &e.values[..values.len()] == values =>
+            {
+                self.hits += 1;
+                Some(e.answer.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub(crate) fn store(
+        &mut self,
+        kernel: u32,
+        values: &[i128],
+        answer: &Result<Placement, ServeError>,
+    ) {
+        let slot = self.slot_of(kernel, values);
+        let mut vals = [0i128; MAX_QUERY_PARAMS];
+        vals[..values.len().min(MAX_QUERY_PARAMS)]
+            .copy_from_slice(&values[..values.len().min(MAX_QUERY_PARAMS)]);
+        match &self.slots[slot] {
+            None => self.len += 1,
+            Some(_) => self.evictions += 1,
+        }
+        self.slots[slot] = Some(Entry {
+            kernel,
+            n: values.len().min(MAX_QUERY_PARAMS) as u8,
+            values: vals,
+            answer: answer.clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mira_roofline::{Ceiling, MemLevel};
+
+    fn placed(c: f64) -> Result<Placement, ServeError> {
+        Ok(Placement::classify(c, [1.0, 2.0, 3.0]))
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_power_of_two() {
+        assert_eq!(AnswerCache::new(0).probe().capacity, 16);
+        assert_eq!(AnswerCache::new(100).probe().capacity, 128);
+        assert_eq!(AnswerCache::new(4096).probe().capacity, 4096);
+    }
+
+    #[test]
+    fn hit_after_store_miss_before() {
+        let mut c = AnswerCache::new(64);
+        assert!(c.lookup(0, &[3, 1]).is_none());
+        c.store(0, &[3, 1], &placed(10.0));
+        let hit = c.lookup(0, &[3, 1]).expect("stored answer hits");
+        assert_eq!(hit, placed(10.0));
+        // a different kernel id with the same values is a different key
+        assert!(c.lookup(1, &[3, 1]).is_none());
+        // a different arity with the same prefix is a different key
+        assert!(c.lookup(0, &[3, 1, 0]).is_none());
+        let st = c.probe();
+        assert_eq!((st.hits, st.misses, st.len), (1, 3, 1));
+        assert!(st.hit_rate() > 0.24 && st.hit_rate() < 0.26);
+    }
+
+    #[test]
+    fn errors_are_cached_too() {
+        let mut c = AnswerCache::new(64);
+        let err: Result<Placement, ServeError> =
+            Err(ServeError::Eval(mira_sym::EvalError::Overflow));
+        c.store(7, &[i128::MAX], &err);
+        assert_eq!(c.lookup(7, &[i128::MAX]), Some(err));
+    }
+
+    #[test]
+    fn eviction_keeps_the_table_bounded() {
+        let mut c = AnswerCache::new(16);
+        for n in 0..10_000i128 {
+            c.store(0, &[n], &placed(n as f64));
+        }
+        let st = c.probe();
+        assert_eq!(st.capacity, 16);
+        assert!(st.len <= 16);
+        assert_eq!(st.evictions as usize, 10_000 - st.len);
+    }
+
+    #[test]
+    fn generation_change_invalidates() {
+        let mut c = AnswerCache::new(64);
+        c.sync_generation(0);
+        c.store(0, &[5], &placed(1.0));
+        c.sync_generation(0);
+        assert!(c.lookup(0, &[5]).is_some());
+        c.sync_generation(1);
+        assert!(c.lookup(0, &[5]).is_none(), "reload invalidates");
+        let st = c.probe();
+        assert_eq!(st.invalidations, 1);
+        assert_eq!(st.len, 0);
+    }
+
+    #[test]
+    fn classify_binding_survives_the_cache() {
+        let p = Placement::classify(10.0, [1.0, 2.0, 3.0]);
+        assert_eq!(p.binding, Ceiling::Compute);
+        let mut c = AnswerCache::new(16);
+        c.store(0, &[1], &Ok(p));
+        match c.lookup(0, &[1]) {
+            Some(Ok(q)) => {
+                assert_eq!(q.binding, Ceiling::Compute);
+                assert_eq!(q.mem_cycles[MemLevel::Dram.index()].to_bits(), 3.0f64.to_bits());
+            }
+            other => panic!("expected the stored placement, got {other:?}"),
+        }
+    }
+}

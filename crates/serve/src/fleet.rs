@@ -1,0 +1,306 @@
+//! Fleet serving: a directory of machine descriptions, every admitted
+//! kernel compiled against every machine, with hot-reload.
+//!
+//! A [`MachineFleet`] is the operational wrapper around [`ServeIndex`]:
+//! point it at a directory of `*.ini` architecture descriptions
+//! ([`mira_arch::load_dir`]), admit kernel sources, and it compiles the
+//! full kernel × machine cross product. [`MachineFleet::reload`]
+//! re-reads the directory and swaps the placement models of *changed*
+//! machines atomically — every replacement is built before any swap, a
+//! [`KernelId`] survives its kernel being swapped, and the index's
+//! swap generation advances so [`AnswerCache`]s self-invalidate — which
+//! is why duplicate registration had to become a typed refusal first: a
+//! reload that re-`add`ed into a first-match index would shadow, not
+//! replace, and serve the stale model forever.
+//!
+//! [`AnswerCache`]: crate::AnswerCache
+
+use std::path::{Path, PathBuf};
+
+use mira_arch::{load_dir, LoadError, LoadedDescription};
+use mira_core::{analyze_source, MiraError, MiraOptions};
+use mira_roofline::{Ceilings, KernelRoofline};
+
+use crate::index::{BuildError, CompiledKernel, KernelId, ServeIndex};
+
+/// A typed refusal while building or reloading a fleet. Every variant
+/// names the kernel × machine pair (or file) it is attributable to.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The description directory refused to load (unreadable file,
+    /// parse error, duplicate machine name) — see [`LoadError`].
+    Load(LoadError),
+    /// The function is already admitted; a fleet compiles each source
+    /// once per machine, so re-admitting would duplicate every pair.
+    DuplicateKernel { func: String },
+    /// The source pipeline refused under one machine's description.
+    Analyze {
+        func: String,
+        machine: String,
+        error: MiraError,
+    },
+    /// The roofline compiled for one machine refused admission.
+    Build {
+        func: String,
+        machine: String,
+        error: BuildError,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Load(e) => write!(f, "fleet directory: {e}"),
+            FleetError::DuplicateKernel { func } => {
+                write!(f, "kernel `{func}` is already admitted to the fleet")
+            }
+            FleetError::Analyze { func, machine, error } => {
+                write!(f, "analyzing `{func}` for machine `{machine}`: {error}")
+            }
+            FleetError::Build { func, machine, error } => {
+                write!(f, "compiling `{func}` for machine `{machine}`: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Load(e) => Some(e),
+            FleetError::DuplicateKernel { .. } => None,
+            FleetError::Analyze { error, .. } => Some(error),
+            FleetError::Build { error, .. } => Some(error),
+        }
+    }
+}
+
+impl From<LoadError> for FleetError {
+    fn from(e: LoadError) -> FleetError {
+        FleetError::Load(e)
+    }
+}
+
+/// What a [`MachineFleet::reload`] did, by machine name.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ReloadReport {
+    /// Machines whose file text changed — their kernels were recompiled
+    /// and swapped in place ([`KernelId`]s stable).
+    pub changed: Vec<String>,
+    /// Machines new to the directory — their kernels were added.
+    pub added: Vec<String>,
+    /// Machines whose files disappeared. Their kernels are gone and the
+    /// index was rebuilt, so previously-issued [`KernelId`]s are void —
+    /// re-[`find`](MachineFleet::find) after a removal.
+    pub removed: Vec<String>,
+    /// Compiled kernels swapped or added by this reload.
+    pub recompiled: usize,
+}
+
+impl ReloadReport {
+    /// Nothing changed on disk; every served answer is as before.
+    pub fn is_noop(&self) -> bool {
+        self.changed.is_empty() && self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// One admitted kernel source (compiled against every fleet machine).
+#[derive(Clone, Debug)]
+struct KernelSource {
+    func: String,
+    src: String,
+}
+
+/// A directory-backed serving fleet: one [`ServeIndex`] entry per
+/// admitted kernel × loaded machine, reloadable in place. See the
+/// [module docs](self).
+pub struct MachineFleet {
+    dir: PathBuf,
+    options: MiraOptions,
+    machines: Vec<LoadedDescription>,
+    sources: Vec<KernelSource>,
+    index: ServeIndex,
+}
+
+impl MachineFleet {
+    /// Load every `*.ini` description in `dir` (all-or-nothing; see
+    /// [`mira_arch::load_dir`]) into an empty fleet with default
+    /// compiler options.
+    pub fn load(dir: &Path) -> Result<MachineFleet, FleetError> {
+        MachineFleet::load_with(dir, MiraOptions::default())
+    }
+
+    /// [`MachineFleet::load`] with explicit pipeline options. The
+    /// `arch` field of `options` is ignored — each machine's loaded
+    /// description takes its place per compilation.
+    pub fn load_with(dir: &Path, options: MiraOptions) -> Result<MachineFleet, FleetError> {
+        let machines = load_dir(dir)?;
+        Ok(MachineFleet {
+            dir: dir.to_path_buf(),
+            options,
+            machines,
+            sources: Vec::new(),
+            index: ServeIndex::new(),
+        })
+    }
+
+    /// The directory this fleet watches.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The loaded machine descriptions, in file-name order.
+    pub fn machines(&self) -> impl Iterator<Item = &LoadedDescription> {
+        self.machines.iter()
+    }
+
+    /// The admitted kernel function names, in admission order.
+    pub fn funcs(&self) -> impl Iterator<Item = &str> {
+        self.sources.iter().map(|s| s.func.as_str())
+    }
+
+    /// The serving index — query it directly with
+    /// [`ServeIndex::run_batch`] and friends.
+    pub fn index(&self) -> &ServeIndex {
+        &self.index
+    }
+
+    /// Look up the [`KernelId`] serving `func` on `machine`.
+    pub fn find(&self, func: &str, machine: &str) -> Option<KernelId> {
+        self.index.find(func, machine)
+    }
+
+    /// Analyze `src` and admit `func` against **every** loaded machine,
+    /// returning the new ids in machine order. All-or-nothing: every
+    /// per-machine compilation must succeed before any entry is added,
+    /// so a refusal on one machine never leaves the cross product
+    /// partially served.
+    pub fn admit_source(&mut self, func: &str, src: &str) -> Result<Vec<KernelId>, FleetError> {
+        if self.sources.iter().any(|s| s.func == func) {
+            return Err(FleetError::DuplicateKernel {
+                func: func.to_string(),
+            });
+        }
+        let mut built = Vec::with_capacity(self.machines.len());
+        for m in &self.machines {
+            built.push(compile_one(&self.options, func, src, m)?);
+        }
+        let mut ids = Vec::with_capacity(built.len());
+        for k in built {
+            match self.index.insert(k) {
+                Ok(id) => ids.push(id),
+                // unreachable: `sources` guards func uniqueness and
+                // `load_dir` guards machine-name uniqueness — but a
+                // typed error beats trusting that across refactors
+                Err(e) => {
+                    return Err(FleetError::Build {
+                        func: func.to_string(),
+                        machine: String::new(),
+                        error: e,
+                    })
+                }
+            }
+        }
+        self.sources.push(KernelSource {
+            func: func.to_string(),
+            src: src.to_string(),
+        });
+        Ok(ids)
+    }
+
+    /// Re-read the directory and bring the index up to date:
+    ///
+    /// * **changed** files (text comparison, not timestamps) get every
+    ///   kernel recompiled under the new description and swapped in
+    ///   place — [`KernelId`]s stable, swap generation bumped so answer
+    ///   caches self-invalidate;
+    /// * **added** files get every admitted kernel compiled and added;
+    /// * **removed** files force a full index rebuild (ids void).
+    ///
+    /// Atomic against refusals: *every* recompilation (and the full
+    /// directory re-load) must succeed before the first swap, so a
+    /// malformed file or a kernel that refuses under a new description
+    /// leaves the fleet serving exactly its pre-reload answers.
+    pub fn reload(&mut self) -> Result<ReloadReport, FleetError> {
+        let fresh = load_dir(&self.dir)?;
+        let mut report = ReloadReport::default();
+        for old in &self.machines {
+            if !fresh.iter().any(|m| m.name() == old.name()) {
+                report.removed.push(old.name().to_string());
+            }
+        }
+        for m in &fresh {
+            match self.machines.iter().find(|o| o.name() == m.name()) {
+                Some(old) if old.text == m.text => {}
+                Some(_) => report.changed.push(m.name().to_string()),
+                None => report.added.push(m.name().to_string()),
+            }
+        }
+        if report.is_noop() {
+            return Ok(report);
+        }
+        if report.removed.is_empty() {
+            // build every replacement/addition first, then swap
+            let mut built = Vec::new();
+            for m in &fresh {
+                let touched = report.changed.iter().any(|n| n == m.name())
+                    || report.added.iter().any(|n| n == m.name());
+                if !touched {
+                    continue;
+                }
+                for s in &self.sources {
+                    built.push(compile_one(&self.options, &s.func, &s.src, m)?);
+                }
+            }
+            report.recompiled = built.len();
+            for k in built {
+                self.index.replace_compiled(k);
+            }
+        } else {
+            // a machine left the fleet: rebuild the index over the
+            // remaining cross product, carrying the generation forward
+            // so stale caches still self-invalidate
+            let mut index = ServeIndex::new();
+            for m in &fresh {
+                for s in &self.sources {
+                    let k = compile_one(&self.options, &s.func, &s.src, m)?;
+                    if index.insert(k).is_ok() {
+                        report.recompiled += 1;
+                    }
+                }
+            }
+            index.set_generation(self.index.generation() + 1);
+            self.index = index;
+        }
+        self.machines = fresh;
+        Ok(report)
+    }
+}
+
+/// Compile one kernel for one machine: full pipeline under the
+/// machine's description, then roofline analysis and bytecode build.
+fn compile_one(
+    options: &MiraOptions,
+    func: &str,
+    src: &str,
+    m: &LoadedDescription,
+) -> Result<CompiledKernel, FleetError> {
+    let opts = MiraOptions {
+        arch: m.desc.clone(),
+        ..options.clone()
+    };
+    let analysis = analyze_source(src, &opts).map_err(|error| FleetError::Analyze {
+        func: func.to_string(),
+        machine: m.name().to_string(),
+        error,
+    })?;
+    let build = |error| FleetError::Build {
+        func: func.to_string(),
+        machine: m.name().to_string(),
+        error,
+    };
+    let kr = KernelRoofline::analyze(&analysis, func)
+        .map_err(|e| build(BuildError::Model(e)))?;
+    let c = Ceilings::from_arch(&analysis.arch);
+    CompiledKernel::build(&kr, &c, m.name()).map_err(build)
+}

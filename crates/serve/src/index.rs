@@ -19,6 +19,9 @@
 //! bit-identical to the single-threaded path (pinned by this crate's
 //! tests).
 
+use std::collections::HashMap;
+use std::sync::Mutex;
+
 use mira_core::Analysis;
 use mira_mem::{BoundaryTraffic, GroupExpr, NestShape};
 use mira_model::ModelError;
@@ -29,6 +32,7 @@ use mira_roofline::{
 use mira_sym::budget::{self, BudgetError};
 use mira_sym::{Bindings, EvalError, Rat};
 
+use crate::cache::AnswerCache;
 use crate::program::{CompileError, EvalProgram, OutId, ProgramBuilder, Scratch, SecId};
 
 /// Maximum parameters a [`Query`] can bind. Every workload model in the
@@ -49,6 +53,12 @@ pub enum BuildError {
     Compile(CompileError),
     /// Building the placement expressions tripped the analysis budget.
     Budget(BudgetError),
+    /// The index already holds an entry for this `(func, machine)` pair.
+    /// [`ServeIndex::add`] never shadows a live kernel — re-registering
+    /// (what a machine-description hot-reload does) must go through
+    /// [`ServeIndex::replace`], which swaps the compiled model while
+    /// keeping the [`KernelId`] stable.
+    Duplicate { func: String, machine: String },
 }
 
 impl From<CompileError> for BuildError {
@@ -63,6 +73,11 @@ impl std::fmt::Display for BuildError {
             BuildError::Model(e) => write!(f, "roofline analysis refused: {e}"),
             BuildError::Compile(e) => write!(f, "placement forms not compilable: {e}"),
             BuildError::Budget(e) => write!(f, "placement form construction refused: {e}"),
+            BuildError::Duplicate { func, machine } => write!(
+                f,
+                "kernel `{func}` on machine `{machine}` is already registered \
+                 (use replace to swap it)"
+            ),
         }
     }
 }
@@ -104,9 +119,19 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// Handle to one kernel × machine entry of a [`ServeIndex`].
+/// Handle to one kernel × machine entry of a [`ServeIndex`]. Stable
+/// across [`ServeIndex::replace`] swaps: a reload re-registers the same
+/// `(func, machine)` pair under the same id, so outstanding queries
+/// keep addressing the (new) kernel.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct KernelId(u32);
+
+impl KernelId {
+    /// The raw slot index — the answer cache's key component.
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
+}
 
 /// One roofline query: a kernel and its parameter values, in
 /// [`CompiledKernel::params`] order. `Copy`, so batches are plain
@@ -419,11 +444,33 @@ impl CompiledKernel {
     }
 }
 
+/// Batches smaller than this answer serially even when the caller asks
+/// for workers: at the measured serving rates (~0.5–1.5M queries/sec) a
+/// sub-thousand-query batch finishes in under ~2 ms, where spawning and
+/// joining scoped threads plus cold per-worker caches cost more than
+/// the parallelism returns.
+pub const SHARD_MIN_BATCH: usize = 1024;
+
 /// A precompiled serving index over (kernel × machine) placement
 /// models.
+///
+/// Entries are keyed by `(func, machine)`: duplicate registration is a
+/// typed refusal ([`BuildError::Duplicate`]), never a silent shadow —
+/// [`ServeIndex::replace`] is the explicit swap used by hot-reload.
 #[derive(Default)]
 pub struct ServeIndex {
     kernels: Vec<CompiledKernel>,
+    /// `(func, machine)` → slot in `kernels`. O(1) lookup, and the
+    /// uniqueness invariant duplicate rejection relies on.
+    by_key: HashMap<(String, String), u32>,
+    /// Worker scratches, persistent across sharded batches — warm
+    /// register files are the difference between sharding paying off
+    /// and sharding being a per-batch re-warm-up tax.
+    pool: Mutex<Vec<Scratch>>,
+    /// Bumped on every [`ServeIndex::replace`]: answer caches compare
+    /// their fill generation against this and self-invalidate, so a
+    /// hot-reload can never serve a stale cached placement.
+    generation: u64,
 }
 
 impl ServeIndex {
@@ -434,17 +481,18 @@ impl ServeIndex {
     /// Analyze `func` in `analysis` and admit its compiled placement
     /// model. The machine name is the analysis' architecture description
     /// name — serve one kernel on two machines by analyzing it under two
-    /// descriptions.
+    /// descriptions. Refuses ([`BuildError::Duplicate`]) if the
+    /// `(func, machine)` pair is already registered.
     pub fn add(&mut self, analysis: &Analysis, func: &str) -> Result<KernelId, BuildError> {
         let kr = KernelRoofline::analyze(analysis, func).map_err(BuildError::Model)?;
         let c = Ceilings::from_arch(&analysis.arch);
         let machine = analysis.arch.machine.name.clone();
         let k = CompiledKernel::build(&kr, &c, &machine)?;
-        self.kernels.push(k);
-        Ok(KernelId(self.kernels.len() as u32 - 1))
+        self.insert(k)
     }
 
     /// Admit an already-analyzed roofline under explicit ceilings.
+    /// Refuses duplicates like [`ServeIndex::add`].
     pub fn add_roofline(
         &mut self,
         kr: &KernelRoofline,
@@ -452,8 +500,68 @@ impl ServeIndex {
         machine: &str,
     ) -> Result<KernelId, BuildError> {
         let k = CompiledKernel::build(kr, c, machine)?;
+        self.insert(k)
+    }
+
+    /// Re-analyze `func` under (possibly changed) ceilings and swap the
+    /// compiled model in place — the hot-reload path. The `(func,
+    /// machine)` pair keeps its [`KernelId`], so queries built against
+    /// the old model address the new one; a pair not yet registered is
+    /// added. Compilation happens *before* the swap: on refusal the old
+    /// kernel keeps serving.
+    pub fn replace(&mut self, analysis: &Analysis, func: &str) -> Result<KernelId, BuildError> {
+        let kr = KernelRoofline::analyze(analysis, func).map_err(BuildError::Model)?;
+        let c = Ceilings::from_arch(&analysis.arch);
+        let machine = analysis.arch.machine.name.clone();
+        let k = CompiledKernel::build(&kr, &c, &machine)?;
+        Ok(self.replace_compiled(k))
+    }
+
+    /// [`ServeIndex::replace`] for an already-analyzed roofline.
+    pub fn replace_roofline(
+        &mut self,
+        kr: &KernelRoofline,
+        c: &Ceilings,
+        machine: &str,
+    ) -> Result<KernelId, BuildError> {
+        let k = CompiledKernel::build(kr, c, machine)?;
+        Ok(self.replace_compiled(k))
+    }
+
+    /// Admit a pre-built kernel, refusing duplicates.
+    pub fn insert(&mut self, k: CompiledKernel) -> Result<KernelId, BuildError> {
+        let key = (k.func.clone(), k.machine.clone());
+        if self.by_key.contains_key(&key) {
+            return Err(BuildError::Duplicate {
+                func: key.0,
+                machine: key.1,
+            });
+        }
+        let slot = self.kernels.len() as u32;
         self.kernels.push(k);
-        Ok(KernelId(self.kernels.len() as u32 - 1))
+        self.by_key.insert(key, slot);
+        Ok(KernelId(slot))
+    }
+
+    /// Swap in a pre-built kernel (or add it if its `(func, machine)`
+    /// pair is new), bumping the invalidation generation. The fleet
+    /// reload path: build every replacement first, then swap them
+    /// one by one — a failed build never unseats a serving kernel.
+    pub fn replace_compiled(&mut self, k: CompiledKernel) -> KernelId {
+        let key = (k.func.clone(), k.machine.clone());
+        match self.by_key.get(&key) {
+            Some(&slot) => {
+                self.kernels[slot as usize] = k;
+                self.generation += 1;
+                KernelId(slot)
+            }
+            None => {
+                let slot = self.kernels.len() as u32;
+                self.kernels.push(k);
+                self.by_key.insert(key, slot);
+                KernelId(slot)
+            }
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -464,12 +572,27 @@ impl ServeIndex {
         self.kernels.is_empty()
     }
 
-    /// Look up an entry by kernel function and machine name.
+    /// The kernel-swap generation: bumped by every replace. Answer
+    /// caches use it to self-invalidate after a hot-reload.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Force the swap generation — the fleet's full-rebuild path
+    /// (machine removed from the directory) constructs a fresh index and
+    /// must still advance past the old one so caches filled against it
+    /// self-invalidate.
+    pub(crate) fn set_generation(&mut self, g: u64) {
+        self.generation = g;
+    }
+
+    /// Look up an entry by kernel function and machine name — one hash
+    /// probe, not a scan, so fleet-sized indexes route queries at the
+    /// same cost as single-kernel ones.
     pub fn find(&self, func: &str, machine: &str) -> Option<KernelId> {
-        self.kernels
-            .iter()
-            .position(|k| k.func == func && k.machine == machine)
-            .map(|i| KernelId(i as u32))
+        self.by_key
+            .get(&(func.to_string(), machine.to_string()))
+            .map(|&slot| KernelId(slot))
     }
 
     pub fn kernel(&self, id: KernelId) -> Result<&CompiledKernel, ServeError> {
@@ -525,10 +648,70 @@ impl ServeIndex {
         }
     }
 
-    /// Answer a batch sharded over `workers` scoped threads, each with
-    /// its own scratch, writing disjoint chunks of `out` — results are
-    /// bit-identical to [`ServeIndex::run_batch`] in the same order.
+    /// Take a worker scratch from the persistent pool (or start a fresh
+    /// one). Pooled scratches keep their sized register files across
+    /// batches, so repeated sharded calls never re-pay warm-up.
+    fn pool_take(&self) -> Scratch {
+        match self.pool.lock() {
+            Ok(mut p) => p.pop().unwrap_or_default(),
+            // a poisoned pool only costs a cold scratch, never an answer
+            Err(_) => Scratch::new(),
+        }
+    }
+
+    fn pool_put(&self, s: Scratch) {
+        if let Ok(mut p) = self.pool.lock() {
+            p.push(s);
+        }
+    }
+
+    /// The worker count a sharded batch actually runs with: `1` (the
+    /// serial path) below [`SHARD_MIN_BATCH`], otherwise the caller's
+    /// request capped by the host's available parallelism — threads
+    /// beyond the core count only add scheduling overhead (measured as
+    /// a net *loss* on a single-core host) — and by the batch length.
+    pub fn effective_workers(qs_len: usize, workers: usize) -> usize {
+        if qs_len < SHARD_MIN_BATCH {
+            return 1;
+        }
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        workers.min(hw).clamp(1, qs_len)
+    }
+
+    /// Answer a batch sharded over scoped worker threads, each with its
+    /// own pooled scratch, writing disjoint chunks of `out` — results
+    /// are bit-identical to [`ServeIndex::run_batch`] in the same
+    /// order. `workers` is a request, not a contract: batches below
+    /// [`SHARD_MIN_BATCH`] degrade to the serial path, and the count is
+    /// capped at the host's available parallelism (see
+    /// [`ServeIndex::effective_workers`]), so sharding is never slower
+    /// than not sharding. [`ServeIndex::run_batch_sharded_exact`]
+    /// bypasses the policy for differential testing.
     pub fn run_batch_sharded(
+        &self,
+        qs: &[Query],
+        workers: usize,
+        out: &mut Vec<Result<Placement, ServeError>>,
+    ) {
+        self.shard_exec(qs, Self::effective_workers(qs.len(), workers), out);
+    }
+
+    /// Answer a batch sharded over *exactly* `workers` scoped threads
+    /// (clamped only to the batch length) — no minimum-batch or
+    /// core-count policy. The differential-testing entry point: answers
+    /// must be bit-identical at any worker count.
+    pub fn run_batch_sharded_exact(
+        &self,
+        qs: &[Query],
+        workers: usize,
+        out: &mut Vec<Result<Placement, ServeError>>,
+    ) {
+        self.shard_exec(qs, workers.clamp(1, qs.len().max(1)), out);
+    }
+
+    fn shard_exec(
         &self,
         qs: &[Query],
         workers: usize,
@@ -541,13 +724,13 @@ impl ServeIndex {
         if qs.is_empty() {
             return;
         }
-        let workers = workers.clamp(1, qs.len());
         sp.arg("workers", workers);
         if workers == 1 {
-            let mut s = Scratch::new();
+            let mut s = self.pool_take();
             for q in qs {
                 out.push(self.place(q, &mut s));
             }
+            self.pool_put(s);
             return;
         }
         // placeholder immediately overwritten: the chunk split below
@@ -557,13 +740,58 @@ impl ServeIndex {
         std::thread::scope(|sc| {
             for (qc, oc) in qs.chunks(chunk).zip(out.chunks_mut(chunk)) {
                 sc.spawn(move || {
-                    let mut s = Scratch::new();
+                    let mut s = self.pool_take();
                     for (q, slot) in qc.iter().zip(oc.iter_mut()) {
                         *slot = self.place(q, &mut s);
                     }
+                    self.pool_put(s);
                 });
             }
         });
+    }
+
+    /// Answer one query through `cache`: repeated sweep points are
+    /// served from the cache with bit-identical placements *and*
+    /// bit-identical refusals (both are cached). A cache filled before
+    /// a [`ServeIndex::replace`] self-invalidates against the index's
+    /// [`ServeIndex::generation`], so hot-reloads never serve stale
+    /// answers.
+    pub fn place_cached(
+        &self,
+        q: &Query,
+        cache: &mut AnswerCache,
+        s: &mut Scratch,
+    ) -> Result<Placement, ServeError> {
+        cache.sync_generation(self.generation);
+        let k = self.kernel(q.kernel)?;
+        let n = k.n_params().min(MAX_QUERY_PARAMS);
+        // key on the *effective* values only: slots past the kernel's
+        // arity are ignored by place, so they must not split cache lines
+        let vals = &q.values[..n];
+        if let Some(hit) = cache.lookup(q.kernel.raw(), vals) {
+            return hit;
+        }
+        let answer = k.place_values(vals, s);
+        cache.store(q.kernel.raw(), vals, &answer);
+        answer
+    }
+
+    /// [`ServeIndex::run_batch`] through an answer cache.
+    pub fn run_batch_cached(
+        &self,
+        qs: &[Query],
+        cache: &mut AnswerCache,
+        s: &mut Scratch,
+        out: &mut Vec<Result<Placement, ServeError>>,
+    ) {
+        let mut sp = probe::span("serve.query_batch", "serve");
+        sp.arg("queries", qs.len());
+        probe::add("serve.queries", qs.len() as i64);
+        out.clear();
+        out.reserve(qs.len());
+        for q in qs {
+            out.push(self.place_cached(q, cache, s));
+        }
     }
 
     /// Stream a parameter sweep: `(value, answer)` for every value of
@@ -614,6 +842,23 @@ impl ServeIndex {
         lo: i128,
         hi: i128,
     ) -> Result<Option<Crossover>, ServeError> {
+        let mut s = self.pool_take();
+        let r = self.crossover_with(id, param, base, lo, hi, &mut s);
+        self.pool_put(s);
+        r
+    }
+
+    /// [`ServeIndex::crossover`] into a caller scratch — the reusable
+    /// core the table pass drives with persistent per-worker scratches.
+    pub fn crossover_with(
+        &self,
+        id: KernelId,
+        param: &str,
+        base: &[i128],
+        lo: i128,
+        hi: i128,
+        s: &mut Scratch,
+    ) -> Result<Option<Crossover>, ServeError> {
         let k = self.kernel(id)?;
         if base.len() != k.n_params() {
             return Err(ServeError::BadArity {
@@ -629,10 +874,9 @@ impl ServeIndex {
         let mut values = [0i128; MAX_QUERY_PARAMS];
         values[..base.len()].copy_from_slice(base);
         let n = k.n_params();
-        let mut s = Scratch::new();
         crossover_bisect(lo, hi, |v| {
             values[slot] = v;
-            match k.place_values(&values[..n], &mut s) {
+            match k.place_values(&values[..n], s) {
                 Ok(p) => Ok(p.binding),
                 Err(ServeError::Eval(e)) => Err(e),
                 // arity was validated above; other refusals cannot occur
@@ -641,6 +885,124 @@ impl ServeIndex {
         })
         .map_err(ServeError::Eval)
     }
+
+    /// Solve the `param` regime crossover of **every** kernel × machine
+    /// entry in one sharded pass: each pair's base values come from
+    /// `defaults` (unlisted parameters bind 1), the bisection window is
+    /// `[lo, hi]`, and rows come back in [`KernelId`] order regardless
+    /// of the worker count. Pairs without `param` report a typed
+    /// [`ServeError::UnknownParam`] row, not an error for the table.
+    ///
+    /// Sharding follows the batch policy (each bisection costs about
+    /// `2 + log2(hi - lo)` placements, which is what the threshold
+    /// counts): small tables run serially, worker counts cap at the
+    /// host's parallelism, and every worker keeps a persistent pooled
+    /// scratch — the same fixes that made
+    /// [`ServeIndex::run_batch_sharded`] a win instead of a tax.
+    pub fn crossover_table(
+        &self,
+        param: &str,
+        defaults: &[(&str, i128)],
+        lo: i128,
+        hi: i128,
+        workers: usize,
+    ) -> Vec<CrossoverRow> {
+        let mut sp = probe::span("serve.crossover_table", "serve");
+        sp.arg("pairs", self.kernels.len());
+        let ids: Vec<KernelId> = self.kernels().map(|(id, _)| id).collect();
+        let bases: Vec<Vec<i128>> = ids
+            .iter()
+            .map(|&id| self.default_base(id, defaults))
+            .collect();
+        // window width → placements per bisection, so the shard policy
+        // prices a table row like the batch of queries it really is
+        let per_pair = 2 + (128 - (hi - lo).max(1).leading_zeros() as usize);
+        let workers =
+            Self::effective_workers(ids.len().saturating_mul(per_pair), workers);
+        sp.arg("workers", workers);
+        let mut rows: Vec<Option<CrossoverRow>> = vec![None; ids.len()];
+        if workers == 1 {
+            let mut s = self.pool_take();
+            for (i, slot) in rows.iter_mut().enumerate() {
+                *slot = Some(self.table_row(ids[i], param, &bases[i], lo, hi, &mut s));
+            }
+            self.pool_put(s);
+        } else {
+            let chunk = ids.len().div_ceil(workers);
+            std::thread::scope(|sc| {
+                for ((idc, basec), rowc) in ids
+                    .chunks(chunk)
+                    .zip(bases.chunks(chunk))
+                    .zip(rows.chunks_mut(chunk))
+                {
+                    sc.spawn(move || {
+                        let mut s = self.pool_take();
+                        for ((id, base), slot) in
+                            idc.iter().zip(basec.iter()).zip(rowc.iter_mut())
+                        {
+                            *slot =
+                                Some(self.table_row(*id, param, base, lo, hi, &mut s));
+                        }
+                        self.pool_put(s);
+                    });
+                }
+            });
+        }
+        rows.into_iter().flatten().collect()
+    }
+
+    /// Base values for a kernel from a `(name, value)` default list;
+    /// parameters not listed bind 1.
+    fn default_base(&self, id: KernelId, defaults: &[(&str, i128)]) -> Vec<i128> {
+        match self.kernel(id) {
+            Ok(k) => k
+                .params()
+                .iter()
+                .map(|p| {
+                    defaults
+                        .iter()
+                        .find(|(name, _)| name == p)
+                        .map(|(_, v)| *v)
+                        .unwrap_or(1)
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn table_row(
+        &self,
+        id: KernelId,
+        param: &str,
+        base: &[i128],
+        lo: i128,
+        hi: i128,
+        s: &mut Scratch,
+    ) -> CrossoverRow {
+        let (func, machine) = match self.kernel(id) {
+            Ok(k) => (k.func.clone(), k.machine.clone()),
+            Err(_) => (String::new(), String::new()),
+        };
+        CrossoverRow {
+            kernel: id,
+            func,
+            machine,
+            result: self.crossover_with(id, param, base, lo, hi, s),
+        }
+    }
+}
+
+/// One row of [`ServeIndex::crossover_table`]: where (if anywhere) this
+/// kernel × machine pair changes regime in the searched window.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CrossoverRow {
+    pub kernel: KernelId,
+    pub func: String,
+    pub machine: String,
+    /// The bisected crossover (`None` when the binding never changes in
+    /// the window), or the typed refusal — a kernel without the swept
+    /// parameter reports [`ServeError::UnknownParam`] here.
+    pub result: Result<Option<Crossover>, ServeError>,
 }
 
 /// Streaming parameter sweep over one kernel (see

@@ -22,12 +22,26 @@
 //!   bit-identical — including budget-depth refusals, via explicit
 //!   depth ops that cost nothing when no budget scope is active.
 //! * [`index`] — the query service. [`ServeIndex`] holds precompiled
-//!   [`CompiledKernel`]s per kernel × machine and answers [`Query`]
-//!   batches single-threaded (allocation-free after warm-up) or
-//!   sharded across scoped worker threads with bit-identical results;
-//!   [`ServeIndex::sweep`] streams parameter sweeps and
+//!   [`CompiledKernel`]s per kernel × machine (keyed by `(func,
+//!   machine)` — duplicate registration is a typed refusal, swapping a
+//!   live kernel is the explicit [`ServeIndex::replace`]) and answers
+//!   [`Query`] batches single-threaded (allocation-free after warm-up)
+//!   or sharded across scoped worker threads with bit-identical
+//!   results; [`ServeIndex::sweep`] streams parameter sweeps,
 //!   [`ServeIndex::crossover`] solves regime changes through the same
-//!   bisection core as the tree walk.
+//!   bisection core as the tree walk, and
+//!   [`ServeIndex::crossover_table`] bisects every kernel × machine
+//!   pair in one sharded pass.
+//! * [`cache`] — the [`AnswerCache`]: a bounded FNV-keyed memo table in
+//!   front of `place_values` for sweep-heavy traffic, serving repeated
+//!   points with bit-identical placements *and* refusals, hit/miss
+//!   counters via [`AnswerCache::probe`], and self-invalidation against
+//!   the index's swap generation.
+//! * [`fleet`] — [`MachineFleet`]: a directory of `*.ini` machine
+//!   descriptions, every admitted kernel compiled against every
+//!   machine, and [`MachineFleet::reload`] hot-swapping the models of
+//!   edited files atomically ([`KernelId`]s stable, caches
+//!   invalidated).
 //!
 //! The equivalence story has one compile-time escape hatch:
 //! [`ServeIndex`] refuses (typed [`BuildError`]) any kernel whose
@@ -38,12 +52,16 @@
 //! `Placement` bit for bit (pinned by this crate's differential tests
 //! over a generated corpus and every workload model).
 
+pub mod cache;
+pub mod fleet;
 pub mod index;
 pub mod program;
 
+pub use cache::{AnswerCache, CacheStats};
+pub use fleet::{FleetError, MachineFleet, ReloadReport};
 pub use index::{
-    BuildError, CompiledKernel, KernelId, Query, ServeError, ServeIndex, Sweep,
-    MAX_QUERY_PARAMS,
+    BuildError, CompiledKernel, CrossoverRow, KernelId, Query, ServeError, ServeIndex,
+    Sweep, MAX_QUERY_PARAMS, SHARD_MIN_BATCH,
 };
 pub use program::{
     CompileError, CompiledExpr, EvalProgram, OutId, ProgramBuilder, Scratch, SecId,

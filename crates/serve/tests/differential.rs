@@ -8,8 +8,10 @@
 use std::rc::Rc;
 
 use mira_core::{analyze_source, MiraOptions};
-use mira_roofline::{Ceilings, KernelRoofline};
-use mira_serve::{machines, CompiledExpr, CompiledKernel, Scratch};
+use mira_roofline::{Ceilings, KernelRoofline, Placement};
+use mira_serve::{
+    machines, AnswerCache, CompiledExpr, CompiledKernel, Scratch, ServeError, ServeIndex,
+};
 use mira_sym::{bindings, budget, Atom, Bindings, Rat, SymExpr};
 use proptest::test_runner::TestRng;
 
@@ -264,6 +266,135 @@ fn workload_placements_match_tree_walk_bit_for_bit() {
                     }
                 }
                 _ => assert_eq!(tree, compiled, "{func}@{machine} {b:?}"),
+            }
+        }
+    }
+}
+
+/// Bit-identity between two served answers: placements compare by f64
+/// bit pattern, refusals by the typed error.
+fn assert_bit_identical(
+    a: &Result<Placement, ServeError>,
+    b: &Result<Placement, ServeError>,
+    ctx: &str,
+) {
+    match (a, b) {
+        (Ok(x), Ok(y)) => {
+            assert_eq!(x.binding, y.binding, "{ctx}");
+            assert_eq!(
+                x.compute_cycles.to_bits(),
+                y.compute_cycles.to_bits(),
+                "{ctx} compute"
+            );
+            for i in 0..3 {
+                assert_eq!(
+                    x.mem_cycles[i].to_bits(),
+                    y.mem_cycles[i].to_bits(),
+                    "{ctx} mem[{i}]"
+                );
+            }
+        }
+        _ => assert_eq!(a, b, "{ctx}"),
+    }
+}
+
+/// The answer cache is a pure memo: every workload kernel on both
+/// machines, over the full size grid (including the refusal row — error
+/// answers are cached too), twice — so the second pass is served from
+/// the cache — with every answer bit-identical to the uncached compiled
+/// path *and* the symbolic tree walk.
+#[test]
+fn cached_answers_match_uncached_and_tree_walk() {
+    let mut index = ServeIndex::new();
+    let mut walkers = Vec::new();
+    for (func, analysis) in workload_cases() {
+        let kr = KernelRoofline::analyze(&analysis, &func).expect("roofline analyzes");
+        let c = Ceilings::from_arch(&analysis.arch);
+        let id = index.add(&analysis, &func).expect("kernel admits");
+        walkers.push((id, kr, c));
+    }
+    let mut cache = AnswerCache::new(1 << 12);
+    let mut s_cold = Scratch::new();
+    let mut s = Scratch::new();
+    for pass in 0..2 {
+        for (id, kr, c) in &walkers {
+            let params: Vec<String> =
+                index.kernel(*id).expect("kernel exists").params().to_vec();
+            for b in size_grid() {
+                let vals: Vec<i128> =
+                    params.iter().map(|p| b.get(p).copied().unwrap_or(1)).collect();
+                let q = index.query(*id, &vals).expect("query builds");
+                let uncached = index.place(&q, &mut s_cold);
+                let cached = index.place_cached(&q, &mut cache, &mut s);
+                let ctx = format!("pass {pass} {} {vals:?}", kr.func);
+                assert_bit_identical(&uncached, &cached, &ctx);
+                // and both equal the tree walk, values and refusals
+                let mut full = b.clone();
+                for (p, v) in params.iter().zip(&vals) {
+                    full.insert(p.clone(), *v);
+                }
+                let walked = kr.place(c, &full).map_err(ServeError::Eval);
+                assert_bit_identical(&walked, &cached, &ctx);
+            }
+        }
+    }
+    let st = cache.probe();
+    assert!(st.hits > 0, "second pass must hit: {st:?}");
+    assert!(st.misses > 0, "first pass must miss: {st:?}");
+}
+
+/// [`ServeIndex::crossover_table`] rows — every kernel × machine pair,
+/// serial and sharded — agree exactly with the per-pair tree-walk
+/// [`KernelRoofline::crossover`] (same `crossover_bisect` core, same
+/// window, same defaults).
+#[test]
+fn crossover_table_matches_tree_walk() {
+    let mut index = ServeIndex::new();
+    let mut walkers = Vec::new();
+    for (func, analysis) in workload_cases() {
+        let kr = KernelRoofline::analyze(&analysis, &func).expect("roofline analyzes");
+        let c = Ceilings::from_arch(&analysis.arch);
+        index.add(&analysis, &func).expect("kernel admits");
+        walkers.push((func, analysis.arch.machine.name.clone(), kr, c));
+    }
+    let defaults: &[(&str, i128)] =
+        &[("reps", 2), ("nnz_row_milli", 26_144), ("cg_iters", 20)];
+    for workers in [1, 4] {
+        let rows = index.crossover_table("n", defaults, 2, 512, workers);
+        assert_eq!(rows.len(), index.len(), "one row per pair");
+        for (i, row) in rows.iter().enumerate() {
+            let expect_id = index.kernels().nth(i).map(|(id, _)| id);
+            assert_eq!(Some(row.kernel), expect_id, "rows in KernelId order");
+            let k = index.kernel(row.kernel).expect("kernel exists");
+            let ctx = format!("{}@{} workers={workers}", row.func, row.machine);
+            if !k.params().iter().any(|p| p == "n") {
+                match &row.result {
+                    Err(ServeError::UnknownParam(p)) => assert_eq!(p, "n", "{ctx}"),
+                    other => panic!("{ctx}: expected UnknownParam, got {other:?}"),
+                }
+                continue;
+            }
+            let base: Bindings = k
+                .params()
+                .iter()
+                .map(|p| {
+                    let v = defaults
+                        .iter()
+                        .find(|(name, _)| name == p)
+                        .map(|(_, v)| *v)
+                        .unwrap_or(1);
+                    (p.clone(), v)
+                })
+                .collect();
+            let (_, _, kr, c) = walkers
+                .iter()
+                .find(|(f, m, _, _)| f == &row.func && m == &row.machine)
+                .expect("pair has a tree walker");
+            let walked = kr.crossover(c, "n", &base, 2, 512);
+            match (&row.result, &walked) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{ctx}"),
+                (Err(ServeError::Eval(a)), Err(b)) => assert_eq!(a, b, "{ctx}"),
+                other => panic!("{ctx}: served vs tree walk diverge: {other:?}"),
             }
         }
     }

@@ -1,0 +1,298 @@
+//! Fleet serving contracts: directory-loading refusals are typed and
+//! all-or-nothing, hot-reload swaps changed machines atomically under
+//! stable [`mira_serve::KernelId`]s, answer caches self-invalidate on
+//! reload, and fleet-reloaded answers are bit-identical to the symbolic
+//! tree walk under the edited description.
+
+use std::fs;
+use std::path::PathBuf;
+
+use mira_arch::desc::DEFAULT_DESCRIPTION;
+use mira_arch::{ArchDescription, LoadError};
+use mira_core::{analyze_source, MiraOptions};
+use mira_roofline::{Ceilings, KernelRoofline, MemLevel, Placement};
+use mira_serve::{machines, AnswerCache, FleetError, MachineFleet, Scratch, ServeError};
+
+/// A fresh temp directory holding the two stock machine descriptions.
+fn fleet_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mira_serve_fleet_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp dir");
+    fs::write(dir.join("generic.ini"), DEFAULT_DESCRIPTION).expect("write generic");
+    fs::write(dir.join("avx2.ini"), machines::AVX2_FMA_DESCRIPTION).expect("write avx2");
+    dir
+}
+
+/// Positional values for a kernel: `n` slots get `n0`, the rest 1.
+fn base_values(fleet: &MachineFleet, id: mira_serve::KernelId, n0: i128) -> Vec<i128> {
+    fleet
+        .index()
+        .kernel(id)
+        .expect("kernel exists")
+        .params()
+        .iter()
+        .map(|p| if p == "n" { n0 } else { 1 })
+        .collect()
+}
+
+fn assert_bit_identical(a: &Placement, b: &Placement, ctx: &str) {
+    assert_eq!(a.binding, b.binding, "{ctx}");
+    assert_eq!(a.compute_cycles.to_bits(), b.compute_cycles.to_bits(), "{ctx} compute");
+    for i in 0..3 {
+        assert_eq!(a.mem_cycles[i].to_bits(), b.mem_cycles[i].to_bits(), "{ctx} mem[{i}]");
+    }
+}
+
+/// The tree walk's placement of `func` under a description text, for
+/// differential comparison against fleet-served answers.
+fn tree_walk(desc_text: &str, func: &str, src: &str, values: &[(&str, i128)]) -> Placement {
+    let arch = ArchDescription::parse(desc_text).expect("description parses");
+    let opts = MiraOptions {
+        arch,
+        ..Default::default()
+    };
+    let analysis = analyze_source(src, &opts).expect("workload analyzes");
+    let kr = KernelRoofline::analyze(&analysis, func).expect("roofline analyzes");
+    let c = Ceilings::from_arch(&analysis.arch);
+    kr.place(&c, &mira_sym::bindings(values)).expect("tree walk places")
+}
+
+#[test]
+fn fleet_compiles_the_full_cross_product() {
+    let dir = fleet_dir("cross");
+    let mut fleet = MachineFleet::load(&dir).expect("fleet loads");
+    assert_eq!(fleet.machines().count(), 2);
+    let ids = fleet
+        .admit_source("triad", mira_workloads::memval::TRIAD_SRC)
+        .expect("triad admits");
+    assert_eq!(ids.len(), 2, "one id per machine");
+    fleet
+        .admit_source("dgemm", mira_workloads::dgemm::DGEMM_SRC)
+        .expect("dgemm admits");
+    assert_eq!(fleet.index().len(), 4, "2 kernels x 2 machines");
+    for func in ["triad", "dgemm"] {
+        for machine in [machines::GENERIC, machines::AVX2_FMA] {
+            assert!(fleet.find(func, machine).is_some(), "{func}@{machine}");
+        }
+    }
+    assert_eq!(fleet.funcs().collect::<Vec<_>>(), ["triad", "dgemm"]);
+    // re-admitting is a typed refusal, not 2 more shadowed entries
+    match fleet.admit_source("triad", mira_workloads::memval::TRIAD_SRC) {
+        Err(FleetError::DuplicateKernel { func }) => assert_eq!(func, "triad"),
+        other => panic!("expected DuplicateKernel, got {:?}", other.map(|_| ())),
+    }
+    assert_eq!(fleet.index().len(), 4);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_description_is_a_typed_per_file_error() {
+    let dir = fleet_dir("malformed");
+    fs::write(dir.join("broken.ini"), "[machine]\ncores = banana\n").expect("write");
+    match MachineFleet::load(&dir) {
+        Err(FleetError::Load(LoadError::Parse { path, .. })) => {
+            assert!(path.ends_with("broken.ini"), "error names the file: {path:?}");
+        }
+        Err(other) => panic!("expected Load(Parse), got {other:?}"),
+        Ok(_) => panic!("malformed directory must refuse, not half-load"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reload_is_atomic_against_a_malformed_edit() {
+    let dir = fleet_dir("atomic");
+    let mut fleet = MachineFleet::load(&dir).expect("fleet loads");
+    let id = fleet
+        .admit_source("triad", mira_workloads::memval::TRIAD_SRC)
+        .expect("triad admits")[0];
+    let q = fleet
+        .index()
+        .query(id, &base_values(&fleet, id, 4096))
+        .expect("query builds");
+    let mut s = Scratch::new();
+    let before = fleet.index().place(&q, &mut s).expect("places");
+
+    // an untouched directory reloads as a no-op
+    let report = fleet.reload().expect("noop reload");
+    assert!(report.is_noop());
+    assert_eq!(report.recompiled, 0);
+
+    // corrupt one file: reload refuses (typed, names the file) and the
+    // fleet keeps serving exactly its pre-reload answers
+    fs::write(dir.join("generic.ini"), "[machine\nname oops").expect("corrupt");
+    match fleet.reload() {
+        Err(FleetError::Load(LoadError::Parse { path, .. })) => {
+            assert!(path.ends_with("generic.ini"));
+        }
+        other => panic!("expected Load(Parse), got {:?}", other.map(|_| ())),
+    }
+    let after = fleet.index().place(&q, &mut s).expect("still places");
+    assert_bit_identical(&before, &after, "refused reload changes nothing");
+
+    // restoring the original text reloads as a no-op again
+    fs::write(dir.join("generic.ini"), DEFAULT_DESCRIPTION).expect("restore");
+    assert!(fleet.reload().expect("reload").is_noop());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The tentpole regression: edit a machine description, reload, and the
+/// *new* model answers — under the same [`mira_serve::KernelId`], with
+/// a filled [`AnswerCache`] self-invalidating, and bit-identical to the
+/// tree walk under the edited description. Exactly the sequence the old
+/// first-match index turned into silent stale serving.
+#[test]
+fn reload_swaps_changed_machines_under_stable_ids() {
+    let dir = fleet_dir("swap");
+    let mut fleet = MachineFleet::load(&dir).expect("fleet loads");
+    fleet
+        .admit_source("triad", mira_workloads::memval::TRIAD_SRC)
+        .expect("triad admits");
+    fleet
+        .admit_source("dgemm", mira_workloads::dgemm::DGEMM_SRC)
+        .expect("dgemm admits");
+    let id = fleet.find("triad", machines::AVX2_FMA).expect("triad@avx2");
+    let vals = base_values(&fleet, id, 4096);
+    let q = fleet.index().query(id, &vals).expect("query builds");
+    let mut s = Scratch::new();
+    let mut cache = AnswerCache::new(256);
+    let before = fleet
+        .index()
+        .place_cached(&q, &mut cache, &mut s)
+        .expect("places");
+    // the point is cached before the reload
+    assert_eq!(cache.probe().len, 1);
+
+    // double the avx2 machine's DRAM bandwidth and reload
+    let edited = machines::AVX2_FMA_DESCRIPTION.replace(
+        "[bandwidth dram]\nbytes_per_cycle = 8",
+        "[bandwidth dram]\nbytes_per_cycle = 16",
+    );
+    assert_ne!(edited, machines::AVX2_FMA_DESCRIPTION, "edit applied");
+    fs::write(dir.join("avx2.ini"), &edited).expect("edit avx2");
+    let report = fleet.reload().expect("reload succeeds");
+    assert_eq!(report.changed, ["avx2-fma"]);
+    assert!(report.added.is_empty() && report.removed.is_empty());
+    assert_eq!(report.recompiled, 2, "both kernels recompiled for the edited machine");
+
+    // same id, new answers — through the cache, which self-invalidates
+    assert_eq!(fleet.find("triad", machines::AVX2_FMA), Some(id), "id stable");
+    let after = fleet
+        .index()
+        .place_cached(&q, &mut cache, &mut s)
+        .expect("places after reload");
+    assert!(cache.probe().invalidations >= 1, "reload invalidated the cache");
+    let dram = MemLevel::Dram.index();
+    assert!(
+        after.mem_cycles[dram] < before.mem_cycles[dram],
+        "doubled DRAM bandwidth halves the DRAM bound ({} -> {})",
+        before.mem_cycles[dram],
+        after.mem_cycles[dram],
+    );
+
+    // differential: the served answer equals the tree walk under the
+    // *edited* description, bit for bit, cached and uncached
+    let binds: Vec<(&str, i128)> = fleet
+        .index()
+        .kernel(id)
+        .expect("kernel")
+        .params()
+        .iter()
+        .zip(&vals)
+        .map(|(p, v)| (p.as_str(), *v))
+        .collect();
+    let walked = tree_walk(&edited, "triad", mira_workloads::memval::TRIAD_SRC, &binds);
+    assert_bit_identical(&walked, &after, "reloaded vs tree walk");
+    let uncached = fleet.index().place(&q, &mut s).expect("places uncached");
+    assert_bit_identical(&uncached, &after, "cached vs uncached after reload");
+
+    // the untouched machine's answers did not move
+    let gid = fleet.find("triad", machines::GENERIC).expect("triad@generic");
+    let gq = fleet
+        .index()
+        .query(gid, &base_values(&fleet, gid, 4096))
+        .expect("query builds");
+    let gserved = fleet.index().place(&gq, &mut s).expect("places");
+    let gwalked = tree_walk(
+        DEFAULT_DESCRIPTION,
+        "triad",
+        mira_workloads::memval::TRIAD_SRC,
+        &binds,
+    );
+    assert_bit_identical(&gwalked, &gserved, "untouched machine");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reload_adds_and_removes_machines() {
+    let dir = fleet_dir("addrm");
+    let mut fleet = MachineFleet::load(&dir).expect("fleet loads");
+    fleet
+        .admit_source("triad", mira_workloads::memval::TRIAD_SRC)
+        .expect("triad admits");
+    assert_eq!(fleet.index().len(), 2);
+
+    // a third machine appears: its kernels are compiled and added
+    let charlie = DEFAULT_DESCRIPTION.replace("generic-x86_64", "charlie");
+    fs::write(dir.join("charlie.ini"), &charlie).expect("write charlie");
+    let report = fleet.reload().expect("reload");
+    assert_eq!(report.added, ["charlie"]);
+    assert_eq!(report.recompiled, 1);
+    assert_eq!(fleet.index().len(), 3);
+    let cid = fleet.find("triad", "charlie").expect("triad@charlie");
+    let mut s = Scratch::new();
+    let q = fleet
+        .index()
+        .query(cid, &base_values(&fleet, cid, 1024))
+        .expect("query builds");
+    assert!(fleet.index().place(&q, &mut s).is_ok());
+
+    // it disappears again: rebuild, ids void, generation still advances
+    // so caches filled before the removal cannot serve stale answers
+    let gen_before = fleet.index().generation();
+    fs::remove_file(dir.join("charlie.ini")).expect("remove charlie");
+    let report = fleet.reload().expect("reload");
+    assert_eq!(report.removed, ["charlie"]);
+    assert_eq!(report.recompiled, 2, "full rebuild over the remaining machines");
+    assert_eq!(fleet.index().len(), 2);
+    assert!(fleet.find("triad", "charlie").is_none());
+    assert!(fleet.index().generation() > gen_before);
+    for machine in [machines::GENERIC, machines::AVX2_FMA] {
+        let id = fleet.find("triad", machine).expect("survivor serves");
+        let q = fleet
+            .index()
+            .query(id, &base_values(&fleet, id, 1024))
+            .expect("query builds");
+        assert!(fleet.index().place(&q, &mut s).is_ok(), "{machine}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Error answers flow through the cache unchanged: a refusal served
+/// cold equals the refusal served from the cache.
+#[test]
+fn cached_refusals_match_uncached() {
+    let dir = fleet_dir("refusals");
+    let mut fleet = MachineFleet::load(&dir).expect("fleet loads");
+    let id = fleet
+        .admit_source("triad", mira_workloads::memval::TRIAD_SRC)
+        .expect("triad admits")[0];
+    let huge = base_values(&fleet, id, i64::MAX as i128);
+    let q = fleet.index().query(id, &huge).expect("query builds");
+    let mut s = Scratch::new();
+    let mut cache = AnswerCache::new(64);
+    let cold = fleet.index().place(&q, &mut s);
+    let first = fleet.index().place_cached(&q, &mut cache, &mut s);
+    let second = fleet.index().place_cached(&q, &mut cache, &mut s);
+    assert!(
+        matches!(cold, Err(ServeError::Eval(_))),
+        "astronomical n refuses: {cold:?}"
+    );
+    assert_eq!(cold, first, "cold vs cache-miss");
+    assert_eq!(cold, second, "cold vs cache-hit");
+    assert!(cache.probe().hits >= 1);
+    let _ = fs::remove_dir_all(&dir);
+}

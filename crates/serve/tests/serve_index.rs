@@ -64,12 +64,129 @@ fn batch_and_sharded_answers_are_identical() {
     for (q, r) in queries.iter().zip(&single) {
         assert_eq!(&index.place(q, &mut s), r);
     }
-    // sharded runs, any worker count, are bit-identical in order
+    // sharded runs, any *exact* worker count, are bit-identical in
+    // order (bypassing the min-batch / core-count policy so real
+    // multi-thread execution is exercised even on small hosts)
     for workers in [1, 2, 3, 7, 64] {
         let mut sharded = Vec::new();
-        index.run_batch_sharded(&queries, workers, &mut sharded);
-        assert_eq!(single, sharded, "workers={workers}");
+        index.run_batch_sharded_exact(&queries, workers, &mut sharded);
+        assert_eq!(single, sharded, "exact workers={workers}");
     }
+    // and the policy path answers identically too, whatever worker
+    // count it actually picks
+    let mut sharded = Vec::new();
+    index.run_batch_sharded(&queries, 8, &mut sharded);
+    assert_eq!(single, sharded);
+}
+
+/// The sharding policy: small batches run serial, and worker counts cap
+/// at the host's parallelism (threads beyond the core count measured as
+/// a net loss — the BENCH_serve sharded regression).
+#[test]
+fn effective_workers_degrades_small_batches_and_caps_at_the_host() {
+    use mira_serve::SHARD_MIN_BATCH;
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    assert_eq!(ServeIndex::effective_workers(0, 64), 1);
+    assert_eq!(ServeIndex::effective_workers(SHARD_MIN_BATCH - 1, 64), 1);
+    assert_eq!(ServeIndex::effective_workers(SHARD_MIN_BATCH, 1), 1);
+    let at = ServeIndex::effective_workers(SHARD_MIN_BATCH, 64);
+    assert!(at >= 1 && at <= 64.min(hw), "policy stays in [1, min(64, hw)]: {at}");
+    assert_eq!(ServeIndex::effective_workers(1 << 20, usize::MAX), hw);
+}
+
+/// Satellite regression (stale-kernel shadowing): duplicate `(func,
+/// machine)` registration is a typed refusal, and `replace` swaps the
+/// model under the *same* [`mira_serve::KernelId`] so the new answers —
+/// not the originals — are served.
+#[test]
+fn duplicate_is_refused_and_replace_serves_new_answers() {
+    let analysis = analyze_source(
+        mira_workloads::memval::TRIAD_SRC,
+        &MiraOptions::default(),
+    )
+    .expect("triad analyzes");
+    let kr = KernelRoofline::analyze(&analysis, "triad").expect("roofline");
+    let c = Ceilings::from_arch(&analysis.arch);
+
+    let mut index = ServeIndex::new();
+    let id = index.add_roofline(&kr, &c, "m").expect("first add admits");
+
+    // the old behavior: a second add slipped in and `find` kept serving
+    // the first — now it refuses, typed
+    match index.add_roofline(&kr, &c, "m") {
+        Err(mira_serve::BuildError::Duplicate { func, machine }) => {
+            assert_eq!((func.as_str(), machine.as_str()), ("triad", "m"));
+        }
+        other => panic!("expected Duplicate, got {:?}", other.map(|_| ())),
+    }
+    assert_eq!(index.len(), 1, "the refused add did not grow the index");
+
+    let base = base_values(&index, id, 4096);
+    let q = index.query(id, &base).expect("query builds");
+    let mut s = Scratch::new();
+    let before = index.place(&q, &mut s).expect("places");
+
+    // re-register with doubled DRAM bandwidth: same pair, same id, new
+    // answers — what a machine-description hot-reload does
+    let mut c2 = c;
+    c2.bandwidth[MemLevel::Dram.index()] *= 2;
+    let gen0 = index.generation();
+    let id2 = index.replace_roofline(&kr, &c2, "m").expect("replace admits");
+    assert_eq!(id2, id, "replace keeps the KernelId stable");
+    assert_eq!(index.len(), 1);
+    assert!(index.generation() > gen0, "replace bumps the swap generation");
+
+    let after = index.place(&q, &mut s).expect("places after replace");
+    assert!(
+        after.mem_cycles[MemLevel::Dram.index()] < before.mem_cycles[MemLevel::Dram.index()],
+        "the *new* model answers: DRAM bound halves with doubled bandwidth \
+         ({} -> {})",
+        before.mem_cycles[MemLevel::Dram.index()],
+        after.mem_cycles[MemLevel::Dram.index()],
+    );
+
+    // replace of an unregistered pair is an add
+    let id3 = index.replace_roofline(&kr, &c, "m2").expect("new pair admits");
+    assert_ne!(id3, id);
+    assert_eq!(index.len(), 2);
+}
+
+/// Satellite regression (O(n) find): the HashMap lookup answers exactly
+/// like the old first-match linear scan on a 100-kernel fleet — which it
+/// only can because duplicates are now refused at admission.
+#[test]
+fn find_matches_the_linear_scan_on_a_100_kernel_fleet() {
+    let analysis = analyze_source(
+        mira_workloads::memval::TRIAD_SRC,
+        &MiraOptions::default(),
+    )
+    .expect("triad analyzes");
+    let kr = KernelRoofline::analyze(&analysis, "triad").expect("roofline");
+    let c = Ceilings::from_arch(&analysis.arch);
+
+    let mut index = ServeIndex::new();
+    for i in 0..100 {
+        index
+            .add_roofline(&kr, &c, &format!("machine-{i:03}"))
+            .expect("admits");
+    }
+    assert_eq!(index.len(), 100);
+
+    // the old implementation, verbatim: first match over insertion order
+    let linear_scan = |func: &str, machine: &str| {
+        index
+            .kernels()
+            .find(|(_, k)| k.func() == func && k.machine() == machine)
+            .map(|(id, _)| id)
+    };
+    for i in 0..100 {
+        let m = format!("machine-{i:03}");
+        assert_eq!(index.find("triad", &m), linear_scan("triad", &m), "{m}");
+        assert!(index.find("triad", &m).is_some());
+    }
+    assert_eq!(index.find("triad", "machine-100"), linear_scan("triad", "machine-100"));
+    assert_eq!(index.find("nope", "machine-000"), linear_scan("nope", "machine-000"));
+    assert_eq!(index.find("", ""), None);
 }
 
 #[test]
